@@ -1,0 +1,55 @@
+/// Ablation: Eq. (8) eye semantics as printed (crosstalk-only '0' level)
+/// versus the physically complete '0' level (own modulator extinction
+/// residue + joint worst-case interferers). Quantifies how much probe
+/// power the printed formula under-budgets across the spacing range.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/math.hpp"
+#include "optsc/link_budget.hpp"
+#include "optsc/mrr_first.hpp"
+
+using namespace oscs;
+using namespace oscs::optsc;
+
+int main() {
+  bench::banner(
+      "Ablation - Eq. (8) as printed vs physical eye semantics (n = 2, "
+      "BER 1e-6)");
+
+  CsvTable table({"wl_spacing_nm", "eye_eq8", "eye_physical",
+                  "probe_eq8_mw", "probe_physical_mw", "power_ratio"});
+  std::printf("  %-12s %-12s %-12s %-14s %-14s %-8s\n", "spacing", "eye(Eq8)",
+              "eye(phys)", "probe(Eq8)", "probe(phys)", "ratio");
+
+  for (double w : linspace(0.15, 1.0, 18)) {
+    MrrFirstSpec spec;
+    spec.wl_spacing_nm = w;
+    const MrrFirstResult r = mrr_first(spec);
+    const OpticalScCircuit circuit(r.params);
+    const LinkBudget eq8(circuit, EyeModel::kPaperEq8);
+    const LinkBudget phys(circuit, EyeModel::kPhysical);
+    const double eye8 = eq8.analyze(1.0).eye_transmission;
+    const double eyep = phys.analyze(1.0).eye_transmission;
+    const double p8 = eq8.min_probe_power_mw(1e-6);
+    const double pp = phys.min_probe_power_mw(1e-6);
+    table.add_row({w, eye8, eyep, p8, pp, pp / p8});
+    std::printf("  %-12.3f %-12.4f %-12.4f %-14.4f %-14.4f %-8.3f\n", w,
+                eye8, eyep, p8, pp, pp / p8);
+  }
+  table.write(bench::results_dir() + "/ablation_eye_semantics.csv");
+
+  bench::note(
+      "the printed Eq. (8) ignores the ~0.09 own-extinction residue that "
+      "Fig. 5c itself shows; a real receiver needs the 'physical' budget: "
+      "~25% more probe power on wide grids, 2x around 0.25 nm, and the "
+      "guaranteed-worst-case eye closes outright below ~0.2 nm pitch "
+      "(modulator-shift collision)");
+  bench::note(
+      "all Fig. 6/7 reproductions use Eq. (8) semantics for fidelity to "
+      "the paper; flip EyeModel::kPhysical for deployable budgets");
+  return 0;
+}

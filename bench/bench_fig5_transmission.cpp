@@ -1,0 +1,127 @@
+/// Reproduces Fig. 5: (a)/(b) the MRR and filter transmission spectra
+/// with the probe channels marked, and (c) the received optical power for
+/// every combination of data (x1 x2) and coefficients (z2 z1 z0),
+/// separating the '0' and '1' bands the de-randomizer thresholds between.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/chart.hpp"
+#include "common/csv.hpp"
+#include "common/math.hpp"
+#include "optsc/circuit.hpp"
+#include "optsc/defaults.hpp"
+#include "photonics/spectrum.hpp"
+
+using namespace oscs;
+using namespace oscs::optsc;
+namespace ph = oscs::photonics;
+
+namespace {
+
+void spectra_for_state(const OpticalScCircuit& circuit,
+                       const std::vector<bool>& z,
+                       const std::vector<bool>& x, const char* name) {
+  const double lo = 1547.0, hi = 1550.6;
+  const std::size_t points = 721;
+
+  CsvTable table({"lambda_nm", "mrr0", "mrr1", "mrr2", "filter_drop",
+                  "bus_through"});
+  std::vector<double> grid = linspace(lo, hi, points);
+  const double control_mw = circuit.pump_path().control_power_mw(
+      circuit.params().lasers.pump_power_mw, x);
+  for (double wl : grid) {
+    table.start_row();
+    table.cell(wl);
+    double bus = 1.0;
+    for (std::size_t m = 0; m < 3; ++m) {
+      const double t = circuit.modulator(m).through(wl, z[m]);
+      table.cell(t);
+      bus *= t;
+    }
+    table.cell(circuit.filter().drop(wl, control_mw));
+    table.cell(bus);
+  }
+  const std::string csv =
+      bench::results_dir() + "/fig5_spectra_" + name + ".csv";
+  table.write(csv);
+
+  // ASCII rendering of the filter drop + cascaded bus transmission.
+  ChartOptions opt;
+  opt.title = std::string("Fig. 5") + name +
+              ": bus through (m) and tuned filter drop (f)";
+  opt.x_label = "wavelength [nm]";
+  opt.y_label = "transmission";
+  AsciiChart chart(opt);
+  Series bus{"modulator bus (product of MRR through)", grid, {}, 'm'};
+  Series drop{"filter drop (pump-tuned)", grid, {}, 'f'};
+  for (double wl : grid) {
+    double b = 1.0;
+    for (std::size_t m = 0; m < 3; ++m) {
+      b *= circuit.modulator(m).through(wl, z[m]);
+    }
+    bus.y.push_back(b);
+    drop.y.push_back(circuit.filter().drop(wl, control_mw));
+  }
+  chart.add(bus);
+  chart.add(drop);
+  std::printf("%s\n  csv: %s\n", chart.render().c_str(), csv.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 5 - Transmission of MRRs and filter (2nd order)");
+  const OpticalScCircuit circuit(paper_defaults(2, 1.0));
+
+  bench::section("Fig. 5a: z0=0 z1=1 z2=0, x1=x2=1 (filter at lambda_2)");
+  spectra_for_state(circuit, {false, true, false}, {true, true}, "a");
+
+  bench::section("Fig. 5b: z0=1 z1=1 z2=0, x1=x2=0 (filter at lambda_0)");
+  spectra_for_state(circuit, {true, true, false}, {false, false}, "b");
+
+  bench::section(
+      "Fig. 5c: received power for all (x2x1, z2z1z0), probe 1 mW");
+  CsvTable table({"x_ones", "z2z1z0", "received_mw", "encoded_bit"});
+  double min0 = 1e9, max0 = 0.0, min1 = 1e9, max1 = 0.0;
+  std::printf("  %-8s %-8s %-14s %s\n", "x2x1", "z2z1z0", "received [mW]",
+              "bit");
+  for (std::size_t ones = 0; ones <= 2; ++ones) {
+    std::vector<bool> x(2, false);
+    for (std::size_t k = 0; k < ones; ++k) x[k] = true;
+    for (int zz = 0; zz < 8; ++zz) {
+      const std::vector<bool> z{(zz & 1) != 0, (zz & 2) != 0,
+                                (zz & 4) != 0};
+      const double rx = circuit.received_power_mw(z, x, 1.0);
+      const bool bit = z[ones];
+      if (bit) {
+        min1 = std::min(min1, rx);
+        max1 = std::max(max1, rx);
+      } else {
+        min0 = std::min(min0, rx);
+        max0 = std::max(max0, rx);
+      }
+      table.start_row();
+      table.cell(ones);
+      table.cell(std::string{char('0' + ((zz >> 2) & 1)),
+                             char('0' + ((zz >> 1) & 1)),
+                             char('0' + (zz & 1))});
+      table.cell(rx);
+      table.cell(std::string(bit ? "1" : "0"));
+      std::printf("  %zu ones   %d%d%d      %.4f         %d\n", ones,
+                  (zz >> 2) & 1, (zz >> 1) & 1, zz & 1, rx, bit ? 1 : 0);
+    }
+  }
+  const std::string csv = bench::results_dir() + "/fig5c_received_power.csv";
+  table.write(csv);
+
+  std::printf("\n");
+  bench::compare("'0' band lower edge", 0.092, min0, "mW");
+  bench::compare("'0' band upper edge", 0.099, max0, "mW");
+  bench::compare("'1' band lower edge", 0.477, min1, "mW");
+  bench::compare("'1' band upper edge", 0.482, max1, "mW");
+  bench::note("bands are disjoint -> correct optical execution of SC");
+  std::printf("  csv: %s\n", csv.c_str());
+  return 0;
+}

@@ -1,0 +1,129 @@
+/// Kernel microbenchmarks (google-benchmark): the hot paths of the
+/// analytic model and the bit-level simulator. Useful for keeping the
+/// design-space sweeps interactive as the model grows.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "optsc/circuit.hpp"
+#include "optsc/defaults.hpp"
+#include "optsc/link_budget.hpp"
+#include "optsc/mrr_first.hpp"
+#include "optsc/simulator.hpp"
+#include "stochastic/bernstein.hpp"
+#include "stochastic/functions.hpp"
+#include "stochastic/sng.hpp"
+
+namespace {
+
+using namespace oscs;
+using namespace oscs::optsc;
+namespace sc = oscs::stochastic;
+
+void BM_RingDropEval(benchmark::State& state) {
+  const photonics::AddDropRing ring =
+      photonics::AddDropRing::from_linewidth(1550.0, 10.0, 0.2, 0.102,
+                                             0.995);
+  double wl = 1549.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.drop(wl, 1550.0));
+    wl += 1e-6;
+  }
+}
+BENCHMARK(BM_RingDropEval);
+
+void BM_ChannelTransmissionEq6(benchmark::State& state) {
+  const OpticalScCircuit circuit(paper_defaults());
+  const std::vector<bool> z{false, true, false};
+  const std::vector<bool> x{true, false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.channel_transmission(1, z, x));
+  }
+}
+BENCHMARK(BM_ChannelTransmissionEq6);
+
+void BM_ReceivedPowerFullCircuit(benchmark::State& state) {
+  const std::size_t order = static_cast<std::size_t>(state.range(0));
+  const OpticalScCircuit circuit(paper_defaults(order, 0.4));
+  std::vector<bool> z(order + 1, false);
+  z[order / 2] = true;
+  std::vector<bool> x(order, false);
+  x[0] = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.received_power_mw(z, x, 1.0));
+  }
+}
+BENCHMARK(BM_ReceivedPowerFullCircuit)->Arg(2)->Arg(6)->Arg(16);
+
+void BM_LinkBudgetAnalyze(benchmark::State& state) {
+  const OpticalScCircuit circuit(paper_defaults());
+  const LinkBudget budget(circuit, EyeModel::kPaperEq8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(budget.analyze(1.0).snr);
+  }
+}
+BENCHMARK(BM_LinkBudgetAnalyze);
+
+void BM_MrrFirstFullDesign(benchmark::State& state) {
+  MrrFirstSpec spec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mrr_first(spec).min_probe_mw);
+  }
+}
+BENCHMARK(BM_MrrFirstFullDesign);
+
+void BM_LfsrSngStream(benchmark::State& state) {
+  sc::Sng sng(sc::make_source(sc::SourceKind::kLfsr, 16, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sng.generate(0.37, 4096).count_ones());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_LfsrSngStream);
+
+void BM_BernsteinDeCasteljau(benchmark::State& state) {
+  const sc::BernsteinPoly poly = sc::BernsteinPoly::fit(
+      [](double v) { return v * v * (3.0 - 2.0 * v); }, 12, false);
+  double x = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly(x));
+    x += 1e-6;
+    if (x > 1.0) x = 0.0;
+  }
+}
+BENCHMARK(BM_BernsteinDeCasteljau);
+
+void BM_BernsteinFitDegree6(benchmark::State& state) {
+  const auto gamma = [](double v) { return std::pow(v, 0.45); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc::BernsteinPoly::fit(gamma, 6).coeffs()[3]);
+  }
+}
+BENCHMARK(BM_BernsteinFitDegree6);
+
+void BM_TransientSimulator1kBits(benchmark::State& state) {
+  const OpticalScCircuit circuit(paper_defaults());
+  const TransientSimulator sim(circuit);
+  const sc::BernsteinPoly poly({0.0, 0.0, 1.0});
+  SimulationConfig cfg;
+  cfg.stream_length = 1024;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(poly, 0.5, cfg).optical_estimate);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TransientSimulator1kBits);
+
+void BM_ElectronicReSC1kBits(benchmark::State& state) {
+  const sc::ReSCUnit unit(sc::paper_f2_bernstein());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.evaluate(0.5, 1024, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ElectronicReSC1kBits);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+#pragma once
+/// \file bench_util.hpp
+/// \brief Shared output helpers for the figure-reproduction benches:
+///        consistent banners, paper-vs-measured rows and CSV placement.
+
+#include <cstdio>
+#include <string>
+
+namespace oscs::bench {
+
+/// Directory all benches write their CSV series into.
+inline std::string results_dir() { return "results"; }
+
+inline void banner(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// One paper-vs-measured comparison line.
+inline void compare(const std::string& what, double paper, double measured,
+                    const std::string& unit) {
+  const double rel =
+      paper != 0.0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("  %-46s paper %10.4g %-5s measured %10.4g %-5s (%+.1f%%)\n",
+              what.c_str(), paper, unit.c_str(), measured, unit.c_str(),
+              rel);
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+}  // namespace oscs::bench

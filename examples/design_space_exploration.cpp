@@ -1,0 +1,103 @@
+/// Design-space exploration: both of the paper's design methods driven
+/// from the command line, plus the energy-optimal spacing search.
+///
+/// MRR-first ("I know my WDM grid, what drive do I need?"):
+///   ./design_space_exploration --method mrr --order 4 --spacing 0.3
+/// MZI-first ("I have this modulator and pump, where do my channels go?"):
+///   ./design_space_exploration --method mzi --il 6.5 --er 7.5 --pump 600
+/// Energy optimum for a given order:
+///   ./design_space_exploration --method energy --order 6
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "optsc/energy.hpp"
+#include "optsc/mrr_first.hpp"
+#include "optsc/mzi_first.hpp"
+
+using namespace oscs::optsc;
+
+namespace {
+
+void report_link(const EyeAnalysis& eye, double min_probe_mw) {
+  std::printf("  worst channel %zu: eye %.4f (unit probe), SNR %.2f, BER "
+              "%.2e at the minimum probe power %.4f mW\n",
+              eye.worst_channel, eye.eye_transmission, eye.snr, eye.ber,
+              min_probe_mw);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oscs::ArgParser args("design_space_exploration",
+                       "run the paper's MRR-first / MZI-first methods");
+  args.add_string("method", "mrr", "mrr | mzi | energy");
+  args.add_int("order", 2, "polynomial order n");
+  args.add_double("spacing", 1.0, "WLspacing [nm] (mrr method)");
+  args.add_double("il", 6.5, "MZI insertion loss [dB] (mzi method)");
+  args.add_double("er", 7.5, "MZI extinction ratio [dB] (mzi method)");
+  args.add_double("pump", 600.0, "pump power [mW] (mzi method)");
+  args.add_double("ber", 1e-6, "target bit-error rate");
+  if (!args.parse(argc, argv)) return 0;
+
+  const std::string method = args.get_string("method");
+  const auto order = static_cast<std::size_t>(args.get_int("order"));
+
+  if (method == "mrr") {
+    MrrFirstSpec spec;
+    spec.order = order;
+    spec.wl_spacing_nm = args.get_double("spacing");
+    spec.target_ber = args.get_double("ber");
+    const MrrFirstResult r = mrr_first(spec);
+    std::printf("MRR-first, n = %zu, spacing %.3f nm:\n", order,
+                spec.wl_spacing_nm);
+    std::printf("  channel grid: lambda_0 = %.3f .. lambda_%zu = %.3f nm, "
+                "lambda_ref = %.3f nm\n",
+                r.params.lambda_top_nm() -
+                    static_cast<double>(order) * spec.wl_spacing_nm,
+                order, r.params.lambda_top_nm(),
+                r.params.filter.lambda_ref_nm);
+    std::printf("  pump power %.1f mW, required MZI ER %.2f dB\n",
+                r.pump_power_mw, r.er_db);
+    report_link(r.eye, r.min_probe_mw);
+  } else if (method == "mzi") {
+    MziFirstSpec spec;
+    spec.order = order;
+    spec.il_db = args.get_double("il");
+    spec.er_db = args.get_double("er");
+    spec.pump_power_mw = args.get_double("pump");
+    spec.target_ber = args.get_double("ber");
+    const MziFirstResult r = mzi_first(spec);
+    std::printf("MZI-first, n = %zu, IL %.1f dB, ER %.1f dB, pump %.0f "
+                "mW:\n",
+                order, spec.il_db, spec.er_db, spec.pump_power_mw);
+    std::printf("  induced grid: spacing %.4f nm, lambda_ref guard %.4f "
+                "nm\n",
+                r.wl_spacing_nm, r.ref_offset_nm);
+    report_link(r.eye, r.min_probe_mw);
+  } else if (method == "energy") {
+    EnergySpec spec;
+    spec.order = order;
+    spec.target_ber = args.get_double("ber");
+    const EnergyModel model(spec);
+    const double cross = model.crossover_spacing_nm(0.1, 0.3);
+    const double opt = model.optimal_spacing_nm(0.1, 0.3);
+    const EnergyBreakdown e = model.at_spacing(opt);
+    std::printf("energy search, n = %zu, BER %.0e, 26 ps pump pulses:\n",
+                order, spec.target_ber);
+    std::printf("  pump/probe crossover at %.4f nm\n", cross);
+    std::printf("  optimal spacing %.4f nm -> %.2f pJ/bit "
+                "(pump %.2f + probe %.2f)\n",
+                opt, e.total_pj, e.pump_pj, e.probe_pj);
+    std::printf("  at that point: pump %.1f mW peak, probe %.3f mW x %zu "
+                "lasers\n",
+                e.pump_power_mw, e.probe_power_mw, order + 1);
+  } else {
+    std::fprintf(stderr, "unknown --method '%s' (mrr | mzi | energy)\n",
+                 method.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// Noise resilience - the SC selling point the paper leans on: transport
+/// errors on the optical link degrade the result gracefully instead of
+/// catastrophically. This example starves the probe lasers step by step
+/// and watches the evaluation error grow smoothly, then shows the
+/// stream-length compensation (the throughput-accuracy trade-off of
+/// Sec. V-D).
+///
+///   ./noise_resilience --order 3 --bits 4096
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "optsc/link_budget.hpp"
+#include "optsc/mrr_first.hpp"
+#include "optsc/simulator.hpp"
+#include "stochastic/functions.hpp"
+
+using namespace oscs::optsc;
+namespace sc = oscs::stochastic;
+
+int main(int argc, char** argv) {
+  oscs::ArgParser args("noise_resilience",
+                       "graceful degradation under link noise");
+  args.add_int("bits", 4096, "stream length");
+  if (!args.parse(argc, argv)) return 0;
+  const auto bits = static_cast<std::size_t>(args.get_int("bits"));
+
+  const sc::BernsteinPoly poly = sc::paper_f2_bernstein();
+  MrrFirstSpec spec;
+  spec.order = poly.degree();
+  spec.wl_spacing_nm = 0.6;
+  const MrrFirstResult design = mrr_first(spec);
+
+  std::printf("probe starvation sweep (f2 at x = 0.3, %zu-bit streams)\n",
+              bits);
+  std::printf("  %-14s %-12s %-14s %-12s\n", "probe [mW]", "link BER",
+              "flips/stream", "|error|");
+  for (double scale : {4.0, 2.0, 1.0, 0.6, 0.4, 0.25, 0.15}) {
+    CircuitParams params = design.params;
+    params.lasers.probe_power_mw = design.min_probe_mw * scale;
+    const OpticalScCircuit circuit(params);
+    const LinkBudget budget(circuit, EyeModel::kPhysical);
+    const double ber =
+        budget.analyze(params.lasers.probe_power_mw).ber;
+    const TransientSimulator sim(circuit);
+    SimulationConfig cfg;
+    cfg.stream_length = bits;
+    const SimulationResult r = sim.run(poly, 0.3, cfg);
+    std::printf("  %-14.4f %-12.2e %-14zu %-12.5f\n",
+                params.lasers.probe_power_mw, ber, r.transmission_flips,
+                r.optical_abs_error);
+  }
+  std::printf("\nno cliff: even at BERs where a binary-coded datapath "
+              "would corrupt its MSBs, the stochastic estimate drifts by "
+              "at most a few percent.\n");
+
+  std::printf("\nstream-length compensation at a deliberately noisy "
+              "operating point (probe = 0.4x minimum):\n");
+  CircuitParams noisy = design.params;
+  noisy.lasers.probe_power_mw = design.min_probe_mw * 0.4;
+  const OpticalScCircuit circuit(noisy);
+  const TransientSimulator sim(circuit);
+  std::printf("  %-10s %-12s\n", "bits", "mean |error|");
+  for (std::size_t len : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    SimulationConfig cfg;
+    cfg.stream_length = len;
+    double err = 0.0;
+    int cnt = 0;
+    for (double x = 0.1; x <= 0.91; x += 0.2, ++cnt) {
+      err += sim.run(poly, x, cfg).optical_abs_error;
+    }
+    std::printf("  %-10zu %-12.5f\n", len, err / cnt);
+  }
+  std::printf("\nlonger streams absorb transport noise - the knob that "
+              "lets the link run faster than its error-free envelope.\n");
+  return 0;
+}

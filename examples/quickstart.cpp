@@ -1,0 +1,68 @@
+/// Quickstart: evaluate a polynomial on the optical stochastic computer.
+///
+/// Walks the complete happy path in ~60 lines:
+///   1. pick a function and fit Bernstein coefficients in [0, 1]
+///   2. design a circuit with the MRR-first method
+///   3. run bit-streams through the optical transient simulator
+///   4. compare against the exact value and the electronic ReSC baseline
+///
+///   ./quickstart --x 0.3 --bits 4096
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "optsc/mrr_first.hpp"
+#include "optsc/simulator.hpp"
+#include "stochastic/bernstein.hpp"
+#include "stochastic/functions.hpp"
+
+int main(int argc, char** argv) {
+  oscs::ArgParser args("quickstart",
+                       "evaluate f2(x) on the optical SC architecture");
+  args.add_double("x", 0.5, "input value in [0, 1]");
+  args.add_int("bits", 4096, "stochastic stream length");
+  if (!args.parse(argc, argv)) return 0;
+  const double x = args.get_double("x");
+  const auto bits = static_cast<std::size_t>(args.get_int("bits"));
+
+  // 1. The paper's Fig. 1 example polynomial, already in Bernstein form
+  //    with coefficients (2/8, 5/8, 3/8, 6/8) - all valid probabilities.
+  const oscs::stochastic::BernsteinPoly poly =
+      oscs::stochastic::paper_f2_bernstein();
+  std::printf("polynomial: f2(x) = 1/4 + 9/8 x - 15/8 x^2 + 5/4 x^3 "
+              "(order %zu)\n",
+              poly.degree());
+
+  // 2. Design the order-3 circuit: wavelength grid, pump power, MZI
+  //    extinction and minimum probe power all fall out of MRR-first.
+  oscs::optsc::MrrFirstSpec spec;
+  spec.order = poly.degree();
+  spec.wl_spacing_nm = 0.6;
+  spec.target_ber = 1e-6;
+  oscs::optsc::MrrFirstResult design = oscs::optsc::mrr_first(spec);
+  design.params.lasers.probe_power_mw = design.min_probe_mw * 2.0;
+  std::printf("design: pump %.1f mW, MZI ER %.2f dB, probe %.3f mW/channel "
+              "(2x the BER 1e-6 minimum)\n",
+              design.pump_power_mw, design.er_db,
+              design.params.lasers.probe_power_mw);
+
+  // 3. Simulate the optical evaluation bit by bit.
+  const oscs::optsc::OpticalScCircuit circuit(design.params);
+  const oscs::optsc::TransientSimulator simulator(circuit);
+  oscs::optsc::SimulationConfig cfg;
+  cfg.stream_length = bits;
+  const oscs::optsc::SimulationResult result = simulator.run(poly, x, cfg);
+
+  // 4. Report.
+  std::printf("\nevaluating at x = %.3f with %zu-bit streams:\n", x, bits);
+  std::printf("  exact value          : %.5f\n", result.expected);
+  std::printf("  optical estimate     : %.5f (|err| = %.5f)\n",
+              result.optical_estimate, result.optical_abs_error);
+  std::printf("  electronic estimate  : %.5f (|err| = %.5f)\n",
+              result.electronic_estimate, result.electronic_abs_error);
+  std::printf("  noisy decision flips : %zu of %zu bits\n",
+              result.transmission_flips, result.length);
+  std::printf("\nthe optical path adds no bias at the designed SNR; both "
+              "estimates share the 1/sqrt(N) stochastic floor.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "common/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace oscs {
+
+AsciiChart::AsciiChart(ChartOptions options) : options_(std::move(options)) {
+  if (options_.width < 8 || options_.height < 4) {
+    throw std::invalid_argument("AsciiChart: width >= 8 and height >= 4");
+  }
+}
+
+void AsciiChart::add(Series series) {
+  if (series.x.size() != series.y.size() || series.x.empty()) {
+    throw std::invalid_argument("AsciiChart::add: x/y size mismatch or empty");
+  }
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiChart::render() const {
+  std::ostringstream os;
+  if (!options_.title.empty()) os << options_.title << '\n';
+  if (series_.empty()) {
+    os << "(no data)\n";
+    return os.str();
+  }
+
+  auto ty = [this](double y) {
+    return options_.log_y ? std::log10(std::max(y, 1e-300)) : y;
+  };
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, ty(s.y[i]));
+      ymax = std::max(ymax, ty(s.y[i]));
+    }
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  const int w = options_.width;
+  const int h = options_.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double fx = (s.x[i] - xmin) / (xmax - xmin);
+      const double fy = (ty(s.y[i]) - ymin) / (ymax - ymin);
+      int col = static_cast<int>(std::lround(fx * (w - 1)));
+      int row = static_cast<int>(std::lround((1.0 - fy) * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.marker;
+    }
+  }
+
+  auto fmt = [this](double v) {
+    std::ostringstream f;
+    f.precision(4);
+    f << (options_.log_y ? std::pow(10.0, v) : v);
+    return f.str();
+  };
+
+  const std::string top = fmt(ymax);
+  const std::string bot = fmt(ymin);
+  const std::size_t gutter = std::max(top.size(), bot.size()) + 1;
+
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) label = top;
+    else if (r == h - 1) label = bot;
+    os << std::string(gutter - label.size(), ' ') << label << '|'
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(gutter, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  {
+    // x axis end labels (the x axis is always linear).
+    auto fmt_x = [](double v) {
+      std::ostringstream f;
+      f.precision(4);
+      f << v;
+      return f.str();
+    };
+    const std::string lo_s = fmt_x(xmin);
+    const std::string hi_s = fmt_x(xmax);
+    const std::size_t pad =
+        static_cast<std::size_t>(w) > lo_s.size() + hi_s.size()
+            ? static_cast<std::size_t>(w) - lo_s.size() - hi_s.size()
+            : 1;
+    os << std::string(gutter + 1, ' ') << lo_s << std::string(pad, ' ')
+       << hi_s << '\n';
+  }
+  if (!options_.x_label.empty()) {
+    os << std::string(gutter + 1, ' ') << "x: " << options_.x_label << '\n';
+  }
+  if (!options_.y_label.empty()) {
+    os << std::string(gutter + 1, ' ') << "y: " << options_.y_label
+       << (options_.log_y ? " (log scale)" : "") << '\n';
+  }
+  for (const auto& s : series_) {
+    os << std::string(gutter + 1, ' ') << s.marker << " = " << s.name << '\n';
+  }
+  return os.str();
+}
+
+std::string quick_chart(const std::string& title, const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  ChartOptions opt;
+  opt.title = title;
+  AsciiChart chart(opt);
+  chart.add(Series{"series", x, y, '*'});
+  return chart.render();
+}
+
+}  // namespace oscs

@@ -1,0 +1,51 @@
+#pragma once
+/// \file chart.hpp
+/// \brief ASCII chart rendering so the figure-reproduction benches can show
+///        the paper's curves directly in a terminal, next to the CSV dump.
+
+#include <string>
+#include <vector>
+
+namespace oscs {
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+/// Render options for AsciiChart.
+struct ChartOptions {
+  int width = 72;    ///< plot-area columns (excluding the y-axis gutter)
+  int height = 20;   ///< plot-area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_y = false;  ///< plot log10(y) instead of y (y must be > 0)
+};
+
+/// Scatter/line chart over a character grid. Multiple series are drawn in
+/// order with their own markers; a legend is appended below the axes.
+class AsciiChart {
+ public:
+  explicit AsciiChart(ChartOptions options = {});
+
+  /// Add a series; x and y must have equal nonzero size.
+  void add(Series series);
+
+  /// Render the chart (empty chart renders a friendly placeholder).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  ChartOptions options_;
+  std::vector<Series> series_;
+};
+
+/// Convenience: render a single y-vs-x series with default options.
+[[nodiscard]] std::string quick_chart(const std::string& title,
+                                      const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+}  // namespace oscs

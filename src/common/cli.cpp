@@ -1,0 +1,160 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace oscs {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  options_.push_back({name, Kind::kFlag, help, "false", false, 0, 0.0, {}});
+}
+
+void ArgParser::add_int(const std::string& name, long def,
+                        const std::string& help) {
+  Option o{name, Kind::kInt, help, std::to_string(def), false, def, 0.0, {}};
+  options_.push_back(std::move(o));
+}
+
+void ArgParser::add_double(const std::string& name, double def,
+                           const std::string& help) {
+  std::ostringstream ds;
+  ds << def;
+  Option o{name, Kind::kDouble, help, ds.str(), false, 0, def, {}};
+  options_.push_back(std::move(o));
+}
+
+void ArgParser::add_string(const std::string& name, std::string def,
+                           const std::string& help) {
+  Option o{name, Kind::kString, help, def, false, 0, 0.0, std::move(def)};
+  options_.push_back(std::move(o));
+}
+
+ArgParser::Option* ArgParser::find(const std::string& name) {
+  for (auto& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+const ArgParser::Option& ArgParser::require(const std::string& name,
+                                            Kind kind) const {
+  for (const auto& o : options_) {
+    if (o.name == name) {
+      if (o.kind != kind) {
+        throw std::logic_error("ArgParser: option --" + name +
+                               " queried with the wrong type");
+      }
+      return o;
+    }
+  }
+  throw std::logic_error("ArgParser: unknown option --" + name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    Option* opt = find(name);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "unknown option --%s\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (opt->kind == Kind::kFlag) {
+      opt->flag_value = true;
+      continue;
+    }
+    std::string value;
+    if (inline_value) {
+      value = *inline_value;
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "option --%s expects a value\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    try {
+      switch (opt->kind) {
+        case Kind::kInt:
+          opt->int_value = std::stol(value);
+          break;
+        case Kind::kDouble:
+          opt->double_value = std::stod(value);
+          break;
+        case Kind::kString:
+          opt->string_value = value;
+          break;
+        case Kind::kFlag:
+          break;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "could not parse value '%s' for --%s\n%s",
+                   value.c_str(), name.c_str(), usage().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  return require(name, Kind::kFlag).flag_value;
+}
+
+long ArgParser::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return require(name, Kind::kString).string_value;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\noptions:\n";
+  for (const auto& o : options_) {
+    std::string left = "  --" + o.name;
+    switch (o.kind) {
+      case Kind::kFlag:
+        break;
+      case Kind::kInt:
+        left += " <int>";
+        break;
+      case Kind::kDouble:
+        left += " <num>";
+        break;
+      case Kind::kString:
+        left += " <str>";
+        break;
+    }
+    os << left;
+    if (left.size() < 28) os << std::string(28 - left.size(), ' ');
+    os << o.help << " (default: " << o.default_text << ")\n";
+  }
+  os << "  --help                    show this message\n";
+  return os.str();
+}
+
+}  // namespace oscs

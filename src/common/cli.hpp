@@ -1,0 +1,64 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal command-line option parser for the examples and benches.
+///        Supports `--name value`, `--name=value`, boolean flags and
+///        auto-generated `--help`.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oscs {
+
+/// Declarative argument parser. Register options, then parse().
+class ArgParser {
+ public:
+  /// \param program      argv[0]-style program name for the usage line.
+  /// \param description  one-line description printed by --help.
+  ArgParser(std::string program, std::string description);
+
+  /// Register a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+  /// Register an integer option with default.
+  void add_int(const std::string& name, long def, const std::string& help);
+  /// Register a floating-point option with default.
+  void add_double(const std::string& name, double def, const std::string& help);
+  /// Register a string option with default.
+  void add_string(const std::string& name, std::string def,
+                  const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on --help or error;
+  /// callers should exit(0) in that case.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  /// Render the --help text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    std::string name;
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    // current values
+    bool flag_value = false;
+    long int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  [[nodiscard]] Option* find(const std::string& name);
+  [[nodiscard]] const Option& require(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace oscs

@@ -1,0 +1,92 @@
+#include "common/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oscs {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("CsvTable: header must not be empty");
+  }
+}
+
+void CsvTable::start_row() { rows_.emplace_back(); }
+
+void CsvTable::cell(const std::string& value) {
+  if (rows_.empty()) start_row();
+  if (rows_.back().size() >= header_.size()) {
+    throw std::logic_error("CsvTable: row has more cells than header");
+  }
+  rows_.back().push_back(value);
+}
+
+std::string CsvTable::format(double value) const {
+  std::ostringstream os;
+  os.precision(precision_);
+  os << value;
+  return os.str();
+}
+
+void CsvTable::cell(double value) { cell(format(value)); }
+void CsvTable::cell(int value) { cell(std::to_string(value)); }
+void CsvTable::cell(std::size_t value) { cell(std::to_string(value)); }
+
+void CsvTable::add_row(const std::vector<double>& values) {
+  if (values.size() != header_.size()) {
+    throw std::invalid_argument("CsvTable::add_row: width mismatch");
+  }
+  start_row();
+  for (double v : values) cell(v);
+}
+
+const std::string& CsvTable::at(std::size_t r, std::size_t c) const {
+  return rows_.at(r).at(c);
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvTable::write(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(p);
+  if (!out) {
+    throw std::runtime_error("CsvTable::write: cannot open " + path);
+  }
+  out << to_string();
+}
+
+}  // namespace oscs

@@ -1,0 +1,58 @@
+#pragma once
+/// \file csv.hpp
+/// \brief Tiny CSV table builder. Every figure-reproduction bench writes
+///        its series through this so results land both on stdout and in
+///        `results/*.csv` for external plotting.
+
+#include <string>
+#include <vector>
+
+namespace oscs {
+
+/// Column-labelled CSV table. Cells are stored as strings; numeric add()
+/// overloads format with enough digits to round-trip a double.
+class CsvTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Number formatting precision for doubles (significant digits).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  void start_row();
+  void cell(const std::string& value);
+  void cell(double value);
+  void cell(int value);
+  void cell(std::size_t value);
+
+  /// Append a full numeric row (must match header width).
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  /// Cell accessor for tests: row r, column c as raw string.
+  [[nodiscard]] const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Render the entire table as CSV text (header + rows).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write to a file, creating parent directories as needed.
+  /// \throws std::runtime_error if the file cannot be opened.
+  void write(const std::string& path) const;
+
+  /// Format a double the same way cell(double) does.
+  [[nodiscard]] std::string format(double value) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 9;
+};
+
+/// Escape one CSV field (quotes fields containing comma/quote/newline).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace oscs

@@ -1,0 +1,163 @@
+#include "common/math.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace oscs {
+
+double erfc_inv(double y) {
+  if (!(y > 0.0) || !(y < 2.0)) {
+    throw std::domain_error("erfc_inv: argument must lie in (0, 2), got " +
+                            std::to_string(y));
+  }
+  if (y == 1.0) return 0.0;
+  // erfc(-x) = 2 - erfc(x): reduce to y in (0, 1].
+  if (y > 1.0) return -erfc_inv(2.0 - y);
+
+  // Bracket: erfc is monotone decreasing; erfc(0)=1, erfc(27) < 1e-300.
+  double lo = 0.0;
+  double hi = 27.0;
+  // Bisection on log(erfc) for robustness in the far tail.
+  for (int i = 0; i < 120; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double v = std::erfc(mid);
+    if (v > y) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  double x = 0.5 * (lo + hi);
+  // Newton polish: d/dx erfc(x) = -2/sqrt(pi) * exp(-x^2).
+  for (int i = 0; i < 4; ++i) {
+    const double f = std::erfc(x) - y;
+    const double d = -2.0 / std::sqrt(M_PI) * std::exp(-x * x);
+    if (d == 0.0) break;
+    const double step = f / d;
+    if (!std::isfinite(step)) break;
+    x -= step;
+  }
+  return x;
+}
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double q_function_inv(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::domain_error("q_function_inv: p must lie in (0, 1)");
+  }
+  return std::sqrt(2.0) * erfc_inv(2.0 * p);
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, int max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    throw std::invalid_argument(
+        "bisect: f(lo) and f(hi) must have opposite signs (f(" +
+        std::to_string(lo) + ")=" + std::to_string(flo) + ", f(" +
+        std::to_string(hi) + ")=" + std::to_string(fhi) + ")");
+  }
+  for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double golden_min(const std::function<double(double)>& f, double lo, double hi,
+                  double tol, int max_iter) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("golden_min: requires lo < hi");
+  }
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  for (int i = 0; i < max_iter && (b - a) > tol; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+std::vector<double> linspace(double a, double b, std::size_t n) {
+  std::vector<double> out;
+  if (n == 0) return out;
+  out.reserve(n);
+  if (n == 1) {
+    out.push_back(a);
+    return out;
+  }
+  const double step = (b - a) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(a + step * static_cast<double>(i));
+  }
+  out.back() = b;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double a, double b, std::size_t n) {
+  if (a <= 0.0 || b <= 0.0) {
+    throw std::domain_error("logspace: endpoints must be > 0");
+  }
+  std::vector<double> out = linspace(std::log10(a), std::log10(b), n);
+  for (double& v : out) v = std::pow(10.0, v);
+  if (!out.empty()) out.back() = b;
+  return out;
+}
+
+double binom(unsigned n, unsigned k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (unsigned i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+  }
+  return result;
+}
+
+double kahan_sum(const std::vector<double>& xs) {
+  // Neumaier variant: also compensates when the running sum itself is
+  // smaller than the incoming term (plain Kahan loses that case).
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double x : xs) {
+    const double t = sum + x;
+    if (std::fabs(sum) >= std::fabs(x)) {
+      comp += (sum - t) + x;
+    } else {
+      comp += (x - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + comp;
+}
+
+}  // namespace oscs

@@ -1,0 +1,62 @@
+#pragma once
+/// \file math.hpp
+/// \brief Scalar numerics: inverse erfc, root finding, 1-D minimization,
+///        grids, and combinatorics. All routines are deterministic and
+///        allocation-free unless they return a container.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace oscs {
+
+/// x squared; spelled out because it appears in every resonator formula.
+[[nodiscard]] constexpr double sq(double x) noexcept { return x * x; }
+
+/// Clamp a value into [0, 1] (probabilities, transmissions).
+[[nodiscard]] constexpr double clamp01(double x) noexcept {
+  return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+}
+
+/// Inverse complementary error function.
+///
+/// Solves `erfc(x) = y` for `x`, with `y` in (0, 2). Uses a bracketing
+/// bisection refined by Newton steps; accurate to ~1e-14 relative over the
+/// range needed by BER computations (y down to ~1e-300).
+[[nodiscard]] double erfc_inv(double y);
+
+/// Gaussian tail probability Q(x) = P[N(0,1) > x] = erfc(x / sqrt(2)) / 2.
+[[nodiscard]] double q_function(double x);
+
+/// Inverse of the Gaussian tail probability: x such that Q(x) = p.
+[[nodiscard]] double q_function_inv(double p);
+
+/// Root of a scalar function on a bracketing interval by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (or one of them to
+/// be zero). Returns the midpoint of the final bracket.
+/// \throws std::invalid_argument if the bracket does not straddle a root.
+[[nodiscard]] double bisect(const std::function<double(double)>& f, double lo,
+                            double hi, double tol = 1e-12, int max_iter = 200);
+
+/// Minimizer of a unimodal scalar function on [lo, hi] by golden-section
+/// search. Returns the abscissa of the minimum (tolerance on x).
+[[nodiscard]] double golden_min(const std::function<double(double)>& f,
+                                double lo, double hi, double tol = 1e-9,
+                                int max_iter = 400);
+
+/// `n` evenly spaced samples covering [a, b] inclusive (n >= 2), or {a} for
+/// n == 1.
+[[nodiscard]] std::vector<double> linspace(double a, double b, std::size_t n);
+
+/// `n` logarithmically spaced samples covering [a, b] inclusive; a, b > 0.
+[[nodiscard]] std::vector<double> logspace(double a, double b, std::size_t n);
+
+/// Binomial coefficient C(n, k) as double (exact up to n ~ 60; the Bernstein
+/// machinery never exceeds degree ~30).
+[[nodiscard]] double binom(unsigned n, unsigned k);
+
+/// Numerically stable sum (Kahan) of a vector.
+[[nodiscard]] double kahan_sum(const std::vector<double>& xs);
+
+}  // namespace oscs

@@ -1,0 +1,125 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oscs {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::ci_halfwidth(double z) const noexcept {
+  if (n_ < 2) return 0.0;
+  return z * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double mean(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+namespace {
+void check_pair(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("error metric: series size mismatch");
+  }
+  if (a.empty()) {
+    throw std::invalid_argument("error metric: empty series");
+  }
+}
+}  // namespace
+
+double mae(const std::vector<double>& a, const std::vector<double>& b) {
+  check_pair(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s / static_cast<double>(a.size());
+}
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  check_pair(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double max_abs_error(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  check_pair(a, b);
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  check_pair(a, b);
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram: need lo < hi and bins >= 1");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<long>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1L);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+}  // namespace oscs

@@ -1,0 +1,84 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming and batch statistics used by the stochastic-computing
+///        accuracy evaluations and Monte-Carlo yield analysis.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oscs {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable for
+/// long bit-level simulations.
+class Accumulator {
+ public:
+  /// Fold one sample into the running statistics.
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Half-width of the normal-approximation confidence interval for the
+  /// mean at the given two-sided z value (1.96 -> ~95%).
+  [[nodiscard]] double ci_halfwidth(double z = 1.96) const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample (0 for empty input).
+[[nodiscard]] double mean(const std::vector<double>& xs) noexcept;
+
+/// Unbiased sample variance (0 for fewer than 2 samples).
+[[nodiscard]] double variance(const std::vector<double>& xs) noexcept;
+
+/// Mean absolute error between two equally sized series.
+/// \throws std::invalid_argument on size mismatch or empty input.
+[[nodiscard]] double mae(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Root-mean-square error between two equally sized series.
+[[nodiscard]] double rmse(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Maximum absolute error between two equally sized series.
+[[nodiscard]] double max_abs_error(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Pearson correlation coefficient (NaN-free: returns 0 when either series
+/// is constant).
+[[nodiscard]] double pearson(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into
+/// the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Center abscissa of bin i.
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  /// Fraction of all samples in bin i (0 if empty histogram).
+  [[nodiscard]] double bin_fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace oscs

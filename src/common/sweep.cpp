@@ -1,0 +1,46 @@
+#include "common/sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace oscs {
+
+std::vector<double> Range::values() const {
+  if (steps == 0) {
+    throw std::invalid_argument("Range: steps must be >= 1");
+  }
+  return linspace(lo, hi, steps);
+}
+
+void grid_for_each(const Range& xs, const Range& ys,
+                   const std::function<void(double, double)>& fn) {
+  const auto xv = xs.values();
+  const auto yv = ys.values();
+  for (double x : xv) {
+    for (double y : yv) {
+      fn(x, y);
+    }
+  }
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(), [](const ParetoPoint& a,
+                                             const ParetoPoint& b) {
+    if (a.objective_a != b.objective_a) return a.objective_a < b.objective_a;
+    return a.objective_b < b.objective_b;
+  });
+  std::vector<ParetoPoint> front;
+  double best_b = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    if (p.objective_b < best_b) {
+      front.push_back(p);
+      best_b = p.objective_b;
+    }
+  }
+  return front;
+}
+
+}  // namespace oscs

@@ -1,0 +1,40 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief Parameter-sweep helpers for design-space exploration: inclusive
+///        ranges, cartesian grids and simple Pareto filtering.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace oscs {
+
+/// Inclusive numeric range [lo, hi] sampled at `steps` points.
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t steps = 2;
+
+  /// Materialize the sample points (steps >= 1; steps == 1 yields {lo}).
+  [[nodiscard]] std::vector<double> values() const;
+};
+
+/// Call `fn(x, y)` over the cartesian product of two ranges (row-major:
+/// y inner loop).
+void grid_for_each(const Range& xs, const Range& ys,
+                   const std::function<void(double, double)>& fn);
+
+/// A candidate point in a 2-objective minimization problem.
+struct ParetoPoint {
+  double objective_a = 0.0;  ///< e.g. energy
+  double objective_b = 0.0;  ///< e.g. bit-error rate
+  std::size_t tag = 0;       ///< caller-defined index into its own storage
+};
+
+/// Non-dominated subset for 2-objective minimization (strict dominance:
+/// another point is <= in both objectives and < in at least one).
+/// Output is sorted by objective_a ascending.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(
+    std::vector<ParetoPoint> points);
+
+}  // namespace oscs

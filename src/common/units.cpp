@@ -1,0 +1,9 @@
+#include "common/units.hpp"
+
+// All of units.hpp is header-only; this translation unit exists so the
+// library has a home for the (empty today, possibly non-trivial tomorrow)
+// out-of-line pieces and so the header is compiled standalone at least once.
+
+namespace oscs {
+// intentionally empty
+}  // namespace oscs

@@ -1,0 +1,142 @@
+#pragma once
+/// \file units.hpp
+/// \brief Unit conversions and lightweight unit-carrying types used across
+///        the optical stochastic computing simulator.
+///
+/// Conventions used throughout the code base (matching the paper's tables):
+///   * optical power      : milliwatts (mW)
+///   * wavelength         : nanometres (nm)
+///   * energy             : picojoules (pJ)
+///   * time               : seconds unless a suffix says otherwise
+///   * ratios (IL, ER,..) : either dB or linear fraction; *always* spelled
+///                          out in the identifier (`il_db`, `il_linear`).
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace oscs {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Convert a power/gain ratio expressed in decibels to a linear ratio.
+/// `db_to_linear(-3.0) ~= 0.501`.
+[[nodiscard]] constexpr double db_to_linear(double db) noexcept {
+  // constexpr-friendly 10^(db/10) would need std::pow (not constexpr in
+  // C++20 for all implementations); keep it inline-noexcept instead.
+  return __builtin_pow(10.0, db / 10.0);
+}
+
+/// Convert a linear power ratio to decibels. Requires `linear > 0`.
+[[nodiscard]] inline double linear_to_db(double linear) {
+  if (linear <= 0.0) {
+    throw std::domain_error("linear_to_db: ratio must be > 0, got " +
+                            std::to_string(linear));
+  }
+  return 10.0 * std::log10(linear);
+}
+
+/// Convert absolute power in dBm to milliwatts.
+[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+/// Convert absolute power in milliwatts to dBm. Requires `mw > 0`.
+[[nodiscard]] inline double mw_to_dbm(double mw) {
+  if (mw <= 0.0) {
+    throw std::domain_error("mw_to_dbm: power must be > 0 mW");
+  }
+  return 10.0 * std::log10(mw);
+}
+
+/// Vacuum wavelength [nm] -> optical frequency [GHz].
+[[nodiscard]] inline double wavelength_nm_to_freq_ghz(double lambda_nm) {
+  if (lambda_nm <= 0.0) {
+    throw std::domain_error("wavelength must be > 0 nm");
+  }
+  return kSpeedOfLight / lambda_nm;  // c[m/s] / nm = 1e9 Hz = GHz
+}
+
+/// Optical frequency [GHz] -> vacuum wavelength [nm].
+[[nodiscard]] inline double freq_ghz_to_wavelength_nm(double freq_ghz) {
+  if (freq_ghz <= 0.0) {
+    throw std::domain_error("frequency must be > 0 GHz");
+  }
+  return kSpeedOfLight / freq_ghz;
+}
+
+/// A loss/gain ratio tagged as decibels. The tag prevents silently mixing
+/// dB and linear quantities in interfaces (insertion loss vs transmission).
+class Decibel {
+ public:
+  constexpr Decibel() = default;
+  constexpr explicit Decibel(double db) noexcept : db_(db) {}
+
+  /// The raw dB value.
+  [[nodiscard]] constexpr double db() const noexcept { return db_; }
+  /// The equivalent linear power ratio, 10^(dB/10).
+  [[nodiscard]] double linear() const noexcept { return db_to_linear(db_); }
+
+  /// Build from a linear ratio (must be > 0).
+  [[nodiscard]] static Decibel from_linear(double linear) {
+    return Decibel(linear_to_db(linear));
+  }
+
+  friend constexpr bool operator==(Decibel a, Decibel b) noexcept {
+    return a.db_ == b.db_;
+  }
+  friend constexpr Decibel operator+(Decibel a, Decibel b) noexcept {
+    return Decibel(a.db_ + b.db_);
+  }
+  friend constexpr Decibel operator-(Decibel a, Decibel b) noexcept {
+    return Decibel(a.db_ - b.db_);
+  }
+
+ private:
+  double db_ = 0.0;
+};
+
+/// Energy conversion helpers.
+[[nodiscard]] constexpr double joule_to_pj(double j) noexcept { return j * 1e12; }
+[[nodiscard]] constexpr double pj_to_joule(double pj) noexcept { return pj * 1e-12; }
+/// Energy [pJ] of a power [mW] held for a duration [s].
+[[nodiscard]] constexpr double energy_pj(double power_mw, double seconds) noexcept {
+  return power_mw * 1e-3 * seconds * 1e12;
+}
+
+/// Time conversion helpers.
+[[nodiscard]] constexpr double ps_to_s(double ps) noexcept { return ps * 1e-12; }
+[[nodiscard]] constexpr double ns_to_s(double ns) noexcept { return ns * 1e-9; }
+/// Bit period [s] of a line rate in Gb/s.
+[[nodiscard]] constexpr double bit_period_s(double gbps) noexcept {
+  return 1e-9 / gbps;
+}
+
+namespace literals {
+/// `4.5_dB` -> Decibel{4.5}
+constexpr Decibel operator""_dB(long double v) noexcept {
+  return Decibel(static_cast<double>(v));
+}
+constexpr Decibel operator""_dB(unsigned long long v) noexcept {
+  return Decibel(static_cast<double>(v));
+}
+/// `1550.0_nm` -> plain double in nanometres (documentation-only tag).
+constexpr double operator""_nm(long double v) noexcept {
+  return static_cast<double>(v);
+}
+/// `1.0_mW` -> plain double in milliwatts (documentation-only tag).
+constexpr double operator""_mW(long double v) noexcept {
+  return static_cast<double>(v);
+}
+/// `26.0_ps` -> seconds.
+constexpr double operator""_ps(long double v) noexcept {
+  return static_cast<double>(v) * 1e-12;
+}
+/// `1.0_ns` -> seconds.
+constexpr double operator""_ns(long double v) noexcept {
+  return static_cast<double>(v) * 1e-9;
+}
+}  // namespace literals
+
+}  // namespace oscs

@@ -1,0 +1,55 @@
+#include "optsc/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oscs::optsc {
+
+CalibrationTrace lock_to_channel(const photonics::AddDropRing& fabricated,
+                                 double channel_nm,
+                                 const ControllerConfig& config,
+                                 oscs::Xoshiro256& rng) {
+  if (!(config.dither_nm > 0.0) || !(config.initial_step_nm > 0.0) ||
+      !(config.step_shrink > 0.0) || config.step_shrink >= 1.0) {
+    throw std::invalid_argument("lock_to_channel: invalid controller config");
+  }
+
+  const double fab_res = fabricated.geometry().resonance_nm;
+
+  // Monitored drop power at the channel for a given heater shift, with
+  // multiplicative measurement noise (monitor photodiode + ADC).
+  auto measure = [&](double shift_nm) {
+    const double ideal = fabricated.drop(channel_nm, fab_res + shift_nm);
+    return ideal * (1.0 + rng.normal(0.0, config.measurement_noise));
+  };
+
+  CalibrationTrace trace;
+  double shift = 0.0;
+  double step = config.initial_step_nm;
+  int last_direction = 0;
+
+  for (std::size_t it = 0; it < config.max_iterations; ++it) {
+    ++trace.iterations;
+    const double plus = measure(shift + config.dither_nm);
+    const double minus = measure(shift - config.dither_nm);
+    const int direction = plus >= minus ? +1 : -1;
+    if (last_direction != 0 && direction != last_direction) {
+      step *= config.step_shrink;  // overshoot: tighten
+    }
+    last_direction = direction;
+    shift += static_cast<double>(direction) * step;
+    trace.error_history_nm.push_back(
+        std::fabs(fab_res + shift - channel_nm));
+    if (step < config.tolerance_nm) break;
+  }
+
+  trace.applied_shift_nm = shift;
+  trace.residual_nm = std::fabs(fab_res + shift - channel_nm);
+  trace.tuner_power_mw = std::fabs(shift) * config.tuner_mw_per_nm;
+  // Locked when the residual is within a couple of dither amplitudes -
+  // the controller cannot resolve finer than its own dither.
+  trace.locked = trace.residual_nm <= 4.0 * config.dither_nm;
+  return trace;
+}
+
+}  // namespace oscs::optsc

@@ -1,0 +1,47 @@
+#pragma once
+/// \file calibration.hpp
+/// \brief Closed-loop device calibration - the paper's future-work item
+///        (i): "feedback loop-based control circuit involving monitoring
+///        and voltage/thermal tuning for device calibration". A dithering
+///        hill-climb controller re-locks a fabrication-shifted ring onto
+///        its channel by maximizing the monitored drop-port power, and the
+///        thermal tuner power spent doing so is accounted for (the
+///        energy-area trade-off the paper plans to explore).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "photonics/ring.hpp"
+
+namespace oscs::optsc {
+
+/// Controller parameters.
+struct ControllerConfig {
+  double dither_nm = 0.005;        ///< probe dither amplitude
+  double initial_step_nm = 0.05;   ///< first tuning step
+  double step_shrink = 0.6;        ///< step scale on direction reversal
+  double tolerance_nm = 0.002;     ///< convergence threshold on the step
+  std::size_t max_iterations = 200;
+  double measurement_noise = 0.01; ///< relative sigma on power readings
+  double tuner_mw_per_nm = 20.0;   ///< thermal tuning cost
+};
+
+/// Outcome of one lock attempt.
+struct CalibrationTrace {
+  bool locked = false;
+  std::size_t iterations = 0;
+  double residual_nm = 0.0;        ///< |final resonance - channel|
+  double applied_shift_nm = 0.0;   ///< total thermal shift
+  double tuner_power_mw = 0.0;     ///< steady-state heater power
+  std::vector<double> error_history_nm;  ///< per-iteration |error|
+};
+
+/// Lock a fabricated (resonance-shifted) ring onto `channel_nm` by
+/// dithered hill climbing on the measured drop power. The monitor reads
+/// drop(channel) with multiplicative Gaussian noise.
+[[nodiscard]] CalibrationTrace lock_to_channel(
+    const photonics::AddDropRing& fabricated, double channel_nm,
+    const ControllerConfig& config, oscs::Xoshiro256& rng);
+
+}  // namespace oscs::optsc

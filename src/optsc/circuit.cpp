@@ -1,0 +1,247 @@
+#include "optsc/circuit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace oscs::optsc {
+
+namespace ph = oscs::photonics;
+
+OpticalScCircuit::OpticalScCircuit(const CircuitParams& params)
+    : params_(params),
+      plan_(ph::ChannelPlan::for_order(params.system.order,
+                                       params.filter.lambda_ref_nm,
+                                       params.filter.ref_offset_nm,
+                                       params.system.wl_spacing_nm)),
+      modulators_(build_modulators(params, plan_)),
+      filter_(build_filter(params)),
+      pump_(ph::Mzi(Decibel(params.mzi.il_db), Decibel(params.mzi.er_db)),
+            params.system.order),
+      detector_(params.detector.responsivity_a_per_w,
+                params.detector.noise_current_a) {
+  params_.validate();
+}
+
+std::vector<ph::RingModulator> OpticalScCircuit::build_modulators(
+    const CircuitParams& params, const ph::ChannelPlan& plan) {
+  std::vector<ph::RingModulator> mods;
+  mods.reserve(plan.count());
+  for (std::size_t i = 0; i < plan.count(); ++i) {
+    ph::RingGeometry g = params.modulator.proto;
+    g.resonance_nm = plan.channel(i);
+    mods.emplace_back(ph::AddDropRing(g), params.modulator.shift_on_nm);
+  }
+  return mods;
+}
+
+ph::AllOpticalFilter OpticalScCircuit::build_filter(
+    const CircuitParams& params) {
+  ph::RingGeometry g = params.filter.proto;
+  g.resonance_nm = params.filter.lambda_ref_nm;
+  return ph::AllOpticalFilter(ph::AddDropRing(g), params.filter.ote_nm_per_mw);
+}
+
+OpticalScCircuit OpticalScCircuit::with_variation(
+    const CircuitParams& params, const ph::VariationSpec& variation,
+    oscs::Xoshiro256& rng, std::optional<double> calibration_residual_nm) {
+  OpticalScCircuit circuit(params);  // nominal, for the channel plan
+
+  auto shrink_error = [&](ph::RingGeometry& g, double nominal_res) {
+    if (!calibration_residual_nm) return;
+    // The closed-loop controller trims the thermal tuner until the
+    // resonance error is within +/- residual; model the remaining error
+    // as uniform in that band.
+    const double residual = *calibration_residual_nm;
+    g.resonance_nm = nominal_res + rng.uniform(-residual, residual);
+  };
+
+  std::vector<ph::RingModulator> mods;
+  mods.reserve(circuit.plan_.count());
+  for (std::size_t i = 0; i < circuit.plan_.count(); ++i) {
+    ph::RingGeometry g = params.modulator.proto;
+    g.resonance_nm = circuit.plan_.channel(i);
+    g = ph::perturb_ring(g, variation, rng);
+    shrink_error(g, circuit.plan_.channel(i));
+    mods.emplace_back(ph::AddDropRing(g), params.modulator.shift_on_nm);
+  }
+
+  ph::RingGeometry fg = params.filter.proto;
+  fg.resonance_nm = params.filter.lambda_ref_nm;
+  fg = ph::perturb_ring(fg, variation, rng);
+  shrink_error(fg, params.filter.lambda_ref_nm);
+  ph::AllOpticalFilter filter(ph::AddDropRing(fg),
+                              params.filter.ote_nm_per_mw);
+
+  ph::MziDevice nominal_mzi{"variation", params.mzi.il_db, params.mzi.er_db,
+                            0.0, 0.0, false};
+  const ph::MziDevice varied = ph::perturb_mzi(nominal_mzi, variation, rng);
+  PumpPath pump(varied.mzi(), params.system.order);
+
+  return OpticalScCircuit(params, std::move(mods), std::move(filter),
+                          std::move(pump));
+}
+
+OpticalScCircuit::OpticalScCircuit(const CircuitParams& params,
+                                   std::vector<ph::RingModulator> modulators,
+                                   ph::AllOpticalFilter filter, PumpPath pump)
+    : params_(params),
+      plan_(ph::ChannelPlan::for_order(params.system.order,
+                                       params.filter.lambda_ref_nm,
+                                       params.filter.ref_offset_nm,
+                                       params.system.wl_spacing_nm)),
+      modulators_(std::move(modulators)),
+      filter_(std::move(filter)),
+      pump_(std::move(pump)),
+      detector_(params.detector.responsivity_a_per_w,
+                params.detector.noise_current_a) {
+  params_.validate();
+}
+
+double OpticalScCircuit::filter_detuning_nm(
+    const std::vector<bool>& x) const {
+  return filter_.detuning_nm(
+      pump_.control_power_mw(params_.lasers.pump_power_mw, x));
+}
+
+double OpticalScCircuit::filter_detuning_for_count(std::size_t ones) const {
+  return filter_.detuning_nm(
+      pump_.control_power_mw(params_.lasers.pump_power_mw, ones));
+}
+
+double OpticalScCircuit::filter_resonance_for_count(std::size_t ones) const {
+  return params_.filter.lambda_ref_nm - filter_detuning_for_count(ones);
+}
+
+namespace {
+void check_bits(std::size_t order, const std::vector<bool>& z,
+                const std::vector<bool>& x) {
+  if (z.size() != order + 1) {
+    throw std::invalid_argument("circuit: expected " +
+                                std::to_string(order + 1) +
+                                " coefficient bits, got " +
+                                std::to_string(z.size()));
+  }
+  if (x.size() != order) {
+    throw std::invalid_argument("circuit: expected " + std::to_string(order) +
+                                " data bits, got " + std::to_string(x.size()));
+  }
+}
+}  // namespace
+
+ChannelBreakdown OpticalScCircuit::channel_breakdown(
+    std::size_t i, const std::vector<bool>& z,
+    const std::vector<bool>& x) const {
+  check_bits(order(), z, x);
+  if (i >= modulators_.size()) {
+    throw std::out_of_range("circuit: channel index out of range");
+  }
+  const double lambda = plan_.channel(i);
+  ChannelBreakdown b;
+  // Eq. (6), factor 1: the channel's own modulating MRR (state z_i).
+  b.own_modulator = modulators_[i].through(lambda, z[i]);
+  // Eq. (6), factor 2: pass-by attenuation through every other modulator
+  // (each in the state of its own coefficient bit).
+  b.other_modulators = 1.0;
+  for (std::size_t w = 0; w < modulators_.size(); ++w) {
+    if (w == i) continue;
+    b.other_modulators *= modulators_[w].through(lambda, z[w]);
+  }
+  // Eq. (6), factor 3: the pump-tuned filter's drop transmission.
+  const double control_mw =
+      pump_.control_power_mw(params_.lasers.pump_power_mw, x);
+  b.filter_drop = filter_.drop(lambda, control_mw);
+  return b;
+}
+
+double OpticalScCircuit::channel_transmission(
+    std::size_t i, const std::vector<bool>& z,
+    const std::vector<bool>& x) const {
+  return channel_breakdown(i, z, x).total();
+}
+
+double OpticalScCircuit::received_power_mw(const std::vector<bool>& z,
+                                           const std::vector<bool>& x) const {
+  return received_power_mw(z, x, params_.lasers.probe_power_mw);
+}
+
+double OpticalScCircuit::received_power_mw(const std::vector<bool>& z,
+                                           const std::vector<bool>& x,
+                                           double probe_mw) const {
+  check_bits(order(), z, x);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < modulators_.size(); ++i) {
+    sum += probe_mw * channel_transmission(i, z, x);
+  }
+  return sum;
+}
+
+double OpticalScCircuit::reference_one_transmission(std::size_t i,
+                                                    std::size_t select) const {
+  std::vector<bool> z(order() + 1, false);
+  z.at(i) = true;
+  std::vector<bool> x(order(), false);
+  for (std::size_t k = 0; k < select; ++k) x.at(k) = true;
+  return channel_transmission(i, z, x);
+}
+
+double OpticalScCircuit::reference_zero_transmission(std::size_t i,
+                                                     std::size_t select) const {
+  std::vector<bool> z(order() + 1, false);
+  std::vector<bool> x(order(), false);
+  for (std::size_t k = 0; k < select; ++k) x.at(k) = true;
+  return channel_transmission(i, z, x);
+}
+
+namespace {
+double extreme_through(const ph::RingModulator& mod, double lambda_nm,
+                       bool want_min) {
+  const double t0 = mod.through(lambda_nm, false);
+  const double t1 = mod.through(lambda_nm, true);
+  return want_min ? std::min(t0, t1) : std::max(t0, t1);
+}
+}  // namespace
+
+double OpticalScCircuit::worst_case_one_transmission(std::size_t i) const {
+  if (i >= modulators_.size()) {
+    throw std::out_of_range("circuit: channel index out of range");
+  }
+  const double lambda = plan_.channel(i);
+  const double control_mw =
+      pump_.control_power_mw(params_.lasers.pump_power_mw, i);
+  double t = modulators_[i].through(lambda, true);  // z_i = 1
+  for (std::size_t w = 0; w < modulators_.size(); ++w) {
+    if (w == i) continue;
+    t *= extreme_through(modulators_[w], lambda, /*want_min=*/true);
+  }
+  return t * filter_.drop(lambda, control_mw);
+}
+
+double OpticalScCircuit::worst_case_zero_total(std::size_t i) const {
+  if (i >= modulators_.size()) {
+    throw std::out_of_range("circuit: channel index out of range");
+  }
+  const double control_mw =
+      pump_.control_power_mw(params_.lasers.pump_power_mw, i);
+  double total = 0.0;
+  for (std::size_t w = 0; w < modulators_.size(); ++w) {
+    const double lambda = plan_.channel(w);
+    // Channel w's own state: forced OFF for the selected channel (its
+    // residue), free (maximized -> ON) for interferers.
+    double t = w == i ? modulators_[w].through(lambda, false)
+                      : modulators_[w].through(lambda, true);
+    for (std::size_t v = 0; v < modulators_.size(); ++v) {
+      if (v == w) continue;
+      if (v == i) {
+        // The selected coefficient is 0 in this state for every term.
+        t *= modulators_[v].through(lambda, false);
+      } else {
+        t *= extreme_through(modulators_[v], lambda, /*want_min=*/false);
+      }
+    }
+    total += t * filter_.drop(lambda, control_mw);
+  }
+  return total;
+}
+
+}  // namespace oscs::optsc

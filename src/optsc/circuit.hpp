@@ -1,0 +1,138 @@
+#pragma once
+/// \file circuit.hpp
+/// \brief The optical stochastic computing circuit (paper Fig. 3a / 4a):
+///        n+1 ring modulators on a WDM bus carrying the Bernstein
+///        coefficients, an MZI pump path encoding the data, and the
+///        all-optical add-drop filter performing the multiplexing.
+///        Implements the Eq. (6) per-channel transmission and the total
+///        received power at the photodetector.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "optsc/params.hpp"
+#include "optsc/pump_path.hpp"
+#include "photonics/aofilter.hpp"
+#include "photonics/modulator.hpp"
+#include "photonics/photodetector.hpp"
+#include "photonics/variation.hpp"
+#include "photonics/wdm.hpp"
+
+namespace oscs::optsc {
+
+/// Multiplicative factors of the Eq. (6) product for one probe channel -
+/// exposed so the Fig. 5 bench can print the same decomposition the paper
+/// discusses (modulating MRR x other MRRs x filter).
+struct ChannelBreakdown {
+  double own_modulator = 1.0;     ///< phi_t through the channel's own MRR
+  double other_modulators = 1.0;  ///< product of phi_t through the others
+  double filter_drop = 1.0;       ///< phi_d through the tuned filter
+  [[nodiscard]] double total() const noexcept {
+    return own_modulator * other_modulators * filter_drop;
+  }
+};
+
+/// A fully instantiated optical SC circuit.
+class OpticalScCircuit {
+ public:
+  /// Build from validated parameters. Ring protos are re-stamped with the
+  /// per-channel resonances from the Eq. (5) channel plan.
+  explicit OpticalScCircuit(const CircuitParams& params);
+
+  /// Monte-Carlo factory: build with fabrication-perturbed rings and MZI
+  /// (yield analysis). If `calibration_residual_nm` is set, modulator and
+  /// filter resonance errors are reduced to that residual magnitude first,
+  /// modeling the closed-loop tuning controller.
+  [[nodiscard]] static OpticalScCircuit with_variation(
+      const CircuitParams& params, const photonics::VariationSpec& variation,
+      oscs::Xoshiro256& rng,
+      std::optional<double> calibration_residual_nm = std::nullopt);
+
+  [[nodiscard]] const CircuitParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t order() const noexcept {
+    return params_.system.order;
+  }
+  [[nodiscard]] const photonics::ChannelPlan& channels() const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] const PumpPath& pump_path() const noexcept { return pump_; }
+  [[nodiscard]] const photonics::AllOpticalFilter& filter() const noexcept {
+    return filter_;
+  }
+  [[nodiscard]] const photonics::RingModulator& modulator(std::size_t i) const {
+    return modulators_.at(i);
+  }
+  [[nodiscard]] const photonics::PinPhotodetector& detector() const noexcept {
+    return detector_;
+  }
+
+  /// Eq. (7): filter resonance blue shift for data bits x [nm].
+  [[nodiscard]] double filter_detuning_nm(const std::vector<bool>& x) const;
+  /// Same, parameterized by the number of ones.
+  [[nodiscard]] double filter_detuning_for_count(std::size_t ones) const;
+  /// Effective filter resonance for k ones [nm].
+  [[nodiscard]] double filter_resonance_for_count(std::size_t ones) const;
+
+  /// Eq. (6): total transmission of probe channel `i` for coefficient bits
+  /// z (size n+1) and data bits x (size n).
+  [[nodiscard]] double channel_transmission(std::size_t i,
+                                            const std::vector<bool>& z,
+                                            const std::vector<bool>& x) const;
+
+  /// The same transmission split into its three factors.
+  [[nodiscard]] ChannelBreakdown channel_breakdown(
+      std::size_t i, const std::vector<bool>& z,
+      const std::vector<bool>& x) const;
+
+  /// Total optical power at the photodetector: sum over channels of
+  /// probe_power * T_i (the BPF has already absorbed the pump, which the
+  /// paper's model neglects too).
+  [[nodiscard]] double received_power_mw(const std::vector<bool>& z,
+                                         const std::vector<bool>& x) const;
+  /// Same with an explicit per-channel probe power [mW].
+  [[nodiscard]] double received_power_mw(const std::vector<bool>& z,
+                                         const std::vector<bool>& x,
+                                         double probe_mw) const;
+
+  /// Transmission of channel `i` in the "selected-one" reference state of
+  /// Eq. (8): z_i = 1, every other coefficient 0, data selecting channel
+  /// `select` (i.e. `select` ones among the x bits).
+  [[nodiscard]] double reference_one_transmission(std::size_t i,
+                                                  std::size_t select) const;
+  /// Transmission of channel `i` with z_i = 0 (its own residue) in the
+  /// same reference state.
+  [[nodiscard]] double reference_zero_transmission(std::size_t i,
+                                                   std::size_t select) const;
+
+  /// Guaranteed lower bound on the received '1' transmission of channel i
+  /// (filter selecting i): every Eq. (6) factor is minimized over the
+  /// other coefficients' states independently - valid because the product
+  /// factorizes per interfering modulator. Captures the modulator-shift
+  /// collision that the Eq. (8) reference states miss when the grid pitch
+  /// approaches the ON-state shift.
+  [[nodiscard]] double worst_case_one_transmission(std::size_t i) const;
+
+  /// Guaranteed upper bound on the received '0' power (unit probe) for
+  /// channel i: z_i = 0 and every other term maximized independently.
+  [[nodiscard]] double worst_case_zero_total(std::size_t i) const;
+
+ private:
+  OpticalScCircuit(const CircuitParams& params,
+                   std::vector<photonics::RingModulator> modulators,
+                   photonics::AllOpticalFilter filter, PumpPath pump);
+
+  static std::vector<photonics::RingModulator> build_modulators(
+      const CircuitParams& params, const photonics::ChannelPlan& plan);
+  static photonics::AllOpticalFilter build_filter(const CircuitParams& params);
+
+  CircuitParams params_;
+  photonics::ChannelPlan plan_;
+  std::vector<photonics::RingModulator> modulators_;
+  photonics::AllOpticalFilter filter_;
+  PumpPath pump_;
+  photonics::PinPhotodetector detector_;
+};
+
+}  // namespace oscs::optsc

@@ -1,0 +1,75 @@
+#include "optsc/defaults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace oscs::optsc {
+
+namespace {
+/// FSR policy: keep every channel within +/- FSR/2 of each resonance so
+/// the periodic ring response never selects an unintended order, with a
+/// floor at the calibrated 10 / 20 nm values.
+double modulator_fsr(double span_nm) { return std::max(10.0, 2.4 * span_nm); }
+double filter_fsr(double span_nm) { return std::max(20.0, 2.4 * span_nm); }
+}  // namespace
+
+photonics::RingGeometry default_modulator_proto(double grid_span_nm) {
+  const double fsr = modulator_fsr(grid_span_nm);
+  return photonics::AddDropRing::from_linewidth(
+             1550.0, fsr, calib::kModulatorFwhmNm, calib::kModulatorFloor,
+             calib::kModulatorLoss)
+      .geometry();
+}
+
+photonics::RingGeometry default_filter_proto(double grid_span_nm) {
+  const double fsr = filter_fsr(grid_span_nm);
+  photonics::RingSpec spec;
+  spec.resonance_nm = 1550.1;
+  spec.fsr_nm = fsr;
+  spec.fwhm_nm = calib::kFilterFwhmNm;
+  spec.peak_drop = calib::kFilterPeakDrop;
+  spec.through_floor = 0.0;  // symmetric, fully extinguishing filter
+  return photonics::AddDropRing::from_spec(spec).geometry();
+}
+
+CircuitParams paper_defaults(std::size_t order, double wl_spacing_nm) {
+  CircuitParams p;
+  p.system.order = order;
+  p.system.wl_spacing_nm = wl_spacing_nm;
+  p.system.bit_rate_gbps = 1.0;
+
+  const double span =
+      static_cast<double>(order) * wl_spacing_nm + calib::kRefOffsetNm;
+
+  p.modulator.proto = default_modulator_proto(span);
+  p.modulator.shift_on_nm = calib::kModulatorShiftNm;
+
+  p.filter.proto = default_filter_proto(span);
+  p.filter.lambda_ref_nm = 1550.0 + calib::kRefOffsetNm;
+  p.filter.ref_offset_nm = calib::kRefOffsetNm;
+  p.filter.ote_nm_per_mw = calib::kOteNmPerMw;
+
+  p.mzi.il_db = calib::kIlDb;
+  // MRR-first Sec. V-A: the pump must reach lambda_0, i.e. a detuning of
+  // offset + n * spacing at full constructive transmission IL%.
+  const double il_linear = db_to_linear(-calib::kIlDb);
+  p.lasers.pump_power_mw = span / (calib::kOteNmPerMw * il_linear);
+  // The destructive state must park the filter on lambda_n:
+  // ER% = offset / (offset + n * spacing).
+  const double er_linear = calib::kRefOffsetNm / span;
+  p.mzi.er_db = -linear_to_db(er_linear);
+
+  p.lasers.efficiency = 0.2;
+  p.lasers.probe_power_mw = 1.0;
+  p.lasers.pump_pulse_width_s = 26e-12;
+
+  p.detector.responsivity_a_per_w = calib::kResponsivity;
+  p.detector.noise_current_a = calib::kNoiseCurrentA;
+
+  p.validate();
+  return p;
+}
+
+}  // namespace oscs::optsc

@@ -1,0 +1,69 @@
+#pragma once
+/// \file defaults.hpp
+/// \brief Calibrated default device set. The paper prints system-level
+///        anchors (Fig. 5 transmissions, the 591.8 mW pump, the 0.26 mW
+///        probe of Sec. V-B) but not the ring coupling coefficients or the
+///        receiver noise current; the values here were fitted once against
+///        those anchors (procedure documented in DESIGN.md Sec. 5) and are
+///        verified by tests/optsc/test_golden_sec5a.cpp.
+
+#include <cstddef>
+
+#include "optsc/params.hpp"
+#include "photonics/ring.hpp"
+
+namespace oscs::optsc {
+
+/// Calibration constants (see DESIGN.md "Calibration").
+namespace calib {
+/// Modulator ring linewidth [nm]: reproduces the ~0.54 ON-state through
+/// transmission at a 0.1 nm shift and the Fig. 5 crosstalk floors.
+inline constexpr double kModulatorFwhmNm = 0.2;
+/// Through-port floor at resonance: sets the 0.091 '0'-level of Fig. 5a.
+inline constexpr double kModulatorFloor = 0.102;
+/// Modulator single-pass amplitude transmission.
+inline constexpr double kModulatorLoss = 0.995;
+/// Modulator ON-state resonance shift [nm]: sets the 0.476 '1'-level of
+/// Fig. 5b (ON through transmission ~0.536 at the calibrated linewidth).
+inline constexpr double kModulatorShiftNm = 0.097;
+/// Filter linewidth [nm]: sets the 0.004 / 0.0002 crosstalk of Fig. 5a.
+inline constexpr double kFilterFwhmNm = 0.182;
+/// Filter peak drop transmission: sets the 0.476 '1' level of Fig. 5b.
+inline constexpr double kFilterPeakDrop = 0.90;
+/// Optical tuning efficiency: 0.1 nm per 10 mW (Van et al. [14]).
+inline constexpr double kOteNmPerMw = 0.01;
+/// lambda_ref - lambda_n guard (Sec. V-A: 1550.1 vs 1550 nm).
+inline constexpr double kRefOffsetNm = 0.1;
+/// MZI insertion loss of Ziebell et al. [10].
+inline constexpr double kIlDb = 4.5;
+/// Detector responsivity [A/W].
+inline constexpr double kResponsivity = 1.0;
+/// Receiver internal noise current [A]. One free parameter has to serve
+/// two printed anchors that our crosstalk model cannot satisfy
+/// simultaneously: the Sec. V-B minimum probe (0.26 mW at the Xiao
+/// operating point) pulls it up to ~1.2e-5 A, the Sec. V-C headline
+/// (20.1 pJ/bit at n = 2) pulls it down to ~5.6e-6 A. The compromise
+/// 1.0e-5 A keeps both within ~25% (see EXPERIMENTS.md).
+inline constexpr double kNoiseCurrentA = 1.0e-5;
+}  // namespace calib
+
+/// Calibrated modulator ring geometry for a given channel grid span. The
+/// FSR is widened with the grid so that no channel aliases onto a second
+/// resonance order; couplings are re-solved to keep the calibrated
+/// linewidth.
+[[nodiscard]] photonics::RingGeometry default_modulator_proto(
+    double grid_span_nm);
+
+/// Calibrated all-optical filter ring geometry for a given grid span.
+[[nodiscard]] photonics::RingGeometry default_filter_proto(
+    double grid_span_nm);
+
+/// The complete Sec. V-A reference design: order-n circuit with the
+/// paper's WLspacing, lambda_2 = 1550 nm, lambda_ref = 1550.1 nm,
+/// IL = 4.5 dB, with the pump power and MZI extinction ratio derived
+/// exactly as in the MRR-first method (591.8 mW / 13.22 dB at n = 2,
+/// spacing 1 nm).
+[[nodiscard]] CircuitParams paper_defaults(std::size_t order = 2,
+                                           double wl_spacing_nm = 1.0);
+
+}  // namespace oscs::optsc

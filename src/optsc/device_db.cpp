@@ -1,0 +1,32 @@
+#include "optsc/device_db.hpp"
+
+#include <stdexcept>
+
+namespace oscs::optsc {
+
+namespace ph = oscs::photonics;
+
+std::vector<ph::MziDevice> published_mzi_devices() {
+  // name, IL [dB], ER [dB], speed [Gb/s], phase shifter [mm], estimated
+  return {
+      // Printed in the paper text (Sec. V-B): 0.26 mW probe anchor.
+      {"Xiao et al. [19]", 6.5, 7.5, 60.0, 0.75, false},
+      // Fig. 6a annotations, coordinates estimated from the figure.
+      {"Dong et al. (ref 6 in [19])", 3.2, 4.6, 50.0, 1.0, true},
+      {"Thomson et al. (ref 12 in [19])", 4.4, 6.2, 40.0, 1.0, true},
+      {"Dong et al. (ref 28 in [18])", 5.2, 5.4, 40.0, 4.0, true},
+      // Sec. III / V-A insertion-loss reference (not part of Fig. 6c).
+      {"Ziebell et al. [10]", 4.5, 3.2, 40.0, 0.95, false},
+  };
+}
+
+ph::MziDevice xiao_device() { return published_mzi_devices().front(); }
+
+ph::MziDevice device_by_name(const std::string& name) {
+  for (const auto& d : published_mzi_devices()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("device_by_name: unknown device '" + name + "'");
+}
+
+}  // namespace oscs::optsc

@@ -1,0 +1,25 @@
+#pragma once
+/// \file device_db.hpp
+/// \brief The published silicon MZI operating points the paper evaluates
+///        in Fig. 6. Only the Xiao et al. point (IL = 6.5 dB, ER = 7.5 dB)
+///        is printed in the text; the other three are read off the Fig. 6a
+///        annotations and flagged `estimated` (see DESIGN.md "Known
+///        deviations").
+
+#include <vector>
+
+#include "photonics/mzi.hpp"
+
+namespace oscs::optsc {
+
+/// All MZI devices referenced by the paper's Fig. 6 study, plus the
+/// Ziebell et al. [10] device used for the Sec. V-A insertion loss.
+[[nodiscard]] std::vector<photonics::MziDevice> published_mzi_devices();
+
+/// The Xiao et al. [19] operating point (the only one printed in text).
+[[nodiscard]] photonics::MziDevice xiao_device();
+
+/// Lookup by name; throws std::invalid_argument if absent.
+[[nodiscard]] photonics::MziDevice device_by_name(const std::string& name);
+
+}  // namespace oscs::optsc

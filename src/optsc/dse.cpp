@@ -1,0 +1,62 @@
+#include "optsc/dse.hpp"
+
+#include <cmath>
+
+#include "photonics/photodetector.hpp"
+
+namespace oscs::optsc {
+
+std::vector<EnergyBreakdown> sweep_spacing(const EnergyModel& model,
+                                           const oscs::Range& spacings) {
+  std::vector<EnergyBreakdown> out;
+  out.reserve(spacings.steps);
+  for (double w : spacings.values()) {
+    out.push_back(model.at_spacing(w));
+  }
+  return out;
+}
+
+std::vector<BerSweepPoint> sweep_ber_targets(
+    const OpticalScCircuit& circuit, EyeModel model,
+    const std::vector<double>& targets) {
+  const LinkBudget budget(circuit, model);
+  std::vector<BerSweepPoint> out;
+  out.reserve(targets.size());
+  for (double ber : targets) {
+    BerSweepPoint p;
+    p.target_ber = ber;
+    p.min_probe_mw = budget.min_probe_power_mw(ber);
+    p.snr_required = photonics::snr_for_ber(ber);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<EnergyRobustnessPoint> energy_ber_pareto(
+    const EnergySpec& base, const oscs::Range& spacings,
+    const std::vector<double>& ber_targets) {
+  std::vector<EnergyRobustnessPoint> candidates;
+  std::vector<oscs::ParetoPoint> objectives;
+  for (double ber : ber_targets) {
+    EnergySpec spec = base;
+    spec.target_ber = ber;
+    const EnergyModel model(spec);
+    for (double w : spacings.values()) {
+      const EnergyBreakdown e = model.at_spacing(w);
+      if (!e.feasible || !std::isfinite(e.total_pj)) continue;
+      oscs::ParetoPoint p;
+      p.objective_a = e.total_pj;
+      p.objective_b = ber;
+      p.tag = candidates.size();
+      candidates.push_back({w, ber, e.total_pj});
+      objectives.push_back(p);
+    }
+  }
+  std::vector<EnergyRobustnessPoint> front;
+  for (const auto& p : oscs::pareto_front(std::move(objectives))) {
+    front.push_back(candidates[p.tag]);
+  }
+  return front;
+}
+
+}  // namespace oscs::optsc

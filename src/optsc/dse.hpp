@@ -1,0 +1,44 @@
+#pragma once
+/// \file dse.hpp
+/// \brief Design-space exploration sweeps built on the design methods:
+///        spacing sweeps (Fig. 7a), BER-target sweeps (Fig. 6b) and the
+///        energy-vs-robustness Pareto front the paper's throughput /
+///        accuracy trade-off discussion motivates.
+
+#include <vector>
+
+#include "common/sweep.hpp"
+#include "optsc/energy.hpp"
+
+namespace oscs::optsc {
+
+/// Energy breakdowns over a WLspacing range.
+[[nodiscard]] std::vector<EnergyBreakdown> sweep_spacing(
+    const EnergyModel& model, const oscs::Range& spacings);
+
+/// One point of a BER-target sweep at fixed geometry.
+struct BerSweepPoint {
+  double target_ber = 0.0;
+  double min_probe_mw = 0.0;
+  double snr_required = 0.0;
+};
+
+/// Minimum probe power versus BER target for a fixed circuit (Fig. 6b).
+[[nodiscard]] std::vector<BerSweepPoint> sweep_ber_targets(
+    const OpticalScCircuit& circuit, EyeModel model,
+    const std::vector<double>& targets);
+
+/// A candidate operating point for the energy/robustness trade-off.
+struct EnergyRobustnessPoint {
+  double wl_spacing_nm = 0.0;
+  double target_ber = 0.0;
+  double total_pj = 0.0;
+};
+
+/// Sweep (spacing x BER target) and keep the Pareto-optimal set
+/// minimizing (energy, BER). Infeasible points are dropped.
+[[nodiscard]] std::vector<EnergyRobustnessPoint> energy_ber_pareto(
+    const EnergySpec& base, const oscs::Range& spacings,
+    const std::vector<double>& ber_targets);
+
+}  // namespace oscs::optsc

@@ -1,0 +1,88 @@
+#include "optsc/energy.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/math.hpp"
+#include "common/units.hpp"
+#include "photonics/laser.hpp"
+
+namespace oscs::optsc {
+
+EnergyModel::EnergyModel(EnergySpec spec) : spec_(spec) {
+  if (spec_.order < 1 || !(spec_.bit_rate_gbps > 0.0)) {
+    throw std::invalid_argument("EnergyModel: invalid spec");
+  }
+}
+
+EnergyBreakdown EnergyModel::at_spacing(double wl_spacing_nm) const {
+  return at_spacing(wl_spacing_nm, spec_.order);
+}
+
+EnergyBreakdown EnergyModel::at_spacing(double wl_spacing_nm,
+                                        std::size_t order) const {
+  MrrFirstSpec design;
+  design.order = order;
+  design.wl_spacing_nm = wl_spacing_nm;
+  design.lambda_top_nm = spec_.lambda_top_nm;
+  design.ref_offset_nm = spec_.ref_offset_nm;
+  design.il_db = spec_.il_db;
+  design.ote_nm_per_mw = spec_.ote_nm_per_mw;
+  design.target_ber = spec_.target_ber;
+  design.bit_rate_gbps = spec_.bit_rate_gbps;
+  design.lasing_efficiency = spec_.lasing_efficiency;
+  design.pump_pulse_width_s = spec_.pump_pulse_width_s;
+  design.eye_model = spec_.eye_model;
+  design.detector = spec_.detector;
+
+  const MrrFirstResult r = mrr_first(design);
+
+  EnergyBreakdown e;
+  e.wl_spacing_nm = wl_spacing_nm;
+  e.order = order;
+  e.pump_power_mw = r.pump_power_mw;
+  e.probe_power_mw = r.min_probe_mw;
+  e.feasible = std::isfinite(r.min_probe_mw);
+
+  const photonics::PulsedLaser pump(r.pump_power_mw,
+                                    spec_.pump_pulse_width_s,
+                                    spec_.lasing_efficiency);
+  e.pump_pj = pump.energy_per_bit_pj();
+
+  if (e.feasible) {
+    const photonics::CwLaser probe(r.min_probe_mw, spec_.lasing_efficiency);
+    const double bit_period = 1e-9 / spec_.bit_rate_gbps;
+    e.probe_pj = static_cast<double>(order + 1) *
+                 probe.energy_per_bit_pj(bit_period);
+    e.total_pj = e.pump_pj + e.probe_pj;
+  } else {
+    e.probe_pj = std::numeric_limits<double>::infinity();
+    e.total_pj = std::numeric_limits<double>::infinity();
+  }
+  return e;
+}
+
+double EnergyModel::optimal_spacing_nm(double lo_nm, double hi_nm) const {
+  return oscs::golden_min(
+      [this](double w) {
+        const EnergyBreakdown e = at_spacing(w);
+        return e.feasible ? e.total_pj
+                          : std::numeric_limits<double>::max();
+      },
+      lo_nm, hi_nm, 1e-4);
+}
+
+double EnergyModel::crossover_spacing_nm(double lo_nm, double hi_nm) const {
+  auto diff = [this](double w) {
+    const EnergyBreakdown e = at_spacing(w);
+    if (!e.feasible) {
+      // Closed eye means unbounded probe energy: firmly probe-dominated.
+      return -1.0;
+    }
+    return e.pump_pj - e.probe_pj;
+  };
+  return oscs::bisect(diff, lo_nm, hi_nm, 1e-5);
+}
+
+}  // namespace oscs::optsc

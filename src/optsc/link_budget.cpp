@@ -1,0 +1,89 @@
+#include "optsc/link_budget.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "photonics/photodetector.hpp"
+
+namespace oscs::optsc {
+
+LinkBudget::LinkBudget(const OpticalScCircuit& circuit, EyeModel model)
+    : circuit_(&circuit), model_(model) {}
+
+ChannelEye LinkBudget::channel_eye(std::size_t i) const {
+  const std::size_t n = circuit_->order();
+  if (i > n) {
+    throw std::out_of_range("LinkBudget: channel index out of range");
+  }
+  ChannelEye eye;
+  eye.channel = i;
+  // '1' level: channel i selected (i ones among the data bits), z_i = 1,
+  // all other coefficients 0 (Eq. 8's T_{s,z=1}[i]).
+  eye.one_transmission = circuit_->reference_one_transmission(i, i);
+
+  if (model_ == EyeModel::kPaperEq8) {
+    // Eq. (8): sum over w != i of T_{s,z=1}[w] - each crosstalk channel
+    // evaluated in its own "only w is 1" state while the filter still
+    // selects channel i.
+    double crosstalk = 0.0;
+    for (std::size_t w = 0; w <= n; ++w) {
+      if (w == i) continue;
+      std::vector<bool> z(n + 1, false);
+      z[w] = true;
+      std::vector<bool> x(n, false);
+      for (std::size_t k = 0; k < i; ++k) x[k] = true;
+      crosstalk += circuit_->channel_transmission(w, z, x);
+    }
+    eye.zero_transmission = crosstalk;
+  } else {
+    // Physical worst case, as guaranteed bounds: the '1' level is the
+    // per-factor minimized Eq. (6) product (captures modulator-shift
+    // collisions on tight grids), the '0' level the per-factor maximized
+    // total including the own-extinction residue.
+    eye.one_transmission = circuit_->worst_case_one_transmission(i);
+    eye.zero_transmission = circuit_->worst_case_zero_total(i);
+  }
+  return eye;
+}
+
+EyeAnalysis LinkBudget::analyze(double probe_mw) const {
+  if (!(probe_mw > 0.0)) {
+    throw std::invalid_argument("LinkBudget: probe power must be > 0 mW");
+  }
+  const std::size_t n = circuit_->order();
+  EyeAnalysis a;
+  a.per_channel.reserve(n + 1);
+  double worst_eye = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i <= n; ++i) {
+    const ChannelEye eye = channel_eye(i);
+    if (eye.eye() < worst_eye) {
+      worst_eye = eye.eye();
+      a.worst_channel = i;
+    }
+    a.per_channel.push_back(eye);
+  }
+  const ChannelEye& worst = a.per_channel[a.worst_channel];
+  a.eye_transmission = worst.eye();
+  a.one_level_mw = probe_mw * worst.one_transmission;
+  a.zero_level_mw = probe_mw * worst.zero_transmission;
+  a.threshold_mw = 0.5 * (a.one_level_mw + a.zero_level_mw);
+  const double eye_mw = probe_mw * a.eye_transmission;
+  a.snr = eye_mw <= 0.0 ? 0.0 : circuit_->detector().snr(eye_mw);
+  a.ber = a.snr <= 0.0 ? 0.5 : photonics::ber_from_snr(a.snr);
+  return a;
+}
+
+double LinkBudget::min_probe_power_mw(double target_ber) const {
+  // SNR is linear in probe power, so the inversion is closed-form:
+  // probe = required_eye_power / worst_eye_transmission.
+  const EyeAnalysis a = analyze(1.0);
+  if (a.eye_transmission <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double required_eye_mw =
+      circuit_->detector().required_eye_mw(target_ber);
+  return required_eye_mw / a.eye_transmission;
+}
+
+}  // namespace oscs::optsc

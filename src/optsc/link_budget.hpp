@@ -1,0 +1,77 @@
+#pragma once
+/// \file link_budget.hpp
+/// \brief Eye/SNR/BER analysis of the optical SC link (paper Eqs. 8-9) and
+///        the minimum-laser-power solvers used by both design methods.
+///
+/// Eq. (8) as printed defines the eye of channel i as its selected-'1'
+/// transmission minus the sum of the other channels' '1' crosstalk
+/// transmissions - it does not subtract the channel's own modulator
+/// extinction residue, even though Fig. 5c shows that residue dominates
+/// the physical '0' level. Both semantics are implemented:
+///   * EyeModel::kPaperEq8  - Eq. (8) literally (reproduction default)
+///   * EyeModel::kPhysical  - guaranteed worst-case bounds: the '1' level
+///     minimizes every Eq. (6) factor over the interferers' states (this
+///     captures modulator-shift collisions on grids whose pitch is close
+///     to the ON-state shift), the '0' level maximizes them and includes
+///     the own-extinction residue. Use this for deployable budgets.
+
+#include <cstddef>
+#include <vector>
+
+#include "optsc/circuit.hpp"
+
+namespace oscs::optsc {
+
+/// Which '0'-level semantics the eye analysis uses.
+enum class EyeModel {
+  kPaperEq8,   ///< eq. (8) as printed: crosstalk-only zero level
+  kPhysical,   ///< own residue + joint worst-case interferers
+};
+
+/// Eye analysis of one channel at unit probe power (transmissions).
+struct ChannelEye {
+  std::size_t channel = 0;
+  double one_transmission = 0.0;   ///< selected '1' level
+  double zero_transmission = 0.0;  ///< worst '0' level (semantics per model)
+  [[nodiscard]] double eye() const noexcept {
+    return one_transmission - zero_transmission;
+  }
+};
+
+/// Worst-case link analysis at a given probe power.
+struct EyeAnalysis {
+  std::vector<ChannelEye> per_channel;
+  std::size_t worst_channel = 0;
+  double eye_transmission = 0.0;  ///< worst-case eye (unit probe power)
+  double one_level_mw = 0.0;      ///< worst '1' level [mW]
+  double zero_level_mw = 0.0;     ///< worst '0' level [mW]
+  double threshold_mw = 0.0;      ///< decision threshold (eye midpoint) [mW]
+  double snr = 0.0;               ///< Eq. (8)
+  double ber = 0.0;               ///< Eq. (9)
+};
+
+/// Link-budget calculator bound to one circuit.
+class LinkBudget {
+ public:
+  explicit LinkBudget(const OpticalScCircuit& circuit,
+                      EyeModel model = EyeModel::kPaperEq8);
+
+  [[nodiscard]] EyeModel model() const noexcept { return model_; }
+
+  /// Per-channel eye transmissions at unit probe power.
+  [[nodiscard]] ChannelEye channel_eye(std::size_t i) const;
+
+  /// Full worst-case analysis at the given per-channel probe power [mW].
+  [[nodiscard]] EyeAnalysis analyze(double probe_mw) const;
+
+  /// Minimum per-channel probe power reaching `target_ber` (Eq. 9
+  /// inverted through Eq. 8). Returns +infinity if the eye is closed
+  /// (crosstalk >= signal) so no power suffices.
+  [[nodiscard]] double min_probe_power_mw(double target_ber) const;
+
+ private:
+  const OpticalScCircuit* circuit_;
+  EyeModel model_;
+};
+
+}  // namespace oscs::optsc

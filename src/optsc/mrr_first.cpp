@@ -1,0 +1,69 @@
+#include "optsc/mrr_first.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "optsc/defaults.hpp"
+
+namespace oscs::optsc {
+
+MrrFirstResult mrr_first(const MrrFirstSpec& spec) {
+  if (spec.order < 1 || !(spec.wl_spacing_nm > 0.0) ||
+      !(spec.ref_offset_nm > 0.0)) {
+    throw std::invalid_argument("mrr_first: invalid spec");
+  }
+
+  MrrFirstResult result;
+  CircuitParams& p = result.params;
+
+  p.system.order = spec.order;
+  p.system.wl_spacing_nm = spec.wl_spacing_nm;
+  p.system.bit_rate_gbps = spec.bit_rate_gbps;
+
+  // Step 1: the MRR resonances lambda_i follow from WLspacing (Eq. 5);
+  // the grid is anchored at lambda_n = lambda_top.
+  const double span = static_cast<double>(spec.order) * spec.wl_spacing_nm +
+                      spec.ref_offset_nm;
+  p.modulator.proto = default_modulator_proto(span);
+  p.modulator.shift_on_nm = calib::kModulatorShiftNm;
+  p.filter.proto = default_filter_proto(span);
+  p.filter.lambda_ref_nm = spec.lambda_top_nm + spec.ref_offset_nm;
+  p.filter.ref_offset_nm = spec.ref_offset_nm;
+  p.filter.ote_nm_per_mw = spec.ote_nm_per_mw;
+  p.detector = spec.detector;
+
+  // Step 2 (pump side first so the link budget sees an aligned filter):
+  // minimum pump power tunes the filter down to lambda_0 when every MZI is
+  // constructive, i.e. detuning (offset + n*spacing) at transmission IL%.
+  const double il_linear = db_to_linear(-spec.il_db);
+  result.pump_power_mw = span / (spec.ote_nm_per_mw * il_linear);
+  p.mzi.il_db = spec.il_db;
+  p.lasers.pump_power_mw = result.pump_power_mw;
+
+  // Step 3: the extinction ratio follows from the attenuation that parks
+  // the filter on lambda_n: ER% = offset / (offset + n*spacing).
+  const double er_linear = spec.ref_offset_nm / span;
+  result.er_db = -linear_to_db(er_linear);
+  p.mzi.er_db = result.er_db;
+
+  p.lasers.efficiency = spec.lasing_efficiency;
+  p.lasers.pump_pulse_width_s = spec.pump_pulse_width_s;
+  p.lasers.probe_power_mw = 1.0;  // provisional; replaced below
+
+  // Step 4: minimum probe power for the BER target from the worst-case
+  // eye (Ts,z over the aligned grid).
+  const OpticalScCircuit circuit(p);
+  const LinkBudget budget(circuit, spec.eye_model);
+  result.min_probe_mw = budget.min_probe_power_mw(spec.target_ber);
+  if (std::isfinite(result.min_probe_mw)) {
+    p.lasers.probe_power_mw = result.min_probe_mw;
+    result.eye = budget.analyze(result.min_probe_mw);
+  } else {
+    result.eye = budget.analyze(1.0);
+  }
+  return result;
+}
+
+}  // namespace oscs::optsc

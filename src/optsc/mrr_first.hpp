@@ -1,0 +1,47 @@
+#pragma once
+/// \file mrr_first.hpp
+/// \brief The MRR-first design method (paper Sec. IV-B): the MRR grid is
+///        fixed first (resonances from WLspacing), the minimum probe power
+///        for a target SNR/BER follows from the transmission model, then
+///        the pump power is sized so the filter reaches lambda_0 and the
+///        MZI extinction ratio so the destructive state parks the filter
+///        on lambda_n.
+
+#include <cstddef>
+
+#include "optsc/link_budget.hpp"
+#include "optsc/params.hpp"
+
+namespace oscs::optsc {
+
+/// Inputs of the MRR-first method.
+struct MrrFirstSpec {
+  std::size_t order = 2;          ///< polynomial degree n
+  double wl_spacing_nm = 1.0;     ///< chosen WLspacing
+  double lambda_top_nm = 1550.0;  ///< lambda_n (right-most channel)
+  double ref_offset_nm = 0.1;     ///< lambda_ref - lambda_n
+  double il_db = 4.5;             ///< given MZI insertion loss
+  double ote_nm_per_mw = 0.01;    ///< filter tuning efficiency
+  double target_ber = 1e-6;      ///< robustness target for the probe sizing
+  double bit_rate_gbps = 1.0;
+  double lasing_efficiency = 0.2;
+  double pump_pulse_width_s = 26e-12;
+  EyeModel eye_model = EyeModel::kPaperEq8;
+  DetectorParams detector{};      ///< calibrated defaults
+};
+
+/// Outputs of the MRR-first method.
+struct MrrFirstResult {
+  CircuitParams params;     ///< complete, consistent circuit description
+  double pump_power_mw = 0.0;  ///< minimum pump reaching lambda_0
+  double er_db = 0.0;          ///< required MZI extinction ratio
+  double min_probe_mw = 0.0;   ///< minimum probe power for the BER target
+  EyeAnalysis eye;             ///< link analysis at the minimum probe power
+};
+
+/// Run the method. Throws std::invalid_argument on unrealizable specs;
+/// returns min_probe_mw = +infinity when crosstalk closes the eye at the
+/// requested spacing (the caller decides how to treat infeasibility).
+[[nodiscard]] MrrFirstResult mrr_first(const MrrFirstSpec& spec);
+
+}  // namespace oscs::optsc

@@ -1,0 +1,64 @@
+#include "optsc/mzi_first.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "optsc/defaults.hpp"
+
+namespace oscs::optsc {
+
+MziFirstResult mzi_first(const MziFirstSpec& spec) {
+  if (spec.order < 1 || !(spec.pump_power_mw > 0.0)) {
+    throw std::invalid_argument("mzi_first: invalid spec");
+  }
+
+  const double il_linear = db_to_linear(-spec.il_db);
+  const double er_linear = db_to_linear(-spec.er_db);
+  const double n = static_cast<double>(spec.order);
+
+  // Control power levels: P(k) = pump * IL% * ((n-k) + k*ER%) / n, so the
+  // filter detunings Delta(k) = OTE * P(k) are evenly spaced: the grid.
+  const double full_detuning =
+      spec.ote_nm_per_mw * spec.pump_power_mw * il_linear;  // k = 0
+  const double spacing = full_detuning * (1.0 - er_linear) / n;
+  const double offset = full_detuning * er_linear;  // k = n residue
+
+  MziFirstResult result;
+  result.wl_spacing_nm = spacing;
+  result.ref_offset_nm = offset;
+
+  CircuitParams& p = result.params;
+  p.system.order = spec.order;
+  p.system.wl_spacing_nm = spacing;
+  p.system.bit_rate_gbps = spec.bit_rate_gbps;
+
+  const double span = n * spacing + offset;  // == full_detuning
+  p.modulator.proto = default_modulator_proto(span);
+  p.modulator.shift_on_nm = calib::kModulatorShiftNm;
+  p.filter.proto = default_filter_proto(span);
+  p.filter.lambda_ref_nm = spec.lambda_ref_nm;
+  p.filter.ref_offset_nm = offset;
+  p.filter.ote_nm_per_mw = spec.ote_nm_per_mw;
+
+  p.mzi.il_db = spec.il_db;
+  p.mzi.er_db = spec.er_db;
+  p.lasers.pump_power_mw = spec.pump_power_mw;
+  p.lasers.efficiency = spec.lasing_efficiency;
+  p.lasers.pump_pulse_width_s = spec.pump_pulse_width_s;
+  p.lasers.probe_power_mw = 1.0;  // provisional
+  p.detector = spec.detector;
+
+  const OpticalScCircuit circuit(p);
+  const LinkBudget budget(circuit, spec.eye_model);
+  result.min_probe_mw = budget.min_probe_power_mw(spec.target_ber);
+  if (std::isfinite(result.min_probe_mw)) {
+    p.lasers.probe_power_mw = result.min_probe_mw;
+    result.eye = budget.analyze(result.min_probe_mw);
+  } else {
+    result.eye = budget.analyze(1.0);
+  }
+  return result;
+}
+
+}  // namespace oscs::optsc

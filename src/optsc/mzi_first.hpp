@@ -1,0 +1,45 @@
+#pragma once
+/// \file mzi_first.hpp
+/// \brief The MZI-first design method (paper Sec. IV-B): the pump power
+///        and MZI operating point (IL, ER) are given; the n+1 control
+///        power levels they produce determine where the filter resonance
+///        lands for each data value, which *defines* the probe grid
+///        lambda_i - and from there the minimum probe laser power.
+
+#include <cstddef>
+
+#include "optsc/link_budget.hpp"
+#include "optsc/params.hpp"
+
+namespace oscs::optsc {
+
+/// Inputs of the MZI-first method.
+struct MziFirstSpec {
+  std::size_t order = 2;         ///< polynomial degree n
+  double pump_power_mw = 600.0;  ///< given pump laser power (0.6 W, Fig. 6)
+  double il_db = 6.5;            ///< given MZI insertion loss (Xiao [19])
+  double er_db = 7.5;            ///< given MZI extinction ratio (Xiao [19])
+  double lambda_ref_nm = 1550.1; ///< filter cold resonance
+  double ote_nm_per_mw = 0.01;   ///< filter tuning efficiency
+  double target_ber = 1e-6;      ///< robustness target
+  double bit_rate_gbps = 1.0;
+  double lasing_efficiency = 0.2;
+  double pump_pulse_width_s = 26e-12;
+  EyeModel eye_model = EyeModel::kPaperEq8;
+  DetectorParams detector{};
+};
+
+/// Outputs of the MZI-first method.
+struct MziFirstResult {
+  CircuitParams params;
+  double wl_spacing_nm = 0.0;   ///< induced channel spacing
+  double ref_offset_nm = 0.0;   ///< induced lambda_ref - lambda_n guard
+  double min_probe_mw = 0.0;    ///< minimum probe power for the BER target
+  EyeAnalysis eye;              ///< link analysis at the minimum probe power
+};
+
+/// Run the method. The channel grid falls out of the control power levels:
+/// spacing = pump * OTE * IL% * (1 - ER%) / n, offset = pump * OTE * IL% * ER%.
+[[nodiscard]] MziFirstResult mzi_first(const MziFirstSpec& spec);
+
+}  // namespace oscs::optsc

@@ -1,0 +1,45 @@
+#include "optsc/params.hpp"
+
+#include <stdexcept>
+
+namespace oscs::optsc {
+
+void CircuitParams::validate() const {
+  if (system.order < 1) {
+    throw std::invalid_argument("CircuitParams: order must be >= 1");
+  }
+  if (!(system.wl_spacing_nm > 0.0)) {
+    throw std::invalid_argument("CircuitParams: WLspacing must be > 0");
+  }
+  if (!(system.bit_rate_gbps > 0.0)) {
+    throw std::invalid_argument("CircuitParams: bit rate must be > 0");
+  }
+  if (!(filter.ref_offset_nm > 0.0)) {
+    throw std::invalid_argument(
+        "CircuitParams: lambda_n must sit strictly below lambda_ref");
+  }
+  if (!(filter.ote_nm_per_mw > 0.0)) {
+    throw std::invalid_argument("CircuitParams: OTE must be > 0");
+  }
+  if (!(modulator.shift_on_nm > 0.0)) {
+    throw std::invalid_argument("CircuitParams: modulator shift must be > 0");
+  }
+  if (!(lasers.pump_power_mw >= 0.0) || !(lasers.probe_power_mw > 0.0)) {
+    throw std::invalid_argument("CircuitParams: laser powers invalid");
+  }
+  if (mzi.il_db < 0.0 || mzi.er_db <= 0.0) {
+    throw std::invalid_argument("CircuitParams: MZI operating point invalid");
+  }
+  // The probe grid plus the pump guard must fit inside one filter FSR,
+  // otherwise the periodic ring response aliases a second channel onto
+  // the drop port.
+  const double span =
+      static_cast<double>(system.order) * system.wl_spacing_nm +
+      filter.ref_offset_nm;
+  if (span >= filter.proto.fsr_nm) {
+    throw std::invalid_argument(
+        "CircuitParams: probe grid span exceeds the filter FSR");
+  }
+}
+
+}  // namespace oscs::optsc

@@ -1,0 +1,83 @@
+#pragma once
+/// \file params.hpp
+/// \brief The full parameter surface of the optical SC architecture -
+///        the system-level and device-level table of the paper's Fig. 4b,
+///        materialized as one aggregate (`CircuitParams`) that every
+///        design method produces and the circuit/simulator consume.
+
+#include <cstddef>
+
+#include "photonics/ring.hpp"
+
+namespace oscs::optsc {
+
+/// System-level parameters (Fig. 4b, "System").
+struct SystemParams {
+  std::size_t order = 2;        ///< polynomial degree n
+  double wl_spacing_nm = 1.0;   ///< WLspacing between probe channels [nm]
+  double bit_rate_gbps = 1.0;   ///< MZI/MRR modulation speed [Gb/s]
+};
+
+/// MZI parameters (Fig. 4b, "MZI"): Eq. (7b) operating point.
+struct MziParams {
+  double il_db = 4.5;    ///< insertion loss [dB] (Ziebell et al. [10])
+  double er_db = 13.22;  ///< extinction ratio [dB] (derived in Sec. V-A)
+};
+
+/// MRR modulator parameters (Fig. 4b, "MRR (modulator)"). The per-channel
+/// resonance comes from the channel plan; `proto` carries the calibrated
+/// coupling/loss values, whose resonance field is re-stamped per channel.
+struct ModulatorParams {
+  photonics::RingGeometry proto{};  ///< calibrated r1, r2, a, FSR
+  double shift_on_nm = 0.1;         ///< ON-state blue shift (delta lambda)
+};
+
+/// All-optical filter parameters (Fig. 4b, "MRR (filter)").
+struct FilterParams {
+  photonics::RingGeometry proto{};  ///< calibrated couplings; resonance is
+                                    ///< overwritten with lambda_ref
+  double lambda_ref_nm = 1550.1;    ///< cold resonance (no pump)
+  double ref_offset_nm = 0.1;       ///< lambda_ref - lambda_n guard
+  double ote_nm_per_mw = 0.01;      ///< optical tuning efficiency
+                                    ///< (0.1 nm per 10 mW, Van et al. [14])
+};
+
+/// Laser parameters (Fig. 4b, "Laser") plus the pulse-based pump of
+/// Sec. V-C.
+struct LaserParams {
+  double efficiency = 0.2;            ///< lasing (wall-plug) efficiency
+  double pump_power_mw = 591.8;       ///< CW/peak pump power
+  double probe_power_mw = 1.0;        ///< per-channel probe power
+  double pump_pulse_width_s = 26e-12; ///< pump pulse width (26 ps, [15])
+};
+
+/// Detector parameters (Fig. 4b, "Detector").
+struct DetectorParams {
+  double responsivity_a_per_w = 1.0;  ///< R
+  double noise_current_a = 1.0e-5;    ///< i_n, calibrated in defaults.hpp
+};
+
+/// Complete description of one optical SC circuit instance.
+struct CircuitParams {
+  SystemParams system{};
+  MziParams mzi{};
+  ModulatorParams modulator{};
+  FilterParams filter{};
+  LaserParams lasers{};
+  DetectorParams detector{};
+
+  /// Wavelength of the top (right-most) probe channel lambda_n [nm].
+  [[nodiscard]] double lambda_top_nm() const noexcept {
+    return filter.lambda_ref_nm - filter.ref_offset_nm;
+  }
+  /// Bit period implied by the modulation speed [s].
+  [[nodiscard]] double bit_period_s() const noexcept {
+    return 1e-9 / system.bit_rate_gbps;
+  }
+
+  /// Sanity-check invariants that every consumer relies on (positive
+  /// spacing, order >= 1, offset > 0, ...). Throws std::invalid_argument.
+  void validate() const;
+};
+
+}  // namespace oscs::optsc

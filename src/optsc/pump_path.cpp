@@ -1,0 +1,56 @@
+#include "optsc/pump_path.hpp"
+
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace oscs::optsc {
+
+PumpPath::PumpPath(const photonics::Mzi& mzi, std::size_t order,
+                   double excess_loss_db)
+    : mzi_(mzi), order_(order) {
+  if (order_ == 0) {
+    throw std::invalid_argument("PumpPath: order must be >= 1");
+  }
+  if (excess_loss_db < 0.0) {
+    throw std::invalid_argument("PumpPath: excess loss must be >= 0 dB");
+  }
+  excess_linear_ = db_to_linear(-excess_loss_db);
+}
+
+double PumpPath::transmission(const std::vector<bool>& x) const {
+  if (x.size() != order_) {
+    throw std::invalid_argument("PumpPath: expected one data bit per MZI");
+  }
+  std::size_t ones = 0;
+  for (bool bit : x) ones += bit ? 1 : 0;
+  return transmission_for_count(ones);
+}
+
+double PumpPath::transmission_for_count(std::size_t ones) const {
+  if (ones > order_) {
+    throw std::invalid_argument("PumpPath: ones exceeds MZI count");
+  }
+  const double n = static_cast<double>(order_);
+  const double t_zero = mzi_.transmission(false);  // IL%
+  const double t_one = mzi_.transmission(true);    // IL% * ER%
+  const double sum = static_cast<double>(order_ - ones) * t_zero +
+                     static_cast<double>(ones) * t_one;
+  return excess_linear_ * sum / n;
+}
+
+double PumpPath::control_power_mw(double pump_mw,
+                                  const std::vector<bool>& x) const {
+  return pump_mw * transmission(x);
+}
+
+double PumpPath::control_power_mw(double pump_mw, std::size_t ones) const {
+  return pump_mw * transmission_for_count(ones);
+}
+
+double PumpPath::level_step() const noexcept {
+  return excess_linear_ * mzi_.il_linear() * (1.0 - mzi_.er_linear()) /
+         static_cast<double>(order_);
+}
+
+}  // namespace oscs::optsc

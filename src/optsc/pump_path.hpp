@@ -1,0 +1,51 @@
+#pragma once
+/// \file pump_path.hpp
+/// \brief The "adder" of the architecture (paper Fig. 3a / Eq. 7): the
+///        pump laser is split over the n data MZIs and recombined; the
+///        resulting control power encodes k = sum(x_i) as one of n+1
+///        levels, which in turn sets the all-optical filter detuning.
+
+#include <cstddef>
+#include <vector>
+
+#include "photonics/mzi.hpp"
+
+namespace oscs::optsc {
+
+/// Splitter -> n parallel MZIs -> combiner.
+class PumpPath {
+ public:
+  /// \param mzi   shared MZI operating point (IL, ER)
+  /// \param order number of MZIs n (polynomial order), >= 1
+  /// \param excess_loss_db extra loss per splitter/combiner stage [dB]
+  PumpPath(const photonics::Mzi& mzi, std::size_t order,
+           double excess_loss_db = 0.0);
+
+  [[nodiscard]] std::size_t order() const noexcept { return order_; }
+  [[nodiscard]] const photonics::Mzi& mzi() const noexcept { return mzi_; }
+
+  /// Eq. (7a) inner sum: (1/n) * sum_i T_MZI(x_i), including any
+  /// splitter/combiner excess loss.
+  [[nodiscard]] double transmission(const std::vector<bool>& x) const;
+
+  /// Same, parameterized only by the number of ones k (the levels depend
+  /// on k alone because the MZIs are identical).
+  [[nodiscard]] double transmission_for_count(std::size_t ones) const;
+
+  /// Control power reaching the filter for data x [mW].
+  [[nodiscard]] double control_power_mw(double pump_mw,
+                                        const std::vector<bool>& x) const;
+  [[nodiscard]] double control_power_mw(double pump_mw,
+                                        std::size_t ones) const;
+
+  /// Spread between adjacent levels as a fraction of pump power:
+  /// T(k) - T(k+1) = IL% (1 - ER%) / n (constant in k).
+  [[nodiscard]] double level_step() const noexcept;
+
+ private:
+  photonics::Mzi mzi_;
+  std::size_t order_;
+  double excess_linear_;
+};
+
+}  // namespace oscs::optsc

@@ -1,0 +1,86 @@
+#include "optsc/reconfig.hpp"
+
+#include <stdexcept>
+
+#include "optsc/mrr_first.hpp"
+
+namespace oscs::optsc {
+
+ReconfigurableCircuit::ReconfigurableCircuit(std::size_t max_order,
+                                             const EnergySpec& base,
+                                             double shared_spacing_nm)
+    : max_order_(max_order), base_(base) {
+  if (max_order_ < 1) {
+    throw std::invalid_argument("ReconfigurableCircuit: max_order >= 1");
+  }
+  if (shared_spacing_nm > 0.0) {
+    shared_spacing_nm_ = shared_spacing_nm;
+  } else {
+    std::vector<std::size_t> orders;
+    for (std::size_t n = 1; n <= max_order_; n *= 2) orders.push_back(n);
+    if (orders.back() != max_order_) orders.push_back(max_order_);
+    shared_spacing_nm_ = recommend_shared_spacing(base_, orders);
+  }
+}
+
+const CircuitParams& ReconfigurableCircuit::configure(std::size_t order) {
+  if (order < 1 || order > max_order_) {
+    throw std::invalid_argument(
+        "ReconfigurableCircuit: order outside the supported range");
+  }
+  auto it = cache_.find(order);
+  if (it == cache_.end()) {
+    EnergySpec spec = base_;
+    spec.order = order;
+    const EnergyModel model(spec);
+    // MRR-first at the shared spacing produces the per-order pump/ER
+    // drive; the WDM grid (spacing) is shared hardware.
+    MrrFirstSpec design;
+    design.order = order;
+    design.wl_spacing_nm = shared_spacing_nm_;
+    design.lambda_top_nm = base_.lambda_top_nm;
+    design.ref_offset_nm = base_.ref_offset_nm;
+    design.il_db = base_.il_db;
+    design.ote_nm_per_mw = base_.ote_nm_per_mw;
+    design.target_ber = base_.target_ber;
+    design.bit_rate_gbps = base_.bit_rate_gbps;
+    design.lasing_efficiency = base_.lasing_efficiency;
+    design.pump_pulse_width_s = base_.pump_pulse_width_s;
+    design.eye_model = base_.eye_model;
+    design.detector = base_.detector;
+    it = cache_.emplace(order, mrr_first(design).params).first;
+  }
+  return it->second;
+}
+
+EnergyBreakdown ReconfigurableCircuit::energy(std::size_t order) const {
+  EnergySpec spec = base_;
+  spec.order = order;
+  return EnergyModel(spec).at_spacing(shared_spacing_nm_, order);
+}
+
+double ReconfigurableCircuit::penalty_vs_dedicated(std::size_t order) const {
+  EnergySpec spec = base_;
+  spec.order = order;
+  const EnergyModel model(spec);
+  const double dedicated =
+      model.at_spacing(model.optimal_spacing_nm()).total_pj;
+  const double shared = model.at_spacing(shared_spacing_nm_).total_pj;
+  return shared / dedicated;
+}
+
+double ReconfigurableCircuit::recommend_shared_spacing(
+    const EnergySpec& base, const std::vector<std::size_t>& orders) {
+  if (orders.empty()) {
+    throw std::invalid_argument("recommend_shared_spacing: no orders given");
+  }
+  double sum = 0.0;
+  for (std::size_t n : orders) {
+    EnergySpec spec = base;
+    spec.order = n;
+    sum += EnergyModel(spec).optimal_spacing_nm();
+  }
+  return sum / static_cast<double>(orders.size());
+}
+
+}  // namespace oscs::optsc

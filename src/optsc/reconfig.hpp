@@ -1,0 +1,55 @@
+#pragma once
+/// \file reconfig.hpp
+/// \brief Reconfigurable multi-order circuit - the design opportunity the
+///        paper's conclusion calls out: because the energy-optimal
+///        WLspacing is (nearly) independent of the polynomial degree, one
+///        physical WDM grid can serve every order; switching order only
+///        re-sizes the pump power and MZI drive, not the photonic layout.
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "optsc/energy.hpp"
+#include "optsc/params.hpp"
+
+namespace oscs::optsc {
+
+/// A fixed-grid circuit family covering polynomial orders 1..max_order.
+class ReconfigurableCircuit {
+ public:
+  /// \param max_order    largest supported polynomial degree
+  /// \param base         energy/robustness scenario shared by all orders
+  /// \param shared_spacing_nm  the common WDM grid pitch; if <= 0 it is
+  ///        chosen automatically (see recommend_shared_spacing).
+  ReconfigurableCircuit(std::size_t max_order, const EnergySpec& base,
+                        double shared_spacing_nm = 0.0);
+
+  [[nodiscard]] std::size_t max_order() const noexcept { return max_order_; }
+  [[nodiscard]] double shared_spacing_nm() const noexcept {
+    return shared_spacing_nm_;
+  }
+
+  /// Circuit parameters for one order on the shared grid (cached).
+  [[nodiscard]] const CircuitParams& configure(std::size_t order);
+
+  /// Energy breakdown for one order on the shared grid.
+  [[nodiscard]] EnergyBreakdown energy(std::size_t order) const;
+
+  /// Energy penalty of running `order` on the shared grid instead of its
+  /// own per-order optimum (ratio >= 1; ~1 validates the paper's
+  /// degree-independence claim).
+  [[nodiscard]] double penalty_vs_dedicated(std::size_t order) const;
+
+  /// Mean of the per-order optimal spacings - a sensible shared pitch.
+  [[nodiscard]] static double recommend_shared_spacing(
+      const EnergySpec& base, const std::vector<std::size_t>& orders);
+
+ private:
+  std::size_t max_order_;
+  EnergySpec base_;
+  double shared_spacing_nm_;
+  std::map<std::size_t, CircuitParams> cache_;
+};
+
+}  // namespace oscs::optsc

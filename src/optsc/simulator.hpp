@@ -1,0 +1,71 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief Bit-level behavioural ("transient") simulation of the optical SC
+///        circuit: stochastic streams drive the MZIs and ring modulators
+///        cycle by cycle, the received optical power is computed from the
+///        Eq. (6) transmissions, Gaussian receiver noise is added and an
+///        OOK threshold decision recovers the output stream, which a
+///        counter de-randomizes. The electronic ReSC baseline runs on the
+///        *same* stimulus so the two architectures are compared bit by
+///        bit. (The paper defers this study to a future SPICE model; this
+///        is the C++ equivalent at one sample per bit.)
+
+#include <cstdint>
+
+#include "optsc/circuit.hpp"
+#include "optsc/link_budget.hpp"
+#include "stochastic/bernstein.hpp"
+#include "stochastic/resc.hpp"
+
+namespace oscs::optsc {
+
+/// Simulation controls.
+struct SimulationConfig {
+  std::size_t stream_length = 1024;      ///< bits per evaluation
+  stochastic::ScInputConfig stimulus{};  ///< SNG kind / width / seed
+  bool noise_enabled = true;             ///< add detector noise
+  std::uint64_t noise_seed = 0x5EED;     ///< detector noise stream seed
+};
+
+/// Outcome of one stochastic evaluation.
+struct SimulationResult {
+  double input_x = 0.0;
+  double expected = 0.0;            ///< exact Bernstein value B(x)
+  double optical_estimate = 0.0;    ///< decoded from the optical link
+  double electronic_estimate = 0.0; ///< ReSC baseline on the same streams
+  double optical_abs_error = 0.0;   ///< |optical - expected|
+  double electronic_abs_error = 0.0;
+  std::size_t transmission_flips = 0; ///< bits where the noisy optical
+                                      ///< decision differs from the ideal
+                                      ///< MUX output
+  double threshold_mw = 0.0;          ///< decision threshold used
+  std::size_t length = 0;
+};
+
+/// Behavioural simulator bound to one circuit.
+class TransientSimulator {
+ public:
+  /// The decision threshold is placed mid-eye using the *physical* zero
+  /// level (own-residue included): that is what a real slicer sees.
+  explicit TransientSimulator(const OpticalScCircuit& circuit);
+
+  /// Evaluate the Bernstein polynomial at x through the optical link.
+  /// The polynomial order must match the circuit order.
+  [[nodiscard]] SimulationResult run(const stochastic::BernsteinPoly& poly,
+                                     double x,
+                                     const SimulationConfig& config) const;
+
+  /// The decision threshold [mW] at the circuit's probe power.
+  [[nodiscard]] double threshold_mw() const noexcept { return threshold_mw_; }
+
+  /// Effective transmission BER observed over a long all-eye pattern -
+  /// handy for validating the analytic Eq. (9) prediction by Monte Carlo.
+  [[nodiscard]] double measure_transmission_ber(std::size_t trials,
+                                                std::uint64_t seed) const;
+
+ private:
+  const OpticalScCircuit* circuit_;
+  double threshold_mw_;
+};
+
+}  // namespace oscs::optsc

@@ -1,0 +1,43 @@
+#include "optsc/yield.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "optsc/circuit.hpp"
+
+namespace oscs::optsc {
+
+YieldResult estimate_yield(const CircuitParams& nominal,
+                           const YieldConfig& config) {
+  if (config.samples == 0) {
+    throw std::invalid_argument("estimate_yield: samples must be >= 1");
+  }
+  oscs::Xoshiro256 rng(config.seed);
+
+  YieldResult result;
+  result.samples = config.samples;
+  double ber_sum = 0.0;
+  double eye_sum = 0.0;
+
+  for (std::size_t s = 0; s < config.samples; ++s) {
+    const OpticalScCircuit circuit = OpticalScCircuit::with_variation(
+        nominal, config.variation, rng, config.calibration_residual_nm);
+    const LinkBudget budget(circuit, config.eye_model);
+    const EyeAnalysis eye =
+        budget.analyze(nominal.lasers.probe_power_mw);
+    const double ber = std::min(eye.ber, 0.5);
+    ber_sum += ber;
+    eye_sum += eye.eye_transmission;
+    result.worst_ber = std::max(result.worst_ber, ber);
+    if (ber <= config.target_ber) ++result.passing;
+  }
+
+  result.yield =
+      static_cast<double>(result.passing) / static_cast<double>(config.samples);
+  result.mean_ber = ber_sum / static_cast<double>(config.samples);
+  result.mean_eye_transmission =
+      eye_sum / static_cast<double>(config.samples);
+  return result;
+}
+
+}  // namespace oscs::optsc

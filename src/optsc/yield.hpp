@@ -1,0 +1,45 @@
+#pragma once
+/// \file yield.hpp
+/// \brief Monte-Carlo yield analysis under fabrication variation: what
+///        fraction of fabricated circuit instances still meets a BER
+///        target at the designed probe power, with and without the
+///        closed-loop calibration controller re-locking the rings.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "optsc/link_budget.hpp"
+#include "optsc/params.hpp"
+#include "photonics/variation.hpp"
+
+namespace oscs::optsc {
+
+/// Yield experiment configuration.
+struct YieldConfig {
+  std::size_t samples = 200;
+  photonics::VariationSpec variation{};
+  double target_ber = 1e-6;
+  EyeModel eye_model = EyeModel::kPaperEq8;
+  /// If set, the calibration controller re-locks every ring to within
+  /// +/- this residual before the link is analyzed.
+  std::optional<double> calibration_residual_nm;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated yield results.
+struct YieldResult {
+  std::size_t samples = 0;
+  std::size_t passing = 0;
+  double yield = 0.0;      ///< passing / samples
+  double mean_ber = 0.0;   ///< mean of per-sample BER (capped at 0.5)
+  double worst_ber = 0.0;
+  double mean_eye_transmission = 0.0;
+};
+
+/// Run the Monte-Carlo. The nominal parameters carry the probe power at
+/// which each perturbed instance is judged.
+[[nodiscard]] YieldResult estimate_yield(const CircuitParams& nominal,
+                                         const YieldConfig& config);
+
+}  // namespace oscs::optsc

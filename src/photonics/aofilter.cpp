@@ -1,0 +1,57 @@
+#include "photonics/aofilter.hpp"
+
+#include <stdexcept>
+
+namespace oscs::photonics {
+
+double tpa_effective_index(double n0, double n2_m2_per_w, double pump_w,
+                           double area_m2) {
+  if (!(area_m2 > 0.0)) {
+    throw std::invalid_argument("tpa_effective_index: area must be > 0");
+  }
+  if (pump_w < 0.0) {
+    throw std::invalid_argument("tpa_effective_index: pump power must be >= 0");
+  }
+  return n0 + n2_m2_per_w * pump_w / area_m2;
+}
+
+AllOpticalFilter::AllOpticalFilter(const AddDropRing& ring,
+                                   double ote_nm_per_mw)
+    : ring_(ring), ote_(ote_nm_per_mw) {
+  if (!(ote_ > 0.0)) {
+    throw std::invalid_argument("AllOpticalFilter: OTE must be > 0 nm/mW");
+  }
+}
+
+double AllOpticalFilter::lambda_ref_nm() const noexcept {
+  return ring_.geometry().resonance_nm;
+}
+
+double AllOpticalFilter::detuning_nm(double pump_mw) const {
+  if (pump_mw < 0.0) {
+    throw std::invalid_argument("AllOpticalFilter: pump power must be >= 0");
+  }
+  return ote_ * pump_mw;
+}
+
+double AllOpticalFilter::resonance_nm(double pump_mw) const {
+  return lambda_ref_nm() - detuning_nm(pump_mw);
+}
+
+double AllOpticalFilter::required_pump_mw(double detuning_nm) const {
+  if (detuning_nm < 0.0) {
+    throw std::invalid_argument(
+        "AllOpticalFilter: detuning must be >= 0 (blue shift only)");
+  }
+  return detuning_nm / ote_;
+}
+
+double AllOpticalFilter::drop(double lambda_nm, double pump_mw) const {
+  return ring_.drop(lambda_nm, resonance_nm(pump_mw));
+}
+
+double AllOpticalFilter::through(double lambda_nm, double pump_mw) const {
+  return ring_.through(lambda_nm, resonance_nm(pump_mw));
+}
+
+}  // namespace oscs::photonics

@@ -1,0 +1,53 @@
+#pragma once
+/// \file aofilter.hpp
+/// \brief All-optical add-drop filter (paper Fig. 2c): an MRR whose
+///        resonance is blue-shifted by a high-intensity pump through
+///        two-photon absorption (TPA). The shift is linear in pump power
+///        with slope OTE [nm/mW] (paper Eq. 7a, anchored to the
+///        0.1 nm / 10 mW measurement of Van et al. [14]).
+
+#include "photonics/ring.hpp"
+
+namespace oscs::photonics {
+
+/// Paper Eq. (4): effective index under TPA-induced Kerr shift,
+/// n_eff = n0 + n2 * P / S, with P in watts and S the effective
+/// cross-sectional area in m^2 (n2 in m^2/W).
+[[nodiscard]] double tpa_effective_index(double n0, double n2_m2_per_w,
+                                         double pump_w, double area_m2);
+
+/// Optically tuned add-drop filter implementing the stochastic MUX.
+class AllOpticalFilter {
+ public:
+  /// \param ring           filter ring; its cold resonance is lambda_ref
+  ///                       (resonance with no pump applied).
+  /// \param ote_nm_per_mw  optical tuning efficiency [nm/mW]
+  ///                       (0.01 = 0.1 nm per 10 mW, per [14]).
+  AllOpticalFilter(const AddDropRing& ring, double ote_nm_per_mw);
+
+  [[nodiscard]] const AddDropRing& ring() const noexcept { return ring_; }
+  /// Cold (pump-off) resonance wavelength lambda_ref [nm].
+  [[nodiscard]] double lambda_ref_nm() const noexcept;
+  [[nodiscard]] double ote_nm_per_mw() const noexcept { return ote_; }
+
+  /// Resonance blue shift caused by a pump of the given power [nm]
+  /// (DeltaFilter in the paper's Eq. 7a).
+  [[nodiscard]] double detuning_nm(double pump_mw) const;
+
+  /// Effective resonance wavelength under pump [nm].
+  [[nodiscard]] double resonance_nm(double pump_mw) const;
+
+  /// Pump power required to blue-shift the resonance by `detuning_nm` [mW].
+  [[nodiscard]] double required_pump_mw(double detuning_nm) const;
+
+  /// Drop-port transmission of `lambda_nm` under the given pump power.
+  [[nodiscard]] double drop(double lambda_nm, double pump_mw) const;
+  /// Through-port transmission of `lambda_nm` under the given pump power.
+  [[nodiscard]] double through(double lambda_nm, double pump_mw) const;
+
+ private:
+  AddDropRing ring_;
+  double ote_;
+};
+
+}  // namespace oscs::photonics

@@ -1,0 +1,58 @@
+#include "photonics/laser.hpp"
+
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace oscs::photonics {
+
+namespace {
+void check_efficiency(double eta) {
+  if (!(eta > 0.0) || eta > 1.0) {
+    throw std::invalid_argument("laser: efficiency must lie in (0, 1]");
+  }
+}
+void check_power(double p) {
+  if (p < 0.0) {
+    throw std::invalid_argument("laser: power must be >= 0 mW");
+  }
+}
+}  // namespace
+
+CwLaser::CwLaser(double power_mw, double efficiency)
+    : power_mw_(power_mw), efficiency_(efficiency) {
+  check_power(power_mw);
+  check_efficiency(efficiency);
+}
+
+double CwLaser::energy_per_bit_pj(double bit_period_s) const {
+  if (!(bit_period_s > 0.0)) {
+    throw std::invalid_argument("CwLaser: bit period must be > 0");
+  }
+  return energy_pj(power_mw_, bit_period_s) / efficiency_;
+}
+
+PulsedLaser::PulsedLaser(double peak_power_mw, double pulse_width_s,
+                         double efficiency)
+    : peak_power_mw_(peak_power_mw),
+      pulse_width_s_(pulse_width_s),
+      efficiency_(efficiency) {
+  check_power(peak_power_mw);
+  check_efficiency(efficiency);
+  if (!(pulse_width_s > 0.0)) {
+    throw std::invalid_argument("PulsedLaser: pulse width must be > 0");
+  }
+}
+
+double PulsedLaser::energy_per_bit_pj() const {
+  return energy_pj(peak_power_mw_, pulse_width_s_) / efficiency_;
+}
+
+double PulsedLaser::average_power_mw(double bit_period_s) const {
+  if (!(bit_period_s > 0.0)) {
+    throw std::invalid_argument("PulsedLaser: bit period must be > 0");
+  }
+  return peak_power_mw_ * (pulse_width_s_ / bit_period_s);
+}
+
+}  // namespace oscs::photonics

@@ -1,0 +1,51 @@
+#pragma once
+/// \file laser.hpp
+/// \brief Laser source models and per-bit energy accounting (Sec. V-C).
+///
+/// Two source types are used in the paper: continuous-wave probe lasers
+/// (one per WDM coefficient channel) and a pulse-based pump laser emitting
+/// 26 ps pulses, one per computed bit. Wall-plug energy is the optical
+/// energy divided by the lasing efficiency eta.
+
+namespace oscs::photonics {
+
+/// Continuous-wave laser at a fixed optical power.
+class CwLaser {
+ public:
+  /// \param power_mw    emitted optical power [mW]
+  /// \param efficiency  lasing (wall-plug) efficiency in (0, 1]
+  CwLaser(double power_mw, double efficiency);
+
+  [[nodiscard]] double power_mw() const noexcept { return power_mw_; }
+  [[nodiscard]] double efficiency() const noexcept { return efficiency_; }
+
+  /// Wall-plug energy consumed over one bit period [pJ].
+  [[nodiscard]] double energy_per_bit_pj(double bit_period_s) const;
+
+ private:
+  double power_mw_;
+  double efficiency_;
+};
+
+/// Pulsed laser: one pulse of `pulse_width_s` at `peak_power_mw` per bit.
+class PulsedLaser {
+ public:
+  PulsedLaser(double peak_power_mw, double pulse_width_s, double efficiency);
+
+  [[nodiscard]] double peak_power_mw() const noexcept { return peak_power_mw_; }
+  [[nodiscard]] double pulse_width_s() const noexcept { return pulse_width_s_; }
+  [[nodiscard]] double efficiency() const noexcept { return efficiency_; }
+
+  /// Wall-plug energy of a single pulse (= per computed bit) [pJ].
+  [[nodiscard]] double energy_per_bit_pj() const;
+
+  /// Duty-cycled average optical power at the given bit rate [mW].
+  [[nodiscard]] double average_power_mw(double bit_period_s) const;
+
+ private:
+  double peak_power_mw_;
+  double pulse_width_s_;
+  double efficiency_;
+};
+
+}  // namespace oscs::photonics

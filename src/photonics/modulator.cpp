@@ -1,0 +1,37 @@
+#include "photonics/modulator.hpp"
+
+#include <stdexcept>
+
+namespace oscs::photonics {
+
+RingModulator::RingModulator(const AddDropRing& ring, double shift_on_nm)
+    : ring_(ring), shift_on_nm_(shift_on_nm) {
+  if (!(shift_on_nm > 0.0)) {
+    throw std::invalid_argument("RingModulator: ON shift must be > 0 nm");
+  }
+}
+
+double RingModulator::channel_nm() const noexcept {
+  return ring_.geometry().resonance_nm;
+}
+
+double RingModulator::resonance_for_bit(bool bit) const noexcept {
+  // '1' blue-shifts the resonance away from the channel.
+  return channel_nm() - (bit ? shift_on_nm_ : 0.0);
+}
+
+double RingModulator::through(double lambda_nm, bool bit) const {
+  return ring_.through(lambda_nm, resonance_for_bit(bit));
+}
+
+double RingModulator::own_channel_transmission(bool bit) const {
+  return through(channel_nm(), bit);
+}
+
+double RingModulator::modulation_er_linear() const {
+  const double off = own_channel_transmission(false);
+  const double on = own_channel_transmission(true);
+  return on / off;
+}
+
+}  // namespace oscs::photonics

@@ -1,0 +1,49 @@
+#pragma once
+/// \file modulator.hpp
+/// \brief MRR used as an electro-optic OOK modulator (paper Fig. 2b).
+///
+/// In the OFF state (bit 0, no voltage) the ring is resonant at the channel
+/// wavelength, so only a small residue reaches the through port. In the ON
+/// state (bit 1) carrier injection blue-shifts the resonance by
+/// `shift_on_nm` and most of the carrier wavelength is transmitted.
+
+#include "photonics/ring.hpp"
+
+namespace oscs::photonics {
+
+/// A ring modulator bound to one WDM channel.
+class RingModulator {
+ public:
+  /// \param ring       ring geometry; its cold resonance is the channel
+  ///                   wavelength (OFF state).
+  /// \param shift_on_nm  blue shift of the resonance when driving a '1'.
+  RingModulator(const AddDropRing& ring, double shift_on_nm);
+
+  /// The channel wavelength this modulator encodes [nm].
+  [[nodiscard]] double channel_nm() const noexcept;
+  /// ON-state resonance shift [nm].
+  [[nodiscard]] double shift_on_nm() const noexcept { return shift_on_nm_; }
+  [[nodiscard]] const AddDropRing& ring() const noexcept { return ring_; }
+
+  /// Effective resonance for a modulated bit (paper Eq. 6 term
+  /// `lambda_i - dlambda * z_i`).
+  [[nodiscard]] double resonance_for_bit(bool bit) const noexcept;
+
+  /// Through-port transmission seen by an arbitrary wavelength when this
+  /// modulator drives `bit` (both the modulated channel and every other
+  /// channel passing by on the shared bus use this).
+  [[nodiscard]] double through(double lambda_nm, bool bit) const;
+
+  /// Transmission of the modulator's own channel for a given bit.
+  [[nodiscard]] double own_channel_transmission(bool bit) const;
+
+  /// Modulation extinction ratio (ON over OFF own-channel transmission),
+  /// as a linear ratio.
+  [[nodiscard]] double modulation_er_linear() const;
+
+ private:
+  AddDropRing ring_;
+  double shift_on_nm_;
+};
+
+}  // namespace oscs::photonics

@@ -1,0 +1,24 @@
+#include "photonics/mzi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oscs::photonics {
+
+Mzi::Mzi(Decibel il, Decibel er) : il_(il), er_(er) {
+  if (il.db() < 0.0) {
+    throw std::invalid_argument("Mzi: insertion loss must be >= 0 dB");
+  }
+  if (er.db() <= 0.0) {
+    throw std::invalid_argument("Mzi: extinction ratio must be > 0 dB");
+  }
+  il_linear_ = db_to_linear(-il.db());
+  er_linear_ = db_to_linear(-er.db());
+}
+
+double Mzi::transmission_phase(double phi_rad) const noexcept {
+  const double c = std::cos(0.5 * phi_rad);
+  return il_linear_ * (c * c * (1.0 - er_linear_) + er_linear_);
+}
+
+}  // namespace oscs::photonics

@@ -1,0 +1,62 @@
+#pragma once
+/// \file mzi.hpp
+/// \brief Mach-Zehnder interferometer modulator (paper Fig. 2a) with the
+///        insertion-loss / extinction-ratio semantics of Eq. (7b):
+///        T(x=0) = IL%, T(x=1) = IL% * ER%.
+///
+/// A '0' drives the constructive state (full transmission minus insertion
+/// loss); a '1' drives the destructive state (additionally attenuated by
+/// the extinction ratio). An idealized interferometric phase model is also
+/// provided for spectra and partial-drive studies.
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace oscs::photonics {
+
+/// MZI operating point. `il` and `er` are positive dB numbers as quoted in
+/// the literature (e.g. IL = 4.5 dB, ER = 3.2 dB for the device of [10]).
+class Mzi {
+ public:
+  Mzi(Decibel il, Decibel er);
+
+  [[nodiscard]] Decibel il() const noexcept { return il_; }
+  [[nodiscard]] Decibel er() const noexcept { return er_; }
+  /// Linear transmitted fraction in the constructive state: IL% = 10^(-IL/10).
+  [[nodiscard]] double il_linear() const noexcept { return il_linear_; }
+  /// Linear ON/OFF ratio: ER% = 10^(-ER/10).
+  [[nodiscard]] double er_linear() const noexcept { return er_linear_; }
+
+  /// Paper Eq. (7b): power transmission for a modulated data bit.
+  [[nodiscard]] double transmission(bool bit) const noexcept {
+    return bit ? il_linear_ * er_linear_ : il_linear_;
+  }
+
+  /// Idealized interferometric transmission for an arbitrary differential
+  /// phase [rad]: IL% * (cos^2(phi/2) * (1 - ER%) + ER%). Reduces to
+  /// Eq. (7b) at phi = 0 (constructive) and phi = pi (destructive).
+  [[nodiscard]] double transmission_phase(double phi_rad) const noexcept;
+
+ private:
+  Decibel il_;
+  Decibel er_;
+  double il_linear_;
+  double er_linear_;
+};
+
+/// A published MZI operating point (used for Fig. 6 reproductions).
+struct MziDevice {
+  std::string name;            ///< citation-style label
+  double il_db = 0.0;          ///< insertion loss [dB]
+  double er_db = 0.0;          ///< extinction ratio [dB]
+  double speed_gbps = 0.0;     ///< demonstrated modulation speed [Gb/s]
+  double phase_shifter_mm = 0.0;  ///< phase shifter length [mm]
+  bool estimated = false;      ///< true if (il, er) was read off Fig. 6a
+                               ///< rather than printed in the paper text
+  [[nodiscard]] Mzi mzi() const {
+    return Mzi(Decibel(il_db), Decibel(er_db));
+  }
+};
+
+}  // namespace oscs::photonics

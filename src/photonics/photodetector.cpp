@@ -1,0 +1,101 @@
+#include "photonics/photodetector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace oscs::photonics {
+
+namespace {
+constexpr double kElectronCharge = 1.602176634e-19;  // [C]
+}
+
+double ber_from_snr(double snr) {
+  if (snr < 0.0) {
+    throw std::domain_error("ber_from_snr: SNR must be >= 0");
+  }
+  return 0.5 * std::erfc(snr / (2.0 * std::sqrt(2.0)));
+}
+
+double snr_for_ber(double target_ber) {
+  if (!(target_ber > 0.0) || !(target_ber < 0.5)) {
+    throw std::domain_error("snr_for_ber: BER must lie in (0, 0.5)");
+  }
+  return 2.0 * std::sqrt(2.0) * erfc_inv(2.0 * target_ber);
+}
+
+PinPhotodetector::PinPhotodetector(double responsivity_a_per_w,
+                                   double noise_current_a)
+    : responsivity_(responsivity_a_per_w), noise_a_(noise_current_a) {
+  if (!(responsivity_ > 0.0)) {
+    throw std::invalid_argument("PinPhotodetector: responsivity must be > 0");
+  }
+  if (!(noise_a_ > 0.0)) {
+    throw std::invalid_argument("PinPhotodetector: noise current must be > 0");
+  }
+}
+
+double PinPhotodetector::photocurrent_a(double power_mw) const noexcept {
+  return power_mw * 1e-3 * responsivity_;
+}
+
+double PinPhotodetector::noise_power_mw() const noexcept {
+  return noise_a_ / responsivity_ * 1e3;
+}
+
+double PinPhotodetector::snr(double eye_power_mw) const {
+  if (eye_power_mw < 0.0) {
+    throw std::domain_error("PinPhotodetector::snr: eye must be >= 0 mW");
+  }
+  return photocurrent_a(eye_power_mw) / noise_a_;
+}
+
+double PinPhotodetector::required_eye_mw(double target_ber) const {
+  const double snr = snr_for_ber(target_ber);
+  return snr * noise_a_ / responsivity_ * 1e3;
+}
+
+bool PinPhotodetector::detect(double power_mw, double threshold_mw,
+                              Xoshiro256& rng) const {
+  const double noisy = power_mw + rng.normal(0.0, noise_power_mw());
+  return noisy > threshold_mw;
+}
+
+ApdPhotodetector::ApdPhotodetector(double responsivity_a_per_w,
+                                   double noise_current_a, double gain,
+                                   double excess_noise_exponent)
+    : responsivity_(responsivity_a_per_w),
+      noise_a_(noise_current_a),
+      gain_(gain),
+      excess_x_(excess_noise_exponent) {
+  if (!(responsivity_ > 0.0) || !(noise_a_ > 0.0)) {
+    throw std::invalid_argument("ApdPhotodetector: R and i_n must be > 0");
+  }
+  if (!(gain_ >= 1.0)) {
+    throw std::invalid_argument("ApdPhotodetector: gain must be >= 1");
+  }
+  if (excess_x_ < 0.0 || excess_x_ > 1.0) {
+    throw std::invalid_argument(
+        "ApdPhotodetector: excess noise exponent must lie in [0, 1]");
+  }
+}
+
+double ApdPhotodetector::excess_noise_factor() const noexcept {
+  return std::pow(gain_, excess_x_);
+}
+
+double ApdPhotodetector::snr(double eye_power_mw, double avg_power_mw,
+                             double bandwidth_hz) const {
+  if (eye_power_mw < 0.0 || avg_power_mw < 0.0 || bandwidth_hz <= 0.0) {
+    throw std::domain_error("ApdPhotodetector::snr: invalid arguments");
+  }
+  const double signal_a = eye_power_mw * 1e-3 * responsivity_ * gain_;
+  const double primary_a = avg_power_mw * 1e-3 * responsivity_;
+  const double shot_var = 2.0 * kElectronCharge * primary_a * gain_ * gain_ *
+                          excess_noise_factor() * bandwidth_hz;
+  const double noise_rms = std::sqrt(noise_a_ * noise_a_ + shot_var);
+  return signal_a / noise_rms;
+}
+
+}  // namespace oscs::photonics

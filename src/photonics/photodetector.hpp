@@ -1,0 +1,86 @@
+#pragma once
+/// \file photodetector.hpp
+/// \brief Photodetector models and the OOK link-budget arithmetic of the
+///        paper's Eqs. (8)-(9).
+///
+/// The paper lumps receiver noise into a single internal noise current
+/// `i_n` and defines SNR = OP_probe * (R / i_n) * eye, with
+/// BER = 0.5 * erfc(SNR / (2 sqrt(2))) for on-off keying. The same Q-factor
+/// convention (Q = SNR/2 for equal noise on both rails) is used throughout.
+/// An avalanche photodetector (APD) extension models the high-responsivity
+/// receiver flagged as future work in the paper (ref. [21]).
+
+#include "common/rng.hpp"
+
+namespace oscs::photonics {
+
+/// Bit-error rate of OOK detection for a given electrical SNR (Eq. 9).
+[[nodiscard]] double ber_from_snr(double snr);
+
+/// Inverse of Eq. 9: SNR needed to reach a target BER in (0, 0.5).
+[[nodiscard]] double snr_for_ber(double target_ber);
+
+/// PIN photodetector with responsivity R [A/W] and internal noise current
+/// i_n [A].
+class PinPhotodetector {
+ public:
+  PinPhotodetector(double responsivity_a_per_w, double noise_current_a);
+
+  [[nodiscard]] double responsivity() const noexcept { return responsivity_; }
+  [[nodiscard]] double noise_current_a() const noexcept { return noise_a_; }
+
+  /// Photocurrent for an optical power [mW] -> [A].
+  [[nodiscard]] double photocurrent_a(double power_mw) const noexcept;
+
+  /// Input-referred RMS noise expressed as optical power [mW]
+  /// (sigma_P = i_n / R).
+  [[nodiscard]] double noise_power_mw() const noexcept;
+
+  /// Eq. (8) for an eye opening expressed in optical power [mW]:
+  /// SNR = eye_mw * R / i_n.
+  [[nodiscard]] double snr(double eye_power_mw) const;
+
+  /// Eye opening [mW] needed to reach a BER target.
+  [[nodiscard]] double required_eye_mw(double target_ber) const;
+
+  /// One noisy OOK decision: received power plus Gaussian input-referred
+  /// noise compared against a threshold.
+  [[nodiscard]] bool detect(double power_mw, double threshold_mw,
+                            Xoshiro256& rng) const;
+
+ private:
+  double responsivity_;
+  double noise_a_;
+};
+
+/// Linear-mode avalanche photodetector: multiplication gain M with excess
+/// noise factor F = M^x. Signal current is multiplied by M; the
+/// shot-noise contribution is amplified by M^2 F while the thermal floor
+/// `i_n` is not. With x < 1 the APD improves thermally limited links -
+/// the benefit the paper plans to exploit via ref. [21].
+class ApdPhotodetector {
+ public:
+  /// \param responsivity_a_per_w  primary (unity-gain) responsivity
+  /// \param noise_current_a       thermal/amplifier noise current [A]
+  /// \param gain                  avalanche gain M >= 1
+  /// \param excess_noise_exponent x in F = M^x (typ. 0.2-1.0 for Si/InGaAs)
+  ApdPhotodetector(double responsivity_a_per_w, double noise_current_a,
+                   double gain, double excess_noise_exponent);
+
+  [[nodiscard]] double gain() const noexcept { return gain_; }
+  /// Excess noise factor F = M^x.
+  [[nodiscard]] double excess_noise_factor() const noexcept;
+
+  /// SNR for an eye opening [mW] at receiver bandwidth [Hz]; includes the
+  /// multiplied shot noise of the average received power `avg_power_mw`.
+  [[nodiscard]] double snr(double eye_power_mw, double avg_power_mw,
+                           double bandwidth_hz) const;
+
+ private:
+  double responsivity_;
+  double noise_a_;
+  double gain_;
+  double excess_x_;
+};
+
+}  // namespace oscs::photonics

@@ -1,0 +1,193 @@
+#include "photonics/ring.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/math.hpp"
+
+namespace oscs::photonics {
+
+namespace {
+
+void validate(const RingGeometry& g) {
+  auto in01 = [](double v) { return v > 0.0 && v < 1.0; };
+  if (!in01(g.r1) || !in01(g.r2)) {
+    throw std::invalid_argument("RingGeometry: r1, r2 must lie in (0, 1)");
+  }
+  if (!(g.a > 0.0) || g.a > 1.0) {
+    throw std::invalid_argument("RingGeometry: a must lie in (0, 1]");
+  }
+  if (!(g.resonance_nm > 0.0) || !(g.fsr_nm > 0.0)) {
+    throw std::invalid_argument("RingGeometry: resonance and FSR must be > 0");
+  }
+  if (g.fsr_nm >= g.resonance_nm) {
+    throw std::invalid_argument("RingGeometry: FSR must be << resonance");
+  }
+}
+
+}  // namespace
+
+AddDropRing::AddDropRing(const RingGeometry& geometry) : geometry_(geometry) {
+  validate(geometry_);
+  m_ = static_cast<int>(std::lround(geometry_.resonance_nm / geometry_.fsr_nm));
+  if (m_ < 2) {
+    throw std::invalid_argument("AddDropRing: azimuthal order must be >= 2");
+  }
+}
+
+double AddDropRing::effective_fsr_nm() const noexcept {
+  return geometry_.resonance_nm / static_cast<double>(m_);
+}
+
+double AddDropRing::single_pass_phase(double lambda_nm,
+                                      double resonance_nm) const {
+  if (!(lambda_nm > 0.0)) {
+    throw std::domain_error("single_pass_phase: wavelength must be > 0");
+  }
+  // theta = 2 pi n_eff L / lambda with n_eff L = m * resonance.
+  return 2.0 * M_PI * static_cast<double>(m_) * resonance_nm / lambda_nm;
+}
+
+double AddDropRing::through(double lambda_nm, double resonance_nm) const {
+  const double theta = single_pass_phase(lambda_nm, resonance_nm);
+  const double c = std::cos(theta);
+  const double a = geometry_.a;
+  const double r1 = geometry_.r1;
+  const double r2 = geometry_.r2;
+  const double num = sq(a) * sq(r2) - 2.0 * a * r1 * r2 * c + sq(r1);
+  const double den = 1.0 - 2.0 * a * r1 * r2 * c + sq(a * r1 * r2);
+  return num / den;
+}
+
+double AddDropRing::through(double lambda_nm) const {
+  return through(lambda_nm, geometry_.resonance_nm);
+}
+
+double AddDropRing::drop(double lambda_nm, double resonance_nm) const {
+  const double theta = single_pass_phase(lambda_nm, resonance_nm);
+  const double c = std::cos(theta);
+  const double a = geometry_.a;
+  const double r1 = geometry_.r1;
+  const double r2 = geometry_.r2;
+  const double num = a * (1.0 - sq(r1)) * (1.0 - sq(r2));
+  const double den = 1.0 - 2.0 * a * r1 * r2 * c + sq(a * r1 * r2);
+  return num / den;
+}
+
+double AddDropRing::drop(double lambda_nm) const {
+  return drop(lambda_nm, geometry_.resonance_nm);
+}
+
+double AddDropRing::fwhm_nm() const {
+  const double u = geometry_.a * geometry_.r1 * geometry_.r2;
+  return geometry_.resonance_nm * (1.0 - u) /
+         (M_PI * static_cast<double>(m_) * std::sqrt(u));
+}
+
+double AddDropRing::q_factor() const {
+  return geometry_.resonance_nm / fwhm_nm();
+}
+
+double AddDropRing::through_at_resonance() const {
+  const double num = sq(geometry_.a * geometry_.r2 - geometry_.r1);
+  const double den = sq(1.0 - geometry_.a * geometry_.r1 * geometry_.r2);
+  return num / den;
+}
+
+double AddDropRing::drop_at_resonance() const {
+  const double num =
+      geometry_.a * (1.0 - sq(geometry_.r1)) * (1.0 - sq(geometry_.r2));
+  const double den = sq(1.0 - geometry_.a * geometry_.r1 * geometry_.r2);
+  return num / den;
+}
+
+AddDropRing AddDropRing::from_linewidth(double resonance_nm, double fsr_nm,
+                                        double fwhm_nm, double through_floor,
+                                        double a) {
+  if (!(fwhm_nm > 0.0) || through_floor < 0.0 || through_floor >= 1.0 ||
+      !(a > 0.0) || a > 1.0) {
+    throw std::invalid_argument("from_linewidth: invalid spec");
+  }
+  const double ratio = fwhm_nm / fsr_nm;
+  // FWHM = FSR (1-u) / (pi sqrt(u)) with u = a r1 r2.
+  const double u =
+      sq((-ratio * M_PI + std::sqrt(sq(ratio * M_PI) + 4.0)) / 2.0);
+  const double d = std::sqrt(through_floor) * (1.0 - u);
+  const double r2 = (d + std::sqrt(sq(d) + 4.0 * u)) / (2.0 * a);
+  const double r1 = a * r2 - d;
+  if (!(r1 > 0.0 && r1 < 1.0 && r2 > 0.0 && r2 < 1.0)) {
+    throw std::invalid_argument(
+        "from_linewidth: spec requires couplings outside (0, 1); relax the "
+        "floor or the linewidth");
+  }
+  return AddDropRing(RingGeometry{resonance_nm, fsr_nm, r1, r2, a});
+}
+
+AddDropRing AddDropRing::from_spec(const RingSpec& spec) {
+  if (!(spec.fwhm_nm > 0.0) || !(spec.peak_drop > 0.0) ||
+      spec.peak_drop >= 1.0) {
+    throw std::invalid_argument(
+        "RingSpec: fwhm > 0 and peak_drop in (0, 1) required");
+  }
+  if (spec.through_floor < 0.0 || spec.through_floor >= 1.0) {
+    throw std::invalid_argument("RingSpec: through_floor in [0, 1) required");
+  }
+
+  // Unknowns: r1, r2, a. Conditions (all at resonance, cos theta = 1):
+  //   (1) FWHM      = FSR * (1 - a r1 r2) / (pi sqrt(a r1 r2))
+  //   (2) peak drop = a (1-r1^2)(1-r2^2) / (1 - a r1 r2)^2
+  //   (3) floor     = (a r2 - r1)^2    / (1 - a r1 r2)^2
+  //
+  // Strategy: bisect on the loss `a` in (peak_drop-feasible range); for a
+  // given `a`, (1) fixes u = a r1 r2, then (3) fixes d = a r2 - r1 and the
+  // pair (r1, r2) follows from the quadratic r2 (a r2 - d) = u, i.e.
+  // a r2^2 - d r2 - u = 0. Finally (2) becomes the bisection residual.
+  const double fsr = spec.fsr_nm;
+  const double ratio = spec.fwhm_nm / fsr;
+  // (1) -> u from: (1 - u) / (pi sqrt(u)) = ratio.
+  const double u = sq((-ratio * M_PI + std::sqrt(sq(ratio * M_PI) + 4.0)) / 2.0);
+  if (!(u > 0.0) || u >= 1.0) {
+    throw std::invalid_argument("RingSpec: FWHM/FSR ratio unrealizable");
+  }
+  const double d = std::sqrt(spec.through_floor) * (1.0 - u);
+
+  auto solve_r = [&](double a) -> RingGeometry {
+    // r1 r2 = u / a with r1 = a r2 - d  ->  a^2 r2^2 - a d r2 - u = 0,
+    // positive root r2 = (d + sqrt(d^2 + 4u)) / (2a).
+    const double disc = sq(d) + 4.0 * u;
+    const double r2 = (d + std::sqrt(disc)) / (2.0 * a);
+    const double r1 = a * r2 - d;
+    return RingGeometry{spec.resonance_nm, spec.fsr_nm, r1, r2, a};
+  };
+
+  auto drop_residual = [&](double a) -> double {
+    const RingGeometry g = solve_r(a);
+    if (!(g.r1 > 0.0 && g.r1 < 1.0 && g.r2 > 0.0 && g.r2 < 1.0)) {
+      // Out of physical range; signal "drop too low" so bisection steers
+      // toward less loss.
+      return -1.0;
+    }
+    const double den = sq(1.0 - a * g.r1 * g.r2);
+    const double pd = a * (1.0 - sq(g.r1)) * (1.0 - sq(g.r2)) / den;
+    return pd - spec.peak_drop;
+  };
+
+  // Peak drop increases monotonically with a (less loss); bracket a.
+  double lo = 0.5;
+  double hi = 1.0 - 1e-12;
+  if (drop_residual(hi) < 0.0) {
+    throw std::invalid_argument(
+        "RingSpec: peak_drop " + std::to_string(spec.peak_drop) +
+        " unreachable with through_floor " +
+        std::to_string(spec.through_floor));
+  }
+  if (drop_residual(lo) > 0.0) {
+    lo = 1e-6;  // extremely lossy bracket; from_spec targets realistic specs
+  }
+  const double a = bisect([&](double v) { return drop_residual(v); }, lo, hi,
+                          1e-14, 300);
+  return AddDropRing(solve_r(a));
+}
+
+}  // namespace oscs::photonics

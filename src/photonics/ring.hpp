@@ -1,0 +1,99 @@
+#pragma once
+/// \file ring.hpp
+/// \brief Add-drop micro-ring resonator (MRR) model implementing the
+///        paper's Eq. (2) through-port and Eq. (3) drop-port transmissions.
+///
+/// The ring is described by its cold resonance wavelength, free spectral
+/// range (FSR), the two self-coupling coefficients r1 (input bus) and r2
+/// (drop bus) and the single-pass amplitude transmission `a`. The
+/// single-pass phase is theta(lambda) = 2*pi*m*lambda_res/lambda where m is
+/// the azimuthal mode order (n_eff * L = m * lambda_res at resonance), so
+/// the response is exactly FSR-periodic.
+
+#include <cstdint>
+
+namespace oscs::photonics {
+
+/// Geometric/optical description of an add-drop ring.
+struct RingGeometry {
+  double resonance_nm = 1550.0;  ///< cold resonance wavelength [nm]
+  double fsr_nm = 10.0;          ///< free spectral range [nm]
+  double r1 = 0.96;              ///< input-bus self-coupling coefficient
+  double r2 = 0.96;              ///< drop-bus self-coupling coefficient
+  double a = 0.995;              ///< single-pass amplitude transmission
+};
+
+/// Spec-driven alternative description: target linewidth and peak drop,
+/// from which coupling values are solved (see AddDropRing::from_spec).
+struct RingSpec {
+  double resonance_nm = 1550.0;
+  double fsr_nm = 10.0;
+  double fwhm_nm = 0.2;          ///< target full width at half maximum [nm]
+  double peak_drop = 0.9;        ///< target drop transmission at resonance
+  /// Extra asymmetry |a*r2 - r1| as a fraction of (1 - a*r1*r2); 0 gives a
+  /// fully extinguishing through port, larger values raise the through
+  /// floor at resonance (used to model finite modulator extinction).
+  double through_floor = 0.0;    ///< target through transmission at resonance
+};
+
+/// Add-drop micro-ring resonator with analytically exact transmissions.
+class AddDropRing {
+ public:
+  /// Validates the geometry: couplings and loss in (0, 1), positive FSR.
+  /// The azimuthal order m is fixed to round(resonance / fsr) and the
+  /// effective FSR re-derived as resonance / m.
+  explicit AddDropRing(const RingGeometry& geometry);
+
+  /// Solve coupling coefficients (r1, r2, a) that realize a target
+  /// (fwhm, peak_drop, through_floor) spec. Deterministic nested bisection;
+  /// throws std::invalid_argument if the spec is unrealizable.
+  [[nodiscard]] static AddDropRing from_spec(const RingSpec& spec);
+
+  /// Solve (r1, r2) for a target linewidth and through-port floor at a
+  /// *given* single-pass loss `a` (the peak drop then follows). Used for
+  /// modulator rings where extinction and linewidth are the calibrated
+  /// quantities.
+  [[nodiscard]] static AddDropRing from_linewidth(double resonance_nm,
+                                                  double fsr_nm,
+                                                  double fwhm_nm,
+                                                  double through_floor,
+                                                  double a);
+
+  [[nodiscard]] const RingGeometry& geometry() const noexcept { return geometry_; }
+  /// Azimuthal mode order m (n_eff L = m * lambda_res).
+  [[nodiscard]] int mode_order() const noexcept { return m_; }
+  /// FSR after rounding m to an integer [nm].
+  [[nodiscard]] double effective_fsr_nm() const noexcept;
+
+  /// Single-pass phase theta(lambda) for an arbitrary effective resonance
+  /// (the resonance moves when the ring is tuned; m does not).
+  [[nodiscard]] double single_pass_phase(double lambda_nm,
+                                         double resonance_nm) const;
+
+  /// Paper Eq. (2): through-port power transmission at `lambda_nm` for the
+  /// given effective resonance wavelength.
+  [[nodiscard]] double through(double lambda_nm, double resonance_nm) const;
+  /// Through-port transmission at the cold resonance.
+  [[nodiscard]] double through(double lambda_nm) const;
+
+  /// Paper Eq. (3): drop-port power transmission at `lambda_nm` for the
+  /// given effective resonance wavelength.
+  [[nodiscard]] double drop(double lambda_nm, double resonance_nm) const;
+  /// Drop-port transmission at the cold resonance.
+  [[nodiscard]] double drop(double lambda_nm) const;
+
+  /// Analytic full width at half maximum of the drop resonance [nm].
+  [[nodiscard]] double fwhm_nm() const;
+  /// Loaded quality factor resonance/FWHM.
+  [[nodiscard]] double q_factor() const;
+  /// Through-port transmission exactly on resonance (extinction floor).
+  [[nodiscard]] double through_at_resonance() const;
+  /// Drop-port transmission exactly on resonance (peak drop).
+  [[nodiscard]] double drop_at_resonance() const;
+
+ private:
+  RingGeometry geometry_;
+  int m_ = 0;  // azimuthal order
+};
+
+}  // namespace oscs::photonics

@@ -1,0 +1,91 @@
+#include "photonics/spectrum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace oscs::photonics {
+
+Spectrum sample_spectrum(const std::string& name,
+                         const std::function<double(double)>& transmission,
+                         double lo_nm, double hi_nm, std::size_t points) {
+  if (!(lo_nm < hi_nm) || points < 2) {
+    throw std::invalid_argument("sample_spectrum: need lo < hi, points >= 2");
+  }
+  Spectrum s;
+  s.name = name;
+  s.lambda_nm = linspace(lo_nm, hi_nm, points);
+  s.transmission.reserve(points);
+  for (double wl : s.lambda_nm) s.transmission.push_back(transmission(wl));
+  return s;
+}
+
+Spectrum cascade(const std::string& name, const std::vector<Spectrum>& stages) {
+  if (stages.empty()) {
+    throw std::invalid_argument("cascade: need at least one stage");
+  }
+  Spectrum out;
+  out.name = name;
+  out.lambda_nm = stages.front().lambda_nm;
+  out.transmission.assign(out.lambda_nm.size(), 1.0);
+  for (const auto& stage : stages) {
+    if (stage.transmission.size() != out.transmission.size()) {
+      throw std::invalid_argument("cascade: stage grids differ");
+    }
+    for (std::size_t i = 0; i < out.transmission.size(); ++i) {
+      out.transmission[i] *= stage.transmission[i];
+    }
+  }
+  return out;
+}
+
+double peak_wavelength_nm(const Spectrum& spectrum) {
+  if (spectrum.transmission.empty()) {
+    throw std::invalid_argument("peak_wavelength_nm: empty spectrum");
+  }
+  const auto it = std::max_element(spectrum.transmission.begin(),
+                                   spectrum.transmission.end());
+  const auto idx =
+      static_cast<std::size_t>(it - spectrum.transmission.begin());
+  return spectrum.lambda_nm[idx];
+}
+
+double numerical_fwhm_nm(const Spectrum& spectrum) {
+  if (spectrum.transmission.size() < 3) {
+    throw std::invalid_argument("numerical_fwhm_nm: spectrum too small");
+  }
+  const auto it = std::max_element(spectrum.transmission.begin(),
+                                   spectrum.transmission.end());
+  const auto peak_idx =
+      static_cast<std::size_t>(it - spectrum.transmission.begin());
+  const double half = 0.5 * *it;
+
+  auto cross = [&](bool rightwards) -> double {
+    const auto& t = spectrum.transmission;
+    const auto& wl = spectrum.lambda_nm;
+    if (rightwards) {
+      for (std::size_t i = peak_idx; i + 1 < t.size(); ++i) {
+        if (t[i] >= half && t[i + 1] < half) {
+          const double f = (t[i] - half) / (t[i] - t[i + 1]);
+          return wl[i] + f * (wl[i + 1] - wl[i]);
+        }
+      }
+    } else {
+      for (std::size_t i = peak_idx; i > 0; --i) {
+        if (t[i] >= half && t[i - 1] < half) {
+          const double f = (t[i] - half) / (t[i] - t[i - 1]);
+          return wl[i] - f * (wl[i] - wl[i - 1]);
+        }
+      }
+    }
+    return -1.0;  // never crossed inside the window
+  };
+
+  const double right = cross(true);
+  const double left = cross(false);
+  if (right < 0.0 || left < 0.0) return 0.0;
+  return right - left;
+}
+
+}  // namespace oscs::photonics

@@ -1,0 +1,39 @@
+#pragma once
+/// \file spectrum.hpp
+/// \brief Transmission-spectrum sampling utilities used to regenerate the
+///        paper's Fig. 5a/5b device spectra and for debugging device
+///        stacks.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace oscs::photonics {
+
+/// A sampled transmission spectrum: wavelength grid + one value per point.
+struct Spectrum {
+  std::string name;
+  std::vector<double> lambda_nm;
+  std::vector<double> transmission;
+};
+
+/// Sample an arbitrary transmission function over [lo, hi] at `points`
+/// wavelengths.
+[[nodiscard]] Spectrum sample_spectrum(
+    const std::string& name, const std::function<double(double)>& transmission,
+    double lo_nm, double hi_nm, std::size_t points);
+
+/// Element-wise product of spectra sampled on the same grid (cascade of
+/// devices along one bus). Throws if grids differ in size.
+[[nodiscard]] Spectrum cascade(const std::string& name,
+                               const std::vector<Spectrum>& stages);
+
+/// Find the wavelength of the maximum transmission sample.
+[[nodiscard]] double peak_wavelength_nm(const Spectrum& spectrum);
+
+/// Numerical full-width at half maximum around the global peak, by linear
+/// interpolation between samples. Returns 0 if the half level is never
+/// crossed inside the sampled window.
+[[nodiscard]] double numerical_fwhm_nm(const Spectrum& spectrum);
+
+}  // namespace oscs::photonics

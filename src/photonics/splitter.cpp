@@ -1,0 +1,22 @@
+#include "photonics/splitter.hpp"
+
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace oscs::photonics {
+
+Splitter::Splitter(std::size_t ways, double excess_loss_db)
+    : ways_(ways), excess_db_(excess_loss_db) {
+  if (ways_ == 0) {
+    throw std::invalid_argument("Splitter: ways must be >= 1");
+  }
+  if (excess_db_ < 0.0) {
+    throw std::invalid_argument("Splitter: excess loss must be >= 0 dB");
+  }
+  per_port_ = db_to_linear(-excess_db_) / static_cast<double>(ways_);
+}
+
+double Splitter::per_port_transmission() const noexcept { return per_port_; }
+
+}  // namespace oscs::photonics

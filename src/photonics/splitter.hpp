@@ -1,0 +1,37 @@
+#pragma once
+/// \file splitter.hpp
+/// \brief Power splitter / combiner used to distribute the pump laser over
+///        the n MZIs of the adder (paper Fig. 4a: "n-outputs and n-inputs
+///        splitter and combiner"). Ideal equal split with optional excess
+///        loss per stage.
+
+#include <cstddef>
+
+namespace oscs::photonics {
+
+/// 1:n equal power splitter (or its reciprocal n:1 combiner).
+class Splitter {
+ public:
+  /// \param ways            number of output (input) ports, >= 1
+  /// \param excess_loss_db  excess loss beyond the ideal 1/n split [dB]
+  explicit Splitter(std::size_t ways, double excess_loss_db = 0.0);
+
+  [[nodiscard]] std::size_t ways() const noexcept { return ways_; }
+  [[nodiscard]] double excess_loss_db() const noexcept { return excess_db_; }
+
+  /// Power fraction delivered to each output port (split direction).
+  [[nodiscard]] double per_port_transmission() const noexcept;
+
+  /// Power transmission when used as a combiner for one input port
+  /// (reciprocal device: same per-port loss).
+  [[nodiscard]] double combine_transmission() const noexcept {
+    return per_port_transmission();
+  }
+
+ private:
+  std::size_t ways_;
+  double excess_db_;
+  double per_port_;
+};
+
+}  // namespace oscs::photonics

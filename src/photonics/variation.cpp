@@ -1,0 +1,27 @@
+#include "photonics/variation.hpp"
+
+#include <algorithm>
+
+namespace oscs::photonics {
+
+RingGeometry perturb_ring(const RingGeometry& nominal,
+                          const VariationSpec& spec, oscs::Xoshiro256& rng) {
+  RingGeometry g = nominal;
+  g.resonance_nm += rng.normal(0.0, spec.sigma_resonance_nm);
+  g.r1 = std::clamp(g.r1 + rng.normal(0.0, spec.sigma_coupling), 1e-6,
+                    1.0 - 1e-9);
+  g.r2 = std::clamp(g.r2 + rng.normal(0.0, spec.sigma_coupling), 1e-6,
+                    1.0 - 1e-9);
+  g.a = std::clamp(g.a + rng.normal(0.0, spec.sigma_loss), 1e-6, 1.0);
+  return g;
+}
+
+MziDevice perturb_mzi(const MziDevice& nominal, const VariationSpec& spec,
+                      oscs::Xoshiro256& rng) {
+  MziDevice d = nominal;
+  d.il_db = std::max(0.0, d.il_db + rng.normal(0.0, spec.sigma_il_db));
+  d.er_db = std::max(0.1, d.er_db + rng.normal(0.0, spec.sigma_er_db));
+  return d;
+}
+
+}  // namespace oscs::photonics

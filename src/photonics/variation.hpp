@@ -1,0 +1,39 @@
+#pragma once
+/// \file variation.hpp
+/// \brief Process-variation modeling. Fabricated rings never land exactly
+///        on their design resonance; couplings and losses spread too. The
+///        paper motivates SC with robustness to such variation - this
+///        module provides the Monte-Carlo perturbations used by the yield
+///        analysis (bench_yield) and the calibration-controller extension.
+
+#include "common/rng.hpp"
+#include "photonics/mzi.hpp"
+#include "photonics/ring.hpp"
+
+namespace oscs::photonics {
+
+/// Standard deviations of fabrication-induced parameter spreads.
+/// Defaults are conservative published-silicon-photonics magnitudes:
+/// sub-nm resonance scatter after trimming, fractions of a percent on
+/// couplings, tenths of a dB on MZI figures.
+struct VariationSpec {
+  double sigma_resonance_nm = 0.02;  ///< resonance wavelength scatter
+  double sigma_coupling = 0.002;     ///< absolute scatter on r1, r2
+  double sigma_loss = 0.0005;        ///< absolute scatter on a
+  double sigma_il_db = 0.2;          ///< MZI insertion-loss scatter [dB]
+  double sigma_er_db = 0.3;          ///< MZI extinction-ratio scatter [dB]
+};
+
+/// Sample a perturbed ring geometry. Couplings/loss are clamped into
+/// (0, 1) / (0, 1] so the sample is always constructible.
+[[nodiscard]] RingGeometry perturb_ring(const RingGeometry& nominal,
+                                        const VariationSpec& spec,
+                                        oscs::Xoshiro256& rng);
+
+/// Sample a perturbed MZI operating point (IL floored at 0 dB, ER at
+/// 0.1 dB).
+[[nodiscard]] MziDevice perturb_mzi(const MziDevice& nominal,
+                                    const VariationSpec& spec,
+                                    oscs::Xoshiro256& rng);
+
+}  // namespace oscs::photonics

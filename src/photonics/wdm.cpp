@@ -1,0 +1,48 @@
+#include "photonics/wdm.hpp"
+
+#include <stdexcept>
+
+namespace oscs::photonics {
+
+ChannelPlan::ChannelPlan(double lambda_top_nm, double spacing_nm,
+                         std::size_t count)
+    : spacing_(spacing_nm) {
+  if (count == 0) {
+    throw std::invalid_argument("ChannelPlan: need at least one channel");
+  }
+  if (!(spacing_nm > 0.0)) {
+    throw std::invalid_argument("ChannelPlan: spacing must be > 0 nm");
+  }
+  if (!(lambda_top_nm > 0.0)) {
+    throw std::invalid_argument("ChannelPlan: wavelength must be > 0 nm");
+  }
+  channels_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    channels_[i] = lambda_top_nm -
+                   static_cast<double>(count - 1 - i) * spacing_nm;
+  }
+  if (channels_.front() <= 0.0) {
+    throw std::invalid_argument("ChannelPlan: grid extends below 0 nm");
+  }
+}
+
+ChannelPlan ChannelPlan::for_order(std::size_t order, double lambda_ref_nm,
+                                   double ref_offset_nm, double spacing_nm) {
+  if (!(ref_offset_nm > 0.0)) {
+    throw std::invalid_argument(
+        "ChannelPlan: lambda_n must sit strictly below lambda_ref");
+  }
+  return ChannelPlan(lambda_ref_nm - ref_offset_nm, spacing_nm, order + 1);
+}
+
+double ChannelPlan::channel(std::size_t i) const { return channels_.at(i); }
+
+double ChannelPlan::span_nm() const noexcept {
+  return channels_.back() - channels_.front();
+}
+
+bool ChannelPlan::fits_in_fsr(double fsr_nm, double guard_nm) const noexcept {
+  return span_nm() + guard_nm < fsr_nm;
+}
+
+}  // namespace oscs::photonics

@@ -1,0 +1,47 @@
+#pragma once
+/// \file wdm.hpp
+/// \brief WDM channel plan for the probe lasers. The paper places the n+1
+///        coefficient channels on an evenly spaced grid
+///        lambda_{i+1} = lambda_i + WLspacing (Eq. 5), with lambda_n the
+///        right-most channel sitting `ref_offset` short of the filter's
+///        cold resonance lambda_ref.
+
+#include <cstddef>
+#include <vector>
+
+namespace oscs::photonics {
+
+/// Evenly spaced WDM grid of `count` channels.
+class ChannelPlan {
+ public:
+  /// Build from the right-most (largest) wavelength downwards:
+  /// channel i = lambda_top - (count-1-i) * spacing, i in [0, count).
+  ChannelPlan(double lambda_top_nm, double spacing_nm, std::size_t count);
+
+  /// Build the paper's plan for polynomial order n: n+1 channels with the
+  /// top channel at `lambda_ref - ref_offset`.
+  [[nodiscard]] static ChannelPlan for_order(std::size_t order,
+                                             double lambda_ref_nm,
+                                             double ref_offset_nm,
+                                             double spacing_nm);
+
+  [[nodiscard]] std::size_t count() const noexcept { return channels_.size(); }
+  [[nodiscard]] double spacing_nm() const noexcept { return spacing_; }
+  /// Wavelength of channel i (i = 0 is the left-most / shortest).
+  [[nodiscard]] double channel(std::size_t i) const;
+  [[nodiscard]] const std::vector<double>& channels() const noexcept {
+    return channels_;
+  }
+  /// Total grid span: channel(count-1) - channel(0) [nm].
+  [[nodiscard]] double span_nm() const noexcept;
+
+  /// True if the whole grid plus guard fits inside one filter FSR (no
+  /// aliasing of the periodic ring response onto a second channel).
+  [[nodiscard]] bool fits_in_fsr(double fsr_nm, double guard_nm) const noexcept;
+
+ private:
+  std::vector<double> channels_;
+  double spacing_;
+};
+
+}  // namespace oscs::photonics

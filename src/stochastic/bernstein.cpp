@@ -1,0 +1,123 @@
+#include "stochastic/bernstein.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/linalg.hpp"
+#include "common/math.hpp"
+#include "common/quadrature.hpp"
+
+namespace oscs::stochastic {
+
+double bernstein_basis(std::size_t i, std::size_t n, double x) {
+  if (i > n) {
+    throw std::invalid_argument("bernstein_basis: need i <= n");
+  }
+  return oscs::binom(static_cast<unsigned>(n), static_cast<unsigned>(i)) *
+         std::pow(x, static_cast<double>(i)) *
+         std::pow(1.0 - x, static_cast<double>(n - i));
+}
+
+BernsteinPoly::BernsteinPoly(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  if (coeffs_.empty()) {
+    throw std::invalid_argument("BernsteinPoly: need at least one coefficient");
+  }
+}
+
+double BernsteinPoly::operator()(double x) const {
+  // de Casteljau: repeated linear interpolation.
+  std::vector<double> w = coeffs_;
+  for (std::size_t level = w.size() - 1; level > 0; --level) {
+    for (std::size_t i = 0; i < level; ++i) {
+      w[i] = (1.0 - x) * w[i] + x * w[i + 1];
+    }
+  }
+  return w[0];
+}
+
+bool BernsteinPoly::is_sc_compatible(double tolerance) const noexcept {
+  for (double b : coeffs_) {
+    if (b < -tolerance || b > 1.0 + tolerance) return false;
+  }
+  return true;
+}
+
+BernsteinPoly BernsteinPoly::from_power(const Polynomial& p) {
+  const std::size_t n = p.degree();
+  std::vector<double> b(n + 1, 0.0);
+  for (std::size_t i = 0; i <= n; ++i) {
+    double s = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) {
+      s += oscs::binom(static_cast<unsigned>(i), static_cast<unsigned>(k)) /
+           oscs::binom(static_cast<unsigned>(n), static_cast<unsigned>(k)) *
+           p.coeff(k);
+    }
+    b[i] = s;
+  }
+  return BernsteinPoly(std::move(b));
+}
+
+Polynomial BernsteinPoly::to_power() const {
+  // a_k = sum_{i<=k} (-1)^(k-i) C(n,k) C(k,i) b_i
+  const std::size_t n = degree();
+  std::vector<double> a(n + 1, 0.0);
+  for (std::size_t k = 0; k <= n; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i <= k; ++i) {
+      const double sign = ((k - i) % 2 == 0) ? 1.0 : -1.0;
+      s += sign *
+           oscs::binom(static_cast<unsigned>(k), static_cast<unsigned>(i)) *
+           coeffs_[i];
+    }
+    a[k] = s * oscs::binom(static_cast<unsigned>(n), static_cast<unsigned>(k));
+  }
+  return Polynomial(std::move(a));
+}
+
+BernsteinPoly BernsteinPoly::elevated(std::size_t times) const {
+  std::vector<double> b = coeffs_;
+  for (std::size_t t = 0; t < times; ++t) {
+    const std::size_t n = b.size() - 1;  // current degree
+    std::vector<double> up(n + 2, 0.0);
+    up[0] = b[0];
+    up[n + 1] = b[n];
+    for (std::size_t i = 1; i <= n; ++i) {
+      const double w = static_cast<double>(i) / static_cast<double>(n + 1);
+      up[i] = w * b[i - 1] + (1.0 - w) * b[i];
+    }
+    b = std::move(up);
+  }
+  return BernsteinPoly(std::move(b));
+}
+
+BernsteinPoly BernsteinPoly::fit(const std::function<double(double)>& f,
+                                 std::size_t degree, bool clamp_to_unit) {
+  const std::size_t n = degree;
+  const std::size_t dim = n + 1;
+  oscs::Matrix gram(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      // Integral of B_{i,n} B_{j,n} over [0,1].
+      gram(i, j) =
+          oscs::binom(static_cast<unsigned>(n), static_cast<unsigned>(i)) *
+          oscs::binom(static_cast<unsigned>(n), static_cast<unsigned>(j)) /
+          ((2.0 * static_cast<double>(n) + 1.0) *
+           oscs::binom(static_cast<unsigned>(2 * n),
+                       static_cast<unsigned>(i + j)));
+    }
+  }
+  std::vector<double> rhs(dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    rhs[i] = oscs::integrate_gl(
+        [&](double x) { return f(x) * bernstein_basis(i, n, x); }, 0.0, 1.0,
+        64);
+  }
+  std::vector<double> b = oscs::cholesky_solve(gram, rhs);
+  if (clamp_to_unit) {
+    for (double& v : b) v = oscs::clamp01(v);
+  }
+  return BernsteinPoly(std::move(b));
+}
+
+}  // namespace oscs::stochastic

@@ -1,0 +1,64 @@
+#pragma once
+/// \file bernstein.hpp
+/// \brief Bernstein polynomial machinery (paper Eq. 1): basis evaluation,
+///        stable de Casteljau evaluation, power-basis conversion both
+///        ways, degree elevation, and constrained least-squares fitting of
+///        arbitrary functions - the step that turns an application kernel
+///        (e.g. gamma correction) into SC-compatible coefficients in [0,1].
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "stochastic/polynomial.hpp"
+
+namespace oscs::stochastic {
+
+/// Bernstein basis polynomial B_{i,n}(x) = C(n,i) x^i (1-x)^(n-i).
+[[nodiscard]] double bernstein_basis(std::size_t i, std::size_t n, double x);
+
+/// Polynomial in Bernstein form: B(x) = sum_i b_i B_{i,n}(x).
+class BernsteinPoly {
+ public:
+  /// Coefficients b_0..b_n (degree = size - 1; must be nonempty).
+  explicit BernsteinPoly(std::vector<double> coeffs);
+
+  [[nodiscard]] std::size_t degree() const noexcept {
+    return coeffs_.size() - 1;
+  }
+  [[nodiscard]] const std::vector<double>& coeffs() const noexcept {
+    return coeffs_;
+  }
+
+  /// Numerically stable de Casteljau evaluation.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// True iff every coefficient lies in [0, 1] - the condition for direct
+  /// stochastic implementation (coefficients become SNG probabilities).
+  [[nodiscard]] bool is_sc_compatible(double tolerance = 0.0) const noexcept;
+
+  /// Exact conversion from power form; the Bernstein degree equals the
+  /// power degree. b_i = sum_{k<=i} C(i,k)/C(n,k) a_k.
+  [[nodiscard]] static BernsteinPoly from_power(const Polynomial& p);
+
+  /// Exact conversion to power form.
+  [[nodiscard]] Polynomial to_power() const;
+
+  /// Degree-elevated copy (value-preserving), degree + `times`.
+  [[nodiscard]] BernsteinPoly elevated(std::size_t times = 1) const;
+
+  /// Least-squares fit of f on [0,1] at the given degree, minimizing the
+  /// continuous L2 error via the analytic Gram matrix
+  /// G_ij = C(n,i)C(n,j) / ((2n+1) C(2n,i+j)).
+  /// If `clamp_to_unit` is set, coefficients are clamped into [0,1]
+  /// afterwards (the usual SC practice; exact for functions with range
+  /// inside [0,1] and monotone Bernstein representations).
+  [[nodiscard]] static BernsteinPoly fit(
+      const std::function<double(double)>& f, std::size_t degree,
+      bool clamp_to_unit = true);
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+}  // namespace oscs::stochastic

@@ -1,0 +1,145 @@
+#include "stochastic/bitstream.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace oscs::stochastic {
+
+Bitstream::Bitstream(std::size_t length)
+    : words_(words_for(length), 0), size_(length) {}
+
+Bitstream::Bitstream(const std::vector<bool>& bits)
+    : words_(words_for(bits.size()), 0), size_(bits.size()) {
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) words_[i / 64] |= (1ULL << (i % 64));
+  }
+}
+
+void Bitstream::check_index(std::size_t i) const {
+  if (i >= size_) {
+    throw std::out_of_range("Bitstream: index " + std::to_string(i) +
+                            " out of range (size " + std::to_string(size_) +
+                            ")");
+  }
+}
+
+bool Bitstream::bit(std::size_t i) const {
+  check_index(i);
+  return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void Bitstream::set_bit(std::size_t i, bool value) {
+  check_index(i);
+  const std::uint64_t mask = 1ULL << (i % 64);
+  if (value) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+void Bitstream::push_back(bool value) {
+  const std::size_t i = size_++;
+  if (words_for(size_) > words_.size()) words_.push_back(0);
+  if (value) words_[i / 64] |= (1ULL << (i % 64));
+}
+
+std::size_t Bitstream::count_ones() const noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+double Bitstream::probability() const noexcept {
+  if (size_ == 0) return 0.0;
+  return static_cast<double>(count_ones()) / static_cast<double>(size_);
+}
+
+namespace {
+void check_same_size(const Bitstream& a, const Bitstream& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("Bitstream: operand length mismatch");
+  }
+}
+}  // namespace
+
+Bitstream Bitstream::operator&(const Bitstream& rhs) const {
+  check_same_size(*this, rhs);
+  Bitstream out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & rhs.words_[i];
+  }
+  return out;
+}
+
+Bitstream Bitstream::operator|(const Bitstream& rhs) const {
+  check_same_size(*this, rhs);
+  Bitstream out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] | rhs.words_[i];
+  }
+  return out;
+}
+
+Bitstream Bitstream::operator^(const Bitstream& rhs) const {
+  check_same_size(*this, rhs);
+  Bitstream out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] ^ rhs.words_[i];
+  }
+  return out;
+}
+
+Bitstream Bitstream::operator~() const {
+  Bitstream out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = ~words_[i];
+  }
+  // Clear padding bits beyond size_ so count_ones stays correct.
+  const std::size_t rem = size_ % 64;
+  if (rem != 0 && !out.words_.empty()) {
+    out.words_.back() &= (1ULL << rem) - 1ULL;
+  }
+  return out;
+}
+
+bool operator==(const Bitstream& a, const Bitstream& b) {
+  if (a.size_ != b.size_) return false;
+  return a.words_ == b.words_;
+}
+
+Bitstream mux(const Bitstream& select, const Bitstream& a,
+              const Bitstream& b) {
+  if (select.size() != a.size() || a.size() != b.size()) {
+    throw std::invalid_argument("mux: stream length mismatch");
+  }
+  Bitstream out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.set_bit(i, select.bit(i) ? a.bit(i) : b.bit(i));
+  }
+  return out;
+}
+
+double scc(const Bitstream& x, const Bitstream& y) {
+  if (x.size() != y.size() || x.empty()) {
+    throw std::invalid_argument("scc: streams must be equal-length, nonempty");
+  }
+  const double n = static_cast<double>(x.size());
+  const double p11 = static_cast<double>((x & y).count_ones()) / n;
+  const double px = x.probability();
+  const double py = y.probability();
+  const double delta = p11 - px * py;
+  if (delta == 0.0) return 0.0;
+  double denom;
+  if (delta > 0.0) {
+    denom = std::min(px, py) - px * py;
+  } else {
+    denom = px * py - std::max(0.0, px + py - 1.0);
+  }
+  if (denom <= 0.0) return 0.0;
+  return delta / denom;
+}
+
+}  // namespace oscs::stochastic

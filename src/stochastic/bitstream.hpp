@@ -1,0 +1,64 @@
+#pragma once
+/// \file bitstream.hpp
+/// \brief Packed stochastic bit-stream with the logic operations SC is
+///        built from, plus the stochastic cross-correlation (SCC) metric.
+///
+/// In unipolar stochastic computing a value p in [0, 1] is carried by a
+/// stream whose fraction of ones is p. AND multiplies independent streams,
+/// a MUX computes a weighted sum, and counting ones de-randomizes.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oscs::stochastic {
+
+/// Fixed-length packed bit-stream.
+class Bitstream {
+ public:
+  Bitstream() = default;
+  /// All-zero stream of `length` bits.
+  explicit Bitstream(std::size_t length);
+  /// Build from explicit bits.
+  explicit Bitstream(const std::vector<bool>& bits);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool bit(std::size_t i) const;
+  void set_bit(std::size_t i, bool value);
+  /// Append one bit at the end.
+  void push_back(bool value);
+
+  /// Number of ones in the stream.
+  [[nodiscard]] std::size_t count_ones() const noexcept;
+  /// Estimated unipolar value: ones / length (0 for empty).
+  [[nodiscard]] double probability() const noexcept;
+
+  /// Bitwise operations; operands must have equal length.
+  [[nodiscard]] Bitstream operator&(const Bitstream& rhs) const;
+  [[nodiscard]] Bitstream operator|(const Bitstream& rhs) const;
+  [[nodiscard]] Bitstream operator^(const Bitstream& rhs) const;
+  [[nodiscard]] Bitstream operator~() const;
+
+  friend bool operator==(const Bitstream& a, const Bitstream& b);
+
+ private:
+  void check_index(std::size_t i) const;
+  static std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+/// Per-bit 2:1 multiplexer: out[i] = select[i] ? a[i] : b[i]. In SC this
+/// computes s*A + (1-s)*B for independent streams.
+[[nodiscard]] Bitstream mux(const Bitstream& select, const Bitstream& a,
+                            const Bitstream& b);
+
+/// Stochastic cross-correlation of Alaghi & Hayes: +1 for maximally
+/// overlapped streams, 0 for independent, -1 for maximally anti-overlapped.
+/// Streams must be nonempty and equally long.
+[[nodiscard]] double scc(const Bitstream& x, const Bitstream& y);
+
+}  // namespace oscs::stochastic

@@ -1,0 +1,45 @@
+#include "stochastic/functions.hpp"
+
+#include <cmath>
+
+namespace oscs::stochastic {
+
+Polynomial paper_f2_power() {
+  return Polynomial({0.25, 9.0 / 8.0, -15.0 / 8.0, 5.0 / 4.0});
+}
+
+BernsteinPoly paper_f2_bernstein() {
+  return BernsteinPoly({2.0 / 8.0, 5.0 / 8.0, 3.0 / 8.0, 6.0 / 8.0});
+}
+
+TargetFunction gamma_correction(double gamma, std::size_t degree) {
+  return TargetFunction{
+      "gamma_" + std::to_string(gamma),
+      [gamma](double x) { return std::pow(x, gamma); },
+      degree,
+  };
+}
+
+std::vector<TargetFunction> standard_functions() {
+  std::vector<TargetFunction> fns;
+  fns.push_back(gamma_correction());
+  fns.push_back({"square", [](double x) { return x * x; }, 2});
+  fns.push_back({"sqrt", [](double x) { return std::sqrt(x); }, 8});
+  // Scaled to 0.9 so the least-squares Bernstein coefficients stay inside
+  // [0, 1] without clamping distortion (coefficients of a unit-amplitude
+  // bump overshoot 1 near the apex).
+  fns.push_back(
+      {"sine_bump", [](double x) { return 0.9 * std::sin(M_PI * x); }, 8});
+  fns.push_back({"logistic",
+                 [](double x) {
+                   // Rescaled logistic mapping [0,1] onto ~[0,1].
+                   const double t = 1.0 / (1.0 + std::exp(-8.0 * (x - 0.5)));
+                   const double lo = 1.0 / (1.0 + std::exp(4.0));
+                   const double hi = 1.0 / (1.0 + std::exp(-4.0));
+                   return (t - lo) / (hi - lo);
+                 },
+                 7});
+  return fns;
+}
+
+}  // namespace oscs::stochastic

@@ -1,0 +1,40 @@
+#pragma once
+/// \file functions.hpp
+/// \brief Library of target functions for SC evaluation, including the two
+///        the paper singles out: the cubic f2 of Fig. 1 (with its printed
+///        Bernstein coefficients 2/8, 5/8, 3/8, 6/8) and the 6th-order
+///        gamma-correction kernel x^0.45 from Sec. V-C.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stochastic/bernstein.hpp"
+#include "stochastic/polynomial.hpp"
+
+namespace oscs::stochastic {
+
+/// A named [0,1] -> [0,1] function with a recommended Bernstein degree.
+struct TargetFunction {
+  std::string name;
+  std::function<double(double)> f;
+  std::size_t degree = 6;
+};
+
+/// The paper's Fig. 1 example in power form:
+/// f2(x) = 1/4 + 9/8 x - 15/8 x^2 + 5/4 x^3.
+[[nodiscard]] Polynomial paper_f2_power();
+
+/// The paper's Fig. 1 example in Bernstein form, coefficients
+/// (2/8, 5/8, 3/8, 6/8) as printed.
+[[nodiscard]] BernsteinPoly paper_f2_bernstein();
+
+/// Gamma correction x^gamma (display gamma 0.45 per Qian et al. [9]).
+[[nodiscard]] TargetFunction gamma_correction(double gamma = 0.45,
+                                              std::size_t degree = 6);
+
+/// Catalogue of standard error-tolerant kernels (gamma, square, sqrt,
+/// sine bump, logistic) used by the accuracy benches and examples.
+[[nodiscard]] std::vector<TargetFunction> standard_functions();
+
+}  // namespace oscs::stochastic

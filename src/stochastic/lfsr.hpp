@@ -1,0 +1,39 @@
+#pragma once
+/// \file lfsr.hpp
+/// \brief Maximal-length Fibonacci LFSR - the classic stochastic number
+///        generator randomness source (paper Fig. 1, SNG blocks). Tap
+///        polynomials are primitive for every supported width, so the
+///        state sequence has period 2^w - 1 and visits every nonzero
+///        state exactly once - the property SC accuracy bounds rely on.
+
+#include <cstdint>
+
+namespace oscs::stochastic {
+
+/// Fibonacci linear-feedback shift register of width 3..32 bits.
+class Lfsr {
+ public:
+  /// \param width  register width in bits (3..32)
+  /// \param seed   initial state; forced nonzero (all-zero locks the LFSR)
+  explicit Lfsr(unsigned width, std::uint32_t seed = 1);
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+  /// Current register state (never 0).
+  [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+  /// Period of the maximal-length sequence: 2^width - 1.
+  [[nodiscard]] std::uint64_t period() const noexcept;
+
+  /// Advance one clock; returns the new state.
+  std::uint32_t step() noexcept;
+
+  /// The feedback tap mask for a width (primitive polynomial, XAPP052 set).
+  [[nodiscard]] static std::uint32_t taps_for_width(unsigned width);
+
+ private:
+  unsigned width_;
+  std::uint32_t mask_;   // width-bit mask
+  std::uint32_t taps_;   // feedback taps
+  std::uint32_t state_;
+};
+
+}  // namespace oscs::stochastic

@@ -1,0 +1,131 @@
+#include "stochastic/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace oscs::stochastic {
+
+Image::Image(std::size_t width, std::size_t height, std::uint8_t fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Image: dimensions must be nonzero");
+  }
+}
+
+std::uint8_t Image::at(std::size_t x, std::size_t y) const {
+  if (x >= width_ || y >= height_) {
+    throw std::out_of_range("Image::at: pixel out of range");
+  }
+  return pixels_[y * width_ + x];
+}
+
+void Image::set(std::size_t x, std::size_t y, std::uint8_t value) {
+  if (x >= width_ || y >= height_) {
+    throw std::out_of_range("Image::set: pixel out of range");
+  }
+  pixels_[y * width_ + x] = value;
+}
+
+Image Image::gradient(std::size_t width, std::size_t height) {
+  Image img(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double t =
+          width == 1 ? 0.0
+                     : static_cast<double>(x) / static_cast<double>(width - 1);
+      img.set(x, y, static_cast<std::uint8_t>(std::lround(t * 255.0)));
+    }
+  }
+  return img;
+}
+
+Image Image::radial(std::size_t width, std::size_t height) {
+  Image img(width, height);
+  const double cx = 0.5 * static_cast<double>(width - 1);
+  const double cy = 0.5 * static_cast<double>(height - 1);
+  const double rmax = std::sqrt(cx * cx + cy * cy);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      const double r = rmax == 0.0 ? 0.0 : std::sqrt(dx * dx + dy * dy) / rmax;
+      const double v = oscs::clamp01(1.0 - r);
+      img.set(x, y, static_cast<std::uint8_t>(std::lround(v * 255.0)));
+    }
+  }
+  return img;
+}
+
+Image Image::mapped(const std::function<double(double)>& f) const {
+  Image out(width_, height_);
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    const double v = static_cast<double>(pixels_[i]) / 255.0;
+    const double mapped_v = oscs::clamp01(f(v));
+    out.pixels_[i] = static_cast<std::uint8_t>(std::lround(mapped_v * 255.0));
+  }
+  return out;
+}
+
+void Image::write_pgm(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(p, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("Image::write_pgm: cannot open " + path);
+  }
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+}
+
+Image Image::read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("Image::read_pgm: cannot open " + path);
+  }
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") {
+    throw std::runtime_error("Image::read_pgm: not a binary PGM (P5)");
+  }
+  std::size_t w = 0, h = 0;
+  int maxval = 0;
+  in >> w >> h >> maxval;
+  if (maxval != 255 || w == 0 || h == 0) {
+    throw std::runtime_error("Image::read_pgm: unsupported PGM header");
+  }
+  in.get();  // single whitespace after header
+  Image img(w, h);
+  in.read(reinterpret_cast<char*>(img.pixels_.data()),
+          static_cast<std::streamsize>(img.pixels_.size()));
+  if (!in) {
+    throw std::runtime_error("Image::read_pgm: truncated pixel data");
+  }
+  return img;
+}
+
+double psnr_db(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("psnr_db: image size mismatch");
+  }
+  double mse = 0.0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(pa.size());
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace oscs::stochastic

@@ -1,0 +1,52 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Application-level evaluation helpers: an 8-bit grayscale image
+///        type with PGM I/O, synthetic test-pattern generators, per-pixel
+///        transfer-function application (the gamma-correction workload)
+///        and the PSNR quality metric.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace oscs::stochastic {
+
+/// 8-bit grayscale image.
+class Image {
+ public:
+  Image(std::size_t width, std::size_t height, std::uint8_t fill = 0);
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::uint8_t at(std::size_t x, std::size_t y) const;
+  void set(std::size_t x, std::size_t y, std::uint8_t value);
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept {
+    return pixels_;
+  }
+
+  /// Horizontal 0..255 gradient - the classic gamma test pattern.
+  [[nodiscard]] static Image gradient(std::size_t width, std::size_t height);
+  /// Radial bump pattern (bright centre fading out).
+  [[nodiscard]] static Image radial(std::size_t width, std::size_t height);
+
+  /// Apply a [0,1] -> [0,1] transfer function per pixel (values are
+  /// normalized by 255, transformed, clamped and re-quantized).
+  [[nodiscard]] Image mapped(const std::function<double(double)>& f) const;
+
+  /// Write as binary PGM (P5). Creates parent directories.
+  void write_pgm(const std::string& path) const;
+  /// Read a binary PGM (P5, maxval 255).
+  [[nodiscard]] static Image read_pgm(const std::string& path);
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Peak signal-to-noise ratio between two equally sized images [dB].
+/// Returns +infinity for identical images.
+[[nodiscard]] double psnr_db(const Image& a, const Image& b);
+
+}  // namespace oscs::stochastic

@@ -1,0 +1,68 @@
+#include "stochastic/polynomial.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oscs::stochastic {
+
+Polynomial::Polynomial(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  if (coeffs_.empty()) coeffs_ = {0.0};
+}
+
+std::size_t Polynomial::degree() const noexcept { return coeffs_.size() - 1; }
+
+double Polynomial::coeff(std::size_t k) const {
+  return k < coeffs_.size() ? coeffs_[k] : 0.0;
+}
+
+double Polynomial::operator()(double x) const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = acc * x + coeffs_[i];
+  }
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> d(coeffs_.size() - 1);
+  for (std::size_t k = 1; k < coeffs_.size(); ++k) {
+    d[k - 1] = coeffs_[k] * static_cast<double>(k);
+  }
+  return Polynomial(std::move(d));
+}
+
+Polynomial Polynomial::operator+(const Polynomial& rhs) const {
+  std::vector<double> out(std::max(coeffs_.size(), rhs.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = coeff(i) + rhs.coeff(i);
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& rhs) const {
+  std::vector<double> out(std::max(coeffs_.size(), rhs.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = coeff(i) - rhs.coeff(i);
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(double s) const {
+  std::vector<double> out = coeffs_;
+  for (double& c : out) c *= s;
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& rhs) const {
+  std::vector<double> out(coeffs_.size() + rhs.coeffs_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < rhs.coeffs_.size(); ++j) {
+      out[i + j] += coeffs_[i] * rhs.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+}  // namespace oscs::stochastic

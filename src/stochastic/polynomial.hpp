@@ -1,0 +1,42 @@
+#pragma once
+/// \file polynomial.hpp
+/// \brief Power-basis polynomials with the small algebra needed to move
+///        between the power form the paper quotes (e.g. f2(x) = 1/4 + 9/8 x
+///        - 15/8 x^2 + 5/4 x^3) and the Bernstein form the hardware runs.
+
+#include <cstddef>
+#include <vector>
+
+namespace oscs::stochastic {
+
+/// Polynomial sum_k a_k x^k stored as coefficient vector a (lowest first).
+class Polynomial {
+ public:
+  Polynomial() = default;
+  /// Coefficients lowest-degree first; trailing zeros are kept as given.
+  explicit Polynomial(std::vector<double> coeffs);
+
+  /// Degree = coefficient count - 1 (the zero polynomial has degree 0).
+  [[nodiscard]] std::size_t degree() const noexcept;
+  [[nodiscard]] const std::vector<double>& coeffs() const noexcept {
+    return coeffs_;
+  }
+  [[nodiscard]] double coeff(std::size_t k) const;
+
+  /// Horner evaluation.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// First derivative.
+  [[nodiscard]] Polynomial derivative() const;
+
+  [[nodiscard]] Polynomial operator+(const Polynomial& rhs) const;
+  [[nodiscard]] Polynomial operator-(const Polynomial& rhs) const;
+  [[nodiscard]] Polynomial operator*(double s) const;
+  /// Polynomial product (convolution of coefficients).
+  [[nodiscard]] Polynomial operator*(const Polynomial& rhs) const;
+
+ private:
+  std::vector<double> coeffs_{0.0};
+};
+
+}  // namespace oscs::stochastic

@@ -1,0 +1,83 @@
+#include "stochastic/resc.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "stochastic/bernstein.hpp"
+
+namespace oscs::stochastic {
+
+std::size_t ScInputs::select(std::size_t t) const {
+  std::size_t k = 0;
+  for (const auto& xs : x_streams) k += xs.bit(t) ? 1 : 0;
+  return k;
+}
+
+ScInputs make_sc_inputs(double x, const std::vector<double>& coeffs,
+                        std::size_t order, std::size_t length,
+                        const ScInputConfig& config) {
+  if (coeffs.size() != order + 1) {
+    throw std::invalid_argument(
+        "make_sc_inputs: need order+1 coefficients, got " +
+        std::to_string(coeffs.size()));
+  }
+  ScInputs inputs;
+  inputs.x_streams.reserve(order);
+  inputs.z_streams.reserve(order + 1);
+  std::uint64_t salt = config.seed * 2u + 1u;
+  for (std::size_t i = 0; i < order; ++i) {
+    Sng sng(make_source(config.kind, config.width, salt++));
+    inputs.x_streams.push_back(sng.generate(x, length));
+  }
+  for (std::size_t j = 0; j <= order; ++j) {
+    Sng sng(make_source(config.kind, config.width, salt++));
+    inputs.z_streams.push_back(sng.generate(coeffs[j], length));
+  }
+  return inputs;
+}
+
+ReSCUnit::ReSCUnit(BernsteinPoly poly) : poly_(std::move(poly)) {
+  if (!poly_.is_sc_compatible(1e-9)) {
+    throw std::invalid_argument(
+        "ReSCUnit: Bernstein coefficients must lie in [0, 1] for a "
+        "stochastic implementation");
+  }
+}
+
+Bitstream ReSCUnit::output_stream(const ScInputs& inputs) const {
+  if (inputs.order() != order()) {
+    throw std::invalid_argument("ReSCUnit: stimulus order mismatch");
+  }
+  if (inputs.z_streams.size() != order() + 1) {
+    throw std::invalid_argument("ReSCUnit: coefficient stream count mismatch");
+  }
+  const std::size_t n_cycles = inputs.length();
+  Bitstream out(n_cycles);
+  for (std::size_t t = 0; t < n_cycles; ++t) {
+    const std::size_t k = inputs.select(t);
+    out.set_bit(t, inputs.z_streams[k].bit(t));
+  }
+  return out;
+}
+
+double ReSCUnit::evaluate(const ScInputs& inputs) const {
+  return output_stream(inputs).probability();
+}
+
+double ReSCUnit::evaluate(double x, std::size_t length,
+                          const ScInputConfig& config) const {
+  const ScInputs inputs =
+      make_sc_inputs(x, poly_.coeffs(), order(), length, config);
+  return evaluate(inputs);
+}
+
+double ReSCUnit::exact_expectation(double x) const {
+  const std::size_t n = order();
+  double s = 0.0;
+  for (std::size_t k = 0; k <= n; ++k) {
+    s += poly_.coeffs()[k] * bernstein_basis(k, n, x);
+  }
+  return s;
+}
+
+}  // namespace oscs::stochastic

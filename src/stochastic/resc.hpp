@@ -1,0 +1,78 @@
+#pragma once
+/// \file resc.hpp
+/// \brief The electronic ReSC unit of Qian et al. (paper Fig. 1) - the
+///        baseline architecture the optical circuit transposes. n SNGs
+///        encode the input x, n+1 SNGs encode the Bernstein coefficients,
+///        an adder counts the ones among the x bits and selects one
+///        coefficient stream through a MUX; a counter de-randomizes.
+
+#include <cstdint>
+#include <vector>
+
+#include "stochastic/bernstein.hpp"
+#include "stochastic/bitstream.hpp"
+#include "stochastic/sng.hpp"
+
+namespace oscs::stochastic {
+
+/// The per-cycle stimulus shared by the electronic baseline and the
+/// optical simulator: data streams x_1..x_n and coefficient streams
+/// z_0..z_n, all of equal length.
+struct ScInputs {
+  std::vector<Bitstream> x_streams;  ///< n independent encodings of x
+  std::vector<Bitstream> z_streams;  ///< stream j encodes coefficient b_j
+
+  [[nodiscard]] std::size_t order() const noexcept { return x_streams.size(); }
+  [[nodiscard]] std::size_t length() const noexcept {
+    return x_streams.empty() ? 0 : x_streams.front().size();
+  }
+  /// Number of ones among the x bits at cycle t (the adder output, which
+  /// selects coefficient k).
+  [[nodiscard]] std::size_t select(std::size_t t) const;
+};
+
+/// Configuration for stimulus generation.
+struct ScInputConfig {
+  SourceKind kind = SourceKind::kLfsr;
+  unsigned width = 16;        ///< SNG resolution in bits
+  std::uint64_t seed = 1;     ///< base seed; streams are decorrelated per-index
+};
+
+/// Generate the shared stimulus for evaluating a Bernstein polynomial of
+/// order `order` at input `x` with the given coefficients.
+/// \throws std::invalid_argument if coeffs.size() != order + 1.
+[[nodiscard]] ScInputs make_sc_inputs(double x,
+                                      const std::vector<double>& coeffs,
+                                      std::size_t order, std::size_t length,
+                                      const ScInputConfig& config = {});
+
+/// Electronic ReSC evaluation unit.
+class ReSCUnit {
+ public:
+  /// \param poly Bernstein polynomial; must be SC-compatible (all
+  ///        coefficients in [0,1]) up to a small tolerance.
+  explicit ReSCUnit(BernsteinPoly poly);
+
+  [[nodiscard]] const BernsteinPoly& poly() const noexcept { return poly_; }
+  [[nodiscard]] std::size_t order() const noexcept { return poly_.degree(); }
+
+  /// The raw output stream: out[t] = z_{k(t)}[t] with k(t) the adder value.
+  [[nodiscard]] Bitstream output_stream(const ScInputs& inputs) const;
+
+  /// De-randomized estimate: fraction of ones in the output stream.
+  [[nodiscard]] double evaluate(const ScInputs& inputs) const;
+
+  /// Convenience: generate stimulus internally and evaluate at x.
+  [[nodiscard]] double evaluate(double x, std::size_t length,
+                                const ScInputConfig& config = {}) const;
+
+  /// Exact expected output for ideal (independent, exact-probability)
+  /// streams: sum_k C(n,k) x^k (1-x)^(n-k) b_k - algebraically equal to
+  /// the Bernstein polynomial value itself.
+  [[nodiscard]] double exact_expectation(double x) const;
+
+ private:
+  BernsteinPoly poly_;
+};
+
+}  // namespace oscs::stochastic

@@ -1,0 +1,113 @@
+#include "stochastic/sng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace oscs::stochastic {
+
+LfsrSource::LfsrSource(unsigned width, std::uint32_t seed,
+                       std::uint64_t scramble)
+    : lfsr_(width, seed),
+      scramble_(scramble | 1ULL),  // must be odd to stay bijective
+      mask_(width >= 64 ? ~0ULL : (1ULL << width) - 1ULL) {}
+
+unsigned LfsrSource::width() const noexcept { return lfsr_.width(); }
+
+std::uint64_t LfsrSource::next() {
+  return (static_cast<std::uint64_t>(lfsr_.step()) * scramble_) & mask_;
+}
+
+CounterSource::CounterSource(unsigned width, std::uint64_t start)
+    : width_(width), state_(start) {
+  if (width == 0 || width > 63) {
+    throw std::invalid_argument("CounterSource: width must be 1..63");
+  }
+}
+
+unsigned CounterSource::width() const noexcept { return width_; }
+
+std::uint64_t CounterSource::next() {
+  const std::uint64_t v = state_ & ((1ULL << width_) - 1ULL);
+  ++state_;
+  return v;
+}
+
+VanDerCorputSource::VanDerCorputSource(unsigned width, std::uint64_t start)
+    : width_(width), state_(start) {
+  if (width == 0 || width > 63) {
+    throw std::invalid_argument("VanDerCorputSource: width must be 1..63");
+  }
+}
+
+unsigned VanDerCorputSource::width() const noexcept { return width_; }
+
+std::uint64_t VanDerCorputSource::next() {
+  std::uint64_t v = state_ & ((1ULL << width_) - 1ULL);
+  ++state_;
+  // Reverse the low `width_` bits.
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < width_; ++i) {
+    r = (r << 1) | (v & 1ULL);
+    v >>= 1;
+  }
+  return r;
+}
+
+ChaoticLaserSource::ChaoticLaserSource(unsigned width, std::uint64_t seed)
+    : width_(width), rng_(seed) {
+  if (width == 0 || width > 63) {
+    throw std::invalid_argument("ChaoticLaserSource: width must be 1..63");
+  }
+}
+
+unsigned ChaoticLaserSource::width() const noexcept { return width_; }
+
+std::uint64_t ChaoticLaserSource::next() { return rng_() >> (64 - width_); }
+
+Sng::Sng(std::unique_ptr<RandomSource> source) : source_(std::move(source)) {
+  if (!source_) {
+    throw std::invalid_argument("Sng: null randomness source");
+  }
+}
+
+std::uint64_t Sng::threshold_for(double p) const noexcept {
+  const double clamped = oscs::clamp01(p);
+  const double scale = std::ldexp(1.0, static_cast<int>(source_->width()));
+  return static_cast<std::uint64_t>(std::llround(clamped * scale));
+}
+
+bool Sng::next_bit(double p) { return source_->next() < threshold_for(p); }
+
+Bitstream Sng::generate(double p, std::size_t length) {
+  Bitstream out(length);
+  const std::uint64_t threshold = threshold_for(p);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.set_bit(i, source_->next() < threshold);
+  }
+  return out;
+}
+
+std::unique_ptr<RandomSource> make_source(SourceKind kind, unsigned width,
+                                          std::uint64_t salt) {
+  switch (kind) {
+    case SourceKind::kLfsr: {
+      oscs::SplitMix64 sm(salt);
+      const auto seed = static_cast<std::uint32_t>(sm.next());
+      const std::uint64_t scramble = sm.next() | 1ULL;
+      return std::make_unique<LfsrSource>(width, seed == 0 ? 1u : seed,
+                                          scramble);
+    }
+    case SourceKind::kCounter:
+      return std::make_unique<CounterSource>(width,
+                                             salt * 0x9E3779B97F4A7C15ULL);
+    case SourceKind::kVanDerCorput:
+      return std::make_unique<VanDerCorputSource>(width, salt * 2654435761ULL);
+    case SourceKind::kChaoticLaser:
+      return std::make_unique<ChaoticLaserSource>(width, salt + 1);
+  }
+  throw std::logic_error("make_source: unknown kind");
+}
+
+}  // namespace oscs::stochastic

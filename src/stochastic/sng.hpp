@@ -1,0 +1,117 @@
+#pragma once
+/// \file sng.hpp
+/// \brief Stochastic number generators: a randomness source feeding a
+///        comparator (paper Fig. 1 SNG blocks). Several source flavours
+///        are provided, including a model of the chaotic-laser true random
+///        source the paper proposes for the all-optical randomizer
+///        (future-work item iii, ref. [20]).
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "stochastic/bitstream.hpp"
+#include "stochastic/lfsr.hpp"
+
+namespace oscs::stochastic {
+
+/// Uniform w-bit randomness source driving a comparator SNG.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  /// Bits of resolution; values are uniform over [0, 2^width).
+  [[nodiscard]] virtual unsigned width() const noexcept = 0;
+  /// Next raw value.
+  virtual std::uint64_t next() = 0;
+};
+
+/// LFSR-state source - the conventional hardware SNG. Different seeds of
+/// the same LFSR produce *phase-shifted copies of one sequence*, whose
+/// comparator outputs correlate at fixed lags and bias multi-stream SC
+/// arithmetic. The optional odd `scramble` multiplier (a bijection on
+/// Z/2^w, hardware-wise a trivial remap of the state bits) decorrelates
+/// streams sharing a polynomial while preserving the exact full-period
+/// balance.
+class LfsrSource final : public RandomSource {
+ public:
+  explicit LfsrSource(unsigned width, std::uint32_t seed = 1,
+                      std::uint64_t scramble = 1);
+  [[nodiscard]] unsigned width() const noexcept override;
+  std::uint64_t next() override;
+
+ private:
+  Lfsr lfsr_;
+  std::uint64_t scramble_;
+  std::uint64_t mask_;
+};
+
+/// Plain incrementing counter - fully deterministic, gives exact one
+/// counts for any p that is a multiple of 2^-width over a full period.
+class CounterSource final : public RandomSource {
+ public:
+  explicit CounterSource(unsigned width, std::uint64_t start = 0);
+  [[nodiscard]] unsigned width() const noexcept override;
+  std::uint64_t next() override;
+
+ private:
+  unsigned width_;
+  std::uint64_t state_;
+};
+
+/// Bit-reversed counter (van der Corput sequence) - low-discrepancy source
+/// that spreads ones evenly through the stream, reducing SC variance.
+class VanDerCorputSource final : public RandomSource {
+ public:
+  explicit VanDerCorputSource(unsigned width, std::uint64_t start = 0);
+  [[nodiscard]] unsigned width() const noexcept override;
+  std::uint64_t next() override;
+
+ private:
+  unsigned width_;
+  std::uint64_t state_;
+};
+
+/// True-random source; stands in for the 640 Gb/s chaotic-laser physical
+/// RNG of ref. [20] in the all-optical randomizer study.
+class ChaoticLaserSource final : public RandomSource {
+ public:
+  explicit ChaoticLaserSource(unsigned width, std::uint64_t seed);
+  [[nodiscard]] unsigned width() const noexcept override;
+  std::uint64_t next() override;
+
+ private:
+  unsigned width_;
+  oscs::Xoshiro256 rng_;
+};
+
+/// Comparator stochastic number generator: emits 1 when the source value
+/// falls below round(p * 2^width).
+class Sng {
+ public:
+  explicit Sng(std::unique_ptr<RandomSource> source);
+
+  /// Quantized comparator threshold for probability p (clamped to [0,1]).
+  [[nodiscard]] std::uint64_t threshold_for(double p) const noexcept;
+
+  /// One stream bit encoding probability p.
+  [[nodiscard]] bool next_bit(double p);
+
+  /// A full stream of `length` bits encoding probability p.
+  [[nodiscard]] Bitstream generate(double p, std::size_t length);
+
+  [[nodiscard]] unsigned width() const noexcept { return source_->width(); }
+
+ private:
+  std::unique_ptr<RandomSource> source_;
+};
+
+/// Kinds of randomness source, for configuration surfaces.
+enum class SourceKind { kLfsr, kCounter, kVanDerCorput, kChaoticLaser };
+
+/// Factory: build a source of the given kind. `salt` decorrelates multiple
+/// sources of the same kind (seed / phase offset).
+[[nodiscard]] std::unique_ptr<RandomSource> make_source(SourceKind kind,
+                                                        unsigned width,
+                                                        std::uint64_t salt);
+
+}  // namespace oscs::stochastic

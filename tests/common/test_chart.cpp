@@ -1,0 +1,78 @@
+#include "common/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oscs {
+namespace {
+
+TEST(Chart, RendersTitleAndLegend) {
+  ChartOptions opt;
+  opt.title = "probe power vs spacing";
+  AsciiChart chart(opt);
+  chart.add(Series{"pump", {0.1, 0.2, 0.3}, {1.0, 2.0, 3.0}, 'p'});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("probe power vs spacing"), std::string::npos);
+  EXPECT_NE(out.find("p = pump"), std::string::npos);
+  EXPECT_NE(out.find('p'), std::string::npos);
+}
+
+TEST(Chart, EmptyChartRendersPlaceholder) {
+  AsciiChart chart;
+  EXPECT_NE(chart.render().find("(no data)"), std::string::npos);
+}
+
+TEST(Chart, MarkerLandsOnExtremeRows) {
+  ChartOptions opt;
+  opt.width = 20;
+  opt.height = 5;
+  AsciiChart chart(opt);
+  chart.add(Series{"s", {0.0, 1.0}, {0.0, 1.0}, '*'});
+  const std::string out = chart.render();
+  // First plotted row holds the max, the bottom row the min.
+  const auto first_line_end = out.find('\n');
+  const std::string first_line = out.substr(0, first_line_end);
+  EXPECT_NE(first_line.find('*'), std::string::npos);
+}
+
+TEST(Chart, RejectsMismatchedSeries) {
+  AsciiChart chart;
+  EXPECT_THROW(chart.add(Series{"bad", {1.0}, {1.0, 2.0}, 'x'}),
+               std::invalid_argument);
+  EXPECT_THROW(chart.add(Series{"empty", {}, {}, 'x'}),
+               std::invalid_argument);
+}
+
+TEST(Chart, RejectsDegenerateCanvas) {
+  ChartOptions opt;
+  opt.width = 2;
+  EXPECT_THROW(AsciiChart{opt}, std::invalid_argument);
+}
+
+TEST(Chart, LogScaleHandlesDecades) {
+  ChartOptions opt;
+  opt.log_y = true;
+  opt.y_label = "BER";
+  AsciiChart chart(opt);
+  chart.add(Series{"ber", {1.0, 2.0, 3.0}, {1e-2, 1e-4, 1e-6}, 'b'});
+  const std::string out = chart.render();
+  EXPECT_FALSE(out.empty());
+  EXPECT_NE(out.find("(log scale)"), std::string::npos)
+      << "log charts should label the y axis when a label is set";
+}
+
+TEST(Chart, QuickChartConvenience) {
+  const std::string out = quick_chart("t", {0.0, 1.0, 2.0}, {5.0, 3.0, 4.0});
+  EXPECT_NE(out.find('t'), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Chart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart;
+  chart.add(Series{"flat", {1.0, 2.0}, {3.0, 3.0}, 'f'});
+  EXPECT_FALSE(chart.render().empty());
+}
+
+}  // namespace
+}  // namespace oscs

@@ -1,0 +1,85 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oscs {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvTable t({"x", "y"});
+  t.add_row({1.0, 2.0});
+  t.add_row({3.5, -4.25});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s, "x,y\n1,2\n3.5,-4.25\n");
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.at(1, 0), "3.5");
+}
+
+TEST(Csv, MixedCellTypes) {
+  CsvTable t({"name", "count", "value"});
+  t.start_row();
+  t.cell(std::string("probe"));
+  t.cell(std::size_t{3});
+  t.cell(0.25);
+  EXPECT_EQ(t.to_string(), "name,count,value\nprobe,3,0.25\n");
+}
+
+TEST(Csv, EscapingOfSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowWidthEnforced) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  t.start_row();
+  t.cell(1.0);
+  t.cell(2.0);
+  EXPECT_THROW(t.cell(3.0), std::logic_error);
+}
+
+TEST(Csv, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvTable({}), std::invalid_argument);
+}
+
+TEST(Csv, PrecisionControlsFormatting) {
+  CsvTable t({"v"});
+  t.set_precision(3);
+  t.add_row({0.123456789});
+  EXPECT_EQ(t.at(0, 0), "0.123");
+}
+
+TEST(Csv, DoubleFormattingRoundTrips) {
+  CsvTable t({"v"});
+  t.set_precision(17);  // shortest guaranteed-round-trip precision
+  const double v = 0.1234567890123456;
+  t.add_row({v});
+  EXPECT_DOUBLE_EQ(std::stod(t.at(0, 0)), v);
+}
+
+TEST(Csv, WriteCreatesParentDirectories) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "oscs_csv_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "sub" / "table.csv").string();
+  CsvTable t({"a"});
+  t.add_row({1.0});
+  t.write(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a\n1\n");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace oscs

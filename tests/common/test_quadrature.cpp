@@ -1,0 +1,105 @@
+#include "common/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace oscs {
+namespace {
+
+TEST(GaussLegendre, WeightsSumToIntervalLength) {
+  for (std::size_t n : {1u, 2u, 5u, 16u, 64u}) {
+    const QuadratureRule rule = gauss_legendre(n);
+    ASSERT_EQ(rule.nodes.size(), n);
+    double wsum = 0.0;
+    for (double w : rule.weights) wsum += w;
+    EXPECT_NEAR(wsum, 2.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(GaussLegendre, NodesAreSymmetricAndSorted) {
+  const QuadratureRule rule = gauss_legendre(9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(rule.nodes[i], -rule.nodes[8 - i], 1e-13);
+    if (i > 0) {
+      EXPECT_LT(rule.nodes[i - 1], rule.nodes[i]);
+    }
+  }
+  // Odd rule has a node exactly at 0.
+  EXPECT_NEAR(rule.nodes[4], 0.0, 1e-14);
+}
+
+TEST(GaussLegendre, ExactForPolynomialsUpToDegree2nMinus1) {
+  // n = 4 integrates degree 7 exactly: integral of x^6 over [-1,1] = 2/7.
+  const double v = integrate_gl([](double x) { return std::pow(x, 6.0); },
+                                -1.0, 1.0, 4);
+  EXPECT_NEAR(v, 2.0 / 7.0, 1e-13);
+  // ...but not degree 8 (integral 2/9).
+  const double v8 = integrate_gl([](double x) { return std::pow(x, 8.0); },
+                                 -1.0, 1.0, 4);
+  EXPECT_GT(std::fabs(v8 - 2.0 / 9.0), 1e-6);
+}
+
+TEST(IntegrateGl, SmoothTranscendentalFunctions) {
+  EXPECT_NEAR(integrate_gl([](double x) { return std::sin(x); }, 0.0, M_PI),
+              2.0, 1e-12);
+  EXPECT_NEAR(integrate_gl([](double x) { return std::exp(x); }, 0.0, 1.0),
+              M_E - 1.0, 1e-12);
+}
+
+TEST(IntegrateGl, RejectsZeroPointRule) {
+  EXPECT_THROW(gauss_legendre(0), std::invalid_argument);
+}
+
+TEST(IntegrateAdaptive, MatchesAnalyticValues) {
+  EXPECT_NEAR(
+      integrate_adaptive([](double x) { return x * x; }, 0.0, 3.0, 1e-12),
+      9.0, 1e-9);
+  EXPECT_NEAR(integrate_adaptive([](double x) { return std::sin(x); }, 0.0,
+                                 M_PI, 1e-12),
+              2.0, 1e-9);
+}
+
+TEST(IntegrateAdaptive, HandlesSharpPeak) {
+  // Narrow Lorentzian centred mid-interval: integral of
+  // g/((x-c)^2 + g^2) over R is pi; over [0,1] it is close to pi.
+  const double g = 1e-3;
+  const double c = 0.5;
+  const double v = integrate_adaptive(
+      [&](double x) { return g / ((x - c) * (x - c) + g * g); }, 0.0, 1.0,
+      1e-10);
+  const double exact = std::atan((1.0 - c) / g) + std::atan(c / g);
+  EXPECT_NEAR(v, exact, 1e-7);
+}
+
+TEST(IntegrateAdaptive, ReversedIntervalGivesNegatedValue) {
+  const double fwd =
+      integrate_adaptive([](double x) { return x; }, 0.0, 2.0, 1e-12);
+  const double rev =
+      integrate_adaptive([](double x) { return x; }, 2.0, 0.0, 1e-12);
+  EXPECT_NEAR(fwd, -rev, 1e-10);
+}
+
+class GlOrderP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GlOrderP, IntegratesRunningExampleAccurately) {
+  // The Bernstein fit integrand family: x^0.45 * x^i (1-x)^(n-i) is smooth
+  // on (0,1); check convergence on a representative member.
+  const std::size_t n = GetParam();
+  const double v = integrate_gl(
+      [](double x) { return std::pow(x, 0.45) * x * (1.0 - x); }, 0.0, 1.0,
+      n);
+  // Exact: B(2.45, 2) = Gamma(2.45)Gamma(2)/Gamma(4.45).
+  const double exact = std::tgamma(2.45) * std::tgamma(2.0) /
+                       std::tgamma(4.45);
+  EXPECT_NEAR(v, exact, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GlOrderP,
+                         ::testing::Values(16u, 32u, 64u, 128u));
+
+}  // namespace
+}  // namespace oscs

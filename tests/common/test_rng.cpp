@@ -1,0 +1,107 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace oscs {
+namespace {
+
+TEST(SplitMix, DeterministicAndDispersed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  SplitMix64 c(43);
+  const auto va = a.next();
+  EXPECT_EQ(va, b.next());
+  EXPECT_NE(va, c.next());  // nearby seeds diverge immediately
+}
+
+TEST(Xoshiro, ReproducibleForEqualSeeds) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDecorrelate) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, Uniform01BoundsAndMean) {
+  Xoshiro256 rng(123);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro, UniformRangeRespected) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(v, -2.0);
+    ASSERT_LT(v, 3.0);
+  }
+}
+
+TEST(Xoshiro, NormalMomentsMatchStandardGaussian) {
+  Xoshiro256 rng(99);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Xoshiro, NormalScalesMuSigma) {
+  Xoshiro256 rng(7);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Xoshiro, BernoulliFrequencies) {
+  Xoshiro256 rng(11);
+  const int n = 100000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.3, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Xoshiro, BelowIsUnbiasedOverSmallRange) {
+  Xoshiro256 rng(17);
+  const std::uint64_t k = 7;
+  std::vector<int> counts(k, 0);
+  const int n = 140000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(k)];
+  for (std::uint64_t b = 0; b < k; ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]) / n, 1.0 / 7.0, 0.01) << b;
+  }
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace oscs

@@ -1,0 +1,166 @@
+/// End-to-end integration tests: from an application-level function,
+/// through Bernstein fitting, circuit design, bit-level optical
+/// simulation and de-randomization, back to an application-level answer -
+/// the full pipeline a user of the library walks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "optsc/energy.hpp"
+#include "optsc/link_budget.hpp"
+#include "optsc/mrr_first.hpp"
+#include "optsc/simulator.hpp"
+#include "optsc/yield.hpp"
+#include "stochastic/bernstein.hpp"
+#include "stochastic/functions.hpp"
+#include "stochastic/metrics.hpp"
+#include "stochastic/resc.hpp"
+
+namespace oscs::optsc {
+namespace {
+
+TEST(EndToEnd, GammaCorrectionThroughTheOpticalCircuit) {
+  // Fit the paper's 6th-order gamma kernel, design an order-6 circuit
+  // with MRR-first, and evaluate a sweep of pixels through the transient
+  // simulator.
+  const stochastic::TargetFunction gamma = stochastic::gamma_correction();
+  const stochastic::BernsteinPoly poly =
+      stochastic::BernsteinPoly::fit(gamma.f, gamma.degree);
+  ASSERT_TRUE(poly.is_sc_compatible(1e-12));
+
+  MrrFirstSpec design;
+  design.order = 6;
+  design.wl_spacing_nm = 0.4;
+  const MrrFirstResult r = mrr_first(design);
+  ASSERT_TRUE(std::isfinite(r.min_probe_mw));
+
+  CircuitParams params = r.params;
+  params.lasers.probe_power_mw = r.min_probe_mw * 2.0;  // 3 dB margin
+  const OpticalScCircuit circuit(params);
+  const TransientSimulator sim(circuit);
+
+  SimulationConfig cfg;
+  cfg.stream_length = 4096;
+  double worst = 0.0;
+  for (double x = 0.1; x <= 0.91; x += 0.2) {
+    const SimulationResult res = sim.run(poly, x, cfg);
+    worst = std::max(worst, std::fabs(res.optical_estimate - gamma.f(x)));
+  }
+  // Stochastic noise (~1/sqrt(4096) ~ 1.6%) plus fit error (<1% away
+  // from the x=0 corner).
+  EXPECT_LT(worst, 0.05);
+}
+
+TEST(EndToEnd, OpticalAndElectronicAgreeBitForBitAtHighSnr) {
+  const stochastic::BernsteinPoly poly = stochastic::paper_f2_bernstein();
+  MrrFirstSpec design;
+  design.order = 3;
+  const MrrFirstResult r = mrr_first(design);
+  CircuitParams params = r.params;
+  params.lasers.probe_power_mw = r.min_probe_mw * 10.0;  // overwhelming SNR
+  const OpticalScCircuit circuit(params);
+  const TransientSimulator sim(circuit);
+  SimulationConfig cfg;
+  cfg.stream_length = 8192;
+  const SimulationResult res = sim.run(poly, 0.5, cfg);
+  EXPECT_EQ(res.transmission_flips, 0u);
+  EXPECT_DOUBLE_EQ(res.optical_estimate, res.electronic_estimate);
+}
+
+TEST(EndToEnd, ThroughputAccuracyTradeoffIsReal) {
+  // The paper's discussion: tolerate a worse transmission BER (cheaper
+  // link) and compensate with longer streams. Verify the compensation
+  // direction end to end.
+  const stochastic::BernsteinPoly poly({0.0, 0.0, 1.0});  // x^2
+  MrrFirstSpec loose;
+  loose.target_ber = 2e-2;
+  const MrrFirstResult r = mrr_first(loose);
+  const OpticalScCircuit circuit(r.params);
+  const TransientSimulator sim(circuit);
+
+  auto mae_at_length = [&](std::size_t len) {
+    SimulationConfig cfg;
+    cfg.stream_length = len;
+    double err = 0.0;
+    int cnt = 0;
+    for (double x = 0.1; x <= 0.91; x += 0.2, ++cnt) {
+      err += sim.run(poly, x, cfg).optical_abs_error;
+    }
+    return err / cnt;
+  };
+  // 16x the stream length recovers most of the noisy-link accuracy.
+  EXPECT_LT(mae_at_length(1 << 12), mae_at_length(1 << 8) + 0.01);
+}
+
+TEST(EndToEnd, DesignEvaluateAndYieldPipeline) {
+  // Design at 0.2 nm spacing, check the advertised BER analytically,
+  // then confirm a variation-aware yield above 50% with calibration.
+  MrrFirstSpec design;
+  design.wl_spacing_nm = 0.2;
+  design.target_ber = 1e-4;
+  const MrrFirstResult r = mrr_first(design);
+  ASSERT_TRUE(std::isfinite(r.min_probe_mw));
+
+  CircuitParams params = r.params;
+  params.lasers.probe_power_mw = r.min_probe_mw * 1.5;
+  const OpticalScCircuit circuit(params);
+  const LinkBudget budget(circuit, EyeModel::kPaperEq8);
+  EXPECT_LT(budget.analyze(params.lasers.probe_power_mw).ber, 1e-4);
+
+  YieldConfig ycfg;
+  ycfg.samples = 40;
+  ycfg.target_ber = 1e-4;
+  ycfg.variation.sigma_resonance_nm = 0.02;
+  ycfg.calibration_residual_nm = 0.002;
+  const YieldResult yr = estimate_yield(params, ycfg);
+  EXPECT_GT(yr.yield, 0.5);
+}
+
+TEST(EndToEnd, ImageGammaPipelineViaLookupTable) {
+  // Image-scale run: evaluate the optical circuit once per gray level
+  // (a 256-entry LUT), then map a full image - exactly how the gamma
+  // application would deploy the circuit.
+  const stochastic::TargetFunction gamma = stochastic::gamma_correction();
+  const stochastic::BernsteinPoly poly =
+      stochastic::BernsteinPoly::fit(gamma.f, gamma.degree);
+
+  MrrFirstSpec design;
+  design.order = 6;
+  design.wl_spacing_nm = 0.4;
+  MrrFirstResult r = mrr_first(design);
+  r.params.lasers.probe_power_mw = r.min_probe_mw * 2.0;
+  const OpticalScCircuit circuit(r.params);
+  const TransientSimulator sim(circuit);
+
+  SimulationConfig cfg;
+  cfg.stream_length = 1024;
+  std::vector<double> lut(32);
+  for (std::size_t level = 0; level < lut.size(); ++level) {
+    const double x =
+        static_cast<double>(level) / static_cast<double>(lut.size() - 1);
+    lut[level] = sim.run(poly, x, cfg).optical_estimate;
+  }
+
+  const stochastic::Image input = stochastic::Image::gradient(64, 16);
+  const stochastic::Image optical = input.mapped([&](double v) {
+    const double idx = v * static_cast<double>(lut.size() - 1);
+    return lut[static_cast<std::size_t>(std::lround(idx))];
+  });
+  const stochastic::Image exact = input.mapped(gamma.f);
+  // Stochastic gamma correction should sit well above 20 dB PSNR vs the
+  // exact transform at this stream length.
+  EXPECT_GT(stochastic::psnr_db(optical, exact), 20.0);
+}
+
+TEST(EndToEnd, TenXThroughputClaimVsElectronicReference) {
+  // Sec. V-C: 1 GHz optical vs the 100 MHz electronic ReSC of [9].
+  const CircuitParams p = mrr_first(MrrFirstSpec{}).params;
+  const double optical_rate_hz = p.system.bit_rate_gbps * 1e9;
+  const double electronic_rate_hz = 100e6;
+  EXPECT_NEAR(optical_rate_hz / electronic_rate_hz, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace oscs::optsc

@@ -1,0 +1,105 @@
+#include "optsc/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oscs::optsc {
+namespace {
+
+photonics::AddDropRing fabricated_ring(double error_nm) {
+  // Design channel at 1550.0; fabrication landed `error_nm` away.
+  return photonics::AddDropRing::from_linewidth(1550.0 + error_nm, 10.0, 0.2,
+                                                0.102, 0.995);
+}
+
+TEST(Calibration, ValidatesConfig) {
+  oscs::Xoshiro256 rng(1);
+  ControllerConfig bad;
+  bad.dither_nm = 0.0;
+  EXPECT_THROW(lock_to_channel(fabricated_ring(0.1), 1550.0, bad, rng),
+               std::invalid_argument);
+  bad = ControllerConfig{};
+  bad.step_shrink = 1.0;
+  EXPECT_THROW(lock_to_channel(fabricated_ring(0.1), 1550.0, bad, rng),
+               std::invalid_argument);
+}
+
+TEST(Calibration, LocksRedShiftedRing) {
+  oscs::Xoshiro256 rng(2);
+  const CalibrationTrace trace =
+      lock_to_channel(fabricated_ring(0.15), 1550.0, ControllerConfig{}, rng);
+  EXPECT_TRUE(trace.locked);
+  EXPECT_LT(trace.residual_nm, 0.02);
+  // The controller had to blue-shift by ~0.15 nm.
+  EXPECT_NEAR(trace.applied_shift_nm, -0.15, 0.03);
+}
+
+TEST(Calibration, LocksBlueShiftedRing) {
+  oscs::Xoshiro256 rng(3);
+  const CalibrationTrace trace =
+      lock_to_channel(fabricated_ring(-0.2), 1550.0, ControllerConfig{}, rng);
+  EXPECT_TRUE(trace.locked);
+  EXPECT_LT(trace.residual_nm, 0.02);
+  EXPECT_NEAR(trace.applied_shift_nm, 0.2, 0.03);
+}
+
+TEST(Calibration, AlreadyAlignedRingStaysPut) {
+  oscs::Xoshiro256 rng(4);
+  const CalibrationTrace trace =
+      lock_to_channel(fabricated_ring(0.0), 1550.0, ControllerConfig{}, rng);
+  EXPECT_TRUE(trace.locked);
+  EXPECT_LT(std::fabs(trace.applied_shift_nm), 0.05);
+}
+
+TEST(Calibration, ErrorShrinksAlongTheTrace) {
+  oscs::Xoshiro256 rng(5);
+  const CalibrationTrace trace =
+      lock_to_channel(fabricated_ring(0.3), 1550.0, ControllerConfig{}, rng);
+  ASSERT_GE(trace.error_history_nm.size(), 4u);
+  // Not necessarily monotone (dither noise), but the tail beats the head.
+  const double head = trace.error_history_nm.front();
+  const double tail = trace.error_history_nm.back();
+  EXPECT_LT(tail, head);
+}
+
+TEST(Calibration, TunerPowerAccountsForShift) {
+  oscs::Xoshiro256 rng(6);
+  ControllerConfig cfg;
+  cfg.tuner_mw_per_nm = 20.0;
+  const CalibrationTrace trace =
+      lock_to_channel(fabricated_ring(0.25), 1550.0, cfg, rng);
+  EXPECT_NEAR(trace.tuner_power_mw,
+              std::fabs(trace.applied_shift_nm) * 20.0, 1e-9);
+  EXPECT_GT(trace.tuner_power_mw, 3.0);  // ~0.25 nm * 20 mW/nm
+}
+
+TEST(Calibration, SurvivesNoisyMonitor) {
+  oscs::Xoshiro256 rng(7);
+  ControllerConfig cfg;
+  cfg.measurement_noise = 0.05;  // 5% monitor noise
+  cfg.max_iterations = 400;
+  const CalibrationTrace trace =
+      lock_to_channel(fabricated_ring(0.2), 1550.0, cfg, rng);
+  EXPECT_TRUE(trace.locked);
+  EXPECT_LT(trace.residual_nm, 0.03);
+}
+
+class CalibrationErrorP : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalibrationErrorP, LocksAcrossFabricationSpread) {
+  const double error = GetParam();
+  oscs::Xoshiro256 rng(17);
+  const CalibrationTrace trace =
+      lock_to_channel(fabricated_ring(error), 1550.0, ControllerConfig{}, rng);
+  EXPECT_TRUE(trace.locked) << error;
+  EXPECT_LT(trace.residual_nm, 0.025) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Errors, CalibrationErrorP,
+                         ::testing::Values(-0.3, -0.1, -0.02, 0.05, 0.18,
+                                           0.35));
+
+}  // namespace
+}  // namespace oscs::optsc

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "optsc/link_budget.hpp"
+#include "optsc/mrr_first.hpp"
+#include "optsc/mzi_first.hpp"
+
+namespace oscs::optsc {
+namespace {
+
+TEST(MrrFirst, ValidatesSpec) {
+  MrrFirstSpec spec;
+  spec.order = 0;
+  EXPECT_THROW(mrr_first(spec), std::invalid_argument);
+  spec = MrrFirstSpec{};
+  spec.wl_spacing_nm = 0.0;
+  EXPECT_THROW(mrr_first(spec), std::invalid_argument);
+}
+
+TEST(MrrFirst, ProducesSelfConsistentCircuit) {
+  MrrFirstSpec spec;  // Sec. V-A defaults
+  const MrrFirstResult r = mrr_first(spec);
+  EXPECT_NO_THROW(r.params.validate());
+  // The designed circuit must align the filter with every channel.
+  const OpticalScCircuit c(r.params);
+  for (std::size_t k = 0; k <= 2; ++k) {
+    EXPECT_NEAR(c.filter_resonance_for_count(k), c.channels().channel(k),
+                1e-6)
+        << k;
+  }
+}
+
+TEST(MrrFirst, MinProbeMeetsBerTarget) {
+  MrrFirstSpec spec;
+  spec.target_ber = 1e-6;
+  const MrrFirstResult r = mrr_first(spec);
+  ASSERT_TRUE(std::isfinite(r.min_probe_mw));
+  EXPECT_NEAR(r.eye.ber / 1e-6, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.params.lasers.probe_power_mw, r.min_probe_mw);
+}
+
+TEST(MrrFirst, PumpScalesLinearlyWithSpan) {
+  MrrFirstSpec spec;
+  spec.wl_spacing_nm = 0.5;
+  const double pump_half = mrr_first(spec).pump_power_mw;
+  spec.wl_spacing_nm = 1.0;
+  const double pump_full = mrr_first(spec).pump_power_mw;
+  // pump = (offset + n*spacing) / (OTE * IL%).
+  EXPECT_NEAR(pump_full / pump_half, 2.1 / 1.1, 1e-9);
+}
+
+TEST(MrrFirst, HigherIlNeedsMorePump) {
+  MrrFirstSpec spec;
+  spec.il_db = 4.5;
+  const double p1 = mrr_first(spec).pump_power_mw;
+  spec.il_db = 6.5;
+  const double p2 = mrr_first(spec).pump_power_mw;
+  EXPECT_GT(p2, p1);
+  EXPECT_NEAR(p2 / p1, std::pow(10.0, 0.2), 1e-9);  // 2 dB more loss
+}
+
+TEST(MrrFirst, ErDependsOnlyOnGridShape) {
+  // ER% = offset / (offset + n * spacing), independent of IL and OTE.
+  MrrFirstSpec spec;
+  spec.il_db = 3.0;
+  const double er1 = mrr_first(spec).er_db;
+  spec.il_db = 7.0;
+  spec.ote_nm_per_mw = 0.02;
+  const double er2 = mrr_first(spec).er_db;
+  EXPECT_NEAR(er1, er2, 1e-9);
+}
+
+TEST(MrrFirst, InfeasibleSpacingReportsInfiniteProbe) {
+  MrrFirstSpec spec;
+  spec.wl_spacing_nm = 0.05;  // far below the ring linewidth
+  spec.eye_model = EyeModel::kPhysical;
+  const MrrFirstResult r = mrr_first(spec);
+  EXPECT_TRUE(std::isinf(r.min_probe_mw));
+}
+
+TEST(MziFirst, ValidatesSpec) {
+  MziFirstSpec spec;
+  spec.pump_power_mw = 0.0;
+  EXPECT_THROW(mzi_first(spec), std::invalid_argument);
+}
+
+TEST(MziFirst, XiaoAnchorInducedGrid) {
+  // Sec. V-B: pump 0.6 W, IL 6.5 dB, ER 7.5 dB, n = 2. The induced grid:
+  // spacing = pump*OTE*IL%*(1-ER%)/2 = 0.552 nm, offset = 0.239 nm.
+  MziFirstSpec spec;
+  const MziFirstResult r = mzi_first(spec);
+  EXPECT_NEAR(r.wl_spacing_nm, 0.552, 0.002);
+  EXPECT_NEAR(r.ref_offset_nm, 0.239, 0.002);
+  EXPECT_NO_THROW(r.params.validate());
+}
+
+TEST(MziFirst, ProbeAnchorWithinCalibrationBand) {
+  // The paper prints 0.26 mW for this operating point; the calibrated
+  // noise current reproduces it within the documented compromise band
+  // (see defaults.hpp).
+  MziFirstSpec spec;
+  const MziFirstResult r = mzi_first(spec);
+  ASSERT_TRUE(std::isfinite(r.min_probe_mw));
+  EXPECT_NEAR(r.min_probe_mw, 0.26, 0.08);
+}
+
+TEST(MziFirst, DesignedFilterAlignsWithInducedGrid) {
+  MziFirstSpec spec;
+  const MziFirstResult r = mzi_first(spec);
+  const OpticalScCircuit c(r.params);
+  for (std::size_t k = 0; k <= 2; ++k) {
+    EXPECT_NEAR(c.filter_resonance_for_count(k), c.channels().channel(k),
+                1e-6)
+        << k;
+  }
+}
+
+TEST(MziFirst, WorseErShrinksSpacingAndRaisesProbe) {
+  // "the lower the total transmission in the MZIs, the smaller the
+  // wavelength spacing and the higher the signal crosstalk".
+  MziFirstSpec good;
+  good.er_db = 10.0;
+  MziFirstSpec bad = good;
+  bad.er_db = 4.0;
+  const MziFirstResult rg = mzi_first(good);
+  const MziFirstResult rb = mzi_first(bad);
+  EXPECT_LT(rb.wl_spacing_nm, rg.wl_spacing_nm);
+  EXPECT_GT(rb.min_probe_mw, rg.min_probe_mw);
+}
+
+TEST(MziFirst, HigherIlRaisesProbe) {
+  // Fig. 6a trend along the IL axis.
+  MziFirstSpec low;
+  low.il_db = 3.0;
+  MziFirstSpec high = low;
+  high.il_db = 7.4;
+  EXPECT_GT(mzi_first(high).min_probe_mw, mzi_first(low).min_probe_mw);
+}
+
+TEST(DesignMethods, RoundTripConsistency) {
+  // MZI-first with the pump/IL/ER that MRR-first produced must recover
+  // the original grid.
+  MrrFirstSpec mspec;
+  mspec.wl_spacing_nm = 0.8;
+  const MrrFirstResult mr = mrr_first(mspec);
+
+  MziFirstSpec zspec;
+  zspec.pump_power_mw = mr.pump_power_mw;
+  zspec.il_db = mspec.il_db;
+  zspec.er_db = mr.er_db;
+  const MziFirstResult zr = mzi_first(zspec);
+
+  EXPECT_NEAR(zr.wl_spacing_nm, 0.8, 1e-6);
+  EXPECT_NEAR(zr.ref_offset_nm, mspec.ref_offset_nm, 1e-6);
+  EXPECT_NEAR(zr.min_probe_mw / mr.min_probe_mw, 1.0, 0.02);
+}
+
+class MziFirstGridP
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MziFirstGridP, Fig6aGridAllFeasibleWithFiniteProbe) {
+  const auto [il, er] = GetParam();
+  MziFirstSpec spec;
+  spec.il_db = il;
+  spec.er_db = er;
+  const MziFirstResult r = mzi_first(spec);
+  EXPECT_TRUE(std::isfinite(r.min_probe_mw)) << il << "," << er;
+  EXPECT_GT(r.min_probe_mw, 0.0);
+  EXPECT_LT(r.min_probe_mw, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6aAxes, MziFirstGridP,
+    ::testing::Combine(::testing::Values(3.0, 4.2, 5.8, 7.4),
+                       ::testing::Values(4.0, 5.2, 6.4, 7.6)));
+
+}  // namespace
+}  // namespace oscs::optsc

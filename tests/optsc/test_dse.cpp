@@ -1,0 +1,58 @@
+#include "optsc/dse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oscs::optsc {
+namespace {
+
+TEST(Dse, SpacingSweepCoversRangeInOrder) {
+  const EnergyModel model{EnergySpec{}};
+  const auto points = sweep_spacing(model, oscs::Range{0.12, 0.3, 7});
+  ASSERT_EQ(points.size(), 7u);
+  EXPECT_DOUBLE_EQ(points.front().wl_spacing_nm, 0.12);
+  EXPECT_DOUBLE_EQ(points.back().wl_spacing_nm, 0.3);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].wl_spacing_nm, points[i - 1].wl_spacing_nm);
+    // Pump power grows monotonically with spacing (span grows).
+    EXPECT_GT(points[i].pump_power_mw, points[i - 1].pump_power_mw);
+  }
+}
+
+TEST(Dse, BerSweepIsMonotoneInTarget) {
+  const OpticalScCircuit c(mrr_first(MrrFirstSpec{}).params);
+  const auto points = sweep_ber_targets(c, EyeModel::kPaperEq8,
+                                        {1e-2, 1e-4, 1e-6});
+  ASSERT_EQ(points.size(), 3u);
+  // Tighter BER -> more SNR -> more probe power.
+  EXPECT_LT(points[0].min_probe_mw, points[1].min_probe_mw);
+  EXPECT_LT(points[1].min_probe_mw, points[2].min_probe_mw);
+  EXPECT_LT(points[0].snr_required, points[2].snr_required);
+}
+
+TEST(Dse, ParetoFrontTradesEnergyForRobustness) {
+  const auto front = energy_ber_pareto(EnergySpec{}, oscs::Range{0.15, 0.3, 6},
+                                       {1e-2, 1e-4, 1e-6});
+  ASSERT_GE(front.size(), 2u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    // Sorted by energy ascending, BER strictly improving (descending).
+    EXPECT_LE(front[i - 1].total_pj, front[i].total_pj);
+    EXPECT_GT(front[i - 1].target_ber, front[i].target_ber);
+  }
+}
+
+TEST(Dse, ParetoDropsInfeasiblePoints) {
+  EnergySpec spec;
+  spec.eye_model = EyeModel::kPhysical;
+  // Include hopeless spacings; they must not appear on the front.
+  const auto front = energy_ber_pareto(spec, oscs::Range{0.05, 0.3, 6},
+                                       {1e-4});
+  for (const auto& p : front) {
+    EXPECT_TRUE(std::isfinite(p.total_pj));
+    EXPECT_GT(p.wl_spacing_nm, 0.08);
+  }
+}
+
+}  // namespace
+}  // namespace oscs::optsc

@@ -1,0 +1,107 @@
+/// Golden reproduction tests for the paper's Sec. V-A numbers. These are
+/// the anchors the calibrated device set (defaults.hpp) was fitted to;
+/// if any of them drifts, the Fig. 5-7 reproductions drift with it.
+
+#include <gtest/gtest.h>
+
+#include "optsc/circuit.hpp"
+#include "optsc/defaults.hpp"
+#include "optsc/mrr_first.hpp"
+
+namespace oscs::optsc {
+namespace {
+
+class GoldenSec5a : public ::testing::Test {
+ protected:
+  GoldenSec5a() : circuit_(paper_defaults(2, 1.0)) {}
+  OpticalScCircuit circuit_;
+};
+
+TEST_F(GoldenSec5a, PumpPowerIs591_8mW) {
+  // "the minimum pump power required to reach lambda_0 ... is 591.8mW"
+  EXPECT_NEAR(circuit_.params().lasers.pump_power_mw, 591.8, 0.1);
+}
+
+TEST_F(GoldenSec5a, ExtinctionRatioIs13_22dB) {
+  // "ERdB of 13.22dB is obtained"
+  EXPECT_NEAR(circuit_.params().mzi.er_db, 13.22, 0.01);
+}
+
+TEST_F(GoldenSec5a, Fig5aTotalTransmissions) {
+  // z = (z0,z1,z2) = (0,1,0), x1 = x2 = 1: "the total transmission of the
+  // signals at lambda_2, lambda_1 and lambda_0 are 0.091, 0.004 and
+  // 0.0002 respectively".
+  const std::vector<bool> z{false, true, false};
+  const std::vector<bool> x{true, true};
+  EXPECT_NEAR(circuit_.channel_transmission(2, z, x), 0.091, 0.003);
+  EXPECT_NEAR(circuit_.channel_transmission(1, z, x), 0.004, 0.0005);
+  EXPECT_NEAR(circuit_.channel_transmission(0, z, x), 0.0002, 0.0001);
+}
+
+TEST_F(GoldenSec5a, Fig5aReceivedPower) {
+  // "By assuming 1mW for OPLaser_probe, a total power of 0.0952mW is
+  // received."
+  const std::vector<bool> z{false, true, false};
+  const std::vector<bool> x{true, true};
+  EXPECT_NEAR(circuit_.received_power_mw(z, x, 1.0), 0.0952, 0.003);
+}
+
+TEST_F(GoldenSec5a, Fig5bTransmissionAndReceivedPower) {
+  // z0 = 1, z1 = 1, z2 = 0, x1 = x2 = 0: "the total transmission of the
+  // signal at lambda_0 is 0.476 and the power received by the detector is
+  // 0.482mW".
+  const std::vector<bool> z{true, true, false};
+  const std::vector<bool> x{false, false};
+  EXPECT_NEAR(circuit_.channel_transmission(0, z, x), 0.476, 0.01);
+  EXPECT_NEAR(circuit_.received_power_mw(z, x, 1.0), 0.482, 0.01);
+}
+
+TEST_F(GoldenSec5a, Fig5cZeroAndOneBands) {
+  // "data '0' and '1' lead to received optical power in the ranges of
+  // 0.092-0.099mW and 0.477-0.482mW" over all (x, z) combinations.
+  double min0 = 1e9, max0 = 0.0, min1 = 1e9, max1 = 0.0;
+  for (std::size_t ones = 0; ones <= 2; ++ones) {
+    std::vector<bool> x(2, false);
+    for (std::size_t k = 0; k < ones; ++k) x[k] = true;
+    for (int zz = 0; zz < 8; ++zz) {
+      const std::vector<bool> z{(zz & 1) != 0, (zz & 2) != 0, (zz & 4) != 0};
+      const double rx = circuit_.received_power_mw(z, x, 1.0);
+      if (z[ones]) {
+        min1 = std::min(min1, rx);
+        max1 = std::max(max1, rx);
+      } else {
+        min0 = std::min(min0, rx);
+        max0 = std::max(max0, rx);
+      }
+    }
+  }
+  // Bands within 5% of the printed ranges, and safely disjoint.
+  EXPECT_NEAR(min0, 0.092, 0.005);
+  EXPECT_NEAR(max0, 0.099, 0.005);
+  EXPECT_NEAR(min1, 0.477, 0.01);
+  EXPECT_NEAR(max1, 0.482, 0.01);
+  EXPECT_GT(min1, 3.0 * max0);
+}
+
+TEST_F(GoldenSec5a, MrrFirstReproducesTheSameDesign) {
+  // Running the MRR-first method with the Sec. V-A inputs must land on
+  // the same pump power and extinction ratio as the defaults builder.
+  MrrFirstSpec spec;
+  spec.order = 2;
+  spec.wl_spacing_nm = 1.0;
+  const MrrFirstResult r = mrr_first(spec);
+  EXPECT_NEAR(r.pump_power_mw, 591.8, 0.1);
+  EXPECT_NEAR(r.er_db, 13.22, 0.01);
+  EXPECT_NEAR(r.params.lasers.pump_power_mw,
+              circuit_.params().lasers.pump_power_mw, 1e-9);
+}
+
+TEST_F(GoldenSec5a, FilterDetuningMatchesWavelengthGaps) {
+  // DeltaFilter(x=00) = 2.1 nm, (x=01) = 1.1 nm, (x=11) = 0.1 nm.
+  EXPECT_NEAR(circuit_.filter_detuning_for_count(0), 2.1, 1e-3);
+  EXPECT_NEAR(circuit_.filter_detuning_for_count(1), 1.1, 1e-3);
+  EXPECT_NEAR(circuit_.filter_detuning_for_count(2), 0.1, 1e-3);
+}
+
+}  // namespace
+}  // namespace oscs::optsc

@@ -1,0 +1,91 @@
+#include "optsc/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "optsc/defaults.hpp"
+
+namespace oscs::optsc {
+namespace {
+
+TEST(Params, PaperDefaultsValidate) {
+  EXPECT_NO_THROW(paper_defaults().validate());
+  EXPECT_NO_THROW(paper_defaults(6, 0.165).validate());
+}
+
+TEST(Params, DerivedAccessors) {
+  const CircuitParams p = paper_defaults();
+  EXPECT_NEAR(p.lambda_top_nm(), 1550.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.bit_period_s(), 1e-9);
+  CircuitParams fast = p;
+  fast.system.bit_rate_gbps = 40.0;
+  EXPECT_DOUBLE_EQ(fast.bit_period_s(), 2.5e-11);
+}
+
+TEST(Params, ValidationCatchesBadOrder) {
+  CircuitParams p = paper_defaults();
+  p.system.order = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, ValidationCatchesBadSpacing) {
+  CircuitParams p = paper_defaults();
+  p.system.wl_spacing_nm = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, ValidationCatchesBadOffset) {
+  CircuitParams p = paper_defaults();
+  p.filter.ref_offset_nm = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, ValidationCatchesBadOte) {
+  CircuitParams p = paper_defaults();
+  p.filter.ote_nm_per_mw = -0.01;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, ValidationCatchesBadLasers) {
+  CircuitParams p = paper_defaults();
+  p.lasers.probe_power_mw = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_defaults();
+  p.lasers.pump_power_mw = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, ValidationCatchesBadMzi) {
+  CircuitParams p = paper_defaults();
+  p.mzi.er_db = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_defaults();
+  p.mzi.il_db = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, ValidationCatchesGridOverflowingFsr) {
+  CircuitParams p = paper_defaults();
+  // 30 channels at 1 nm cannot fit a 20 nm filter FSR.
+  p.system.order = 30;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, DefaultsScaleFsrWithOrder) {
+  // paper_defaults enlarges the ring FSRs so wide grids stay legal.
+  const CircuitParams p16 = paper_defaults(16, 1.0);
+  EXPECT_NO_THROW(p16.validate());
+  EXPECT_GT(p16.filter.proto.fsr_nm, 16.1);
+  EXPECT_GT(p16.modulator.proto.fsr_nm, 16.1);
+}
+
+TEST(Params, DefaultsDeriveConsistentPumpAndEr) {
+  // Sec. V-A numbers fall straight out of the defaults builder.
+  const CircuitParams p = paper_defaults(2, 1.0);
+  EXPECT_NEAR(p.lasers.pump_power_mw, 591.86, 0.05);
+  EXPECT_NEAR(p.mzi.er_db, 13.222, 0.005);
+}
+
+}  // namespace
+}  // namespace oscs::optsc

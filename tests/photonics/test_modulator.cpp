@@ -1,0 +1,90 @@
+#include "photonics/modulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oscs::photonics {
+namespace {
+
+AddDropRing calibrated_ring(double channel_nm = 1550.0) {
+  return AddDropRing::from_linewidth(channel_nm, 10.0, 0.2, 0.102, 0.995);
+}
+
+TEST(Modulator, RejectsNonPositiveShift) {
+  EXPECT_THROW(RingModulator(calibrated_ring(), 0.0), std::invalid_argument);
+  EXPECT_THROW(RingModulator(calibrated_ring(), -0.1), std::invalid_argument);
+}
+
+TEST(Modulator, OffStateIsResonantOnChannel) {
+  const RingModulator mod(calibrated_ring(), 0.097);
+  EXPECT_DOUBLE_EQ(mod.resonance_for_bit(false), 1550.0);
+  EXPECT_NEAR(mod.own_channel_transmission(false), 0.102, 1e-6);
+}
+
+TEST(Modulator, OnStateBlueShiftsAndTransmits) {
+  const RingModulator mod(calibrated_ring(), 0.097);
+  EXPECT_DOUBLE_EQ(mod.resonance_for_bit(true), 1550.0 - 0.097);
+  const double on = mod.own_channel_transmission(true);
+  EXPECT_GT(on, 0.5);
+  EXPECT_LT(on, 0.6);
+}
+
+TEST(Modulator, CalibratedOnLevelMatchesFig5Anchor) {
+  // The Sec. V-A reproduction needs ~0.536 ON-state through transmission
+  // (total 0.476 = 0.536 x 0.986 x 0.90, see DESIGN.md).
+  const RingModulator mod(calibrated_ring(), 0.097);
+  EXPECT_NEAR(mod.own_channel_transmission(true), 0.536, 0.01);
+}
+
+TEST(Modulator, ModulationErIsOnOverOff) {
+  const RingModulator mod(calibrated_ring(), 0.097);
+  const double er = mod.modulation_er_linear();
+  EXPECT_NEAR(er,
+              mod.own_channel_transmission(true) /
+                  mod.own_channel_transmission(false),
+              1e-12);
+  EXPECT_GT(er, 4.0);  // a usable OOK modulator
+}
+
+TEST(Modulator, NeighborChannelSeesSmallAttenuation) {
+  // A channel 1 nm away passes nearly unattenuated (Fig. 5: "other
+  // modulators" factor ~0.99).
+  const RingModulator mod(calibrated_ring(), 0.097);
+  for (bool bit : {false, true}) {
+    const double t = mod.through(1549.0, bit);
+    EXPECT_GT(t, 0.97) << bit;
+    EXPECT_LT(t, 1.0) << bit;
+  }
+}
+
+TEST(Modulator, OnStateMovesDipTowardShorterWavelengths) {
+  const RingModulator mod(calibrated_ring(), 0.097);
+  // A signal slightly blue of the channel is attenuated harder when the
+  // modulator drives '1' (the dip moved onto it).
+  const double blue = 1550.0 - 0.097;
+  EXPECT_LT(mod.through(blue, true), mod.through(blue, false));
+}
+
+TEST(Modulator, ChannelAccessors) {
+  const RingModulator mod(calibrated_ring(1548.0), 0.097);
+  EXPECT_DOUBLE_EQ(mod.channel_nm(), 1548.0);
+  EXPECT_DOUBLE_EQ(mod.shift_on_nm(), 0.097);
+  EXPECT_EQ(mod.ring().geometry().resonance_nm, 1548.0);
+}
+
+class ModulatorShiftP : public ::testing::TestWithParam<double> {};
+
+TEST_P(ModulatorShiftP, LargerShiftTransmitsMore) {
+  const double shift = GetParam();
+  const RingModulator small(calibrated_ring(), shift);
+  const RingModulator large(calibrated_ring(), shift + 0.05);
+  EXPECT_GT(large.own_channel_transmission(true),
+            small.own_channel_transmission(true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, ModulatorShiftP,
+                         ::testing::Values(0.05, 0.097, 0.15, 0.2));
+
+}  // namespace
+}  // namespace oscs::photonics

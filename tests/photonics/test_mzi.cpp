@@ -1,0 +1,87 @@
+#include "photonics/mzi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oscs::photonics {
+namespace {
+
+TEST(MziTest, Eq7bSemantics) {
+  // Paper Eq. (7b): T(0) = IL%, T(1) = IL% * ER%.
+  const Mzi mzi(Decibel(4.5), Decibel(13.22));
+  EXPECT_NEAR(mzi.transmission(false), 0.35481, 1e-4);
+  EXPECT_NEAR(mzi.transmission(true), 0.35481 * 0.047643, 1e-5);
+}
+
+TEST(MziTest, XiaoOperatingPoint) {
+  // Sec. V-B device: IL = 6.5 dB, ER = 7.5 dB.
+  const Mzi mzi(Decibel(6.5), Decibel(7.5));
+  EXPECT_NEAR(mzi.il_linear(), 0.22387, 1e-4);
+  EXPECT_NEAR(mzi.er_linear(), 0.17783, 1e-4);
+  EXPECT_NEAR(mzi.transmission(true) / mzi.transmission(false),
+              mzi.er_linear(), 1e-12);
+}
+
+TEST(MziTest, ValidatesOperatingPoint) {
+  EXPECT_THROW(Mzi(Decibel(-1.0), Decibel(3.0)), std::invalid_argument);
+  EXPECT_THROW(Mzi(Decibel(4.5), Decibel(0.0)), std::invalid_argument);
+  EXPECT_THROW(Mzi(Decibel(4.5), Decibel(-3.0)), std::invalid_argument);
+}
+
+TEST(MziTest, LosslessIdealDevicePassesEverything) {
+  const Mzi mzi(Decibel(0.0), Decibel(30.0));
+  EXPECT_DOUBLE_EQ(mzi.transmission(false), 1.0);
+  EXPECT_NEAR(mzi.transmission(true), 1e-3, 1e-9);
+}
+
+TEST(MziTest, PhaseModelInterpolatesBetweenStates) {
+  const Mzi mzi(Decibel(4.5), Decibel(13.22));
+  // phi = 0: constructive; phi = pi: destructive (Eq. 7b endpoints).
+  EXPECT_NEAR(mzi.transmission_phase(0.0), mzi.transmission(false), 1e-12);
+  EXPECT_NEAR(mzi.transmission_phase(M_PI), mzi.transmission(true), 1e-12);
+  // Quadrature point sits midway between the two power levels.
+  const double mid = mzi.transmission_phase(M_PI / 2.0);
+  EXPECT_GT(mid, mzi.transmission(true));
+  EXPECT_LT(mid, mzi.transmission(false));
+}
+
+TEST(MziTest, PhaseModelIsMonotoneOverHalfPeriod) {
+  const Mzi mzi(Decibel(6.5), Decibel(7.5));
+  double prev = mzi.transmission_phase(0.0);
+  for (double phi = 0.1; phi <= M_PI + 1e-9; phi += 0.1) {
+    const double t = mzi.transmission_phase(phi);
+    EXPECT_LE(t, prev + 1e-12) << phi;
+    prev = t;
+  }
+}
+
+TEST(MziDeviceTest, FactoryBuildsConfiguredMzi) {
+  const MziDevice dev{"test", 6.5, 7.5, 60.0, 0.75, false};
+  const Mzi mzi = dev.mzi();
+  EXPECT_NEAR(mzi.il().db(), 6.5, 1e-12);
+  EXPECT_NEAR(mzi.er().db(), 7.5, 1e-12);
+}
+
+class MziGridP
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MziGridP, TransmissionsAreOrderedProbabilities) {
+  const auto [il, er] = GetParam();
+  const Mzi mzi{Decibel(il), Decibel(er)};
+  const double t0 = mzi.transmission(false);
+  const double t1 = mzi.transmission(true);
+  EXPECT_GT(t0, 0.0);
+  EXPECT_LE(t0, 1.0);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_LT(t1, t0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6aGrid, MziGridP,
+    ::testing::Combine(::testing::Values(3.0, 4.5, 5.8, 7.4),
+                       ::testing::Values(4.0, 5.2, 6.4, 7.6)));
+
+}  // namespace
+}  // namespace oscs::photonics

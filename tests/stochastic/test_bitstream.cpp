@@ -1,0 +1,114 @@
+#include "stochastic/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oscs::stochastic {
+namespace {
+
+TEST(BitstreamTest, ConstructionAndIndexing) {
+  Bitstream s(130);  // spans three words
+  EXPECT_EQ(s.size(), 130u);
+  EXPECT_FALSE(s.bit(0));
+  s.set_bit(0, true);
+  s.set_bit(64, true);
+  s.set_bit(129, true);
+  EXPECT_TRUE(s.bit(0));
+  EXPECT_TRUE(s.bit(64));
+  EXPECT_TRUE(s.bit(129));
+  EXPECT_EQ(s.count_ones(), 3u);
+  s.set_bit(64, false);
+  EXPECT_EQ(s.count_ones(), 2u);
+}
+
+TEST(BitstreamTest, BoundsChecked) {
+  Bitstream s(8);
+  EXPECT_THROW(s.bit(8), std::out_of_range);
+  EXPECT_THROW(s.set_bit(100, true), std::out_of_range);
+}
+
+TEST(BitstreamTest, FromBoolVectorAndProbability) {
+  const Bitstream s(std::vector<bool>{true, false, true, true});
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.count_ones(), 3u);
+  EXPECT_DOUBLE_EQ(s.probability(), 0.75);
+  EXPECT_DOUBLE_EQ(Bitstream{}.probability(), 0.0);
+}
+
+TEST(BitstreamTest, PushBackGrowsAcrossWordBoundary) {
+  Bitstream s;
+  for (int i = 0; i < 70; ++i) s.push_back(i % 2 == 0);
+  EXPECT_EQ(s.size(), 70u);
+  EXPECT_EQ(s.count_ones(), 35u);
+  EXPECT_TRUE(s.bit(68));
+  EXPECT_FALSE(s.bit(69));
+}
+
+TEST(BitstreamTest, LogicOpsComputeScArithmetic) {
+  // AND of independent unipolar streams multiplies probabilities;
+  // verify exact bit semantics here.
+  const Bitstream a(std::vector<bool>{1, 1, 0, 0});
+  const Bitstream b(std::vector<bool>{1, 0, 1, 0});
+  EXPECT_EQ((a & b), Bitstream(std::vector<bool>{1, 0, 0, 0}));
+  EXPECT_EQ((a | b), Bitstream(std::vector<bool>{1, 1, 1, 0}));
+  EXPECT_EQ((a ^ b), Bitstream(std::vector<bool>{0, 1, 1, 0}));
+}
+
+TEST(BitstreamTest, NotClearsPaddingBits) {
+  Bitstream s(70);  // 70 bits, second word partially used
+  const Bitstream inv = ~s;
+  EXPECT_EQ(inv.count_ones(), 70u);  // not 128
+  EXPECT_DOUBLE_EQ(inv.probability(), 1.0);
+}
+
+TEST(BitstreamTest, OpsRejectLengthMismatch) {
+  const Bitstream a(8), b(9);
+  EXPECT_THROW(a & b, std::invalid_argument);
+  EXPECT_THROW(a | b, std::invalid_argument);
+  EXPECT_THROW(a ^ b, std::invalid_argument);
+}
+
+TEST(MuxTest, SelectsPerBit) {
+  const Bitstream sel(std::vector<bool>{1, 0, 1, 0});
+  const Bitstream a(std::vector<bool>{1, 1, 0, 0});
+  const Bitstream b(std::vector<bool>{0, 1, 1, 1});
+  EXPECT_EQ(mux(sel, a, b), Bitstream(std::vector<bool>{1, 1, 0, 1}));
+  EXPECT_THROW(mux(Bitstream(3), a, b), std::invalid_argument);
+}
+
+TEST(MuxTest, ComputesWeightedSumInExpectation) {
+  // With s, a, b independent: E[mux] = s*A + (1-s)*B. Deterministic
+  // check with crafted streams: s has p=0.5, a all ones, b all zeros.
+  Bitstream sel(100), a(100), b(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    sel.set_bit(i, i % 2 == 0);
+    a.set_bit(i, true);
+  }
+  EXPECT_DOUBLE_EQ(mux(sel, a, b).probability(), 0.5);
+}
+
+TEST(SccTest, IdenticalStreamsFullyCorrelated) {
+  const Bitstream a(std::vector<bool>{1, 0, 1, 0, 1, 1, 0, 0});
+  EXPECT_NEAR(scc(a, a), 1.0, 1e-12);
+}
+
+TEST(SccTest, ComplementaryStreamsAnticorrelated) {
+  const Bitstream a(std::vector<bool>{1, 0, 1, 0, 1, 0, 1, 0});
+  EXPECT_NEAR(scc(a, ~a), -1.0, 1e-12);
+}
+
+TEST(SccTest, InterleavedIndependentLikeStreamsNearZero) {
+  // p11 = px * py exactly -> SCC 0.
+  const Bitstream a(std::vector<bool>{1, 1, 0, 0});
+  const Bitstream b(std::vector<bool>{1, 0, 1, 0});
+  EXPECT_NEAR(scc(a, b), 0.0, 1e-12);
+}
+
+TEST(SccTest, RejectsInvalidInput) {
+  EXPECT_THROW(scc(Bitstream(3), Bitstream(4)), std::invalid_argument);
+  EXPECT_THROW(scc(Bitstream{}, Bitstream{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oscs::stochastic

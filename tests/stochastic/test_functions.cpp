@@ -1,0 +1,79 @@
+#include "stochastic/functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stochastic/bernstein.hpp"
+
+namespace oscs::stochastic {
+namespace {
+
+TEST(Functions, PaperF2FormsAgree) {
+  const Polynomial power = paper_f2_power();
+  const BernsteinPoly bern = paper_f2_bernstein();
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    EXPECT_NEAR(power(x), bern(x), 1e-12) << x;
+  }
+}
+
+TEST(Functions, PaperF2IsScCompatible) {
+  EXPECT_TRUE(paper_f2_bernstein().is_sc_compatible());
+}
+
+TEST(Functions, GammaCorrectionMatchesPow) {
+  const TargetFunction g = gamma_correction();
+  EXPECT_EQ(g.degree, 6u);
+  for (double x : {0.0, 0.1, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(g.f(x), std::pow(x, 0.45));
+  }
+}
+
+TEST(Functions, GammaCorrectionCustomExponent) {
+  const TargetFunction g = gamma_correction(2.2, 8);
+  EXPECT_EQ(g.degree, 8u);
+  EXPECT_DOUBLE_EQ(g.f(0.5), std::pow(0.5, 2.2));
+}
+
+TEST(Functions, CatalogueMapsUnitIntervalIntoItself) {
+  for (const TargetFunction& fn : standard_functions()) {
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+      const double y = fn.f(x);
+      ASSERT_GE(y, -1e-9) << fn.name << " at " << x;
+      ASSERT_LE(y, 1.0 + 1e-9) << fn.name << " at " << x;
+    }
+  }
+}
+
+TEST(Functions, CatalogueFitsAreScCompatible) {
+  // Every catalogued kernel must be implementable on the architecture:
+  // clamped fit at the recommended degree has coefficients in [0,1].
+  for (const TargetFunction& fn : standard_functions()) {
+    const BernsteinPoly fit = BernsteinPoly::fit(fn.f, fn.degree);
+    EXPECT_TRUE(fit.is_sc_compatible(1e-12)) << fn.name;
+  }
+}
+
+TEST(Functions, CatalogueFitsAreReasonablyAccurate) {
+  for (const TargetFunction& fn : standard_functions()) {
+    const BernsteinPoly fit = BernsteinPoly::fit(fn.f, fn.degree);
+    double worst = 0.0;
+    // Skip the singular corner of x^0.45 (unbounded derivative at 0).
+    for (double x = 0.05; x <= 1.0; x += 0.01) {
+      worst = std::max(worst, std::fabs(fit(x) - fn.f(x)));
+    }
+    EXPECT_LT(worst, 0.05) << fn.name;
+  }
+}
+
+TEST(Functions, SquareFitIsExact) {
+  // x^2 is degree 2: the fit must be exact with coefficients (0, 0, 1).
+  const BernsteinPoly fit = BernsteinPoly::fit(
+      [](double x) { return x * x; }, 2, false);
+  EXPECT_NEAR(fit.coeffs()[0], 0.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs()[1], 0.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs()[2], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace oscs::stochastic

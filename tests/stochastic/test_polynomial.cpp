@@ -1,0 +1,79 @@
+#include "stochastic/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oscs::stochastic {
+namespace {
+
+TEST(PolynomialTest, DefaultIsZero) {
+  const Polynomial p;
+  EXPECT_EQ(p.degree(), 0u);
+  EXPECT_DOUBLE_EQ(p(0.7), 0.0);
+}
+
+TEST(PolynomialTest, HornerEvaluation) {
+  // p(x) = 1 + 2x + 3x^2.
+  const Polynomial p({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 17.0);
+  EXPECT_DOUBLE_EQ(p(-1.0), 2.0);
+}
+
+TEST(PolynomialTest, PaperF2Values) {
+  // f2(x) = 1/4 + 9/8 x - 15/8 x^2 + 5/4 x^3 (paper Fig. 1).
+  const Polynomial f2({0.25, 9.0 / 8.0, -15.0 / 8.0, 5.0 / 4.0});
+  EXPECT_DOUBLE_EQ(f2(0.0), 0.25);
+  // Fig. 1b example: x = 0.5 gives 4/8.
+  EXPECT_NEAR(f2(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(f2(1.0), 0.75, 1e-12);
+}
+
+TEST(PolynomialTest, CoefficientAccessPastDegreeIsZero) {
+  const Polynomial p({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.coeff(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.coeff(5), 0.0);
+}
+
+TEST(PolynomialTest, Derivative) {
+  const Polynomial p({1.0, 2.0, 3.0});  // 1 + 2x + 3x^2
+  const Polynomial d = p.derivative();  // 2 + 6x
+  EXPECT_EQ(d.degree(), 1u);
+  EXPECT_DOUBLE_EQ(d(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(d(2.0), 14.0);
+  EXPECT_DOUBLE_EQ(Polynomial({5.0}).derivative()(1.0), 0.0);
+}
+
+TEST(PolynomialTest, AdditionSubtraction) {
+  const Polynomial a({1.0, 2.0});
+  const Polynomial b({3.0, 0.0, 1.0});
+  const Polynomial sum = a + b;
+  EXPECT_EQ(sum.degree(), 2u);
+  EXPECT_DOUBLE_EQ(sum(2.0), (1.0 + 4.0) + (3.0 + 4.0));
+  const Polynomial diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1.0), 4.0 - 3.0);
+}
+
+TEST(PolynomialTest, ScalarAndPolynomialProduct) {
+  const Polynomial a({1.0, 1.0});   // 1 + x
+  const Polynomial b({1.0, -1.0});  // 1 - x
+  const Polynomial prod = a * b;    // 1 - x^2
+  EXPECT_EQ(prod.degree(), 2u);
+  EXPECT_DOUBLE_EQ(prod.coeff(0), 1.0);
+  EXPECT_DOUBLE_EQ(prod.coeff(1), 0.0);
+  EXPECT_DOUBLE_EQ(prod.coeff(2), -1.0);
+  const Polynomial scaled = a * 3.0;
+  EXPECT_DOUBLE_EQ(scaled(1.0), 6.0);
+}
+
+TEST(PolynomialTest, ProductEvaluatesConsistently) {
+  const Polynomial a({0.5, 1.5, -2.0});
+  const Polynomial b({1.0, 0.0, 0.25, 3.0});
+  const Polynomial prod = a * b;
+  for (double x : {-1.0, 0.0, 0.3, 1.0, 2.0}) {
+    EXPECT_NEAR(prod(x), a(x) * b(x), 1e-10) << x;
+  }
+}
+
+}  // namespace
+}  // namespace oscs::stochastic
