@@ -1,0 +1,75 @@
+/// Batch-engine demo: evaluate a whole grid of (polynomial, input,
+/// stream-length) cells with Monte-Carlo repeats through the word-parallel
+/// engine, fanned across a thread pool - the workflow for characterizing
+/// an optical SC design over its full operating envelope in one call.
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+#include "common/cli.hpp"
+#include "engine/batch.hpp"
+#include "optsc/defaults.hpp"
+#include "stochastic/functions.hpp"
+
+using namespace oscs;
+using namespace oscs::optsc;
+namespace eng = oscs::engine;
+namespace sc = oscs::stochastic;
+
+int run_demo(int argc, char** argv) {
+  ArgParser args("batch_sweep",
+                 "Grid evaluation of Bernstein kernels on the optical SC "
+                 "circuit via the batch engine");
+  args.add_int("threads", 0, "worker threads (0 = hardware concurrency)");
+  args.add_int("repeats", 16, "Monte-Carlo repeats per grid cell");
+  args.add_int("seed", 7, "master seed (results are reproducible per seed)");
+  if (!args.parse(argc, argv)) return 0;
+
+  // Two degree-3 kernels: the paper's f2 example and a gamma-correction
+  // fit, sharing one order-3 circuit.
+  const OpticalScCircuit circuit(paper_defaults(3, 1.0));
+  const eng::BatchRunner runner(circuit);
+
+  eng::BatchRequest req;
+  req.polynomials.push_back(sc::paper_f2_bernstein());
+  req.polynomials.push_back(
+      sc::BernsteinPoly::fit(sc::gamma_correction().f, 3));
+  for (double x = 0.1; x <= 0.91; x += 0.2) req.xs.push_back(x);
+  req.stream_lengths = {256, 1024, 4096};
+  req.repeats = static_cast<std::size_t>(std::max(1L, args.get_int("repeats")));
+  req.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const auto threads = static_cast<std::size_t>(args.get_int("threads"));
+  const eng::BatchSummary summary = runner.run(req, threads);
+
+  std::printf("batch sweep: %zu tasks, %.1f Mbit evaluated, "
+              "flip probability %.2g\n\n",
+              summary.tasks, static_cast<double>(summary.total_bits) / 1e6,
+              runner.kernel().flip_probability());
+  std::printf("%-5s %-6s %-7s %-9s %-19s %-11s %-10s\n", "poly", "x", "bits",
+              "expected", "optical (95% CI)", "|err| mean", "elec |err|");
+  for (const eng::BatchCell& cell : summary.cells) {
+    std::printf("%-5zu %-6.2f %-7zu %-9.4f %.4f +/- %-8.4f %-11.4f %-10.4f\n",
+                cell.poly_index, cell.x, cell.stream_length, cell.expected,
+                cell.optical_mean, cell.optical_ci,
+                cell.optical_abs_error_mean, cell.electronic_abs_error_mean);
+  }
+  std::printf("\nbatch MAE: optical %.4f, electronic %.4f; "
+              "worst cell |err| %.4f\n",
+              summary.optical_mae, summary.electronic_mae,
+              summary.worst_cell_error);
+  std::printf("longer streams tighten both estimators; the optical link "
+              "tracks the electronic ReSC baseline bit for bit at the "
+              "designed probe power.\n");
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_demo(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "batch_sweep: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,152 @@
+#include "engine/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace oscs::engine {
+
+namespace sc = oscs::stochastic;
+
+std::size_t BatchRequest::cells() const noexcept {
+  return polynomials.size() * xs.size() * stream_lengths.size();
+}
+
+std::size_t BatchRequest::tasks() const noexcept { return cells() * repeats; }
+
+void BatchRequest::validate() const {
+  if (polynomials.empty()) {
+    throw std::invalid_argument("BatchRequest: no polynomials");
+  }
+  if (xs.empty()) {
+    throw std::invalid_argument("BatchRequest: no x values");
+  }
+  if (stream_lengths.empty()) {
+    throw std::invalid_argument("BatchRequest: no stream lengths");
+  }
+  for (std::size_t len : stream_lengths) {
+    if (len == 0) {
+      throw std::invalid_argument("BatchRequest: zero stream length");
+    }
+  }
+  if (repeats == 0) {
+    throw std::invalid_argument("BatchRequest: zero repeats");
+  }
+}
+
+std::uint64_t derive_task_seed(std::uint64_t master, std::size_t task_index,
+                               std::uint64_t lane) {
+  // Decorrelate (task, lane) pairs before the SplitMix64 expansion so
+  // nearby indices do not share low-entropy state.
+  oscs::SplitMix64 sm(master ^
+                      (0x9E3779B97F4A7C15ULL * (2 * task_index + lane + 1)));
+  return sm.next();
+}
+
+BatchRunner::BatchRunner(const optsc::OpticalScCircuit& circuit)
+    : kernel_(circuit) {}
+
+BatchSummary BatchRunner::run(const BatchRequest& request,
+                              ThreadPool& pool) const {
+  request.validate();
+  for (const sc::BernsteinPoly& poly : request.polynomials) {
+    if (poly.degree() != kernel_.order()) {
+      throw std::invalid_argument(
+          "BatchRunner: polynomial order does not match the circuit");
+    }
+  }
+
+  struct TaskOut {
+    double optical = 0.0;
+    double electronic = 0.0;
+    std::size_t flips = 0;
+  };
+  std::vector<TaskOut> outs(request.tasks());
+
+  // Fan one task per (cell, repeat) across the pool. Tasks only touch
+  // their own output slot, so aggregation below is race-free and the
+  // result is independent of scheduling order.
+  const std::size_t n_lengths = request.stream_lengths.size();
+  const std::size_t n_xs = request.xs.size();
+  std::size_t task_index = 0;
+  for (std::size_t pi = 0; pi < request.polynomials.size(); ++pi) {
+    for (std::size_t xi = 0; xi < n_xs; ++xi) {
+      for (std::size_t li = 0; li < n_lengths; ++li) {
+        for (std::size_t rep = 0; rep < request.repeats; ++rep, ++task_index) {
+          const std::size_t t = task_index;
+          pool.submit([this, &request, &outs, pi, xi, li, t] {
+            PackedRunConfig cfg;
+            cfg.stream_length = request.stream_lengths[li];
+            cfg.stimulus.kind = request.source_kind;
+            cfg.stimulus.width = request.sng_width;
+            cfg.stimulus.seed = derive_task_seed(request.seed, t, 0);
+            cfg.noise_enabled = request.noise_enabled;
+            cfg.noise_seed = derive_task_seed(request.seed, t, 1);
+            const PackedRunResult r =
+                kernel_.run(request.polynomials[pi], request.xs[xi], cfg);
+            outs[t] = {r.optical_estimate, r.electronic_estimate,
+                       r.transmission_flips};
+          });
+        }
+      }
+    }
+  }
+  pool.wait_idle();
+
+  BatchSummary summary;
+  summary.tasks = outs.size();
+  summary.cells.reserve(request.cells());
+  std::size_t t = 0;
+  for (std::size_t pi = 0; pi < request.polynomials.size(); ++pi) {
+    for (std::size_t xi = 0; xi < n_xs; ++xi) {
+      const double expected = request.polynomials[pi](request.xs[xi]);
+      for (std::size_t li = 0; li < n_lengths; ++li) {
+        const std::size_t length = request.stream_lengths[li];
+        oscs::Accumulator optical;
+        oscs::Accumulator optical_err;
+        oscs::Accumulator electronic_err;
+        oscs::Accumulator flip_rate;
+        for (std::size_t rep = 0; rep < request.repeats; ++rep, ++t) {
+          const TaskOut& out = outs[t];
+          optical.add(out.optical);
+          optical_err.add(std::abs(out.optical - expected));
+          electronic_err.add(std::abs(out.electronic - expected));
+          flip_rate.add(static_cast<double>(out.flips) /
+                        static_cast<double>(length));
+          summary.total_bits += length;
+        }
+        BatchCell cell;
+        cell.poly_index = pi;
+        cell.x = request.xs[xi];
+        cell.stream_length = length;
+        cell.repeats = request.repeats;
+        cell.expected = expected;
+        cell.optical_mean = optical.mean();
+        cell.optical_ci = optical.ci_halfwidth();
+        cell.optical_abs_error_mean = optical_err.mean();
+        cell.optical_abs_error_ci = optical_err.ci_halfwidth();
+        cell.electronic_abs_error_mean = electronic_err.mean();
+        cell.flip_rate_mean = flip_rate.mean();
+        summary.optical_mae += cell.optical_abs_error_mean;
+        summary.electronic_mae += cell.electronic_abs_error_mean;
+        summary.worst_cell_error =
+            std::max(summary.worst_cell_error, cell.optical_abs_error_mean);
+        summary.cells.push_back(cell);
+      }
+    }
+  }
+  const double n_cells = static_cast<double>(summary.cells.size());
+  summary.optical_mae /= n_cells;
+  summary.electronic_mae /= n_cells;
+  return summary;
+}
+
+BatchSummary BatchRunner::run(const BatchRequest& request,
+                              std::size_t threads) const {
+  ThreadPool pool(threads);
+  return run(request, pool);
+}
+
+}  // namespace oscs::engine

@@ -1,0 +1,102 @@
+#pragma once
+/// \file batch.hpp
+/// \brief Multi-threaded batch evaluation of the optical SC circuit over a
+///        grid of (polynomial x input x stream length) cells with Monte-
+///        Carlo repeats - the heavy-workload front end of the engine.
+///
+/// Determinism contract: every task derives its stimulus and noise seeds
+/// from the request seed and its own grid coordinates alone, and writes
+/// into a preallocated slot; results are therefore bit-identical for any
+/// thread count, including 1.
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/packed_sim.hpp"
+#include "engine/thread_pool.hpp"
+#include "optsc/circuit.hpp"
+#include "stochastic/bernstein.hpp"
+#include "stochastic/sng.hpp"
+
+namespace oscs::engine {
+
+/// A grid of evaluations: every polynomial at every x at every stream
+/// length, each repeated `repeats` times with decorrelated streams.
+struct BatchRequest {
+  std::vector<stochastic::BernsteinPoly> polynomials;
+  std::vector<double> xs;
+  std::vector<std::size_t> stream_lengths;
+  std::size_t repeats = 8;
+
+  std::uint64_t seed = 1;  ///< master seed; every task seed derives from it
+  stochastic::SourceKind source_kind = stochastic::SourceKind::kLfsr;
+  unsigned sng_width = 16;  ///< SNG resolution in bits
+  bool noise_enabled = true;
+
+  /// Evaluations in the request (cells() * repeats).
+  [[nodiscard]] std::size_t tasks() const noexcept;
+  /// Grid cells in the request.
+  [[nodiscard]] std::size_t cells() const noexcept;
+  /// \throws std::invalid_argument on an empty dimension or zero
+  ///         repeats/length.
+  void validate() const;
+};
+
+/// Aggregated statistics for one grid cell (over the MC repeats).
+struct BatchCell {
+  std::size_t poly_index = 0;
+  double x = 0.0;
+  std::size_t stream_length = 0;
+  std::size_t repeats = 0;
+
+  double expected = 0.0;  ///< exact Bernstein value B(x)
+  double optical_mean = 0.0;
+  double optical_ci = 0.0;  ///< 95% CI half-width of the mean estimate
+  double optical_abs_error_mean = 0.0;
+  double optical_abs_error_ci = 0.0;
+  double electronic_abs_error_mean = 0.0;
+  double flip_rate_mean = 0.0;  ///< transmission flips per bit
+};
+
+/// Whole-batch outcome.
+struct BatchSummary {
+  std::vector<BatchCell> cells;  ///< polynomial-major, then x, then length
+  std::size_t tasks = 0;
+  std::size_t total_bits = 0;      ///< stream bits evaluated end to end
+  double optical_mae = 0.0;        ///< mean of per-cell optical error means
+  double electronic_mae = 0.0;     ///< same for the ReSC baseline
+  double worst_cell_error = 0.0;   ///< max per-cell optical error mean
+};
+
+/// Batch driver: owns the packed kernel snapshot and fans tasks across a
+/// thread pool.
+class BatchRunner {
+ public:
+  /// \throws std::invalid_argument if the circuit order exceeds the packed
+  ///         kernel limit.
+  explicit BatchRunner(const optsc::OpticalScCircuit& circuit);
+
+  [[nodiscard]] const PackedKernel& kernel() const noexcept { return kernel_; }
+
+  /// Run the request on an existing pool.
+  /// \throws std::invalid_argument on an invalid request or a polynomial
+  ///         order mismatch (surfaced from worker tasks).
+  [[nodiscard]] BatchSummary run(const BatchRequest& request,
+                                 ThreadPool& pool) const;
+
+  /// Convenience: run on a temporary pool of `threads` workers (0 picks
+  /// the hardware concurrency).
+  [[nodiscard]] BatchSummary run(const BatchRequest& request,
+                                 std::size_t threads = 0) const;
+
+ private:
+  PackedKernel kernel_;
+};
+
+/// Deterministic per-task seed stream: expands (master seed, task index,
+/// lane) through SplitMix64. Exposed for tests.
+[[nodiscard]] std::uint64_t derive_task_seed(std::uint64_t master,
+                                             std::size_t task_index,
+                                             std::uint64_t lane);
+
+}  // namespace oscs::engine

@@ -1,0 +1,202 @@
+#include "engine/packed_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "optsc/link_budget.hpp"
+#include "stochastic/wordops.hpp"
+
+namespace oscs::engine {
+
+namespace sc = oscs::stochastic;
+
+namespace {
+
+std::vector<bool> pattern_bits(std::uint32_t pattern, std::size_t count) {
+  std::vector<bool> bits(count, false);
+  for (std::size_t j = 0; j < count; ++j) bits[j] = (pattern >> j) & 1u;
+  return bits;
+}
+
+std::vector<bool> ones_prefix(std::size_t ones, std::size_t count) {
+  std::vector<bool> bits(count, false);
+  for (std::size_t j = 0; j < ones; ++j) bits[j] = true;
+  return bits;
+}
+
+}  // namespace
+
+PackedKernel::PackedKernel(const optsc::OpticalScCircuit& circuit)
+    : circuit_(&circuit), order_(circuit.order()) {
+  if (order_ > kMaxOrder) {
+    throw std::invalid_argument(
+        "PackedKernel: order " + std::to_string(order_) +
+        " exceeds the LUT limit " + std::to_string(kMaxOrder));
+  }
+  planes_ = static_cast<std::size_t>(std::bit_width(order_));
+
+  const optsc::LinkBudget budget(circuit, optsc::EyeModel::kPhysical);
+  const optsc::EyeAnalysis eye =
+      budget.analyze(circuit.params().lasers.probe_power_mw);
+  threshold_mw_ = eye.threshold_mw;
+  flip_p_ = std::clamp(eye.ber, 0.0, 0.5);
+
+  // Decision LUT: one noiseless slicer decision per reachable circuit
+  // state. The received power is evaluated through the very same
+  // OpticalScCircuit entry point the per-bit simulator uses, so the packed
+  // path is decision-for-decision identical with noise disabled.
+  const std::size_t patterns = std::size_t{1} << (order_ + 1);
+  decisions_.assign(patterns, 0);
+  mux_exact_ = true;
+  for (std::size_t p = 0; p < patterns; ++p) {
+    for (std::size_t k = 0; k <= order_; ++k) {
+      const bool bit = received_power_mw(static_cast<std::uint32_t>(p), k) >
+                       threshold_mw_;
+      if (bit) decisions_[p] |= 1u << k;
+      if (bit != (((p >> k) & 1u) != 0)) mux_exact_ = false;
+    }
+  }
+}
+
+bool PackedKernel::decision(std::uint32_t z_pattern, std::size_t ones) const {
+  if (z_pattern >= decisions_.size() || ones > order_) {
+    throw std::out_of_range("PackedKernel::decision: state out of range");
+  }
+  return (decisions_[z_pattern] >> ones) & 1u;
+}
+
+double PackedKernel::received_power_mw(std::uint32_t z_pattern,
+                                       std::size_t ones) const {
+  if (z_pattern >= (std::size_t{1} << (order_ + 1)) || ones > order_) {
+    throw std::out_of_range("PackedKernel::received_power_mw: out of range");
+  }
+  return circuit_->received_power_mw(
+      pattern_bits(z_pattern, order_ + 1), ones_prefix(ones, order_),
+      circuit_->params().lasers.probe_power_mw);
+}
+
+PackedKernel::Streams PackedKernel::evaluate(
+    const sc::ScInputs& inputs) const {
+  const std::size_t n = order_;
+  if (inputs.x_streams.size() != n || inputs.z_streams.size() != n + 1) {
+    throw std::invalid_argument("PackedKernel: stimulus shape mismatch");
+  }
+  const std::size_t length = inputs.length();
+  for (const sc::Bitstream& s : inputs.x_streams) {
+    if (s.size() != length) {
+      throw std::invalid_argument("PackedKernel: ragged x streams");
+    }
+  }
+  for (const sc::Bitstream& s : inputs.z_streams) {
+    if (s.size() != length) {
+      throw std::invalid_argument("PackedKernel: ragged z streams");
+    }
+  }
+
+  const std::size_t nwords = (length + 63) / 64;
+  std::vector<std::uint64_t> optical(nwords, 0);
+  std::vector<std::uint64_t> electronic(nwords, 0);
+
+  // kMaxOrder bounds every per-word scratch array.
+  std::array<std::uint64_t, kMaxOrder + 1> zw{};
+  std::array<std::uint64_t, kMaxOrder + 1> sel{};
+  constexpr std::size_t kMaxPlanes = std::bit_width(PackedKernel::kMaxOrder);
+  std::array<std::uint64_t, kMaxPlanes> planes{};
+
+  for (std::size_t w = 0; w < nwords; ++w) {
+    // 1. Carry-save adder over the x words: after the call, plane j holds
+    //    bit j of the per-lane ones count k(t).
+    planes.fill(0);
+    sc::accumulate_count_planes(inputs.x_streams, w, planes.data(), planes_);
+
+    for (std::size_t j = 0; j <= n; ++j) zw[j] = inputs.z_streams[j].word(w);
+
+    // 2. Bitwise equality k(t) == k gives the coefficient select masks.
+    for (std::size_t k = 0; k <= n; ++k) {
+      sel[k] = sc::count_equals_mask(planes.data(), planes_, k);
+    }
+
+    // 3. Ideal MUX word, then the optical decision word.
+    std::uint64_t mux_word = 0;
+    for (std::size_t k = 0; k <= n; ++k) mux_word |= sel[k] & zw[k];
+    electronic[w] = mux_word;
+
+    if (mux_exact_) {
+      optical[w] = mux_word;
+      continue;
+    }
+    std::uint64_t opt_word = 0;
+    for (std::size_t p = 0; p < decisions_.size(); ++p) {
+      const std::uint32_t dmask = decisions_[p];
+      if (dmask == 0) continue;
+      std::uint64_t zmask = ~std::uint64_t{0};
+      for (std::size_t j = 0; j <= n && zmask != 0; ++j) {
+        zmask &= ((p >> j) & 1u) ? zw[j] : ~zw[j];
+      }
+      if (zmask == 0) continue;
+      std::uint64_t decided = 0;
+      for (std::size_t k = 0; k <= n; ++k) {
+        if ((dmask >> k) & 1u) decided |= sel[k];
+      }
+      opt_word |= zmask & decided;
+    }
+    optical[w] = opt_word;
+  }
+
+  return {sc::Bitstream::from_words(std::move(optical), length),
+          sc::Bitstream::from_words(std::move(electronic), length)};
+}
+
+std::size_t PackedKernel::apply_noise_flips(sc::Bitstream& stream,
+                                            oscs::Xoshiro256& rng) const {
+  const double p = flip_p_;
+  if (p <= 0.0 || stream.empty()) return 0;
+  // Geometric gap sampling: the index of the next flipped bit advances by
+  // 1 + Geometric(p), so the cost scales with the number of flips (~p * N)
+  // rather than the stream length.
+  const double log_keep = std::log1p(-p);
+  std::size_t flips = 0;
+  std::size_t pos = 0;
+  for (;;) {
+    const double u = rng.uniform01();
+    const double gap = std::floor(std::log1p(-u) / log_keep);
+    if (gap >= static_cast<double>(stream.size() - pos)) break;
+    pos += static_cast<std::size_t>(gap);
+    stream.set_bit(pos, !stream.bit(pos));
+    ++flips;
+    ++pos;
+    if (pos >= stream.size()) break;
+  }
+  return flips;
+}
+
+PackedRunResult PackedKernel::run(const sc::BernsteinPoly& poly, double x,
+                                  const PackedRunConfig& config) const {
+  if (poly.degree() != order_) {
+    throw std::invalid_argument(
+        "PackedKernel: polynomial order does not match the circuit");
+  }
+  if (config.stream_length == 0) {
+    throw std::invalid_argument("PackedKernel: empty stream");
+  }
+  const sc::ScInputs inputs = sc::make_sc_inputs(
+      x, poly.coeffs(), order_, config.stream_length, config.stimulus);
+  Streams streams = evaluate(inputs);
+
+  PackedRunResult r;
+  r.length = config.stream_length;
+  if (config.noise_enabled) {
+    oscs::Xoshiro256 noise_rng(config.noise_seed);
+    r.noise_flips = apply_noise_flips(streams.optical, noise_rng);
+  }
+  r.optical_estimate = streams.optical.probability();
+  r.electronic_estimate = streams.electronic.probability();
+  r.transmission_flips = (streams.optical ^ streams.electronic).count_ones();
+  return r;
+}
+
+}  // namespace oscs::engine

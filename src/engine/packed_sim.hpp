@@ -1,0 +1,121 @@
+#pragma once
+/// \file packed_sim.hpp
+/// \brief Word-parallel evaluation kernel for the optical SC circuit.
+///
+/// The legacy TransientSimulator walks the stimulus one bit at a time and
+/// re-evaluates the Eq. (6) transmission physics per cycle. But the
+/// physics only depends on the *discrete* circuit state: the n+1
+/// coefficient bits z and the number of ones k among the n data bits (the
+/// identical MZIs make the pump level a function of k alone, Eq. 7). This
+/// kernel therefore precomputes the noiseless slicer decision for every
+/// reachable state once - 2^(n+1) * (n+1) received-power evaluations - and
+/// then evaluates whole streams 64 bits per uint64_t word:
+///
+///   1. the adder k(t) is computed for all 64 lanes at once with a
+///      carry-save bit-plane accumulation over the packed x words,
+///   2. per-coefficient select masks (k(t) == k) come out of the planes as
+///      bitwise equality tests,
+///   3. the ideal MUX output is OR_k(select_k & z_k); the optical decision
+///      stream is assembled the same way from the decision LUT (and when
+///      the LUT *is* the ideal MUX - an open eye at the operating point -
+///      the MUX word is reused directly),
+///   4. receiver noise is applied as sparse decision flips sampled from
+///      the analytic Eq. (9) transmission BER via geometric gap sampling,
+///      instead of drawing one Gaussian per bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "optsc/circuit.hpp"
+#include "stochastic/bernstein.hpp"
+#include "stochastic/bitstream.hpp"
+#include "stochastic/resc.hpp"
+
+namespace oscs::engine {
+
+/// Per-evaluation controls (mirrors optsc::SimulationConfig, minus the
+/// engine selector which lives at the simulator level).
+struct PackedRunConfig {
+  std::size_t stream_length = 1024;      ///< bits per evaluation
+  stochastic::ScInputConfig stimulus{};  ///< SNG kind / width / seed
+  bool noise_enabled = true;             ///< apply Eq. (9) decision flips
+  std::uint64_t noise_seed = 0x5EED;     ///< flip-mask RNG seed
+};
+
+/// Raw outcome of one packed evaluation.
+struct PackedRunResult {
+  double optical_estimate = 0.0;     ///< decoded from the optical stream
+  double electronic_estimate = 0.0;  ///< ReSC baseline on the same streams
+  std::size_t transmission_flips = 0;  ///< bits where the (noisy) optical
+                                       ///< decision differs from the ideal
+                                       ///< MUX output
+  std::size_t noise_flips = 0;  ///< flips injected by the noise model
+  std::size_t length = 0;
+};
+
+/// Word-parallel evaluation kernel bound to one circuit. Construction
+/// snapshots everything the hot loop needs (decision LUT, threshold,
+/// Eq. (9) BER); evaluation is const and safe to share across threads.
+class PackedKernel {
+ public:
+  /// Highest circuit order the LUT precomputation supports: the table has
+  /// 2^(order+1) coefficient patterns, each evaluated through the O(n^2)
+  /// Eq. (6) physics, so the build cost doubles per order step.
+  static constexpr std::size_t kMaxOrder = 12;
+
+  /// \throws std::invalid_argument if circuit.order() > kMaxOrder.
+  explicit PackedKernel(const optsc::OpticalScCircuit& circuit);
+
+  [[nodiscard]] std::size_t order() const noexcept { return order_; }
+  /// Mid-eye decision threshold [mW], physical-eye semantics (identical to
+  /// the legacy TransientSimulator placement).
+  [[nodiscard]] double threshold_mw() const noexcept { return threshold_mw_; }
+  /// Analytic Eq. (9) transmission BER at the circuit's probe power,
+  /// clamped to [0, 0.5] - the per-bit flip probability of the noise model.
+  [[nodiscard]] double flip_probability() const noexcept { return flip_p_; }
+  /// True when every noiseless decision equals the ideal MUX output (the
+  /// eye is open in every reachable state), enabling the fast path.
+  [[nodiscard]] bool mux_exact() const noexcept { return mux_exact_; }
+
+  /// Noiseless decision for coefficient pattern `z_pattern` (bit j = z_j)
+  /// and adder value `ones`.
+  [[nodiscard]] bool decision(std::uint32_t z_pattern, std::size_t ones) const;
+  /// Received power [mW] in the same state, recomputed from the circuit
+  /// snapshot (diagnostics/tests; not on the hot path).
+  [[nodiscard]] double received_power_mw(std::uint32_t z_pattern,
+                                         std::size_t ones) const;
+
+  /// Noiseless word-parallel pass over shared stimulus.
+  struct Streams {
+    stochastic::Bitstream optical;     ///< slicer decisions
+    stochastic::Bitstream electronic;  ///< ideal MUX output (ReSC baseline)
+  };
+  /// \throws std::invalid_argument on stimulus shape mismatch.
+  [[nodiscard]] Streams evaluate(const stochastic::ScInputs& inputs) const;
+
+  /// Flip each bit independently with probability flip_probability(),
+  /// visiting only flipped positions (geometric gap sampling). Returns the
+  /// number of flips applied.
+  std::size_t apply_noise_flips(stochastic::Bitstream& stream,
+                                oscs::Xoshiro256& rng) const;
+
+  /// Full evaluation: generate SNG stimulus, run the packed pass, apply
+  /// noise. Equivalent to the legacy per-bit simulation loop, word-wise.
+  /// \throws std::invalid_argument if the polynomial order mismatches.
+  [[nodiscard]] PackedRunResult run(const stochastic::BernsteinPoly& poly,
+                                    double x,
+                                    const PackedRunConfig& config) const;
+
+ private:
+  const optsc::OpticalScCircuit* circuit_;
+  std::size_t order_ = 0;
+  std::size_t planes_ = 0;  ///< bit-planes needed for adder values 0..n
+  double threshold_mw_ = 0.0;
+  double flip_p_ = 0.0;
+  bool mux_exact_ = false;
+  /// decisions_[p] bit k = noiseless decision for pattern p, adder k.
+  std::vector<std::uint32_t> decisions_;
+};
+
+}  // namespace oscs::engine

@@ -1,0 +1,60 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Fixed-size thread pool with a FIFO work queue - the execution
+///        substrate of the batch evaluation engine. Deliberately minimal:
+///        submit fire-and-forget jobs, then wait_idle() for a barrier.
+///        Determinism of batch results is achieved above the pool (each
+///        task derives its own seeds and writes its own output slot), so
+///        the pool needs no ordering guarantees beyond running every job.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oscs::engine {
+
+/// Fixed pool of worker threads consuming a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// \param threads worker count; 0 picks std::thread::hardware_concurrency
+  ///        (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue (pending jobs still run), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue one job. Thread-safe; may be called from worker threads.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished. If any job threw, the
+  /// first captured exception is rethrown here (subsequent ones are
+  /// dropped); the pool stays usable afterwards.
+  void wait_idle();
+
+  /// Jobs submitted but not yet finished (racy snapshot, for diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< signals workers: job or stop
+  std::condition_variable idle_cv_;   ///< signals waiters: all drained
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  ///< jobs queued or currently executing
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace oscs::engine

@@ -4,15 +4,24 @@
 #include <stdexcept>
 #include <vector>
 
+#include "engine/packed_sim.hpp"
+
 namespace oscs::optsc {
 
 namespace sc = oscs::stochastic;
 
 TransientSimulator::TransientSimulator(const OpticalScCircuit& circuit)
     : circuit_(&circuit) {
-  const LinkBudget budget(circuit, EyeModel::kPhysical);
-  threshold_mw_ =
-      budget.analyze(circuit.params().lasers.probe_power_mw).threshold_mw;
+  if (circuit.order() <= engine::PackedKernel::kMaxOrder) {
+    // The kernel snapshots the same physical-eye analysis; reuse its
+    // threshold instead of running the link budget a second time.
+    kernel_ = std::make_shared<const engine::PackedKernel>(circuit);
+    threshold_mw_ = kernel_->threshold_mw();
+  } else {
+    const LinkBudget budget(circuit, EyeModel::kPhysical);
+    threshold_mw_ =
+        budget.analyze(circuit.params().lasers.probe_power_mw).threshold_mw;
+  }
 }
 
 SimulationResult TransientSimulator::run(const sc::BernsteinPoly& poly,
@@ -26,7 +35,39 @@ SimulationResult TransientSimulator::run(const sc::BernsteinPoly& poly,
   if (config.stream_length == 0) {
     throw std::invalid_argument("TransientSimulator: empty stream");
   }
+  if (config.engine == SimEngine::kPacked && kernel_ != nullptr) {
+    return run_packed(poly, x, config);
+  }
+  return run_per_bit(poly, x, config);
+}
 
+SimulationResult TransientSimulator::run_packed(
+    const sc::BernsteinPoly& poly, double x,
+    const SimulationConfig& config) const {
+  engine::PackedRunConfig cfg;
+  cfg.stream_length = config.stream_length;
+  cfg.stimulus = config.stimulus;
+  cfg.noise_enabled = config.noise_enabled;
+  cfg.noise_seed = config.noise_seed;
+  const engine::PackedRunResult packed = kernel_->run(poly, x, cfg);
+
+  SimulationResult r;
+  r.input_x = x;
+  r.expected = poly(x);
+  r.optical_estimate = packed.optical_estimate;
+  r.electronic_estimate = packed.electronic_estimate;
+  r.optical_abs_error = std::abs(r.optical_estimate - r.expected);
+  r.electronic_abs_error = std::abs(r.electronic_estimate - r.expected);
+  r.transmission_flips = packed.transmission_flips;
+  r.threshold_mw = threshold_mw_;
+  r.length = config.stream_length;
+  return r;
+}
+
+SimulationResult TransientSimulator::run_per_bit(
+    const sc::BernsteinPoly& poly, double x,
+    const SimulationConfig& config) const {
+  const std::size_t n = circuit_->order();
   const sc::ScInputs inputs = sc::make_sc_inputs(
       x, poly.coeffs(), n, config.stream_length, config.stimulus);
   const sc::ReSCUnit electronic(poly);

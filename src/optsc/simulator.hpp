@@ -11,13 +11,30 @@
 ///        is the C++ equivalent at one sample per bit.)
 
 #include <cstdint>
+#include <memory>
 
 #include "optsc/circuit.hpp"
 #include "optsc/link_budget.hpp"
 #include "stochastic/bernstein.hpp"
 #include "stochastic/resc.hpp"
 
+namespace oscs::engine {
+class PackedKernel;
+}  // namespace oscs::engine
+
 namespace oscs::optsc {
+
+/// Which inner loop run() uses.
+enum class SimEngine {
+  /// Word-parallel packed kernel (engine/packed_sim.hpp): decisions come
+  /// from a precomputed state LUT 64 bits per word; receiver noise is
+  /// applied as Eq. (9) BER decision flips. The default.
+  kPacked,
+  /// Legacy reference loop: per-bit Eq. (6) physics with one Gaussian
+  /// noise draw per cycle. Kept as the validation baseline (and used
+  /// automatically when the circuit order exceeds the packed LUT limit).
+  kPerBit,
+};
 
 /// Simulation controls.
 struct SimulationConfig {
@@ -25,6 +42,7 @@ struct SimulationConfig {
   stochastic::ScInputConfig stimulus{};  ///< SNG kind / width / seed
   bool noise_enabled = true;             ///< add detector noise
   std::uint64_t noise_seed = 0x5EED;     ///< detector noise stream seed
+  SimEngine engine = SimEngine::kPacked; ///< inner-loop implementation
 };
 
 /// Outcome of one stochastic evaluation.
@@ -64,8 +82,18 @@ class TransientSimulator {
                                                 std::uint64_t seed) const;
 
  private:
+  [[nodiscard]] SimulationResult run_per_bit(
+      const stochastic::BernsteinPoly& poly, double x,
+      const SimulationConfig& config) const;
+  [[nodiscard]] SimulationResult run_packed(
+      const stochastic::BernsteinPoly& poly, double x,
+      const SimulationConfig& config) const;
+
   const OpticalScCircuit* circuit_;
   double threshold_mw_;
+  /// Shared so the simulator stays copyable; null when the circuit order
+  /// exceeds the packed kernel's LUT limit (per-bit fallback).
+  std::shared_ptr<const engine::PackedKernel> kernel_;
 };
 
 }  // namespace oscs::optsc

@@ -17,6 +17,24 @@ Bitstream::Bitstream(const std::vector<bool>& bits)
   }
 }
 
+Bitstream Bitstream::from_words(std::vector<std::uint64_t> words,
+                                std::size_t length) {
+  if (words.size() != words_for(length)) {
+    throw std::invalid_argument(
+        "Bitstream::from_words: expected " + std::to_string(words_for(length)) +
+        " words for " + std::to_string(length) + " bits, got " +
+        std::to_string(words.size()));
+  }
+  const std::size_t rem = length % 64;
+  if (rem != 0 && !words.empty()) {
+    words.back() &= (1ULL << rem) - 1ULL;
+  }
+  Bitstream out;
+  out.words_ = std::move(words);
+  out.size_ = length;
+  return out;
+}
+
 void Bitstream::check_index(std::size_t i) const {
   if (i >= size_) {
     throw std::out_of_range("Bitstream: index " + std::to_string(i) +

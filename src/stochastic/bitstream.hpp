@@ -22,8 +22,25 @@ class Bitstream {
   /// Build from explicit bits.
   explicit Bitstream(const std::vector<bool>& bits);
 
+  /// Bulk construction from packed 64-bit words (bit i of word w is stream
+  /// bit 64*w + i). `words` must hold exactly ceil(length/64) entries; any
+  /// bits past `length` in the last word are masked off.
+  /// \throws std::invalid_argument on a word-count mismatch.
+  [[nodiscard]] static Bitstream from_words(std::vector<std::uint64_t> words,
+                                            std::size_t length);
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Number of 64-bit words backing the stream (= ceil(size/64)).
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+  /// Read-only access to packed word `i`. Padding bits beyond size() in
+  /// the last word are always zero, so whole-word popcounts are exact.
+  [[nodiscard]] std::uint64_t word(std::size_t i) const {
+    return words_.at(i);
+  }
 
   [[nodiscard]] bool bit(std::size_t i) const;
   void set_bit(std::size_t i, bool value);

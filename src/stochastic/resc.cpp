@@ -1,9 +1,13 @@
 #include "stochastic/resc.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 #include "stochastic/bernstein.hpp"
+#include "stochastic/wordops.hpp"
 
 namespace oscs::stochastic {
 
@@ -51,13 +55,37 @@ Bitstream ReSCUnit::output_stream(const ScInputs& inputs) const {
   if (inputs.z_streams.size() != order() + 1) {
     throw std::invalid_argument("ReSCUnit: coefficient stream count mismatch");
   }
+  const std::size_t n = order();
   const std::size_t n_cycles = inputs.length();
-  Bitstream out(n_cycles);
-  for (std::size_t t = 0; t < n_cycles; ++t) {
-    const std::size_t k = inputs.select(t);
-    out.set_bit(t, inputs.z_streams[k].bit(t));
+  for (const Bitstream& s : inputs.x_streams) {
+    if (s.size() != n_cycles) {
+      throw std::invalid_argument("ReSCUnit: ragged x streams");
+    }
   }
-  return out;
+  for (const Bitstream& s : inputs.z_streams) {
+    if (s.size() != n_cycles) {
+      throw std::invalid_argument("ReSCUnit: ragged z streams");
+    }
+  }
+  // Word-parallel adder + MUX: a carry-save accumulation over the packed x
+  // words leaves bit j of the per-lane ones count in plane j; bitwise
+  // equality against each k then selects 64 coefficient bits at a time.
+  const std::size_t planes_needed =
+      static_cast<std::size_t>(std::bit_width(n));
+  std::vector<std::uint64_t> planes(planes_needed, 0);
+  const std::size_t n_words = (n_cycles + 63) / 64;
+  std::vector<std::uint64_t> out_words(n_words, 0);
+  for (std::size_t w = 0; w < n_words; ++w) {
+    std::fill(planes.begin(), planes.end(), 0);
+    accumulate_count_planes(inputs.x_streams, w, planes.data(), planes_needed);
+    std::uint64_t out = 0;
+    for (std::size_t k = 0; k <= n; ++k) {
+      out |= count_equals_mask(planes.data(), planes_needed, k) &
+             inputs.z_streams[k].word(w);
+    }
+    out_words[w] = out;
+  }
+  return Bitstream::from_words(std::move(out_words), n_cycles);
 }
 
 double ReSCUnit::evaluate(const ScInputs& inputs) const {

@@ -81,12 +81,21 @@ std::uint64_t Sng::threshold_for(double p) const noexcept {
 bool Sng::next_bit(double p) { return source_->next() < threshold_for(p); }
 
 Bitstream Sng::generate(double p, std::size_t length) {
-  Bitstream out(length);
   const std::uint64_t threshold = threshold_for(p);
+  // Pack comparator decisions 64 at a time into whole words: the batch
+  // engine consumes streams word-wise, and building words locally avoids a
+  // bounds-checked set_bit per bit.
+  std::vector<std::uint64_t> words((length + 63) / 64, 0);
+  std::uint64_t w = 0;
   for (std::size_t i = 0; i < length; ++i) {
-    out.set_bit(i, source_->next() < threshold);
+    w |= static_cast<std::uint64_t>(source_->next() < threshold) << (i % 64);
+    if ((i + 1) % 64 == 0) {
+      words[i / 64] = w;
+      w = 0;
+    }
   }
-  return out;
+  if (length % 64 != 0) words[length / 64] = w;
+  return Bitstream::from_words(std::move(words), length);
 }
 
 std::unique_ptr<RandomSource> make_source(SourceKind kind, unsigned width,

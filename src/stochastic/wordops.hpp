@@ -1,0 +1,45 @@
+#pragma once
+/// \file wordops.hpp
+/// \brief Word-parallel primitives shared by the electronic ReSC MUX and
+///        the engine's packed kernel: a carry-save population count across
+///        parallel bit-streams (64 lanes at a time) and the bitwise
+///        equality masks that turn the count planes into MUX selects.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stochastic/bitstream.hpp"
+
+namespace oscs::stochastic {
+
+/// Carry-save accumulate word `w` of every stream into `plane_count` bit
+/// planes: afterwards, bit t of planes[j] is bit j of the ones count over
+/// the streams at lane t. `plane_count` must satisfy
+/// streams.size() < 2^plane_count (e.g. bit_width(streams.size())) so the
+/// final carry is always absorbed; planes must be zeroed by the caller.
+inline void accumulate_count_planes(const std::vector<Bitstream>& streams,
+                                    std::size_t w, std::uint64_t* planes,
+                                    std::size_t plane_count) {
+  for (const Bitstream& stream : streams) {
+    std::uint64_t carry = stream.word(w);
+    for (std::size_t j = 0; j < plane_count && carry != 0; ++j) {
+      const std::uint64_t overflow = planes[j] & carry;
+      planes[j] ^= carry;
+      carry = overflow;
+    }
+  }
+}
+
+/// Bitwise equality against the count planes: bit t of the result is set
+/// iff the lane-t count equals `value`.
+[[nodiscard]] inline std::uint64_t count_equals_mask(
+    const std::uint64_t* planes, std::size_t plane_count, std::size_t value) {
+  std::uint64_t mask = ~std::uint64_t{0};
+  for (std::size_t j = 0; j < plane_count; ++j) {
+    mask &= ((value >> j) & 1u) ? planes[j] : ~planes[j];
+  }
+  return mask;
+}
+
+}  // namespace oscs::stochastic

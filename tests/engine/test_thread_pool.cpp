@@ -1,0 +1,84 @@
+#include "engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace oscs::engine {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleIsReusableBetweenWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int wave = 1; wave <= 3; ++wave) {
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 10 * wave);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing submitted: must not deadlock
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, FirstWorkerExceptionIsRethrownAndPoolSurvives) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("job failed"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error slot is cleared and the workers keep serving jobs.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, WorkersCanSubmitFollowUpJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&pool, &counter] {
+    ++counter;
+    pool.submit([&counter] { ++counter; });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace oscs::engine

@@ -69,6 +69,47 @@ TEST(BitstreamTest, OpsRejectLengthMismatch) {
   EXPECT_THROW(a ^ b, std::invalid_argument);
 }
 
+TEST(BitstreamTest, WordAccessorsExposePackedRepresentation) {
+  Bitstream s(130);  // 3 words, last one 2 bits wide
+  EXPECT_EQ(s.word_count(), 3u);
+  s.set_bit(0, true);
+  s.set_bit(65, true);
+  s.set_bit(129, true);
+  EXPECT_EQ(s.word(0), 1ULL);
+  EXPECT_EQ(s.word(1), 2ULL);
+  EXPECT_EQ(s.word(2), 2ULL);
+  EXPECT_THROW(s.word(3), std::out_of_range);
+  EXPECT_EQ(Bitstream{}.word_count(), 0u);
+}
+
+TEST(BitstreamTest, FromWordsRoundTripsAtNonMultipleOf64Lengths) {
+  for (std::size_t len : {1u, 63u, 64u, 65u, 100u, 128u, 130u}) {
+    Bitstream ref(len);
+    for (std::size_t i = 0; i < len; i += 3) ref.set_bit(i, true);
+    std::vector<std::uint64_t> words;
+    for (std::size_t w = 0; w < ref.word_count(); ++w) {
+      words.push_back(ref.word(w));
+    }
+    EXPECT_EQ(Bitstream::from_words(words, len), ref) << len;
+  }
+}
+
+TEST(BitstreamTest, FromWordsMasksTailBits) {
+  // 70-bit stream built from words whose padding region is all ones: the
+  // tail must be cleared so popcount-based estimates stay exact.
+  const Bitstream s = Bitstream::from_words({~0ULL, ~0ULL}, 70);
+  EXPECT_EQ(s.size(), 70u);
+  EXPECT_EQ(s.count_ones(), 70u);
+  EXPECT_EQ(s.word(1), (1ULL << 6) - 1ULL);
+  EXPECT_THROW(s.bit(70), std::out_of_range);
+}
+
+TEST(BitstreamTest, FromWordsRejectsWordCountMismatch) {
+  EXPECT_THROW(Bitstream::from_words({0, 0}, 64), std::invalid_argument);
+  EXPECT_THROW(Bitstream::from_words({}, 1), std::invalid_argument);
+  EXPECT_EQ(Bitstream::from_words({}, 0), Bitstream{});
+}
+
 TEST(MuxTest, SelectsPerBit) {
   const Bitstream sel(std::vector<bool>{1, 0, 1, 0});
   const Bitstream a(std::vector<bool>{1, 1, 0, 0});

@@ -107,6 +107,19 @@ TEST(ReSCUnit, AccuracyImprovesWithStreamLength) {
   EXPECT_LT(long_err, 0.02);
 }
 
+TEST(ReSCUnit, RejectsRaggedStimulusStreams) {
+  // A shorter z stream shares the word count of the others, so the
+  // word-parallel MUX would silently read its zero padding as data; the
+  // shape check has to reject it up front.
+  const ReSCUnit unit(BernsteinPoly({0.25, 0.5, 0.75}));
+  ScInputs in = make_sc_inputs(0.5, {0.25, 0.5, 0.75}, 2, 100);
+  in.z_streams[1] = Bitstream(70);
+  EXPECT_THROW((void)unit.output_stream(in), std::invalid_argument);
+  in = make_sc_inputs(0.5, {0.25, 0.5, 0.75}, 2, 100);
+  in.x_streams[0] = Bitstream(70);
+  EXPECT_THROW((void)unit.output_stream(in), std::invalid_argument);
+}
+
 TEST(ReSCUnit, CorrelatedInputStreamsBreakTheArchitecture) {
   // The classic SC hazard the SNG design must avoid: if the n data
   // streams are the *same* stream, the adder only ever outputs 0 or n,
