@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -134,6 +136,40 @@ int main(int argc, char** argv) {
   bench::note(
       "scaling is bounded by the hardware thread count above; per-task "
       "results are bit-identical for every thread count");
+
+  // Machine-readable roll-up for CI / tracking dashboards.
+  {
+    std::string json = "{\n";
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"stream_length\": %zu,\n  \"trials\": %ld,\n"
+                  "  \"speedup_target\": 8.0,\n  \"speedup\": %.6g,\n",
+                  length, trials, speedup);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"legacy_us_per_eval\": %.6g,\n"
+                  "  \"packed_us_per_eval\": %.6g,\n"
+                  "  \"packed_mbit_per_s\": %.6g,\n",
+                  t_legacy * 1e6, t_packed * 1e6, bits / t_packed / 1e6);
+    json += buf;
+    std::snprintf(buf, sizeof(buf), "  \"hardware_threads\": %u,\n",
+                  std::thread::hardware_concurrency());
+    json += buf;
+    json += "  \"scaling\": [";
+    for (std::size_t r = 0; r < scaling.rows(); ++r) {
+      json += (r == 0) ? "\n" : ",\n";
+      json += "    {\"threads\": " + scaling.at(r, 0) +
+              ", \"seconds\": " + scaling.at(r, 1) +
+              ", \"tasks_per_s\": " + scaling.at(r, 2) +
+              ", \"speedup_vs_1\": " + scaling.at(r, 3) + "}";
+    }
+    json += "\n  ],\n";
+    json += std::string("  \"pass\": ") + (speedup >= 8.0 ? "true" : "false") +
+            "\n}\n";
+    std::ofstream out("BENCH_engine.json");
+    out << json;
+    bench::note("machine-readable summary written to BENCH_engine.json");
+  }
 
   std::printf("  (checksum %.3f)\n", checksum);
   std::printf("\n  %s: packed kernel speedup %.1fx (target 8x)\n",

@@ -1,0 +1,62 @@
+#include "compile/cache.hpp"
+
+#include <stdexcept>
+
+namespace oscs::compile {
+
+ProgramCache::ProgramCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ProgramCache: capacity must be positive");
+  }
+}
+
+std::shared_ptr<const CompiledProgram> ProgramCache::get(
+    const ProgramKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ProgramCache::put(const ProgramKey& key,
+                       std::shared_ptr<const CompiledProgram> program) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(program);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(program));
+  index_.emplace(key, lru_.begin());
+  ++stats_.inserts;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats{};
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace oscs::compile

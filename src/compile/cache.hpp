@@ -1,0 +1,62 @@
+#pragma once
+/// \file cache.hpp
+/// \brief LRU program cache keyed by (function id, degree cap, SNG width).
+///        A hit returns the shared compiled program and skips the whole
+///        projection/quantization/codegen/certification pipeline - the
+///        serving-path optimization for repeated compile requests.
+///        Thread-safe: one mutex guards the list + index (compilation
+///        itself happens outside the lock).
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "compile/program.hpp"
+
+namespace oscs::compile {
+
+/// Bounded LRU map from ProgramKey to shared CompiledProgram.
+class ProgramCache {
+ public:
+  /// \throws std::invalid_argument if capacity is zero.
+  explicit ProgramCache(std::size_t capacity = 16);
+
+  /// Lookup; promotes the entry to most-recently-used. Returns nullptr on
+  /// a miss.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> get(
+      const ProgramKey& key);
+
+  /// Insert (or replace) an entry as most-recently-used, evicting the
+  /// least-recently-used entry when over capacity. Shared pointers held by
+  /// callers keep evicted programs alive.
+  void put(const ProgramKey& key,
+           std::shared_ptr<const CompiledProgram> program);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+  /// Monotonic counters since construction (or the last clear()).
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t inserts = 0;
+    std::size_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  using Entry = std::pair<ProgramKey, std::shared_ptr<const CompiledProgram>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<ProgramKey, std::list<Entry>::iterator, ProgramKeyHash>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace oscs::compile

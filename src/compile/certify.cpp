@@ -1,0 +1,82 @@
+#include "compile/certify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "engine/batch.hpp"
+
+namespace oscs::compile {
+
+namespace eng = oscs::engine;
+
+void CertificationOptions::validate() const {
+  if (stream_length == 0) {
+    throw std::invalid_argument("CertificationOptions: zero stream length");
+  }
+  if (repeats == 0) {
+    throw std::invalid_argument("CertificationOptions: zero repeats");
+  }
+  if (grid_points == 0) {
+    throw std::invalid_argument("CertificationOptions: zero grid points");
+  }
+}
+
+Certification certify(const CompiledProgram& program,
+                      const std::function<double(double)>& reference,
+                      const CertificationOptions& options) {
+  options.validate();
+
+  eng::BatchRequest request;
+  request.polynomials.push_back(program.poly());
+  request.xs.reserve(options.grid_points);
+  for (std::size_t i = 1; i <= options.grid_points; ++i) {
+    request.xs.push_back(static_cast<double>(i) /
+                         static_cast<double>(options.grid_points + 1));
+  }
+  request.stream_lengths = {options.stream_length};
+  request.repeats = options.repeats;
+  request.seed = options.seed;
+  request.source_kind = options.source_kind;
+  request.sng_width = program.key().width;
+  request.noise_enabled = options.noise_enabled;
+
+  // Reuse the program's prebuilt kernel: certification shares the decision
+  // LUT codegen already paid for.
+  const eng::BatchRunner runner(program.kernel());
+  const eng::BatchSummary summary = runner.run(request, options.threads);
+
+  Certification cert;
+  cert.stream_length = options.stream_length;
+  cert.repeats = options.repeats;
+  cert.grid_points = options.grid_points;
+  cert.noise_enabled = options.noise_enabled;
+
+  // Per-cell error versus the double-precision reference. The cells carry
+  // the MC mean and its CI; the MAE CI follows by independence of the
+  // per-cell estimates: CI(mean of means) = sqrt(sum ci_i^2) / N.
+  double ci_sq_sum = 0.0;
+  for (const eng::BatchCell& cell : summary.cells) {
+    const double ref = reference(cell.x);
+    const double err = std::abs(cell.optical_mean - ref);
+    cert.mc_mae += err;
+    cert.mc_worst = std::max(cert.mc_worst, err);
+    ci_sq_sum += cell.optical_ci * cell.optical_ci;
+  }
+  const auto n = static_cast<double>(summary.cells.size());
+  cert.mc_mae /= n;
+  cert.mc_mae_ci = std::sqrt(ci_sq_sum) / n;
+  cert.electronic_mae = summary.electronic_mae;
+
+  // Deterministic pipeline error (projection + quantization), sampled on a
+  // dense grid - the floor the MC estimate converges to as streams grow.
+  constexpr std::size_t kDenseSamples = 512;
+  for (std::size_t s = 0; s <= kDenseSamples; ++s) {
+    const double x = static_cast<double>(s) / kDenseSamples;
+    cert.approx_max_error = std::max(
+        cert.approx_max_error, std::abs(program.poly()(x) - reference(x)));
+  }
+  return cert;
+}
+
+}  // namespace oscs::compile

@@ -1,0 +1,41 @@
+#pragma once
+/// \file certify.hpp
+/// \brief Certification stage of the function compiler: run a compiled
+///        program through the BatchRunner Monte-Carlo engine and measure
+///        its empirical accuracy against the double-precision reference
+///        function - an MAE with a 95% confidence interval over an x grid,
+///        plus the deterministic approximation-error component.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "compile/program.hpp"
+#include "stochastic/sng.hpp"
+
+namespace oscs::compile {
+
+/// Controls for the Monte-Carlo certification run.
+struct CertificationOptions {
+  std::size_t stream_length = 4096;  ///< bits per evaluation
+  std::size_t repeats = 16;          ///< MC repeats per grid point
+  std::size_t grid_points = 9;       ///< interior x grid: i/(grid_points+1)
+  std::uint64_t seed = 0xCE47;       ///< master seed (deterministic result)
+  stochastic::SourceKind source_kind = stochastic::SourceKind::kLfsr;
+  bool noise_enabled = true;  ///< apply the Eq. (9) receiver noise model
+  std::size_t threads = 0;    ///< BatchRunner workers (0 = hardware)
+
+  /// \throws std::invalid_argument on a zero dimension.
+  void validate() const;
+};
+
+/// Certify `program` against `reference` (the original double(double)
+/// function). Deterministic for a fixed seed and any thread count, per the
+/// BatchRunner contract.
+/// \throws std::invalid_argument on invalid options.
+[[nodiscard]] Certification certify(
+    const CompiledProgram& program,
+    const std::function<double(double)>& reference,
+    const CertificationOptions& options = {});
+
+}  // namespace oscs::compile

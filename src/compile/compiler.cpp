@@ -1,0 +1,101 @@
+#include "compile/compiler.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace oscs::compile {
+
+namespace {
+
+std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t digest_mix(std::uint64_t h, double v) {
+  return digest_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+ProgramKey make_program_key(const std::string& function_id,
+                            const CompileOptions& options) {
+  std::uint64_t digest = 0;
+  digest = digest_mix(digest, options.projection.min_degree);
+  digest = digest_mix(digest, options.projection.target_max_error);
+  digest = digest_mix(digest, options.projection.error_samples);
+  digest = digest_mix(digest, options.projection.quadrature_points);
+  digest = digest_mix(digest, std::uint64_t{options.certify ? 1 : 0});
+  if (options.certify) {
+    digest = digest_mix(digest, options.certification.stream_length);
+    digest = digest_mix(digest, options.certification.repeats);
+    digest = digest_mix(digest, options.certification.grid_points);
+    digest = digest_mix(digest, options.certification.seed);
+    digest = digest_mix(
+        digest, static_cast<std::uint64_t>(options.certification.source_kind));
+    digest = digest_mix(
+        digest, std::uint64_t{options.certification.noise_enabled ? 1 : 0});
+  }
+  return ProgramKey{function_id, options.projection.max_degree,
+                    options.sng_width, digest};
+}
+
+std::shared_ptr<const CompiledProgram> compile_function(
+    const std::string& function_id, const std::function<double(double)>& f,
+    const CompileOptions& options) {
+  ProjectionResult projection = project(f, options.projection);
+  QuantizationResult quantized =
+      quantize(projection.poly, options.sng_width);
+  ProgramKey key = make_program_key(function_id, options);
+  auto program = std::make_shared<CompiledProgram>(
+      std::move(key), std::move(projection), std::move(quantized));
+  if (options.certify) {
+    program->attach_certification(certify(*program, f, options.certification));
+  }
+  return program;
+}
+
+Compiler::Compiler(CompileOptions defaults, std::size_t cache_capacity)
+    : defaults_(std::move(defaults)), cache_(cache_capacity) {}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile(
+    const std::string& function_id, const std::function<double(double)>& f) {
+  return compile(function_id, f, defaults_);
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile(
+    const std::string& function_id, const std::function<double(double)>& f,
+    const CompileOptions& options) {
+  const ProgramKey key = make_program_key(function_id, options);
+  if (std::shared_ptr<const CompiledProgram> hit = cache_.get(key)) {
+    return hit;
+  }
+  // Pipeline runs outside the cache lock; concurrent misses on the same
+  // key duplicate work once and the last insert wins - acceptable for a
+  // pure value cache.
+  std::shared_ptr<const CompiledProgram> program =
+      compile_function(function_id, f, options);
+  cache_.put(key, program);
+  return program;
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile(
+    const RegistryFunction& fn) {
+  CompileOptions options = defaults_;
+  options.projection.max_degree = fn.degree;
+  return compile(fn.id, fn.f, options);
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile(
+    const std::string& function_id) {
+  const RegistryFunction* fn = find_function(function_id);
+  if (fn == nullptr) {
+    throw std::invalid_argument("Compiler: unknown registry function '" +
+                                function_id + "'");
+  }
+  return compile(*fn);
+}
+
+}  // namespace oscs::compile

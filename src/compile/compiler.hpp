@@ -1,0 +1,81 @@
+#pragma once
+/// \file compiler.hpp
+/// \brief The function-to-Bernstein compiler facade. One call runs the
+///        whole pipeline - projection (degree auto-selection + bound-
+///        constrained least squares), quantization to the SNG grid,
+///        codegen (circuit + packed kernel), Monte-Carlo certification -
+///        and memoizes the result in an LRU program cache keyed by
+///        (function id, degree cap, SNG width), so repeated requests are
+///        served without re-solving.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "compile/cache.hpp"
+#include "compile/certify.hpp"
+#include "compile/fit.hpp"
+#include "compile/program.hpp"
+#include "compile/registry.hpp"
+
+namespace oscs::compile {
+
+/// Per-request (and compiler-default) pipeline controls.
+struct CompileOptions {
+  ProjectionOptions projection{};
+  unsigned sng_width = 16;  ///< quantization / SNG resolution [bits]
+  bool certify = true;      ///< run the MC certification stage
+  CertificationOptions certification{};
+};
+
+/// Cache key for a request: (function id, degree cap, SNG width) plus a
+/// digest of every other option that changes the compiled program, so
+/// option drift between requests can never serve a stale hit.
+[[nodiscard]] ProgramKey make_program_key(const std::string& function_id,
+                                          const CompileOptions& options);
+
+/// Thread-safe compile service with a program cache.
+class Compiler {
+ public:
+  /// \throws std::invalid_argument on zero cache capacity.
+  explicit Compiler(CompileOptions defaults = {},
+                    std::size_t cache_capacity = 16);
+
+  /// Compile `f` under the given cache id with the compiler defaults.
+  /// A cache hit (same id, degree cap, width) skips the whole pipeline.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile(
+      const std::string& function_id, const std::function<double(double)>& f);
+
+  /// Same, with per-request options.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile(
+      const std::string& function_id, const std::function<double(double)>& f,
+      const CompileOptions& options);
+
+  /// Compile a registry entry; its recommended degree becomes the degree
+  /// cap.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile(
+      const RegistryFunction& fn);
+
+  /// Compile a registry entry by id.
+  /// \throws std::invalid_argument on an unknown id.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile(
+      const std::string& function_id);
+
+  [[nodiscard]] const CompileOptions& defaults() const noexcept {
+    return defaults_;
+  }
+  [[nodiscard]] ProgramCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const ProgramCache& cache() const noexcept { return cache_; }
+
+ private:
+  CompileOptions defaults_;
+  ProgramCache cache_;
+};
+
+/// Uncached single-shot pipeline run (projection -> quantization ->
+/// codegen -> optional certification). The building block Compiler wraps.
+[[nodiscard]] std::shared_ptr<const CompiledProgram> compile_function(
+    const std::string& function_id, const std::function<double(double)>& f,
+    const CompileOptions& options = {});
+
+}  // namespace oscs::compile

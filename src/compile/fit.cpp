@@ -1,0 +1,153 @@
+#include "compile/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/linalg.hpp"
+#include "common/quadrature.hpp"
+
+namespace oscs::compile {
+
+namespace sc = oscs::stochastic;
+
+void ProjectionOptions::validate() const {
+  if (min_degree > max_degree) {
+    throw std::invalid_argument("ProjectionOptions: min_degree > max_degree");
+  }
+  if (error_samples < 2) {
+    throw std::invalid_argument("ProjectionOptions: need >= 2 error samples");
+  }
+  if (quadrature_points == 0) {
+    throw std::invalid_argument("ProjectionOptions: zero quadrature points");
+  }
+  if (!(target_max_error > 0.0)) {
+    throw std::invalid_argument(
+        "ProjectionOptions: target_max_error must be positive");
+  }
+}
+
+namespace {
+
+enum class BoundState { kFree, kAtLower, kAtUpper };
+
+/// Re-solve the normal equations over the free coefficients only, with the
+/// bound-fixed ones folded into the right-hand side. One active-set
+/// descent pass: coefficients never leave a bound once pinned, which
+/// terminates in at most dim rounds and is exact whenever at most one
+/// constraint binds (the common case for well-scaled targets).
+std::vector<double> solve_with_bounds(const oscs::Matrix& gram,
+                                      const std::vector<double>& rhs,
+                                      std::vector<BoundState>& state) {
+  const std::size_t dim = rhs.size();
+  std::vector<double> coeffs(dim, 0.0);
+  for (std::size_t round = 0; round <= dim; ++round) {
+    std::vector<std::size_t> free_idx;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (state[i] == BoundState::kFree) free_idx.push_back(i);
+      coeffs[i] = (state[i] == BoundState::kAtUpper) ? 1.0 : 0.0;
+    }
+    if (!free_idx.empty()) {
+      oscs::Matrix sub(free_idx.size(), free_idx.size());
+      std::vector<double> sub_rhs(free_idx.size(), 0.0);
+      for (std::size_t a = 0; a < free_idx.size(); ++a) {
+        double r = rhs[free_idx[a]];
+        for (std::size_t j = 0; j < dim; ++j) {
+          if (state[j] == BoundState::kAtUpper) {
+            r -= gram(free_idx[a], j);  // fixed value 1.0
+          }
+        }
+        sub_rhs[a] = r;
+        for (std::size_t b = 0; b < free_idx.size(); ++b) {
+          sub(a, b) = gram(free_idx[a], free_idx[b]);
+        }
+      }
+      const std::vector<double> sub_sol = oscs::cholesky_solve(sub, sub_rhs);
+      for (std::size_t a = 0; a < free_idx.size(); ++a) {
+        coeffs[free_idx[a]] = sub_sol[a];
+      }
+    }
+    bool violated = false;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (state[i] != BoundState::kFree) continue;
+      if (coeffs[i] < 0.0) {
+        state[i] = BoundState::kAtLower;
+        violated = true;
+      } else if (coeffs[i] > 1.0) {
+        state[i] = BoundState::kAtUpper;
+        violated = true;
+      }
+    }
+    if (!violated) break;
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (state[i] == BoundState::kAtLower) coeffs[i] = 0.0;
+    if (state[i] == BoundState::kAtUpper) coeffs[i] = 1.0;
+  }
+  return coeffs;
+}
+
+}  // namespace
+
+ProjectionResult project_at_degree(const std::function<double(double)>& f,
+                                   std::size_t degree,
+                                   const ProjectionOptions& options) {
+  options.validate();
+  const oscs::Matrix gram = sc::bernstein_gram(degree);
+  const std::vector<double> rhs =
+      sc::bernstein_moments(f, degree, options.quadrature_points);
+
+  const std::vector<double> unconstrained = oscs::cholesky_solve(gram, rhs);
+  double gap = 0.0;
+  for (double b : unconstrained) {
+    gap = std::max(gap, std::max(-b, b - 1.0));
+  }
+  gap = std::max(gap, 0.0);
+
+  ProjectionResult result;
+  result.degree = degree;
+  result.feasibility_gap = gap;
+  result.clamped = gap > 0.0;
+  if (!result.clamped) {
+    result.poly = sc::BernsteinPoly(unconstrained);
+  } else {
+    std::vector<BoundState> state(unconstrained.size(), BoundState::kFree);
+    result.poly = sc::BernsteinPoly(solve_with_bounds(gram, rhs, state));
+  }
+
+  const std::size_t samples = options.error_samples;
+  double max_err = 0.0;
+  for (std::size_t s = 0; s <= samples; ++s) {
+    const double x = static_cast<double>(s) / static_cast<double>(samples);
+    max_err = std::max(max_err, std::abs(f(x) - result.poly(x)));
+  }
+  result.max_error = max_err;
+  result.l2_error = std::sqrt(std::max(
+      0.0, oscs::integrate_gl(
+               [&](double x) {
+                 const double e = f(x) - result.poly(x);
+                 return e * e;
+               },
+               0.0, 1.0, options.quadrature_points)));
+  result.target_met = result.max_error <= options.target_max_error;
+  return result;
+}
+
+ProjectionResult project(const std::function<double(double)>& f,
+                         const ProjectionOptions& options) {
+  options.validate();
+  ProjectionResult best;
+  bool have_best = false;
+  for (std::size_t n = options.min_degree; n <= options.max_degree; ++n) {
+    ProjectionResult r = project_at_degree(f, n, options);
+    if (r.target_met) return r;
+    if (!have_best || r.max_error < best.max_error) {
+      best = std::move(r);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace oscs::compile

@@ -1,0 +1,62 @@
+#pragma once
+/// \file fit.hpp
+/// \brief Projection stage of the function compiler: continuous
+///        least-squares fit of an arbitrary f: [0,1] -> R onto the
+///        Bernstein basis, with automatic degree selection (grow the
+///        degree until a target sup-norm error is met or a cap is hit)
+///        and a bound-constrained solve that keeps every coefficient in
+///        [0,1] - the condition for a stochastic implementation. When the
+///        constraint binds, the solve re-optimizes the free coefficients
+///        (active-set descent) instead of plain clamping, and reports the
+///        feasibility gap of the unconstrained optimum.
+
+#include <cstddef>
+#include <functional>
+
+#include "stochastic/bernstein.hpp"
+
+namespace oscs::compile {
+
+/// Controls for the projection stage.
+struct ProjectionOptions {
+  std::size_t min_degree = 1;  ///< first degree tried
+  std::size_t max_degree = 6;  ///< degree cap (ReSC hardware order budget)
+  /// Degree growth stops once the estimated sup-norm error of the
+  /// constrained fit drops to or below this.
+  double target_max_error = 0.01;
+  std::size_t error_samples = 512;     ///< sup-norm estimation grid density
+  std::size_t quadrature_points = 64;  ///< Gauss-Legendre nodes for moments
+
+  /// \throws std::invalid_argument on an empty degree range or
+  ///         non-positive sample counts.
+  void validate() const;
+};
+
+/// Outcome of one projection (fixed degree or auto-selected).
+struct ProjectionResult {
+  stochastic::BernsteinPoly poly{std::vector<double>{0.0}};  ///< constrained
+  std::size_t degree = 0;
+  double max_error = 0.0;  ///< sup-norm estimate of f - poly over [0,1]
+  double l2_error = 0.0;   ///< continuous L2 norm of f - poly
+  /// How far the *unconstrained* least-squares optimum leaves [0,1]
+  /// (max over coefficients of the distance to the box). Zero when the
+  /// function is representable without constraint distortion.
+  double feasibility_gap = 0.0;
+  bool clamped = false;     ///< the [0,1] constraint was binding
+  bool target_met = false;  ///< max_error <= target_max_error
+};
+
+/// Bound-constrained continuous least-squares fit at one fixed degree.
+/// \throws std::invalid_argument on invalid options.
+[[nodiscard]] ProjectionResult project_at_degree(
+    const std::function<double(double)>& f, std::size_t degree,
+    const ProjectionOptions& options = {});
+
+/// Degree auto-selection: fit at min_degree..max_degree, returning the
+/// first degree meeting target_max_error, or the best fit found when none
+/// does (target_met = false).
+/// \throws std::invalid_argument on invalid options.
+[[nodiscard]] ProjectionResult project(const std::function<double(double)>& f,
+                                       const ProjectionOptions& options = {});
+
+}  // namespace oscs::compile

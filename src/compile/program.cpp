@@ -1,0 +1,50 @@
+#include "compile/program.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "optsc/defaults.hpp"
+
+namespace oscs::compile {
+
+std::size_t ProgramKeyHash::operator()(const ProgramKey& key) const noexcept {
+  std::size_t h = std::hash<std::string>{}(key.function_id);
+  // Boost-style hash combine.
+  h ^= std::hash<std::size_t>{}(key.degree) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<unsigned>{}(key.width) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<std::uint64_t>{}(key.options_digest) + 0x9E3779B97F4A7C15ULL +
+       (h << 6) + (h >> 2);
+  return h;
+}
+
+CompiledProgram::CompiledProgram(ProgramKey key, ProjectionResult projection,
+                                 QuantizationResult quantization)
+    : key_(std::move(key)),
+      projection_(std::move(projection)),
+      quantization_(std::move(quantization)),
+      run_poly_(quantization_.poly) {
+  if (run_poly_.degree() == 0) {
+    // The circuit needs at least one data channel; elevation duplicates
+    // the single coefficient, so both z streams encode the same quantized
+    // level and the comparator grid is preserved exactly.
+    run_poly_ = run_poly_.elevated();
+  }
+  if (run_poly_.degree() > engine::PackedKernel::kMaxOrder) {
+    throw std::invalid_argument(
+        "CompiledProgram: degree exceeds the packed-kernel order limit");
+  }
+  circuit_ = std::make_shared<optsc::OpticalScCircuit>(
+      optsc::paper_defaults(run_poly_.degree()));
+  // The kernel keeps a raw pointer into the circuit (for the diagnostics
+  // path), so its deleter captures the circuit handle: a kernel reference
+  // that outlives this program keeps the circuit alive too.
+  kernel_ = std::shared_ptr<const engine::PackedKernel>(
+      new engine::PackedKernel(*circuit_),
+      [circuit = circuit_](const engine::PackedKernel* kernel) {
+        delete kernel;
+      });
+}
+
+}  // namespace oscs::compile

@@ -1,0 +1,130 @@
+#pragma once
+/// \file program.hpp
+/// \brief Codegen stage of the function compiler: a CompiledProgram binds
+///        the quantized coefficient vector to an order-matched optical
+///        circuit with a prebuilt packed kernel, ready to run through
+///        PackedKernel::run / BatchRunner with no further setup. Programs
+///        are immutable once certified and shared by const pointer out of
+///        the program cache.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "compile/fit.hpp"
+#include "compile/quantize.hpp"
+#include "engine/packed_sim.hpp"
+#include "optsc/circuit.hpp"
+
+namespace oscs::compile {
+
+/// Cache identity of a compiled program: the function's registry id, the
+/// requested degree cap and the SNG resolution, plus a digest of the
+/// remaining pipeline options (projection tolerances, certification
+/// settings) so a cache hit is only ever served for a request that would
+/// compile the identical program.
+struct ProgramKey {
+  std::string function_id;
+  std::size_t degree = 6;  ///< requested degree cap (projection max_degree)
+  unsigned width = 16;     ///< SNG resolution [bits]
+  std::uint64_t options_digest = 0;  ///< hash of the remaining options
+
+  bool operator==(const ProgramKey&) const = default;
+};
+
+/// Hash for unordered containers keyed by ProgramKey.
+struct ProgramKeyHash {
+  [[nodiscard]] std::size_t operator()(const ProgramKey& key) const noexcept;
+};
+
+/// Empirical accuracy certificate: a BatchRunner Monte-Carlo run of the
+/// program compared against the double-precision reference function.
+struct Certification {
+  std::size_t stream_length = 0;  ///< bits per evaluation
+  std::size_t repeats = 0;        ///< MC repeats per grid point
+  std::size_t grid_points = 0;    ///< x grid size
+  bool noise_enabled = true;      ///< Eq. (9) receiver noise applied
+  double mc_mae = 0.0;     ///< mean over grid of |optical mean - f(x)|
+  double mc_mae_ci = 0.0;  ///< 95% CI half-width on mc_mae
+  double mc_worst = 0.0;   ///< worst grid point |optical mean - f(x)|
+  double electronic_mae = 0.0;  ///< ReSC baseline on the same streams
+  /// Deterministic pipeline error |program poly - f| sup estimate
+  /// (projection + quantization, no sampling).
+  double approx_max_error = 0.0;
+};
+
+/// A ready-to-run compiled function.
+class CompiledProgram {
+ public:
+  /// Codegen: build the order-matched circuit (paper reference design) and
+  /// the packed kernel. A degree-0 fit is degree-elevated to order 1 -
+  /// value-preserving, and the minimum the circuit supports.
+  /// \throws std::invalid_argument if the quantized degree exceeds the
+  ///         packed-kernel order limit.
+  CompiledProgram(ProgramKey key, ProjectionResult projection,
+                  QuantizationResult quantization);
+
+  CompiledProgram(const CompiledProgram&) = delete;
+  CompiledProgram& operator=(const CompiledProgram&) = delete;
+
+  [[nodiscard]] const ProgramKey& key() const noexcept { return key_; }
+  [[nodiscard]] const std::string& function_id() const noexcept {
+    return key_.function_id;
+  }
+  /// The polynomial the hardware runs: quantized coefficients, elevated to
+  /// the circuit order when the fit came out degree 0.
+  [[nodiscard]] const stochastic::BernsteinPoly& poly() const noexcept {
+    return run_poly_;
+  }
+  [[nodiscard]] std::size_t circuit_order() const noexcept {
+    return run_poly_.degree();
+  }
+  /// True when the degree-0 fit was elevated to meet the order-1 circuit
+  /// minimum.
+  [[nodiscard]] bool elevated() const noexcept {
+    return projection_.degree == 0;
+  }
+  [[nodiscard]] const ProjectionResult& projection() const noexcept {
+    return projection_;
+  }
+  [[nodiscard]] const QuantizationResult& quantization() const noexcept {
+    return quantization_;
+  }
+  [[nodiscard]] const optsc::OpticalScCircuit& circuit() const noexcept {
+    return *circuit_;
+  }
+  /// Prebuilt kernel; shared so BatchRunner can reuse it without
+  /// re-deriving the decision LUT.
+  [[nodiscard]] const std::shared_ptr<const engine::PackedKernel>& kernel()
+      const noexcept {
+    return kernel_;
+  }
+
+  [[nodiscard]] const std::optional<Certification>& certification()
+      const noexcept {
+    return cert_;
+  }
+  /// Attach the MC certificate (compiler-internal, before the program is
+  /// shared out of the cache).
+  void attach_certification(Certification cert) { cert_ = cert; }
+
+  /// One evaluation through the packed kernel.
+  [[nodiscard]] engine::PackedRunResult run(
+      double x, const engine::PackedRunConfig& config) const {
+    return kernel_->run(run_poly_, x, config);
+  }
+
+ private:
+  ProgramKey key_;
+  ProjectionResult projection_;
+  QuantizationResult quantization_;
+  stochastic::BernsteinPoly run_poly_{std::vector<double>{0.0}};
+  std::shared_ptr<optsc::OpticalScCircuit> circuit_;  ///< kernel points here
+  std::shared_ptr<const engine::PackedKernel> kernel_;
+  std::optional<Certification> cert_;
+};
+
+}  // namespace oscs::compile

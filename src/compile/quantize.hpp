@@ -1,0 +1,38 @@
+#pragma once
+/// \file quantize.hpp
+/// \brief Quantization stage of the function compiler: snap Bernstein
+///        coefficients onto the SNG comparator grid (multiples of 2^-w for
+///        a w-bit generator, the exact grid Sng::threshold_for realizes)
+///        and bound the induced polynomial error analytically - the
+///        Bernstein basis is a partition of unity, so a coefficient
+///        perturbation of at most d moves the polynomial by at most d
+///        everywhere on [0,1].
+
+#include <cstdint>
+#include <vector>
+
+#include "stochastic/bernstein.hpp"
+
+namespace oscs::compile {
+
+/// Outcome of quantizing one coefficient vector to a given SNG width.
+struct QuantizationResult {
+  stochastic::BernsteinPoly poly{std::vector<double>{0.0}};  ///< quantized
+  /// Comparator thresholds round(b_i * 2^width) - what the SNG hardware
+  /// actually stores; poly coefficient i equals levels[i] / 2^width.
+  std::vector<std::uint64_t> levels;
+  unsigned width = 16;          ///< SNG resolution [bits]
+  double max_coeff_delta = 0.0; ///< max_i |quantized_i - original_i|
+  /// Analytic sup-norm bound on |B_quantized - B| over [0,1]; equals
+  /// max_coeff_delta by the partition-of-unity argument.
+  double induced_error_bound = 0.0;
+};
+
+/// Quantize `poly` (coefficients must already lie in [0,1]) to the
+/// comparator grid of a `width`-bit SNG.
+/// \throws std::invalid_argument if width is 0 or > 62, or if a
+///         coefficient lies outside [0,1].
+[[nodiscard]] QuantizationResult quantize(const stochastic::BernsteinPoly& poly,
+                                          unsigned width);
+
+}  // namespace oscs::compile

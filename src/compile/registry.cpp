@@ -1,0 +1,46 @@
+#include "compile/registry.hpp"
+
+#include <cmath>
+
+namespace oscs::compile {
+
+const std::vector<RegistryFunction>& function_registry() {
+  // Every entry maps [0,1] into [0,1] so the Bernstein coefficients stay
+  // implementable without heavy constraint distortion; steep or
+  // singular-derivative targets (sigmoid, sqrt) are the interesting
+  // stress cases for the degree selector.
+  static const std::vector<RegistryFunction> kRegistry = {
+      {"sigmoid", "1 / (1 + exp(-6(x - 1/2)))",
+       [](double x) { return 1.0 / (1.0 + std::exp(-6.0 * (x - 0.5))); }, 6},
+      {"tanh", "tanh(2x)", [](double x) { return std::tanh(2.0 * x); }, 6},
+      {"sin", "sin(pi x / 2)",
+       [](double x) { return std::sin(M_PI * x / 2.0); }, 5},
+      {"cos", "cos(pi x / 2)",
+       [](double x) { return std::cos(M_PI * x / 2.0); }, 5},
+      {"exp_neg", "exp(-x)", [](double x) { return std::exp(-x); }, 4},
+      {"sqrt", "sqrt(x)", [](double x) { return std::sqrt(x); }, 6},
+      {"square", "x^2", [](double x) { return x * x; }, 2},
+      {"cube", "x^3", [](double x) { return x * x * x; }, 3},
+      {"gamma", "x^0.45 (display gamma correction)",
+       [](double x) { return std::pow(x, 0.45); }, 6},
+  };
+  return kRegistry;
+}
+
+const RegistryFunction* find_function(std::string_view id) {
+  for (const RegistryFunction& fn : function_registry()) {
+    if (fn.id == id) return &fn;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> registry_ids() {
+  std::vector<std::string> ids;
+  ids.reserve(function_registry().size());
+  for (const RegistryFunction& fn : function_registry()) {
+    ids.push_back(fn.id);
+  }
+  return ids;
+}
+
+}  // namespace oscs::compile

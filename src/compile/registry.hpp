@@ -1,0 +1,35 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Built-in catalogue of compile targets: named [0,1] -> [0,1]
+///        functions with a recommended degree cap, so examples, benches
+///        and the serving path can request "sigmoid" instead of shipping a
+///        lambda. All entries compile at degree <= 6 with certified MC MAE
+///        <= 0.02 at 4096-bit streams (tests/compile/test_compiler.cpp).
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oscs::compile {
+
+/// One named compile target.
+struct RegistryFunction {
+  std::string id;          ///< cache / CLI identifier
+  std::string expression;  ///< human-readable formula
+  std::function<double(double)> f;
+  std::size_t degree = 6;  ///< recommended degree cap
+};
+
+/// The built-in catalogue (sigmoid, tanh, sin, cos, exp(-x), sqrt, x^2,
+/// x^3, gamma-correction x^0.45). Stable order; built once.
+[[nodiscard]] const std::vector<RegistryFunction>& function_registry();
+
+/// Lookup by id; nullptr when unknown.
+[[nodiscard]] const RegistryFunction* find_function(std::string_view id);
+
+/// All registry ids, in catalogue order.
+[[nodiscard]] std::vector<std::string> registry_ids();
+
+}  // namespace oscs::compile

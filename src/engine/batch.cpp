@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "common/stats.hpp"
 
@@ -46,13 +47,20 @@ std::uint64_t derive_task_seed(std::uint64_t master, std::size_t task_index,
 }
 
 BatchRunner::BatchRunner(const optsc::OpticalScCircuit& circuit)
-    : kernel_(circuit) {}
+    : kernel_(std::make_shared<PackedKernel>(circuit)) {}
+
+BatchRunner::BatchRunner(std::shared_ptr<const PackedKernel> kernel)
+    : kernel_(std::move(kernel)) {
+  if (!kernel_) {
+    throw std::invalid_argument("BatchRunner: null kernel");
+  }
+}
 
 BatchSummary BatchRunner::run(const BatchRequest& request,
                               ThreadPool& pool) const {
   request.validate();
   for (const sc::BernsteinPoly& poly : request.polynomials) {
-    if (poly.degree() != kernel_.order()) {
+    if (poly.degree() != kernel_->order()) {
       throw std::invalid_argument(
           "BatchRunner: polynomial order does not match the circuit");
     }
@@ -85,7 +93,7 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
             cfg.noise_enabled = request.noise_enabled;
             cfg.noise_seed = derive_task_seed(request.seed, t, 1);
             const PackedRunResult r =
-                kernel_.run(request.polynomials[pi], request.xs[xi], cfg);
+                kernel_->run(request.polynomials[pi], request.xs[xi], cfg);
             outs[t] = {r.optical_estimate, r.electronic_estimate,
                        r.transmission_flips};
           });

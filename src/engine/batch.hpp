@@ -10,6 +10,7 @@
 /// thread count, including 1.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "engine/packed_sim.hpp"
@@ -72,11 +73,19 @@ struct BatchSummary {
 /// thread pool.
 class BatchRunner {
  public:
+  /// Build a fresh kernel snapshot from the circuit.
   /// \throws std::invalid_argument if the circuit order exceeds the packed
   ///         kernel limit.
   explicit BatchRunner(const optsc::OpticalScCircuit& circuit);
 
-  [[nodiscard]] const PackedKernel& kernel() const noexcept { return kernel_; }
+  /// Share an externally prebuilt kernel (e.g. the one a CompiledProgram
+  /// carries) instead of re-deriving the decision LUT.
+  /// \throws std::invalid_argument on a null kernel.
+  explicit BatchRunner(std::shared_ptr<const PackedKernel> kernel);
+
+  [[nodiscard]] const PackedKernel& kernel() const noexcept {
+    return *kernel_;
+  }
 
   /// Run the request on an existing pool.
   /// \throws std::invalid_argument on an invalid request or a polynomial
@@ -90,7 +99,7 @@ class BatchRunner {
                                  std::size_t threads = 0) const;
 
  private:
-  PackedKernel kernel_;
+  std::shared_ptr<const PackedKernel> kernel_;
 };
 
 /// Deterministic per-task seed stream: expands (master seed, task index,

@@ -1,0 +1,99 @@
+#include "engine/export.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace oscs::engine {
+
+namespace {
+
+/// Round-trip double formatting (same contract as CsvTable numbers).
+std::string json_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void write_text_file(const std::string& text, const std::string& path,
+                     const char* what) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(p);
+  if (!out) {
+    throw std::runtime_error(std::string(what) + ": cannot open " + path);
+  }
+  out << text;
+}
+
+}  // namespace
+
+oscs::CsvTable batch_csv(const BatchSummary& summary) {
+  oscs::CsvTable table({"poly_index", "x", "stream_length", "repeats",
+                        "expected", "optical_mean", "optical_ci",
+                        "optical_abs_error_mean", "optical_abs_error_ci",
+                        "electronic_abs_error_mean", "flip_rate_mean"});
+  for (const BatchCell& cell : summary.cells) {
+    table.start_row();
+    table.cell(cell.poly_index);
+    table.cell(cell.x);
+    table.cell(cell.stream_length);
+    table.cell(cell.repeats);
+    table.cell(cell.expected);
+    table.cell(cell.optical_mean);
+    table.cell(cell.optical_ci);
+    table.cell(cell.optical_abs_error_mean);
+    table.cell(cell.optical_abs_error_ci);
+    table.cell(cell.electronic_abs_error_mean);
+    table.cell(cell.flip_rate_mean);
+  }
+  return table;
+}
+
+void write_batch_csv(const BatchSummary& summary, const std::string& path) {
+  batch_csv(summary).write(path);
+}
+
+std::string batch_json(const BatchSummary& summary) {
+  std::string out;
+  out.reserve(256 + summary.cells.size() * 256);
+  out += "{\n";
+  out += "  \"tasks\": " + std::to_string(summary.tasks) + ",\n";
+  out += "  \"total_bits\": " + std::to_string(summary.total_bits) + ",\n";
+  out += "  \"optical_mae\": " + json_number(summary.optical_mae) + ",\n";
+  out += "  \"electronic_mae\": " + json_number(summary.electronic_mae) +
+         ",\n";
+  out += "  \"worst_cell_error\": " + json_number(summary.worst_cell_error) +
+         ",\n";
+  out += "  \"cells\": [";
+  for (std::size_t i = 0; i < summary.cells.size(); ++i) {
+    const BatchCell& cell = summary.cells[i];
+    out += (i == 0) ? "\n" : ",\n";
+    out += "    {\"poly_index\": " + std::to_string(cell.poly_index);
+    out += ", \"x\": " + json_number(cell.x);
+    out += ", \"stream_length\": " + std::to_string(cell.stream_length);
+    out += ", \"repeats\": " + std::to_string(cell.repeats);
+    out += ", \"expected\": " + json_number(cell.expected);
+    out += ", \"optical_mean\": " + json_number(cell.optical_mean);
+    out += ", \"optical_ci\": " + json_number(cell.optical_ci);
+    out += ", \"optical_abs_error_mean\": " +
+           json_number(cell.optical_abs_error_mean);
+    out += ", \"optical_abs_error_ci\": " +
+           json_number(cell.optical_abs_error_ci);
+    out += ", \"electronic_abs_error_mean\": " +
+           json_number(cell.electronic_abs_error_mean);
+    out += ", \"flip_rate_mean\": " + json_number(cell.flip_rate_mean);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void write_batch_json(const BatchSummary& summary, const std::string& path) {
+  write_text_file(batch_json(summary), path, "write_batch_json");
+}
+
+}  // namespace oscs::engine

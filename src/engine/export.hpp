@@ -1,0 +1,33 @@
+#pragma once
+/// \file export.hpp
+/// \brief Machine-readable export of BatchRunner results: the per-cell
+///        aggregates (mean / 95% CI per grid point) as a CSV table built
+///        on the common CsvTable helpers, and the whole summary as a JSON
+///        document for downstream tooling.
+
+#include <string>
+
+#include "common/csv.hpp"
+#include "engine/batch.hpp"
+
+namespace oscs::engine {
+
+/// Per-cell aggregate table: one row per grid cell with poly index, x,
+/// stream length, repeats, expected value, optical mean/CI, |error|
+/// mean/CI, electronic |error| mean and flip rate.
+[[nodiscard]] oscs::CsvTable batch_csv(const BatchSummary& summary);
+
+/// Write batch_csv() to `path`, creating parent directories as needed.
+/// \throws std::runtime_error if the file cannot be opened.
+void write_batch_csv(const BatchSummary& summary, const std::string& path);
+
+/// Whole summary as a JSON document: top-level aggregates plus a "cells"
+/// array mirroring batch_csv(). Numbers are emitted with round-trip
+/// precision.
+[[nodiscard]] std::string batch_json(const BatchSummary& summary);
+
+/// Write batch_json() to `path`, creating parent directories as needed.
+/// \throws std::runtime_error if the file cannot be opened.
+void write_batch_json(const BatchSummary& summary, const std::string& path);
+
+}  // namespace oscs::engine

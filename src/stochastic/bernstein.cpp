@@ -91,14 +91,12 @@ BernsteinPoly BernsteinPoly::elevated(std::size_t times) const {
   return BernsteinPoly(std::move(b));
 }
 
-BernsteinPoly BernsteinPoly::fit(const std::function<double(double)>& f,
-                                 std::size_t degree, bool clamp_to_unit) {
+oscs::Matrix bernstein_gram(std::size_t degree) {
   const std::size_t n = degree;
   const std::size_t dim = n + 1;
   oscs::Matrix gram(dim, dim);
   for (std::size_t i = 0; i < dim; ++i) {
     for (std::size_t j = 0; j < dim; ++j) {
-      // Integral of B_{i,n} B_{j,n} over [0,1].
       gram(i, j) =
           oscs::binom(static_cast<unsigned>(n), static_cast<unsigned>(i)) *
           oscs::binom(static_cast<unsigned>(n), static_cast<unsigned>(j)) /
@@ -107,13 +105,26 @@ BernsteinPoly BernsteinPoly::fit(const std::function<double(double)>& f,
                        static_cast<unsigned>(i + j)));
     }
   }
-  std::vector<double> rhs(dim, 0.0);
-  for (std::size_t i = 0; i < dim; ++i) {
+  return gram;
+}
+
+std::vector<double> bernstein_moments(const std::function<double(double)>& f,
+                                      std::size_t degree,
+                                      std::size_t quad_points) {
+  const std::size_t n = degree;
+  std::vector<double> rhs(n + 1, 0.0);
+  for (std::size_t i = 0; i <= n; ++i) {
     rhs[i] = oscs::integrate_gl(
         [&](double x) { return f(x) * bernstein_basis(i, n, x); }, 0.0, 1.0,
-        64);
+        quad_points);
   }
-  std::vector<double> b = oscs::cholesky_solve(gram, rhs);
+  return rhs;
+}
+
+BernsteinPoly BernsteinPoly::fit(const std::function<double(double)>& f,
+                                 std::size_t degree, bool clamp_to_unit) {
+  std::vector<double> b = oscs::cholesky_solve(bernstein_gram(degree),
+                                               bernstein_moments(f, degree));
   if (clamp_to_unit) {
     for (double& v : b) v = oscs::clamp01(v);
   }

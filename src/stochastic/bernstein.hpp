@@ -10,12 +10,26 @@
 #include <functional>
 #include <vector>
 
+#include "common/linalg.hpp"
 #include "stochastic/polynomial.hpp"
 
 namespace oscs::stochastic {
 
 /// Bernstein basis polynomial B_{i,n}(x) = C(n,i) x^i (1-x)^(n-i).
 [[nodiscard]] double bernstein_basis(std::size_t i, std::size_t n, double x);
+
+/// Analytic Gram matrix of the degree-n Bernstein basis on [0,1]:
+/// G_ij = integral of B_{i,n} B_{j,n} = C(n,i)C(n,j) / ((2n+1) C(2n,i+j)).
+/// Symmetric positive definite; the normal-equations matrix of every
+/// continuous L2 Bernstein fit.
+[[nodiscard]] oscs::Matrix bernstein_gram(std::size_t degree);
+
+/// L2 moments <f, B_{i,n}> on [0,1], i = 0..n, by Gauss-Legendre
+/// quadrature with `quad_points` nodes - the right-hand side of the
+/// normal equations.
+[[nodiscard]] std::vector<double> bernstein_moments(
+    const std::function<double(double)>& f, std::size_t degree,
+    std::size_t quad_points = 64);
 
 /// Polynomial in Bernstein form: B(x) = sum_i b_i B_{i,n}(x).
 class BernsteinPoly {

@@ -23,8 +23,11 @@ struct ScInputs {
   std::vector<Bitstream> z_streams;  ///< stream j encodes coefficient b_j
 
   [[nodiscard]] std::size_t order() const noexcept { return x_streams.size(); }
+  /// Stream length; for an order-0 stimulus (no data streams) the
+  /// coefficient streams define it.
   [[nodiscard]] std::size_t length() const noexcept {
-    return x_streams.empty() ? 0 : x_streams.front().size();
+    if (!x_streams.empty()) return x_streams.front().size();
+    return z_streams.empty() ? 0 : z_streams.front().size();
   }
   /// Number of ones among the x bits at cycle t (the adder output, which
   /// selects coefficient k).

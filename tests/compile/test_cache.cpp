@@ -1,0 +1,98 @@
+#include "compile/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "compile/compiler.hpp"
+
+namespace oscs::compile {
+namespace {
+
+/// Cheap program for cache plumbing tests: constant fit, no
+/// certification, order-1 circuit.
+std::shared_ptr<const CompiledProgram> make_program(const std::string& id,
+                                                    double value) {
+  CompileOptions options;
+  options.projection.min_degree = 0;
+  options.projection.max_degree = 0;
+  options.certify = false;
+  return compile_function(id, [value](double) { return value; }, options);
+}
+
+ProgramKey key_of(const std::string& id) { return ProgramKey{id, 0, 16}; }
+
+TEST(ProgramCacheTest, MissThenHit) {
+  ProgramCache cache(4);
+  EXPECT_EQ(cache.get(key_of("a")), nullptr);
+  const auto program = make_program("a", 0.25);
+  cache.put(key_of("a"), program);
+  EXPECT_EQ(cache.get(key_of("a")).get(), program.get());
+  const ProgramCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ProgramCacheTest, KeyDistinguishesDegreeAndWidth) {
+  ProgramCache cache(4);
+  cache.put(ProgramKey{"f", 2, 16}, make_program("f", 0.5));
+  EXPECT_EQ(cache.get(ProgramKey{"f", 3, 16}), nullptr);
+  EXPECT_EQ(cache.get(ProgramKey{"f", 2, 8}), nullptr);
+  EXPECT_NE(cache.get(ProgramKey{"f", 2, 16}), nullptr);
+}
+
+TEST(ProgramCacheTest, EvictsLeastRecentlyUsed) {
+  ProgramCache cache(2);
+  cache.put(key_of("a"), make_program("a", 0.1));
+  cache.put(key_of("b"), make_program("b", 0.2));
+  // Touch "a" so "b" becomes the LRU entry, then overflow.
+  EXPECT_NE(cache.get(key_of("a")), nullptr);
+  cache.put(key_of("c"), make_program("c", 0.3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get(key_of("b")), nullptr);  // evicted
+  EXPECT_NE(cache.get(key_of("a")), nullptr);
+  EXPECT_NE(cache.get(key_of("c")), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ProgramCacheTest, PutReplacesExistingKeyWithoutEviction) {
+  ProgramCache cache(2);
+  cache.put(key_of("a"), make_program("a", 0.1));
+  const auto updated = make_program("a", 0.9);
+  cache.put(key_of("a"), updated);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get(key_of("a")).get(), updated.get());
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ProgramCacheTest, SharedPointersSurviveEviction) {
+  ProgramCache cache(1);
+  const auto kept = make_program("a", 0.4);
+  cache.put(key_of("a"), kept);
+  cache.put(key_of("b"), make_program("b", 0.6));
+  EXPECT_EQ(cache.get(key_of("a")), nullptr);
+  // The evicted program is still usable through the caller's reference
+  // (tolerance: the 16-bit SNG quantization grid).
+  EXPECT_NEAR(kept->poly()(0.5), 0.4, 1e-4);
+}
+
+TEST(ProgramCacheTest, ClearResetsContentsAndStats) {
+  ProgramCache cache(4);
+  cache.put(key_of("a"), make_program("a", 0.1));
+  (void)cache.get(key_of("a"));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.get(key_of("a")), nullptr);
+}
+
+TEST(ProgramCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW(ProgramCache(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oscs::compile

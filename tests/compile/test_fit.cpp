@@ -1,0 +1,138 @@
+#include "compile/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stochastic/functions.hpp"
+
+namespace oscs::compile {
+namespace {
+
+namespace sc = oscs::stochastic;
+
+TEST(ProjectionOptionsTest, Validation) {
+  ProjectionOptions bad;
+  bad.min_degree = 4;
+  bad.max_degree = 2;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ProjectionOptions{};
+  bad.error_samples = 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ProjectionOptions{};
+  bad.target_max_error = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ProjectionOptions{};
+  bad.quadrature_points = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(ProjectionOptions{}.validate());
+}
+
+TEST(ProjectAtDegree, RecoversExactPolynomial) {
+  // The paper's f2 is degree 3 with coefficients in [0,1]: projecting the
+  // function itself at degree 3 must return those coefficients and report
+  // a feasible, (near-)zero-error fit.
+  const sc::BernsteinPoly f2 = sc::paper_f2_bernstein();
+  const ProjectionResult r =
+      project_at_degree([&](double x) { return f2(x); }, 3);
+  ASSERT_EQ(r.degree, 3u);
+  for (std::size_t i = 0; i <= 3; ++i) {
+    EXPECT_NEAR(r.poly.coeffs()[i], f2.coeffs()[i], 1e-9) << "i=" << i;
+  }
+  EXPECT_LT(r.max_error, 1e-9);
+  EXPECT_LT(r.l2_error, 1e-9);
+  EXPECT_DOUBLE_EQ(r.feasibility_gap, 0.0);
+  EXPECT_FALSE(r.clamped);
+  EXPECT_TRUE(r.target_met);
+}
+
+TEST(ProjectAtDegree, ReportsFeasibilityGapWhenConstraintBinds) {
+  // f(x) = 1.2 x has the exact degree-1 Bernstein form (0, 1.2): the
+  // unconstrained optimum leaves [0,1] by 0.2 and the constrained solve
+  // must pin b_1 at the bound.
+  const ProjectionResult r =
+      project_at_degree([](double x) { return 1.2 * x; }, 1);
+  EXPECT_TRUE(r.clamped);
+  EXPECT_NEAR(r.feasibility_gap, 0.2, 1e-9);
+  EXPECT_TRUE(r.poly.is_sc_compatible());
+  EXPECT_NEAR(r.poly.coeffs()[1], 1.0, 1e-12);
+  // Sup error is at least the function overshoot at x = 1.
+  EXPECT_GE(r.max_error, 0.2 - 1e-9);
+}
+
+TEST(ProjectAtDegree, ActiveSetBeatsPlainClampingInL2) {
+  // A target whose unconstrained coefficients overshoot on one side: the
+  // active-set re-solve of the free coefficients must do at least as well
+  // as clamping everything (BernsteinPoly::fit's behaviour).
+  const auto f = [](double x) { return 1.3 * x * x - 0.1; };
+  const std::size_t degree = 4;
+  const ProjectionResult r = project_at_degree(f, degree);
+  ASSERT_TRUE(r.clamped);
+  const sc::BernsteinPoly clamp_fit = sc::BernsteinPoly::fit(f, degree, true);
+  double l2_clamp = 0.0;
+  double l2_active = 0.0;
+  const std::size_t samples = 1000;
+  for (std::size_t s = 0; s <= samples; ++s) {
+    const double x = static_cast<double>(s) / samples;
+    const double ec = f(x) - clamp_fit(x);
+    const double ea = f(x) - r.poly(x);
+    l2_clamp += ec * ec;
+    l2_active += ea * ea;
+  }
+  EXPECT_LE(l2_active, l2_clamp + 1e-12);
+}
+
+TEST(Project, DegreeAutoSelectionStopsAtTarget) {
+  // exp(-x) is entire and well approximated at low degree: the selector
+  // must stop before the cap.
+  ProjectionOptions options;
+  options.max_degree = 6;
+  options.target_max_error = 1e-3;
+  const ProjectionResult r =
+      project([](double x) { return std::exp(-x); }, options);
+  EXPECT_TRUE(r.target_met);
+  EXPECT_LT(r.degree, 6u);
+  EXPECT_LE(r.max_error, 1e-3);
+}
+
+TEST(Project, ReturnsBestEffortWhenTargetUnreachable) {
+  // A 0/1 step cannot be approximated to 1e-3 by degree <= 4; the
+  // selector must return its best fit with target_met = false.
+  ProjectionOptions options;
+  options.max_degree = 4;
+  options.target_max_error = 1e-3;
+  const ProjectionResult r =
+      project([](double x) { return x < 0.5 ? 0.0 : 1.0; }, options);
+  EXPECT_FALSE(r.target_met);
+  EXPECT_LE(r.degree, 4u);
+  EXPECT_TRUE(r.poly.is_sc_compatible());
+  EXPECT_GT(r.max_error, 1e-3);
+}
+
+TEST(Project, HigherDegreeTightensSmoothFit) {
+  ProjectionOptions lo;
+  lo.min_degree = 2;
+  lo.max_degree = 2;
+  lo.target_max_error = 1e-12;  // force full scan
+  ProjectionOptions hi = lo;
+  hi.min_degree = 6;
+  hi.max_degree = 6;
+  const auto f = [](double x) { return std::sin(M_PI * x / 2.0); };
+  const ProjectionResult r2 = project(f, lo);
+  const ProjectionResult r6 = project(f, hi);
+  EXPECT_LT(r6.max_error, r2.max_error);
+}
+
+TEST(Project, ConstantFunctionFitsAtDegreeZero) {
+  ProjectionOptions options;
+  options.min_degree = 0;
+  options.max_degree = 0;
+  const ProjectionResult r = project([](double) { return 0.375; }, options);
+  ASSERT_EQ(r.degree, 0u);
+  EXPECT_NEAR(r.poly.coeffs()[0], 0.375, 1e-12);
+  EXPECT_LT(r.max_error, 1e-9);
+}
+
+}  // namespace
+}  // namespace oscs::compile

@@ -1,0 +1,74 @@
+#include "compile/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oscs::compile {
+namespace {
+
+namespace sc = oscs::stochastic;
+
+TEST(QuantizeTest, SnapsToComparatorGrid) {
+  const sc::BernsteinPoly poly({0.0, 0.33, 0.5, 1.0});
+  const QuantizationResult q = quantize(poly, 4);  // grid step 1/16
+  ASSERT_EQ(q.levels.size(), 4u);
+  EXPECT_EQ(q.levels[0], 0u);
+  EXPECT_EQ(q.levels[1], 5u);  // round(0.33 * 16) = 5
+  EXPECT_EQ(q.levels[2], 8u);
+  EXPECT_EQ(q.levels[3], 16u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(q.poly.coeffs()[i],
+                     static_cast<double>(q.levels[i]) / 16.0);
+  }
+  EXPECT_EQ(q.width, 4u);
+}
+
+TEST(QuantizeTest, DeltaBoundedByHalfStep) {
+  const sc::BernsteinPoly poly({0.123, 0.456, 0.789});
+  for (unsigned width : {1u, 4u, 8u, 16u}) {
+    const QuantizationResult q = quantize(poly, width);
+    const double half_step = std::ldexp(0.5, -static_cast<int>(width));
+    EXPECT_LE(q.max_coeff_delta, half_step + 1e-15) << "width=" << width;
+    EXPECT_DOUBLE_EQ(q.induced_error_bound, q.max_coeff_delta);
+  }
+}
+
+TEST(QuantizeTest, InducedPolynomialErrorWithinBound) {
+  // Partition of unity: |B_q(x) - B(x)| <= max coefficient delta
+  // everywhere.
+  const sc::BernsteinPoly poly({0.1, 0.7, 0.2, 0.9, 0.4});
+  const QuantizationResult q = quantize(poly, 6);
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    EXPECT_LE(std::abs(q.poly(x) - poly(x)), q.induced_error_bound + 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(QuantizeTest, ExactGridValuesAreFixedPoints) {
+  const sc::BernsteinPoly poly({0.0, 0.25, 0.5, 0.75, 1.0});
+  const QuantizationResult q = quantize(poly, 8);
+  for (std::size_t i = 0; i < poly.coeffs().size(); ++i) {
+    EXPECT_DOUBLE_EQ(q.poly.coeffs()[i], poly.coeffs()[i]);
+  }
+  EXPECT_DOUBLE_EQ(q.max_coeff_delta, 0.0);
+}
+
+TEST(QuantizeTest, WidthOneIsBinaryRounding) {
+  const sc::BernsteinPoly poly({0.2, 0.8});
+  const QuantizationResult q = quantize(poly, 1);
+  EXPECT_DOUBLE_EQ(q.poly.coeffs()[0], 0.0);  // round(0.2 * 2)/2 = 0
+  EXPECT_DOUBLE_EQ(q.poly.coeffs()[1], 1.0);  // round(0.8 * 2)/2 = 1
+}
+
+TEST(QuantizeTest, RejectsBadWidthAndInfeasibleCoefficients) {
+  const sc::BernsteinPoly ok({0.5});
+  EXPECT_THROW(quantize(ok, 0), std::invalid_argument);
+  EXPECT_THROW(quantize(ok, 63), std::invalid_argument);
+  const sc::BernsteinPoly out({0.5, 1.25});
+  EXPECT_THROW(quantize(out, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oscs::compile

@@ -151,5 +151,74 @@ TEST(SccTest, RejectsInvalidInput) {
   EXPECT_THROW(scc(Bitstream{}, Bitstream{}), std::invalid_argument);
 }
 
+// Regression: tail-mask handling for stream lengths that are not a
+// multiple of 64. from_words must zero the padding bits of the last word
+// so whole-word popcounts and bitwise operators stay exact.
+class TailMaskP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TailMaskP, FromWordsMasksPaddingBits) {
+  const std::size_t length = GetParam();
+  const std::size_t n_words = (length + 63) / 64;
+  // All-ones words: every padding bit is set on input and must come out 0.
+  std::vector<std::uint64_t> words(n_words, ~std::uint64_t{0});
+  const Bitstream stream = Bitstream::from_words(words, length);
+  ASSERT_EQ(stream.size(), length);
+  ASSERT_EQ(stream.word_count(), n_words);
+  EXPECT_EQ(stream.count_ones(), length);
+  EXPECT_DOUBLE_EQ(stream.probability(), 1.0);
+  const std::size_t rem = length % 64;
+  if (rem != 0) {
+    EXPECT_EQ(stream.word(n_words - 1), (std::uint64_t{1} << rem) - 1);
+  }
+  for (std::size_t i = 0; i < length; ++i) {
+    ASSERT_TRUE(stream.bit(i)) << "i=" << i;
+  }
+}
+
+TEST_P(TailMaskP, ComplementKeepsPaddingClear) {
+  const std::size_t length = GetParam();
+  const Bitstream zeros(length);
+  const Bitstream inverted = ~zeros;
+  EXPECT_EQ(inverted.count_ones(), length);
+  // Double complement round-trips, including the padding.
+  EXPECT_TRUE(~inverted == zeros);
+}
+
+TEST_P(TailMaskP, BitwiseOpsPreservePopcountInvariant) {
+  const std::size_t length = GetParam();
+  Bitstream alternating(length);
+  for (std::size_t i = 0; i < length; i += 2) alternating.set_bit(i, true);
+  const Bitstream all_ones = ~Bitstream(length);
+  EXPECT_EQ((alternating & all_ones).count_ones(), (length + 1) / 2);
+  EXPECT_EQ((alternating | all_ones).count_ones(), length);
+  EXPECT_EQ((alternating ^ all_ones).count_ones(), length / 2);
+}
+
+TEST_P(TailMaskP, FromWordsRoundTripsThroughBits) {
+  const std::size_t length = GetParam();
+  // Deterministic pseudo-random pattern, then rebuild via from_words.
+  Bitstream reference(length);
+  std::uint64_t state = 0x1234567890ABCDEFULL;
+  for (std::size_t i = 0; i < length; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    reference.set_bit(i, (state >> 63) != 0);
+  }
+  std::vector<std::uint64_t> words(reference.word_count());
+  for (std::size_t w = 0; w < words.size(); ++w) words[w] = reference.word(w);
+  const Bitstream rebuilt = Bitstream::from_words(std::move(words), length);
+  EXPECT_TRUE(rebuilt == reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(TailLengths, TailMaskP,
+                         ::testing::Values(std::size_t{1}, std::size_t{63},
+                                           std::size_t{64}, std::size_t{65},
+                                           std::size_t{4095}));
+
+TEST(BitstreamFromWords, RejectsWordCountMismatch) {
+  EXPECT_THROW(Bitstream::from_words({0, 0}, 64), std::invalid_argument);
+  EXPECT_THROW(Bitstream::from_words({}, 1), std::invalid_argument);
+  EXPECT_THROW(Bitstream::from_words({0}, 65), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace oscs::stochastic

@@ -21,6 +21,52 @@ TEST(ScInputsTest, SelectCountsOnes) {
   EXPECT_EQ(in.length(), 3u);
 }
 
+TEST(ScInputsTest, EmptyInputsAreOrderZeroWithZeroLength) {
+  const ScInputs in;
+  EXPECT_EQ(in.order(), 0u);
+  EXPECT_EQ(in.length(), 0u);
+}
+
+TEST(ScInputsTest, SelectWithNoXStreamsIsAlwaysZero) {
+  // Order 0: the adder has no inputs, so every cycle selects z_0 - the
+  // degenerate MUX a constant polynomial compiles to.
+  ScInputs in;
+  in.z_streams.push_back(Bitstream(std::vector<bool>{1, 0, 1, 1}));
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(in.select(t), 0u) << "t=" << t;
+  }
+}
+
+TEST(ReSCUnit, OrderZeroUnitPassesCoefficientStreamThrough) {
+  const ReSCUnit unit(BernsteinPoly({0.75}));
+  EXPECT_EQ(unit.order(), 0u);
+  ScInputs in;
+  in.z_streams.push_back(Bitstream(std::vector<bool>{1, 0, 1, 1}));
+  const Bitstream out = unit.output_stream(in);
+  // No data streams: the output IS the z_0 stream.
+  EXPECT_TRUE(out == in.z_streams[0]);
+  EXPECT_DOUBLE_EQ(unit.evaluate(in), 0.75);
+  EXPECT_DOUBLE_EQ(unit.exact_expectation(0.3), 0.75);
+}
+
+TEST(ReSCUnit, WordParallelMuxMatchesPerBitSelectAtOddLengths) {
+  // Cross-check the carry-save adder + equality-mask MUX against the
+  // per-bit select() definition at tail lengths straddling word
+  // boundaries (regression for the wordops tail handling).
+  const BernsteinPoly poly({0.2, 0.6, 0.4});
+  const ReSCUnit unit(poly);
+  for (std::size_t length : {1u, 63u, 64u, 65u, 130u}) {
+    const ScInputs in =
+        make_sc_inputs(0.55, poly.coeffs(), 2, length, ScInputConfig{});
+    const Bitstream out = unit.output_stream(in);
+    ASSERT_EQ(out.size(), length);
+    for (std::size_t t = 0; t < length; ++t) {
+      EXPECT_EQ(out.bit(t), in.z_streams[in.select(t)].bit(t))
+          << "length=" << length << " t=" << t;
+    }
+  }
+}
+
 TEST(MakeScInputs, ShapesAndProbabilities) {
   const std::vector<double> coeffs{0.25, 0.625, 0.375, 0.75};
   const ScInputs in = make_sc_inputs(0.5, coeffs, 3, 1 << 13);
