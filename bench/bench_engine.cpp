@@ -1,12 +1,12 @@
 /// Throughput and scaling bench for the word-parallel batch engine
 /// (src/engine/): single-thread speedup of the packed kernel over the
-/// legacy per-bit TransientSimulator loop at stream length 4096, and
-/// strong scaling of the BatchRunner across 1/2/4 worker threads.
+/// legacy per-bit TransientSimulator loop at stream length 4096, strong
+/// scaling of the BatchRunner across 1/2/4 worker threads, and the fused
+/// multi-program mode against K independent BatchRunner invocations.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +14,9 @@
 #include "bench/bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "engine/batch.hpp"
+#include "engine/export.hpp"
 #include "optsc/defaults.hpp"
 #include "optsc/simulator.hpp"
 #include "stochastic/functions.hpp"
@@ -51,16 +53,20 @@ double time_simulator(const TransientSimulator& sim,
 
 int main(int argc, char** argv) {
   ArgParser args("bench_engine",
-                 "Word-parallel batch engine: speedup and thread scaling");
+                 "Word-parallel batch engine: speedup, thread scaling and "
+                 "fused multi-program mode");
   args.add_int("trials", 5, "timing repetitions (best-of)");
   args.add_int("length", 4096, "stream length [bits] for the speedup run");
   args.add_int("repeats", 8, "MC repeats per batch cell");
+  args.add_int("fused_k", 8, "programs sharing one circuit in the fused run");
   if (!args.parse(argc, argv)) return 0;
   const long trials = std::max(1L, args.get_int("trials"));
   const auto length =
       static_cast<std::size_t>(std::max(64L, args.get_int("length")));
   const auto repeats =
       static_cast<std::size_t>(std::max(1L, args.get_int("repeats")));
+  const auto fused_k =
+      static_cast<std::size_t>(std::max(2L, args.get_int("fused_k")));
 
   bench::banner("Batch engine - packed kernel speedup and thread scaling");
 
@@ -71,8 +77,8 @@ int main(int argc, char** argv) {
   const eng::BatchRunner runner(circuit);
 
   std::printf("  order %zu, stream length %zu, noise enabled, "
-              "flip probability %.3g, mux-exact fast path: %s\n",
-              circuit.order(), length, runner.kernel().flip_probability(),
+              "operating-point BER %.3g, mux-exact fast path: %s\n",
+              circuit.order(), length, runner.design_point().ber,
               runner.kernel().mux_exact() ? "yes" : "no");
 
   bench::section("single-thread: packed kernel vs legacy per-bit loop");
@@ -137,42 +143,108 @@ int main(int argc, char** argv) {
       "scaling is bounded by the hardware thread count above; per-task "
       "results are bit-identical for every thread count");
 
+  bench::section("fused multi-program mode vs independent invocations");
+  // K degree-3 programs sharing one circuit: the paper's f2, a gamma fit,
+  // and synthetic Bernstein kernels filling up the set.
+  std::vector<sc::BernsteinPoly> programs;
+  programs.push_back(poly);
+  programs.push_back(sc::BernsteinPoly::fit(sc::gamma_correction().f, 3));
+  for (std::size_t k = programs.size(); k < fused_k; ++k) {
+    const double a = 0.1 + 0.08 * static_cast<double>(k);
+    programs.push_back(sc::BernsteinPoly(
+        {a, 1.0 - a, a * 0.5, std::min(1.0, 0.2 + 0.09 * double(k))}));
+  }
+
+  eng::BatchRequest fused_req;
+  fused_req.polynomials = programs;
+  fused_req.xs = xs;
+  fused_req.stream_lengths = {length};
+  fused_req.repeats = repeats;
+  fused_req.seed = 42;
+
+  // One shared single-thread pool for both sides, so the comparison
+  // measures fusion amortization and not pool create/join overhead.
+  eng::ThreadPool fused_pool(1);
+
+  // Independent baseline: K separate single-program BatchRunner
+  // invocations (what a caller without the fused mode would do).
+  double t_independent = 1e300;
+  double independent_mae = 0.0;
+  for (long t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    double mae = 0.0;
+    for (const sc::BernsteinPoly& p : programs) {
+      eng::BatchRequest single = fused_req;
+      single.polynomials = {p};
+      mae += runner.run(single, fused_pool).optical_mae;
+    }
+    t_independent = std::min(t_independent, seconds_since(t0));
+    independent_mae = mae / static_cast<double>(programs.size());
+  }
+
+  double t_fused = 1e300;
+  double fused_mae = 0.0;
+  for (long t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const eng::BatchSummary summary = runner.run_fused(fused_req, fused_pool);
+    t_fused = std::min(t_fused, seconds_since(t0));
+    fused_mae = summary.optical_mae;
+  }
+
+  const double fused_speedup = t_independent / t_fused;
+  std::printf("  K = %zu programs, %zu x-points, %zu-bit streams, "
+              "%zu repeats, 1 thread\n",
+              programs.size(), xs.size(), length, repeats);
+  std::printf("  independent : %8.1f ms  (MAE %.4f)\n", t_independent * 1e3,
+              independent_mae);
+  std::printf("  fused       : %8.1f ms  (MAE %.4f)\n", t_fused * 1e3,
+              fused_mae);
+  bench::compare("fused vs independent speedup (target >= 1.2)", 1.2,
+                 fused_speedup, "x");
+
   // Machine-readable roll-up for CI / tracking dashboards.
   {
-    std::string json = "{\n";
-    char buf[192];
-    std::snprintf(buf, sizeof(buf),
-                  "  \"stream_length\": %zu,\n  \"trials\": %ld,\n"
-                  "  \"speedup_target\": 8.0,\n  \"speedup\": %.6g,\n",
-                  length, trials, speedup);
-    json += buf;
-    std::snprintf(buf, sizeof(buf),
-                  "  \"legacy_us_per_eval\": %.6g,\n"
-                  "  \"packed_us_per_eval\": %.6g,\n"
-                  "  \"packed_mbit_per_s\": %.6g,\n",
-                  t_legacy * 1e6, t_packed * 1e6, bits / t_packed / 1e6);
-    json += buf;
-    std::snprintf(buf, sizeof(buf), "  \"hardware_threads\": %u,\n",
-                  std::thread::hardware_concurrency());
-    json += buf;
-    json += "  \"scaling\": [";
+    JsonWriter json;
+    json.begin_object()
+        .field("stream_length", length)
+        .field("trials", static_cast<std::int64_t>(trials))
+        .field("speedup_target", 8.0)
+        .field("speedup", speedup)
+        .field("legacy_us_per_eval", t_legacy * 1e6)
+        .field("packed_us_per_eval", t_packed * 1e6)
+        .field("packed_mbit_per_s", bits / t_packed / 1e6)
+        .field("hardware_threads", std::thread::hardware_concurrency());
+    json.key("operating_point");
+    operating_point_json(json, runner.design_point());
+    json.key("scaling").begin_array();
     for (std::size_t r = 0; r < scaling.rows(); ++r) {
-      json += (r == 0) ? "\n" : ",\n";
-      json += "    {\"threads\": " + scaling.at(r, 0) +
-              ", \"seconds\": " + scaling.at(r, 1) +
-              ", \"tasks_per_s\": " + scaling.at(r, 2) +
-              ", \"speedup_vs_1\": " + scaling.at(r, 3) + "}";
+      json.begin_object();
+      // CsvTable stores formatted strings; re-emit the raw numbers.
+      json.field("threads", std::stoul(scaling.at(r, 0)))
+          .field("seconds", std::stod(scaling.at(r, 1)))
+          .field("tasks_per_s", std::stod(scaling.at(r, 2)))
+          .field("speedup_vs_1", std::stod(scaling.at(r, 3)))
+          .end_object();
     }
-    json += "\n  ],\n";
-    json += std::string("  \"pass\": ") + (speedup >= 8.0 ? "true" : "false") +
-            "\n}\n";
-    std::ofstream out("BENCH_engine.json");
-    out << json;
+    json.end_array();
+    json.key("fused")
+        .begin_object()
+        .field("programs", programs.size())
+        .field("independent_seconds", t_independent)
+        .field("fused_seconds", t_fused)
+        .field("fused_speedup", fused_speedup)
+        .field("pass", fused_speedup >= 1.2)
+        .end_object();
+    json.field("pass", speedup >= 8.0 && fused_speedup >= 1.2);
+    json.end_object();
+    write_text_file(json.str(), "BENCH_engine.json", "bench_engine");
     bench::note("machine-readable summary written to BENCH_engine.json");
   }
 
   std::printf("  (checksum %.3f)\n", checksum);
-  std::printf("\n  %s: packed kernel speedup %.1fx (target 8x)\n",
-              speedup >= 8.0 ? "PASS" : "WARN", speedup);
+  std::printf("\n  %s: packed kernel speedup %.1fx (target 8x), "
+              "fused speedup %.2fx (target 1.2x)\n",
+              (speedup >= 8.0 && fused_speedup >= 1.2) ? "PASS" : "WARN",
+              speedup, fused_speedup);
   return 0;
 }

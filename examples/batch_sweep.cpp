@@ -49,9 +49,10 @@ int run_demo(int argc, char** argv) {
   const eng::BatchSummary summary = runner.run(req, threads);
 
   std::printf("batch sweep: %zu tasks, %.1f Mbit evaluated, "
-              "flip probability %.2g\n\n",
+              "operating-point BER %.2g (probe %.2f mW)\n\n",
               summary.tasks, static_cast<double>(summary.total_bits) / 1e6,
-              runner.kernel().flip_probability());
+              runner.design_point().ber,
+              runner.design_point().probe_power_mw);
   std::printf("%-5s %-6s %-7s %-9s %-19s %-11s %-10s\n", "poly", "x", "bits",
               "expected", "optical (95% CI)", "|err| mean", "elec |err|");
   for (const eng::BatchCell& cell : summary.cells) {

@@ -84,10 +84,10 @@ int run_demo(int argc, char** argv) {
               program->quantization().width,
               program->quantization().max_coeff_delta,
               program->quantization().induced_error_bound);
-  std::printf("codegen    : order-%zu circuit, flip probability %.2g, "
-              "mux-exact %s%s\n",
-              program->circuit_order(),
-              program->kernel()->flip_probability(),
+  std::printf("codegen    : order-%zu circuit, design-point BER %.2g "
+              "(probe %.2f mW), mux-exact %s%s\n",
+              program->circuit_order(), program->design_point().ber,
+              program->design_point().probe_power_mw,
               program->kernel()->mux_exact() ? "yes" : "no",
               program->elevated() ? " (degree-0 fit elevated)" : "");
 
@@ -120,8 +120,8 @@ int run_demo(int argc, char** argv) {
   std::printf("  %-6s %-10s %-10s %-9s\n", "x", "f(x)", "optical", "|err|");
   for (double x : {0.15, 0.35, 0.55, 0.75, 0.95}) {
     eng::PackedRunConfig cfg;
-    cfg.stream_length = 4096;
-    cfg.stimulus.seed = 2024 + static_cast<std::uint64_t>(1000 * x);
+    cfg.op = program->design_point().with_stream_length(4096);
+    cfg.stimulus_seed = 2024 + static_cast<std::uint64_t>(1000 * x);
     const eng::PackedRunResult r = program->run(x, cfg);
     const double ref = fn->f(x);
     std::printf("  %-6.2f %-10.4f %-10.4f %-9.4f\n", x, ref,

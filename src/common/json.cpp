@@ -1,0 +1,172 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace oscs {
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::write_indent() {
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::begin_value() {
+  if (done_) {
+    throw std::logic_error("JsonWriter: document already complete");
+  }
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value goes right after "key": on the same line
+  }
+  if (!stack_.empty() && stack_.back() == Scope::kObject) {
+    throw std::logic_error("JsonWriter: object values need a key() first");
+  }
+  if (need_comma_) out_ += ',';
+  if (!stack_.empty()) write_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || after_key_) {
+    throw std::logic_error("JsonWriter: mismatched end_object()");
+  }
+  const bool had_members = need_comma_;
+  stack_.pop_back();
+  if (had_members) write_indent();
+  out_ += '}';
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array()");
+  }
+  const bool had_members = need_comma_;
+  stack_.pop_back();
+  if (had_members) write_indent();
+  out_ += ']';
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject || after_key_) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  if (need_comma_) out_ += ',';
+  write_indent();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  begin_value();
+  out_ += json_number(v);
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  begin_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(const std::string& text) {
+  begin_value();
+  out_ += text;
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+bool JsonWriter::complete() const noexcept { return done_ && stack_.empty(); }
+
+std::string JsonWriter::str() const {
+  if (!complete()) {
+    throw std::logic_error("JsonWriter: document incomplete (open containers)");
+  }
+  return out_ + "\n";
+}
+
+void write_text_file(const std::string& text, const std::string& path,
+                     const char* what) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(p);
+  if (!out) {
+    throw std::runtime_error(std::string(what) + ": cannot open " + path);
+  }
+  out << text;
+}
+
+}  // namespace oscs

@@ -1,0 +1,92 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal streaming JSON writer. Every machine-readable roll-up in
+///        the repo (batch exports, bench summaries, grid certifications)
+///        emits through this one builder instead of hand-concatenating
+///        strings, so escaping, comma placement and round-trip number
+///        formatting are defined in exactly one place.
+///
+/// The writer produces pretty-printed output (two-space indent, one
+/// key/value or array element per line) because the artifacts are diffed
+/// and eyeballed in CI as much as they are parsed.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace oscs {
+
+/// Round-trip double formatting shared by every JSON emitter ("%.17g";
+/// non-finite values are emitted as null, which strict JSON requires).
+[[nodiscard]] std::string json_number(double value);
+
+/// Escape a string body per RFC 8259 (quotes, backslash, control chars).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Streaming JSON document builder with automatic comma/indent handling.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object().field("tasks", 12).key("cells").begin_array();
+///   for (...) w.begin_object().field("x", x).end_object();
+///   w.end_array().end_object();
+///   write_text_file(w.str(), path, "my_export");
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  /// One template for every integer type: avoids overload ambiguity on
+  /// platforms where size_t matches neither uint64_t nor unsigned long
+  /// long exactly.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    return raw_value(std::to_string(v));
+  }
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once every container opened has been closed (and at least one
+  /// value was written).
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// The document text (with a trailing newline once complete).
+  /// \throws std::logic_error if containers are still open.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  JsonWriter& raw_value(const std::string& text);
+  void begin_value();
+  void write_indent();
+
+  enum class Scope : std::uint8_t { kObject, kArray };
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool need_comma_ = false;  ///< a sibling value precedes the next one
+  bool after_key_ = false;   ///< a key was just written; value goes inline
+  bool done_ = false;        ///< a complete top-level value was written
+};
+
+/// Write text to `path`, creating parent directories as needed. `what`
+/// names the caller in the error message.
+/// \throws std::runtime_error if the file cannot be opened.
+void write_text_file(const std::string& text, const std::string& path,
+                     const char* what);
+
+}  // namespace oscs

@@ -1,0 +1,40 @@
+#include "common/operating_point.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace oscs {
+
+void operating_point_json(JsonWriter& json, const OperatingPoint& op) {
+  json.begin_object()
+      .field("probe_power_mw", op.probe_power_mw)
+      .field("ber", op.ber)
+      .field("snr", op.snr)
+      .field("threshold_mw", op.threshold_mw)
+      .field("stream_length", op.stream_length)
+      .field("sng_width", op.sng_width)
+      .end_object();
+}
+
+void OperatingPoint::validate() const {
+  if (!(probe_power_mw > 0.0)) {
+    throw std::invalid_argument(
+        "OperatingPoint: probe power must be > 0 mW, got " +
+        std::to_string(probe_power_mw));
+  }
+  if (!(ber >= 0.0 && ber <= 0.5)) {
+    throw std::invalid_argument("OperatingPoint: BER must lie in [0, 0.5], got " +
+                                std::to_string(ber));
+  }
+  if (stream_length == 0) {
+    throw std::invalid_argument("OperatingPoint: zero stream length");
+  }
+  if (sng_width == 0 || sng_width > 62) {
+    throw std::invalid_argument("OperatingPoint: SNG width must lie in [1, 62], got " +
+                                std::to_string(sng_width));
+  }
+}
+
+}  // namespace oscs

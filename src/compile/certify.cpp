@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "engine/batch.hpp"
+#include "optsc/link_budget.hpp"
 
 namespace oscs::compile {
 
@@ -22,10 +23,45 @@ void CertificationOptions::validate() const {
   }
 }
 
-Certification certify(const CompiledProgram& program,
-                      const std::function<double(double)>& reference,
-                      const CertificationOptions& options) {
+void GridCertificationOptions::validate() const {
+  if (probe_powers_mw.empty() && probe_scales.empty()) {
+    throw std::invalid_argument("GridCertificationOptions: no probe powers");
+  }
+  for (double p : probe_powers_mw) {
+    if (!(p > 0.0)) {
+      throw std::invalid_argument(
+          "GridCertificationOptions: probe power must be > 0 mW");
+    }
+  }
+  for (double s : probe_scales) {
+    if (!(s > 0.0)) {
+      throw std::invalid_argument(
+          "GridCertificationOptions: probe scale must be > 0");
+    }
+  }
+  if (stream_lengths.empty()) {
+    throw std::invalid_argument("GridCertificationOptions: no stream lengths");
+  }
+  for (std::size_t len : stream_lengths) {
+    if (len == 0) {
+      throw std::invalid_argument(
+          "GridCertificationOptions: zero stream length");
+    }
+  }
+  if (repeats == 0) {
+    throw std::invalid_argument("GridCertificationOptions: zero repeats");
+  }
+  if (grid_points == 0) {
+    throw std::invalid_argument("GridCertificationOptions: zero grid points");
+  }
+}
+
+Certification certify_at(const CompiledProgram& program,
+                         const std::function<double(double)>& reference,
+                         const oscs::OperatingPoint& op,
+                         const CertificationOptions& options) {
   options.validate();
+  op.validate();
 
   eng::BatchRequest request;
   request.polynomials.push_back(program.poly());
@@ -34,23 +70,25 @@ Certification certify(const CompiledProgram& program,
     request.xs.push_back(static_cast<double>(i) /
                          static_cast<double>(options.grid_points + 1));
   }
-  request.stream_lengths = {options.stream_length};
+  request.stream_lengths = {op.stream_length};
   request.repeats = options.repeats;
   request.seed = options.seed;
   request.source_kind = options.source_kind;
-  request.sng_width = program.key().width;
-  request.noise_enabled = options.noise_enabled;
+  request.op = op;
 
   // Reuse the program's prebuilt kernel: certification shares the decision
-  // LUT codegen already paid for.
-  const eng::BatchRunner runner(program.kernel());
+  // LUT codegen already paid for. The kernel's LUT is probe-power
+  // invariant (transmissions scale linearly), so one kernel serves every
+  // operating point; only the BER inside `op` changes.
+  const eng::BatchRunner runner(program.kernel(), program.design_point());
   const eng::BatchSummary summary = runner.run(request, options.threads);
 
   Certification cert;
-  cert.stream_length = options.stream_length;
+  cert.op = op;
+  cert.stream_length = op.stream_length;
   cert.repeats = options.repeats;
   cert.grid_points = options.grid_points;
-  cert.noise_enabled = options.noise_enabled;
+  cert.noise_enabled = op.noisy();
 
   // Per-cell error versus the double-precision reference. The cells carry
   // the MC mean and its CI; the MAE CI follows by independence of the
@@ -77,6 +115,61 @@ Certification certify(const CompiledProgram& program,
         cert.approx_max_error, std::abs(program.poly()(x) - reference(x)));
   }
   return cert;
+}
+
+Certification certify(const CompiledProgram& program,
+                      const std::function<double(double)>& reference,
+                      const CertificationOptions& options) {
+  options.validate();
+  oscs::OperatingPoint op =
+      program.design_point().with_stream_length(options.stream_length);
+  if (!options.noise_enabled) op = op.noiseless();
+  return certify_at(program, reference, op, options);
+}
+
+GridCertification certify_grid(const CompiledProgram& program,
+                               const std::function<double(double)>& reference,
+                               const GridCertificationOptions& options) {
+  options.validate();
+
+  std::vector<double> probes = options.probe_powers_mw;
+  if (probes.empty()) {
+    const double design_probe = program.design_point().probe_power_mw;
+    probes.reserve(options.probe_scales.size());
+    for (double s : options.probe_scales) probes.push_back(s * design_probe);
+  }
+
+  CertificationOptions cell_options;
+  cell_options.repeats = options.repeats;
+  cell_options.grid_points = options.grid_points;
+  cell_options.seed = options.seed;
+  cell_options.source_kind = options.source_kind;
+  cell_options.threads = options.threads;
+
+  const optsc::LinkBudget budget(program.circuit(),
+                                 optsc::EyeModel::kPhysical);
+  GridCertification grid;
+  grid.function_id = program.function_id();
+  grid.cells.reserve(probes.size() * options.stream_lengths.size());
+  for (double probe : probes) {
+    for (std::size_t length : options.stream_lengths) {
+      GridCell cell;
+      cell.op =
+          budget.operating_point(probe, length, program.key().width);
+      cell.cert = certify_at(program, reference, cell.op, cell_options);
+      const std::size_t index = grid.cells.size();
+      if (grid.cells.empty() ||
+          cell.cert.mc_mae < grid.cells[grid.best_cell].cert.mc_mae) {
+        grid.best_cell = index;
+      }
+      if (grid.cells.empty() ||
+          cell.cert.mc_mae > grid.cells[grid.worst_cell].cert.mc_mae) {
+        grid.worst_cell = index;
+      }
+      grid.cells.push_back(std::move(cell));
+    }
+  }
+  return grid;
 }
 
 }  // namespace oscs::compile

@@ -5,11 +5,22 @@
 ///        its empirical accuracy against the double-precision reference
 ///        function - an MAE with a 95% confidence interval over an x grid,
 ///        plus the deterministic approximation-error component.
+///
+/// Three entry points, all on the same machinery:
+///   * certify()      - at the program's design operating point
+///   * certify_at()   - at an explicit `oscs::OperatingPoint`
+///   * certify_grid() - an MAE/CI surface across a grid of probe powers
+///                      and stream lengths (the link budget maps each
+///                      probe power to its BER; ROADMAP "noise-aware
+///                      certification")
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
+#include "common/operating_point.hpp"
 #include "compile/program.hpp"
 #include "stochastic/sng.hpp"
 
@@ -22,7 +33,7 @@ struct CertificationOptions {
   std::size_t grid_points = 9;       ///< interior x grid: i/(grid_points+1)
   std::uint64_t seed = 0xCE47;       ///< master seed (deterministic result)
   stochastic::SourceKind source_kind = stochastic::SourceKind::kLfsr;
-  bool noise_enabled = true;  ///< apply the Eq. (9) receiver noise model
+  bool noise_enabled = true;  ///< apply the link-budget BER noise model
   std::size_t threads = 0;    ///< BatchRunner workers (0 = hardware)
 
   /// \throws std::invalid_argument on a zero dimension.
@@ -30,12 +41,74 @@ struct CertificationOptions {
 };
 
 /// Certify `program` against `reference` (the original double(double)
-/// function). Deterministic for a fixed seed and any thread count, per the
-/// BatchRunner contract.
+/// function) at its design operating point, with options.stream_length
+/// and options.noise_enabled applied on top. Deterministic for a fixed
+/// seed and any thread count, per the BatchRunner contract.
 /// \throws std::invalid_argument on invalid options.
 [[nodiscard]] Certification certify(
     const CompiledProgram& program,
     const std::function<double(double)>& reference,
     const CertificationOptions& options = {});
+
+/// Certify at an explicit operating point (BER, stream length and SNG
+/// width all come from `op`; options.stream_length / noise_enabled are
+/// ignored). This is the building block certify() and certify_grid()
+/// share.
+/// \throws std::invalid_argument on invalid options or operating point.
+[[nodiscard]] Certification certify_at(
+    const CompiledProgram& program,
+    const std::function<double(double)>& reference,
+    const oscs::OperatingPoint& op, const CertificationOptions& options = {});
+
+/// Controls for the operating-point grid sweep.
+struct GridCertificationOptions {
+  /// Explicit per-channel probe powers [mW]. When empty, `probe_scales`
+  /// times the program's design probe power are used instead.
+  std::vector<double> probe_powers_mw{};
+  std::vector<double> probe_scales{0.5, 1.0, 2.0};
+  std::vector<std::size_t> stream_lengths{4096};
+  std::size_t repeats = 8;
+  std::size_t grid_points = 9;
+  std::uint64_t seed = 0xCE47;
+  stochastic::SourceKind source_kind = stochastic::SourceKind::kLfsr;
+  std::size_t threads = 0;
+
+  /// \throws std::invalid_argument on an empty probe/length grid, a
+  ///         non-positive probe power or scale, or a zero dimension.
+  void validate() const;
+};
+
+/// One grid entry: the operating point (carrying the link-budget BER at
+/// that probe power) and the certification measured there.
+struct GridCell {
+  oscs::OperatingPoint op{};
+  Certification cert{};
+};
+
+/// MAE/CI surface over (probe power x stream length).
+struct GridCertification {
+  std::string function_id;
+  std::vector<GridCell> cells;  ///< probe-major, then stream length
+  std::size_t best_cell = 0;    ///< index of the lowest-MAE cell
+  std::size_t worst_cell = 0;   ///< index of the highest-MAE cell
+
+  [[nodiscard]] double best_mc_mae() const {
+    return cells.empty() ? 0.0 : cells[best_cell].cert.mc_mae;
+  }
+  [[nodiscard]] double worst_mc_mae() const {
+    return cells.empty() ? 0.0 : cells[worst_cell].cert.mc_mae;
+  }
+};
+
+/// Certify `program` across a grid of operating points: every probe power
+/// is mapped through the program circuit's link budget (physical eye) to
+/// its BER, then certified at every stream length. The common random
+/// numbers (one seed for all cells) make adjacent cells directly
+/// comparable.
+/// \throws std::invalid_argument on invalid options.
+[[nodiscard]] GridCertification certify_grid(
+    const CompiledProgram& program,
+    const std::function<double(double)>& reference,
+    const GridCertificationOptions& options = {});
 
 }  // namespace oscs::compile

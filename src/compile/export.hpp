@@ -1,0 +1,38 @@
+#pragma once
+/// \file export.hpp
+/// \brief Machine-readable export of grid certifications: one row/object
+///        per (probe power x stream length) operating point with the
+///        link-budget BER and the measured MAE/CI. Built on the shared
+///        common/ CSV and JSON writers, like the engine's batch export.
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "compile/certify.hpp"
+
+namespace oscs::compile {
+
+/// One row per grid cell: function id, probe power, BER, SNR, stream
+/// length, repeats, MC MAE/CI/worst, electronic MAE, approximation floor.
+[[nodiscard]] oscs::CsvTable grid_csv(const GridCertification& grid);
+
+/// Write grid_csv() to `path`, creating parent directories as needed.
+/// \throws std::runtime_error if the file cannot be opened.
+void write_grid_csv(const GridCertification& grid, const std::string& path);
+
+/// Whole surface as a JSON document: the function id, best/worst cells
+/// and a "cells" array mirroring grid_csv().
+[[nodiscard]] std::string grid_json(const GridCertification& grid);
+
+/// Several surfaces (e.g. the whole registry) as one JSON document.
+[[nodiscard]] std::string grid_json(
+    const std::vector<GridCertification>& grids);
+
+/// Write grid_json() to `path`, creating parent directories as needed.
+/// \throws std::runtime_error if the file cannot be opened.
+void write_grid_json(const GridCertification& grid, const std::string& path);
+void write_grid_json(const std::vector<GridCertification>& grids,
+                     const std::string& path);
+
+}  // namespace oscs::compile

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "optsc/defaults.hpp"
+#include "optsc/link_budget.hpp"
 
 namespace oscs::compile {
 
@@ -45,6 +46,9 @@ CompiledProgram::CompiledProgram(ProgramKey key, ProjectionResult projection,
       [circuit = circuit_](const engine::PackedKernel* kernel) {
         delete kernel;
       });
+  design_point_ =
+      optsc::design_operating_point(*circuit_, /*stream_length=*/1024,
+                                    /*sng_width=*/key_.width);
 }
 
 }  // namespace oscs::compile

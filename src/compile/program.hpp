@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "common/operating_point.hpp"
 #include "compile/fit.hpp"
 #include "compile/quantize.hpp"
 #include "engine/packed_sim.hpp"
@@ -43,10 +44,13 @@ struct ProgramKeyHash {
 /// Empirical accuracy certificate: a BatchRunner Monte-Carlo run of the
 /// program compared against the double-precision reference function.
 struct Certification {
-  std::size_t stream_length = 0;  ///< bits per evaluation
+  /// Link operating point the MC run evaluated at (probe power, BER,
+  /// stream length, SNG width) - produced by optsc::LinkBudget.
+  oscs::OperatingPoint op{};
+  std::size_t stream_length = 0;  ///< bits per evaluation (== op.stream_length)
   std::size_t repeats = 0;        ///< MC repeats per grid point
   std::size_t grid_points = 0;    ///< x grid size
-  bool noise_enabled = true;      ///< Eq. (9) receiver noise applied
+  bool noise_enabled = true;      ///< receiver noise applied (op.noisy())
   double mc_mae = 0.0;     ///< mean over grid of |optical mean - f(x)|
   double mc_mae_ci = 0.0;  ///< 95% CI half-width on mc_mae
   double mc_worst = 0.0;   ///< worst grid point |optical mean - f(x)|
@@ -102,6 +106,12 @@ class CompiledProgram {
       const noexcept {
     return kernel_;
   }
+  /// The program's design operating point: the circuit's built-in probe
+  /// power mapped through the link budget (physical eye), with the
+  /// program's SNG width. Certification and serving default to this.
+  [[nodiscard]] const oscs::OperatingPoint& design_point() const noexcept {
+    return design_point_;
+  }
 
   [[nodiscard]] const std::optional<Certification>& certification()
       const noexcept {
@@ -124,6 +134,7 @@ class CompiledProgram {
   stochastic::BernsteinPoly run_poly_{std::vector<double>{0.0}};
   std::shared_ptr<optsc::OpticalScCircuit> circuit_;  ///< kernel points here
   std::shared_ptr<const engine::PackedKernel> kernel_;
+  oscs::OperatingPoint design_point_{};
   std::optional<Certification> cert_;
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/stats.hpp"
+#include "optsc/link_budget.hpp"
 
 namespace oscs::engine {
 
@@ -35,6 +36,9 @@ void BatchRequest::validate() const {
   if (repeats == 0) {
     throw std::invalid_argument("BatchRequest: zero repeats");
   }
+  if (op.has_value()) {
+    op->validate();
+  }
 }
 
 std::uint64_t derive_task_seed(std::uint64_t master, std::size_t task_index,
@@ -47,66 +51,39 @@ std::uint64_t derive_task_seed(std::uint64_t master, std::size_t task_index,
 }
 
 BatchRunner::BatchRunner(const optsc::OpticalScCircuit& circuit)
-    : kernel_(std::make_shared<PackedKernel>(circuit)) {}
+    : kernel_(std::make_shared<PackedKernel>(circuit)),
+      design_point_(optsc::design_operating_point(circuit)) {}
 
-BatchRunner::BatchRunner(std::shared_ptr<const PackedKernel> kernel)
-    : kernel_(std::move(kernel)) {
+BatchRunner::BatchRunner(std::shared_ptr<const PackedKernel> kernel,
+                         oscs::OperatingPoint design_point)
+    : kernel_(std::move(kernel)), design_point_(design_point) {
   if (!kernel_) {
     throw std::invalid_argument("BatchRunner: null kernel");
   }
+  design_point_.validate();
 }
 
-BatchSummary BatchRunner::run(const BatchRequest& request,
-                              ThreadPool& pool) const {
-  request.validate();
+void BatchRunner::check_orders(const BatchRequest& request) const {
   for (const sc::BernsteinPoly& poly : request.polynomials) {
     if (poly.degree() != kernel_->order()) {
       throw std::invalid_argument(
           "BatchRunner: polynomial order does not match the circuit");
     }
   }
+}
 
-  struct TaskOut {
-    double optical = 0.0;
-    double electronic = 0.0;
-    std::size_t flips = 0;
-  };
-  std::vector<TaskOut> outs(request.tasks());
-
-  // Fan one task per (cell, repeat) across the pool. Tasks only touch
-  // their own output slot, so aggregation below is race-free and the
-  // result is independent of scheduling order.
-  const std::size_t n_lengths = request.stream_lengths.size();
-  const std::size_t n_xs = request.xs.size();
-  std::size_t task_index = 0;
-  for (std::size_t pi = 0; pi < request.polynomials.size(); ++pi) {
-    for (std::size_t xi = 0; xi < n_xs; ++xi) {
-      for (std::size_t li = 0; li < n_lengths; ++li) {
-        for (std::size_t rep = 0; rep < request.repeats; ++rep, ++task_index) {
-          const std::size_t t = task_index;
-          pool.submit([this, &request, &outs, pi, xi, li, t] {
-            PackedRunConfig cfg;
-            cfg.stream_length = request.stream_lengths[li];
-            cfg.stimulus.kind = request.source_kind;
-            cfg.stimulus.width = request.sng_width;
-            cfg.stimulus.seed = derive_task_seed(request.seed, t, 0);
-            cfg.noise_enabled = request.noise_enabled;
-            cfg.noise_seed = derive_task_seed(request.seed, t, 1);
-            const PackedRunResult r =
-                kernel_->run(request.polynomials[pi], request.xs[xi], cfg);
-            outs[t] = {r.optical_estimate, r.electronic_estimate,
-                       r.transmission_flips};
-          });
-        }
-      }
-    }
-  }
-  pool.wait_idle();
-
+template <typename SlotFn>
+BatchSummary BatchRunner::aggregate(const BatchRequest& request,
+                                    const std::vector<TaskOut>& outs,
+                                    const oscs::OperatingPoint& op,
+                                    SlotFn&& slot) const {
   BatchSummary summary;
   summary.tasks = outs.size();
+  summary.op = op.with_stream_length(
+      request.stream_lengths.size() == 1 ? request.stream_lengths.front() : 0);
   summary.cells.reserve(request.cells());
-  std::size_t t = 0;
+  const std::size_t n_lengths = request.stream_lengths.size();
+  const std::size_t n_xs = request.xs.size();
   for (std::size_t pi = 0; pi < request.polynomials.size(); ++pi) {
     for (std::size_t xi = 0; xi < n_xs; ++xi) {
       const double expected = request.polynomials[pi](request.xs[xi]);
@@ -116,8 +93,8 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
         oscs::Accumulator optical_err;
         oscs::Accumulator electronic_err;
         oscs::Accumulator flip_rate;
-        for (std::size_t rep = 0; rep < request.repeats; ++rep, ++t) {
-          const TaskOut& out = outs[t];
+        for (std::size_t rep = 0; rep < request.repeats; ++rep) {
+          const TaskOut& out = outs[slot(pi, xi, li, rep)];
           optical.add(out.optical);
           optical_err.add(std::abs(out.optical - expected));
           electronic_err.add(std::abs(out.electronic - expected));
@@ -152,9 +129,109 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
 }
 
 BatchSummary BatchRunner::run(const BatchRequest& request,
+                              ThreadPool& pool) const {
+  request.validate();
+  check_orders(request);
+  const oscs::OperatingPoint base = request.op.value_or(design_point_);
+
+  std::vector<TaskOut> outs(request.tasks());
+
+  // Fan one task per (cell, repeat) across the pool. Tasks only touch
+  // their own output slot, so aggregation below is race-free and the
+  // result is independent of scheduling order.
+  const std::size_t n_lengths = request.stream_lengths.size();
+  const std::size_t n_xs = request.xs.size();
+  std::size_t task_index = 0;
+  for (std::size_t pi = 0; pi < request.polynomials.size(); ++pi) {
+    for (std::size_t xi = 0; xi < n_xs; ++xi) {
+      for (std::size_t li = 0; li < n_lengths; ++li) {
+        for (std::size_t rep = 0; rep < request.repeats; ++rep, ++task_index) {
+          const std::size_t t = task_index;
+          pool.submit([this, &request, &outs, &base, pi, xi, li, t] {
+            PackedRunConfig cfg;
+            cfg.op = base.with_stream_length(request.stream_lengths[li]);
+            cfg.source_kind = request.source_kind;
+            cfg.stimulus_seed = derive_task_seed(request.seed, t, 0);
+            cfg.noise_seed = derive_task_seed(request.seed, t, 1);
+            const PackedRunResult r =
+                kernel_->run(request.polynomials[pi], request.xs[xi], cfg);
+            outs[t] = {r.optical_estimate, r.electronic_estimate,
+                       r.transmission_flips};
+          });
+        }
+      }
+    }
+  }
+  pool.wait_idle();
+
+  const std::size_t repeats = request.repeats;
+  return aggregate(request, outs, base,
+                   [n_xs, n_lengths, repeats](std::size_t pi, std::size_t xi,
+                                              std::size_t li, std::size_t rep) {
+                     return ((pi * n_xs + xi) * n_lengths + li) * repeats + rep;
+                   });
+}
+
+BatchSummary BatchRunner::run(const BatchRequest& request,
                               std::size_t threads) const {
   ThreadPool pool(threads);
   return run(request, pool);
+}
+
+BatchSummary BatchRunner::run_fused(const BatchRequest& request,
+                                    ThreadPool& pool) const {
+  request.validate();
+  check_orders(request);
+  const oscs::OperatingPoint base = request.op.value_or(design_point_);
+
+  const std::size_t n_programs = request.polynomials.size();
+  const std::size_t n_lengths = request.stream_lengths.size();
+  const std::size_t n_xs = request.xs.size();
+  const std::size_t n_tasks = n_xs * n_lengths * request.repeats;
+  std::vector<TaskOut> outs(n_tasks * n_programs);
+
+  // One task per (x, length, repeat): a single fused kernel pass evaluates
+  // every program on shared data streams and one flip mask, then scatters
+  // into per-program slots.
+  std::size_t task_index = 0;
+  for (std::size_t xi = 0; xi < n_xs; ++xi) {
+    for (std::size_t li = 0; li < n_lengths; ++li) {
+      for (std::size_t rep = 0; rep < request.repeats; ++rep, ++task_index) {
+        const std::size_t t = task_index;
+        pool.submit([this, &request, &outs, &base, xi, li, t, n_programs] {
+          PackedRunConfig cfg;
+          cfg.op = base.with_stream_length(request.stream_lengths[li]);
+          cfg.source_kind = request.source_kind;
+          cfg.stimulus_seed = derive_task_seed(request.seed, t, 0);
+          cfg.noise_seed = derive_task_seed(request.seed, t, 1);
+          const std::vector<PackedRunResult> results =
+              kernel_->run_fused(request.polynomials, request.xs[xi], cfg);
+          for (std::size_t pi = 0; pi < n_programs; ++pi) {
+            const PackedRunResult& r = results[pi];
+            outs[t * n_programs + pi] = {r.optical_estimate,
+                                         r.electronic_estimate,
+                                         r.transmission_flips};
+          }
+        });
+      }
+    }
+  }
+  pool.wait_idle();
+
+  const std::size_t repeats = request.repeats;
+  return aggregate(
+      request, outs, base,
+      [n_lengths, repeats, n_programs](std::size_t pi, std::size_t xi,
+                                       std::size_t li, std::size_t rep) {
+        const std::size_t t = (xi * n_lengths + li) * repeats + rep;
+        return t * n_programs + pi;
+      });
+}
+
+BatchSummary BatchRunner::run_fused(const BatchRequest& request,
+                                    std::size_t threads) const {
+  ThreadPool pool(threads);
+  return run_fused(request, pool);
 }
 
 }  // namespace oscs::engine

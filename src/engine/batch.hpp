@@ -8,11 +8,18 @@
 /// from the request seed and its own grid coordinates alone, and writes
 /// into a preallocated slot; results are therefore bit-identical for any
 /// thread count, including 1.
+///
+/// Noise model: the runner evaluates at an `oscs::OperatingPoint` - either
+/// the one the request carries or the runner's design point (derived from
+/// the circuit through `optsc::LinkBudget` at construction). The engine
+/// itself never computes a BER.
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "common/operating_point.hpp"
 #include "engine/packed_sim.hpp"
 #include "engine/thread_pool.hpp"
 #include "optsc/circuit.hpp"
@@ -31,15 +38,18 @@ struct BatchRequest {
 
   std::uint64_t seed = 1;  ///< master seed; every task seed derives from it
   stochastic::SourceKind source_kind = stochastic::SourceKind::kLfsr;
-  unsigned sng_width = 16;  ///< SNG resolution in bits
-  bool noise_enabled = true;
+
+  /// Link operating point to evaluate at (BER + SNG width; the per-cell
+  /// stream length comes from `stream_lengths`). Leave unset to run at the
+  /// runner's design point. Use `op->noiseless()` to switch noise off.
+  std::optional<oscs::OperatingPoint> op;
 
   /// Evaluations in the request (cells() * repeats).
   [[nodiscard]] std::size_t tasks() const noexcept;
   /// Grid cells in the request.
   [[nodiscard]] std::size_t cells() const noexcept;
-  /// \throws std::invalid_argument on an empty dimension or zero
-  ///         repeats/length.
+  /// \throws std::invalid_argument on an empty dimension, zero
+  ///         repeats/length, or an invalid operating point.
   void validate() const;
 };
 
@@ -67,27 +77,39 @@ struct BatchSummary {
   double optical_mae = 0.0;        ///< mean of per-cell optical error means
   double electronic_mae = 0.0;     ///< same for the ReSC baseline
   double worst_cell_error = 0.0;   ///< max per-cell optical error mean
+  /// Operating point the batch ran at (probe power, BER, SNG width).
+  /// `op.stream_length` is the request's single stream length, or 0 when
+  /// the grid mixed lengths - read the per-cell values in that case.
+  oscs::OperatingPoint op{};
 };
 
-/// Batch driver: owns the packed kernel snapshot and fans tasks across a
-/// thread pool.
+/// Batch driver: owns the packed kernel snapshot plus the design operating
+/// point and fans tasks across a thread pool.
 class BatchRunner {
  public:
-  /// Build a fresh kernel snapshot from the circuit.
+  /// Build a fresh kernel snapshot from the circuit; the design operating
+  /// point comes from the circuit's link budget (physical eye).
   /// \throws std::invalid_argument if the circuit order exceeds the packed
   ///         kernel limit.
   explicit BatchRunner(const optsc::OpticalScCircuit& circuit);
 
   /// Share an externally prebuilt kernel (e.g. the one a CompiledProgram
-  /// carries) instead of re-deriving the decision LUT.
-  /// \throws std::invalid_argument on a null kernel.
-  explicit BatchRunner(std::shared_ptr<const PackedKernel> kernel);
+  /// carries) instead of re-deriving the decision LUT. `design_point` is
+  /// the operating point requests without an explicit one run at.
+  /// \throws std::invalid_argument on a null kernel or invalid point.
+  BatchRunner(std::shared_ptr<const PackedKernel> kernel,
+              oscs::OperatingPoint design_point);
 
   [[nodiscard]] const PackedKernel& kernel() const noexcept {
     return *kernel_;
   }
+  /// The operating point used when a request does not carry its own.
+  [[nodiscard]] const oscs::OperatingPoint& design_point() const noexcept {
+    return design_point_;
+  }
 
-  /// Run the request on an existing pool.
+  /// Run the request on an existing pool: one task per (cell, repeat),
+  /// each with its own stimulus.
   /// \throws std::invalid_argument on an invalid request or a polynomial
   ///         order mismatch (surfaced from worker tasks).
   [[nodiscard]] BatchSummary run(const BatchRequest& request,
@@ -98,8 +120,42 @@ class BatchRunner {
   [[nodiscard]] BatchSummary run(const BatchRequest& request,
                                  std::size_t threads = 0) const;
 
+  /// Fused mode: one task per (x, length, repeat) evaluates ALL requested
+  /// polynomials on one shared SNG stimulus with one flip-mask pass,
+  /// amortizing stimulus generation and the adder/select pass across
+  /// programs. Statistically equivalent to run() per program (identical
+  /// marginal estimator distribution; programs within a task share data
+  /// streams and flip positions); not bit-identical to run() for K > 1
+  /// because the sample layout differs. Cells come back in the same
+  /// polynomial-major order as run().
+  /// \throws std::invalid_argument on an invalid request or a polynomial
+  ///         order mismatch.
+  [[nodiscard]] BatchSummary run_fused(const BatchRequest& request,
+                                       ThreadPool& pool) const;
+
+  /// Convenience overload of run_fused on a temporary pool.
+  [[nodiscard]] BatchSummary run_fused(const BatchRequest& request,
+                                       std::size_t threads = 0) const;
+
  private:
+  struct TaskOut {
+    double optical = 0.0;
+    double electronic = 0.0;
+    std::size_t flips = 0;
+  };
+
+  /// Aggregate per-task outputs into polynomial-major cells. `slot` maps
+  /// (poly, x, length, repeat) indices to a TaskOut slot.
+  template <typename SlotFn>
+  [[nodiscard]] BatchSummary aggregate(const BatchRequest& request,
+                                       const std::vector<TaskOut>& outs,
+                                       const oscs::OperatingPoint& op,
+                                       SlotFn&& slot) const;
+
+  void check_orders(const BatchRequest& request) const;
+
   std::shared_ptr<const PackedKernel> kernel_;
+  oscs::OperatingPoint design_point_;
 };
 
 /// Deterministic per-task seed stream: expands (master seed, task index,

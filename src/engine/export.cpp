@@ -1,35 +1,8 @@
 #include "engine/export.hpp"
 
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <stdexcept>
+#include "common/json.hpp"
 
 namespace oscs::engine {
-
-namespace {
-
-/// Round-trip double formatting (same contract as CsvTable numbers).
-std::string json_number(double value) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
-}
-
-void write_text_file(const std::string& text, const std::string& path,
-                     const char* what) {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::filesystem::create_directories(p.parent_path());
-  }
-  std::ofstream out(p);
-  if (!out) {
-    throw std::runtime_error(std::string(what) + ": cannot open " + path);
-  }
-  out << text;
-}
-
-}  // namespace
 
 oscs::CsvTable batch_csv(const BatchSummary& summary) {
   oscs::CsvTable table({"poly_index", "x", "stream_length", "repeats",
@@ -58,42 +31,37 @@ void write_batch_csv(const BatchSummary& summary, const std::string& path) {
 }
 
 std::string batch_json(const BatchSummary& summary) {
-  std::string out;
-  out.reserve(256 + summary.cells.size() * 256);
-  out += "{\n";
-  out += "  \"tasks\": " + std::to_string(summary.tasks) + ",\n";
-  out += "  \"total_bits\": " + std::to_string(summary.total_bits) + ",\n";
-  out += "  \"optical_mae\": " + json_number(summary.optical_mae) + ",\n";
-  out += "  \"electronic_mae\": " + json_number(summary.electronic_mae) +
-         ",\n";
-  out += "  \"worst_cell_error\": " + json_number(summary.worst_cell_error) +
-         ",\n";
-  out += "  \"cells\": [";
-  for (std::size_t i = 0; i < summary.cells.size(); ++i) {
-    const BatchCell& cell = summary.cells[i];
-    out += (i == 0) ? "\n" : ",\n";
-    out += "    {\"poly_index\": " + std::to_string(cell.poly_index);
-    out += ", \"x\": " + json_number(cell.x);
-    out += ", \"stream_length\": " + std::to_string(cell.stream_length);
-    out += ", \"repeats\": " + std::to_string(cell.repeats);
-    out += ", \"expected\": " + json_number(cell.expected);
-    out += ", \"optical_mean\": " + json_number(cell.optical_mean);
-    out += ", \"optical_ci\": " + json_number(cell.optical_ci);
-    out += ", \"optical_abs_error_mean\": " +
-           json_number(cell.optical_abs_error_mean);
-    out += ", \"optical_abs_error_ci\": " +
-           json_number(cell.optical_abs_error_ci);
-    out += ", \"electronic_abs_error_mean\": " +
-           json_number(cell.electronic_abs_error_mean);
-    out += ", \"flip_rate_mean\": " + json_number(cell.flip_rate_mean);
-    out += "}";
+  oscs::JsonWriter json;
+  json.begin_object()
+      .field("tasks", summary.tasks)
+      .field("total_bits", summary.total_bits)
+      .field("optical_mae", summary.optical_mae)
+      .field("electronic_mae", summary.electronic_mae)
+      .field("worst_cell_error", summary.worst_cell_error);
+  json.key("operating_point");
+  operating_point_json(json, summary.op);
+  json.key("cells").begin_array();
+  for (const BatchCell& cell : summary.cells) {
+    json.begin_object()
+        .field("poly_index", cell.poly_index)
+        .field("x", cell.x)
+        .field("stream_length", cell.stream_length)
+        .field("repeats", cell.repeats)
+        .field("expected", cell.expected)
+        .field("optical_mean", cell.optical_mean)
+        .field("optical_ci", cell.optical_ci)
+        .field("optical_abs_error_mean", cell.optical_abs_error_mean)
+        .field("optical_abs_error_ci", cell.optical_abs_error_ci)
+        .field("electronic_abs_error_mean", cell.electronic_abs_error_mean)
+        .field("flip_rate_mean", cell.flip_rate_mean)
+        .end_object();
   }
-  out += "\n  ]\n}\n";
-  return out;
+  json.end_array().end_object();
+  return json.str();
 }
 
 void write_batch_json(const BatchSummary& summary, const std::string& path) {
-  write_text_file(batch_json(summary), path, "write_batch_json");
+  oscs::write_text_file(batch_json(summary), path, "write_batch_json");
 }
 
 }  // namespace oscs::engine

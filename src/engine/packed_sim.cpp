@@ -30,6 +30,41 @@ std::vector<bool> ones_prefix(std::size_t ones, std::size_t count) {
 
 }  // namespace
 
+std::vector<std::size_t> sample_flip_positions(std::size_t length,
+                                               double flip_p,
+                                               oscs::Xoshiro256& rng) {
+  std::vector<std::size_t> positions;
+  if (flip_p <= 0.0 || length == 0) return positions;
+  // Geometric gap sampling: the index of the next flipped bit advances by
+  // 1 + Geometric(p), so the cost scales with the number of flips (~p * N)
+  // rather than the stream length.
+  const double log_keep = std::log1p(-flip_p);
+  std::size_t pos = 0;
+  for (;;) {
+    const double u = rng.uniform01();
+    const double gap = std::floor(std::log1p(-u) / log_keep);
+    if (gap >= static_cast<double>(length - pos)) break;
+    pos += static_cast<std::size_t>(gap);
+    positions.push_back(pos);
+    ++pos;
+    if (pos >= length) break;
+  }
+  return positions;
+}
+
+void flip_positions(sc::Bitstream& stream,
+                    const std::vector<std::size_t>& positions) {
+  for (std::size_t pos : positions) stream.set_bit(pos, !stream.bit(pos));
+}
+
+std::size_t apply_noise_flips(sc::Bitstream& stream, double flip_p,
+                              oscs::Xoshiro256& rng) {
+  const std::vector<std::size_t> positions =
+      sample_flip_positions(stream.size(), flip_p, rng);
+  flip_positions(stream, positions);
+  return positions.size();
+}
+
 PackedKernel::PackedKernel(const optsc::OpticalScCircuit& circuit)
     : circuit_(&circuit), order_(circuit.order()) {
   if (order_ > kMaxOrder) {
@@ -39,11 +74,14 @@ PackedKernel::PackedKernel(const optsc::OpticalScCircuit& circuit)
   }
   planes_ = static_cast<std::size_t>(std::bit_width(order_));
 
+  // Eye geometry only: the slicer threshold sits mid-eye, and since every
+  // transmission scales linearly with probe power the decision LUT below
+  // is invariant to the operating point. The noise model (BER) is NOT
+  // derived here - it arrives per run inside oscs::OperatingPoint.
   const optsc::LinkBudget budget(circuit, optsc::EyeModel::kPhysical);
   const optsc::EyeAnalysis eye =
       budget.analyze(circuit.params().lasers.probe_power_mw);
   threshold_mw_ = eye.threshold_mw;
-  flip_p_ = std::clamp(eye.ber, 0.0, 0.5);
 
   // Decision LUT: one noiseless slicer decision per reachable circuit
   // state. The received power is evaluated through the very same
@@ -79,27 +117,84 @@ double PackedKernel::received_power_mw(std::uint32_t z_pattern,
       circuit_->params().lasers.probe_power_mw);
 }
 
+void PackedKernel::assemble_words(const std::uint64_t* sel,
+                                  const std::uint64_t* zw,
+                                  std::uint64_t& mux_word,
+                                  std::uint64_t& opt_word) const {
+  const std::size_t n = order_;
+  mux_word = 0;
+  for (std::size_t k = 0; k <= n; ++k) mux_word |= sel[k] & zw[k];
+
+  if (mux_exact_) {
+    opt_word = mux_word;
+    return;
+  }
+  opt_word = 0;
+  for (std::size_t p = 0; p < decisions_.size(); ++p) {
+    const std::uint32_t dmask = decisions_[p];
+    if (dmask == 0) continue;
+    std::uint64_t zmask = ~std::uint64_t{0};
+    for (std::size_t j = 0; j <= n && zmask != 0; ++j) {
+      zmask &= ((p >> j) & 1u) ? zw[j] : ~zw[j];
+    }
+    if (zmask == 0) continue;
+    std::uint64_t decided = 0;
+    for (std::size_t k = 0; k <= n; ++k) {
+      if ((dmask >> k) & 1u) decided |= sel[k];
+    }
+    opt_word |= zmask & decided;
+  }
+}
+
 PackedKernel::Streams PackedKernel::evaluate(
     const sc::ScInputs& inputs) const {
+  std::vector<Streams> out =
+      evaluate_core(inputs.x_streams, {&inputs.z_streams});
+  return std::move(out.front());
+}
+
+std::vector<PackedKernel::Streams> PackedKernel::evaluate_fused(
+    const sc::FusedScInputs& inputs) const {
+  std::vector<const std::vector<sc::Bitstream>*> z_sets;
+  z_sets.reserve(inputs.z_streams.size());
+  for (const std::vector<sc::Bitstream>& zs : inputs.z_streams) {
+    z_sets.push_back(&zs);
+  }
+  return evaluate_core(inputs.x_streams, z_sets);
+}
+
+std::vector<PackedKernel::Streams> PackedKernel::evaluate_core(
+    const std::vector<sc::Bitstream>& x_streams,
+    const std::vector<const std::vector<sc::Bitstream>*>& z_sets) const {
   const std::size_t n = order_;
-  if (inputs.x_streams.size() != n || inputs.z_streams.size() != n + 1) {
+  const std::size_t programs = z_sets.size();
+  if (x_streams.size() != n || programs == 0) {
     throw std::invalid_argument("PackedKernel: stimulus shape mismatch");
   }
-  const std::size_t length = inputs.length();
-  for (const sc::Bitstream& s : inputs.x_streams) {
+  const std::size_t length =
+      x_streams.empty() ? z_sets.front()->front().size()
+                        : x_streams.front().size();
+  for (const sc::Bitstream& s : x_streams) {
     if (s.size() != length) {
       throw std::invalid_argument("PackedKernel: ragged x streams");
     }
   }
-  for (const sc::Bitstream& s : inputs.z_streams) {
-    if (s.size() != length) {
-      throw std::invalid_argument("PackedKernel: ragged z streams");
+  for (const std::vector<sc::Bitstream>* zs : z_sets) {
+    if (zs->size() != n + 1) {
+      throw std::invalid_argument("PackedKernel: stimulus shape mismatch");
+    }
+    for (const sc::Bitstream& s : *zs) {
+      if (s.size() != length) {
+        throw std::invalid_argument("PackedKernel: ragged z streams");
+      }
     }
   }
 
   const std::size_t nwords = (length + 63) / 64;
-  std::vector<std::uint64_t> optical(nwords, 0);
-  std::vector<std::uint64_t> electronic(nwords, 0);
+  std::vector<std::vector<std::uint64_t>> optical(
+      programs, std::vector<std::uint64_t>(nwords, 0));
+  std::vector<std::vector<std::uint64_t>> electronic(
+      programs, std::vector<std::uint64_t>(nwords, 0));
 
   // kMaxOrder bounds every per-word scratch array.
   std::array<std::uint64_t, kMaxOrder + 1> zw{};
@@ -108,95 +203,88 @@ PackedKernel::Streams PackedKernel::evaluate(
   std::array<std::uint64_t, kMaxPlanes> planes{};
 
   for (std::size_t w = 0; w < nwords; ++w) {
-    // 1. Carry-save adder over the x words: after the call, plane j holds
-    //    bit j of the per-lane ones count k(t).
+    // 1. Carry-save adder over the shared x words: after the call, plane j
+    //    holds bit j of the per-lane ones count k(t). Computed once and
+    //    reused by every fused program.
     planes.fill(0);
-    sc::accumulate_count_planes(inputs.x_streams, w, planes.data(), planes_);
-
-    for (std::size_t j = 0; j <= n; ++j) zw[j] = inputs.z_streams[j].word(w);
+    sc::accumulate_count_planes(x_streams, w, planes.data(), planes_);
 
     // 2. Bitwise equality k(t) == k gives the coefficient select masks.
     for (std::size_t k = 0; k <= n; ++k) {
       sel[k] = sc::count_equals_mask(planes.data(), planes_, k);
     }
 
-    // 3. Ideal MUX word, then the optical decision word.
-    std::uint64_t mux_word = 0;
-    for (std::size_t k = 0; k <= n; ++k) mux_word |= sel[k] & zw[k];
-    electronic[w] = mux_word;
-
-    if (mux_exact_) {
-      optical[w] = mux_word;
-      continue;
-    }
-    std::uint64_t opt_word = 0;
-    for (std::size_t p = 0; p < decisions_.size(); ++p) {
-      const std::uint32_t dmask = decisions_[p];
-      if (dmask == 0) continue;
-      std::uint64_t zmask = ~std::uint64_t{0};
-      for (std::size_t j = 0; j <= n && zmask != 0; ++j) {
-        zmask &= ((p >> j) & 1u) ? zw[j] : ~zw[j];
+    // 3. Per program: ideal MUX word, then the optical decision word.
+    for (std::size_t prog = 0; prog < programs; ++prog) {
+      for (std::size_t j = 0; j <= n; ++j) {
+        zw[j] = (*z_sets[prog])[j].word(w);
       }
-      if (zmask == 0) continue;
-      std::uint64_t decided = 0;
-      for (std::size_t k = 0; k <= n; ++k) {
-        if ((dmask >> k) & 1u) decided |= sel[k];
-      }
-      opt_word |= zmask & decided;
+      assemble_words(sel.data(), zw.data(), electronic[prog][w],
+                     optical[prog][w]);
     }
-    optical[w] = opt_word;
   }
 
-  return {sc::Bitstream::from_words(std::move(optical), length),
-          sc::Bitstream::from_words(std::move(electronic), length)};
-}
-
-std::size_t PackedKernel::apply_noise_flips(sc::Bitstream& stream,
-                                            oscs::Xoshiro256& rng) const {
-  const double p = flip_p_;
-  if (p <= 0.0 || stream.empty()) return 0;
-  // Geometric gap sampling: the index of the next flipped bit advances by
-  // 1 + Geometric(p), so the cost scales with the number of flips (~p * N)
-  // rather than the stream length.
-  const double log_keep = std::log1p(-p);
-  std::size_t flips = 0;
-  std::size_t pos = 0;
-  for (;;) {
-    const double u = rng.uniform01();
-    const double gap = std::floor(std::log1p(-u) / log_keep);
-    if (gap >= static_cast<double>(stream.size() - pos)) break;
-    pos += static_cast<std::size_t>(gap);
-    stream.set_bit(pos, !stream.bit(pos));
-    ++flips;
-    ++pos;
-    if (pos >= stream.size()) break;
+  std::vector<Streams> out;
+  out.reserve(programs);
+  for (std::size_t prog = 0; prog < programs; ++prog) {
+    out.push_back(
+        {sc::Bitstream::from_words(std::move(optical[prog]), length),
+         sc::Bitstream::from_words(std::move(electronic[prog]), length)});
   }
-  return flips;
+  return out;
 }
 
 PackedRunResult PackedKernel::run(const sc::BernsteinPoly& poly, double x,
                                   const PackedRunConfig& config) const {
-  if (poly.degree() != order_) {
-    throw std::invalid_argument(
-        "PackedKernel: polynomial order does not match the circuit");
-  }
-  if (config.stream_length == 0) {
-    throw std::invalid_argument("PackedKernel: empty stream");
-  }
-  const sc::ScInputs inputs = sc::make_sc_inputs(
-      x, poly.coeffs(), order_, config.stream_length, config.stimulus);
-  Streams streams = evaluate(inputs);
+  return run_fused({poly}, x, config).front();
+}
 
-  PackedRunResult r;
-  r.length = config.stream_length;
-  if (config.noise_enabled) {
-    oscs::Xoshiro256 noise_rng(config.noise_seed);
-    r.noise_flips = apply_noise_flips(streams.optical, noise_rng);
+std::vector<PackedRunResult> PackedKernel::run_fused(
+    const std::vector<sc::BernsteinPoly>& polys, double x,
+    const PackedRunConfig& config) const {
+  if (polys.empty()) {
+    throw std::invalid_argument("PackedKernel: no programs to run");
   }
-  r.optical_estimate = streams.optical.probability();
-  r.electronic_estimate = streams.electronic.probability();
-  r.transmission_flips = (streams.optical ^ streams.electronic).count_ones();
-  return r;
+  for (const sc::BernsteinPoly& poly : polys) {
+    if (poly.degree() != order_) {
+      throw std::invalid_argument(
+          "PackedKernel: polynomial order does not match the circuit");
+    }
+  }
+  config.op.validate();
+
+  std::vector<std::vector<double>> coeffs;
+  coeffs.reserve(polys.size());
+  for (const sc::BernsteinPoly& poly : polys) coeffs.push_back(poly.coeffs());
+
+  const sc::FusedScInputs inputs = sc::make_fused_sc_inputs(
+      x, coeffs, order_, config.op.stream_length,
+      {config.source_kind, config.op.sng_width, config.stimulus_seed});
+  std::vector<Streams> streams = evaluate_fused(inputs);
+
+  // One flip-mask pass: positions are sampled once at the operating
+  // point's BER and applied to every program's decision stream. Marginal
+  // per-program statistics are unchanged; programs share the flip pattern
+  // the way fused hardware would share the receiver.
+  std::vector<std::size_t> flips;
+  if (config.op.noisy()) {
+    oscs::Xoshiro256 noise_rng(config.noise_seed);
+    flips = sample_flip_positions(config.op.stream_length, config.op.ber,
+                                  noise_rng);
+  }
+
+  std::vector<PackedRunResult> results(polys.size());
+  for (std::size_t prog = 0; prog < polys.size(); ++prog) {
+    Streams& s = streams[prog];
+    flip_positions(s.optical, flips);
+    PackedRunResult& r = results[prog];
+    r.length = config.op.stream_length;
+    r.noise_flips = flips.size();
+    r.optical_estimate = s.optical.probability();
+    r.electronic_estimate = s.electronic.probability();
+    r.transmission_flips = (s.optical ^ s.electronic).count_ones();
+  }
+  return results;
 }
 
 }  // namespace oscs::engine

@@ -19,13 +19,19 @@
 ///      stream is assembled the same way from the decision LUT (and when
 ///      the LUT *is* the ideal MUX - an open eye at the operating point -
 ///      the MUX word is reused directly),
-///   4. receiver noise is applied as sparse decision flips sampled from
-///      the analytic Eq. (9) transmission BER via geometric gap sampling,
+///   4. receiver noise is applied as sparse decision flips at the BER the
+///      caller's `oscs::OperatingPoint` carries (geometric gap sampling),
 ///      instead of drawing one Gaussian per bit.
+///
+/// The kernel holds NO noise model of its own: the flip probability always
+/// arrives inside the operating point, which `optsc::LinkBudget` (the one
+/// place that owns the physics-to-BER mapping) produced. The fused mode
+/// evaluates K programs on one shared stimulus with one flip-mask pass.
 
 #include <cstdint>
 #include <vector>
 
+#include "common/operating_point.hpp"
 #include "common/rng.hpp"
 #include "optsc/circuit.hpp"
 #include "stochastic/bernstein.hpp"
@@ -34,13 +40,17 @@
 
 namespace oscs::engine {
 
-/// Per-evaluation controls (mirrors optsc::SimulationConfig, minus the
-/// engine selector which lives at the simulator level).
+/// Per-evaluation controls. The operating point carries everything the
+/// physics decided (BER, stream length, SNG resolution); the seeds and
+/// source flavour are the evaluation's own randomness plumbing.
 struct PackedRunConfig {
-  std::size_t stream_length = 1024;      ///< bits per evaluation
-  stochastic::ScInputConfig stimulus{};  ///< SNG kind / width / seed
-  bool noise_enabled = true;             ///< apply Eq. (9) decision flips
-  std::uint64_t noise_seed = 0x5EED;     ///< flip-mask RNG seed
+  /// Link operating point; obtain from optsc::LinkBudget::operating_point
+  /// or optsc::design_operating_point. The default is a noiseless
+  /// 1024-bit / 16-bit-SNG point for kernel-only experiments.
+  oscs::OperatingPoint op{};
+  stochastic::SourceKind source_kind = stochastic::SourceKind::kLfsr;
+  std::uint64_t stimulus_seed = 1;    ///< SNG stream seed
+  std::uint64_t noise_seed = 0x5EED;  ///< flip-mask RNG seed
 };
 
 /// Raw outcome of one packed evaluation.
@@ -54,9 +64,25 @@ struct PackedRunResult {
   std::size_t length = 0;
 };
 
+/// Sample the positions of independent per-bit decision flips with
+/// probability `flip_p` over a stream of `length` bits, by geometric gap
+/// sampling: cost scales with the number of flips (~flip_p * length), not
+/// the stream length. Returns strictly increasing positions.
+[[nodiscard]] std::vector<std::size_t> sample_flip_positions(
+    std::size_t length, double flip_p, oscs::Xoshiro256& rng);
+
+/// Toggle the given bit positions in `stream`.
+void flip_positions(stochastic::Bitstream& stream,
+                    const std::vector<std::size_t>& positions);
+
+/// Flip each bit independently with probability `flip_p` (one sample +
+/// apply pass). Returns the number of flips applied.
+std::size_t apply_noise_flips(stochastic::Bitstream& stream, double flip_p,
+                              oscs::Xoshiro256& rng);
+
 /// Word-parallel evaluation kernel bound to one circuit. Construction
-/// snapshots everything the hot loop needs (decision LUT, threshold,
-/// Eq. (9) BER); evaluation is const and safe to share across threads.
+/// snapshots the eye geometry the hot loop needs (decision LUT, slicer
+/// threshold); evaluation is const and safe to share across threads.
 class PackedKernel {
  public:
   /// Highest circuit order the LUT precomputation supports: the table has
@@ -71,9 +97,6 @@ class PackedKernel {
   /// Mid-eye decision threshold [mW], physical-eye semantics (identical to
   /// the legacy TransientSimulator placement).
   [[nodiscard]] double threshold_mw() const noexcept { return threshold_mw_; }
-  /// Analytic Eq. (9) transmission BER at the circuit's probe power,
-  /// clamped to [0, 0.5] - the per-bit flip probability of the noise model.
-  [[nodiscard]] double flip_probability() const noexcept { return flip_p_; }
   /// True when every noiseless decision equals the ideal MUX output (the
   /// eye is open in every reachable state), enabling the fast path.
   [[nodiscard]] bool mux_exact() const noexcept { return mux_exact_; }
@@ -94,25 +117,50 @@ class PackedKernel {
   /// \throws std::invalid_argument on stimulus shape mismatch.
   [[nodiscard]] Streams evaluate(const stochastic::ScInputs& inputs) const;
 
-  /// Flip each bit independently with probability flip_probability(),
-  /// visiting only flipped positions (geometric gap sampling). Returns the
-  /// number of flips applied.
-  std::size_t apply_noise_flips(stochastic::Bitstream& stream,
-                                oscs::Xoshiro256& rng) const;
+  /// Fused noiseless pass: K programs on shared data streams. The adder
+  /// bit-planes and select masks are computed once per word and reused by
+  /// every program - the per-word work the unfused path would repeat K
+  /// times. Returns one Streams per program.
+  /// \throws std::invalid_argument on stimulus shape mismatch.
+  [[nodiscard]] std::vector<Streams> evaluate_fused(
+      const stochastic::FusedScInputs& inputs) const;
 
   /// Full evaluation: generate SNG stimulus, run the packed pass, apply
-  /// noise. Equivalent to the legacy per-bit simulation loop, word-wise.
-  /// \throws std::invalid_argument if the polynomial order mismatches.
+  /// decision flips at config.op.ber. Equivalent to the legacy per-bit
+  /// simulation loop, word-wise.
+  /// \throws std::invalid_argument if the polynomial order mismatches or
+  ///         the operating point is invalid.
   [[nodiscard]] PackedRunResult run(const stochastic::BernsteinPoly& poly,
                                     double x,
                                     const PackedRunConfig& config) const;
 
+  /// Fused full evaluation: K programs share one SNG stimulus (data
+  /// streams generated once) and one flip-mask pass (positions sampled
+  /// once at config.op.ber, applied to every program's decision stream).
+  /// A one-program fused run is bit-identical to run().
+  /// \throws std::invalid_argument on an empty program list, an order
+  ///         mismatch or an invalid operating point.
+  [[nodiscard]] std::vector<PackedRunResult> run_fused(
+      const std::vector<stochastic::BernsteinPoly>& polys, double x,
+      const PackedRunConfig& config) const;
+
  private:
+  /// Assemble the ideal-MUX and optical-decision words for one program
+  /// from the per-word select masks and coefficient words.
+  void assemble_words(const std::uint64_t* sel, const std::uint64_t* zw,
+                      std::uint64_t& mux_word, std::uint64_t& opt_word) const;
+
+  /// Shared core of evaluate/evaluate_fused: one set of x streams, K
+  /// borrowed coefficient-stream sets (no copies).
+  [[nodiscard]] std::vector<Streams> evaluate_core(
+      const std::vector<stochastic::Bitstream>& x_streams,
+      const std::vector<const std::vector<stochastic::Bitstream>*>& z_sets)
+      const;
+
   const optsc::OpticalScCircuit* circuit_;
   std::size_t order_ = 0;
   std::size_t planes_ = 0;  ///< bit-planes needed for adder values 0..n
   double threshold_mw_ = 0.0;
-  double flip_p_ = 0.0;
   bool mux_exact_ = false;
   /// decisions_[p] bit k = noiseless decision for pattern p, adder k.
   std::vector<std::uint32_t> decisions_;

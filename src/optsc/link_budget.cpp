@@ -1,5 +1,6 @@
 #include "optsc/link_budget.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -84,6 +85,30 @@ double LinkBudget::min_probe_power_mw(double target_ber) const {
   const double required_eye_mw =
       circuit_->detector().required_eye_mw(target_ber);
   return required_eye_mw / a.eye_transmission;
+}
+
+oscs::OperatingPoint LinkBudget::operating_point(double probe_mw,
+                                                 std::size_t stream_length,
+                                                 unsigned sng_width) const {
+  const EyeAnalysis a = analyze(probe_mw);
+  oscs::OperatingPoint op;
+  op.probe_power_mw = probe_mw;
+  op.ber = std::clamp(a.ber, 0.0, 0.5);
+  op.snr = a.snr;
+  op.threshold_mw = a.threshold_mw;
+  op.stream_length = stream_length;
+  op.sng_width = sng_width;
+  op.validate();
+  return op;
+}
+
+oscs::OperatingPoint design_operating_point(const OpticalScCircuit& circuit,
+                                            std::size_t stream_length,
+                                            unsigned sng_width,
+                                            EyeModel model) {
+  return LinkBudget(circuit, model)
+      .operating_point(circuit.params().lasers.probe_power_mw, stream_length,
+                       sng_width);
 }
 
 }  // namespace oscs::optsc

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/operating_point.hpp"
 #include "optsc/circuit.hpp"
 
 namespace oscs::optsc {
@@ -69,9 +70,27 @@ class LinkBudget {
   /// (crosstalk >= signal) so no power suffices.
   [[nodiscard]] double min_probe_power_mw(double target_ber) const;
 
+  /// THE factory for link operating points: map a probe power to the
+  /// `oscs::OperatingPoint` every downstream consumer (engine, batch
+  /// runner, certification) runs at. The BER is the Eq. (9) transmission
+  /// BER at `probe_mw`, clamped to [0, 0.5]; SNR and slicer threshold ride
+  /// along as diagnostics. No other layer derives a BER.
+  /// \throws std::invalid_argument on a non-positive probe power.
+  [[nodiscard]] oscs::OperatingPoint operating_point(
+      double probe_mw, std::size_t stream_length = 1024,
+      unsigned sng_width = 16) const;
+
  private:
   const OpticalScCircuit* circuit_;
   EyeModel model_;
 };
+
+/// The design point of a circuit: the operating point at its built-in
+/// per-channel probe power, under the physical (deployable worst-case)
+/// eye semantics. This is what the engine and the compiler certify at by
+/// default.
+[[nodiscard]] oscs::OperatingPoint design_operating_point(
+    const OpticalScCircuit& circuit, std::size_t stream_length = 1024,
+    unsigned sng_width = 16, EyeModel model = EyeModel::kPhysical);
 
 }  // namespace oscs::optsc

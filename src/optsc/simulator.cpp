@@ -12,15 +12,13 @@ namespace sc = oscs::stochastic;
 
 TransientSimulator::TransientSimulator(const OpticalScCircuit& circuit)
     : circuit_(&circuit) {
+  // One link-budget pass defines the operating point (slicer threshold +
+  // BER) for both inner loops; the packed kernel carries no noise model of
+  // its own.
+  design_point_ = design_operating_point(circuit);
+  threshold_mw_ = design_point_.threshold_mw;
   if (circuit.order() <= engine::PackedKernel::kMaxOrder) {
-    // The kernel snapshots the same physical-eye analysis; reuse its
-    // threshold instead of running the link budget a second time.
     kernel_ = std::make_shared<const engine::PackedKernel>(circuit);
-    threshold_mw_ = kernel_->threshold_mw();
-  } else {
-    const LinkBudget budget(circuit, EyeModel::kPhysical);
-    threshold_mw_ =
-        budget.analyze(circuit.params().lasers.probe_power_mw).threshold_mw;
   }
 }
 
@@ -45,9 +43,11 @@ SimulationResult TransientSimulator::run_packed(
     const sc::BernsteinPoly& poly, double x,
     const SimulationConfig& config) const {
   engine::PackedRunConfig cfg;
-  cfg.stream_length = config.stream_length;
-  cfg.stimulus = config.stimulus;
-  cfg.noise_enabled = config.noise_enabled;
+  cfg.op = design_point_.with_stream_length(config.stream_length)
+               .with_sng_width(config.stimulus.width);
+  if (!config.noise_enabled) cfg.op = cfg.op.noiseless();
+  cfg.source_kind = config.stimulus.kind;
+  cfg.stimulus_seed = config.stimulus.seed;
   cfg.noise_seed = config.noise_seed;
   const engine::PackedRunResult packed = kernel_->run(poly, x, cfg);
 

@@ -76,6 +76,13 @@ class TransientSimulator {
   /// The decision threshold [mW] at the circuit's probe power.
   [[nodiscard]] double threshold_mw() const noexcept { return threshold_mw_; }
 
+  /// The design operating point (probe power, Eq. 9 BER, threshold) the
+  /// packed inner loop runs at, produced by the link budget once at
+  /// construction.
+  [[nodiscard]] const oscs::OperatingPoint& design_point() const noexcept {
+    return design_point_;
+  }
+
   /// Effective transmission BER observed over a long all-eye pattern -
   /// handy for validating the analytic Eq. (9) prediction by Monte Carlo.
   [[nodiscard]] double measure_transmission_ber(std::size_t trials,
@@ -91,6 +98,7 @@ class TransientSimulator {
 
   const OpticalScCircuit* circuit_;
   double threshold_mw_;
+  oscs::OperatingPoint design_point_{};
   /// Shared so the simulator stays copyable; null when the circuit order
   /// exceeds the packed kernel's LUT limit (per-bit fallback).
   std::shared_ptr<const engine::PackedKernel> kernel_;

@@ -40,6 +40,48 @@ ScInputs make_sc_inputs(double x, const std::vector<double>& coeffs,
   return inputs;
 }
 
+ScInputs FusedScInputs::program(std::size_t k) const {
+  if (k >= z_streams.size()) {
+    throw std::out_of_range("FusedScInputs::program: index out of range");
+  }
+  return ScInputs{x_streams, z_streams[k]};
+}
+
+FusedScInputs make_fused_sc_inputs(double x,
+                                   const std::vector<std::vector<double>>& coeffs,
+                                   std::size_t order, std::size_t length,
+                                   const ScInputConfig& config) {
+  if (coeffs.empty()) {
+    throw std::invalid_argument("make_fused_sc_inputs: no programs");
+  }
+  for (const std::vector<double>& c : coeffs) {
+    if (c.size() != order + 1) {
+      throw std::invalid_argument(
+          "make_fused_sc_inputs: need order+1 coefficients per program, got " +
+          std::to_string(c.size()));
+    }
+  }
+  FusedScInputs inputs;
+  inputs.x_streams.reserve(order);
+  inputs.z_streams.resize(coeffs.size());
+  // Salt sequence matches make_sc_inputs for the x streams and program 0's
+  // z streams, so a one-program fused stimulus is bit-identical to the
+  // unfused one; further programs keep drawing fresh salts.
+  std::uint64_t salt = config.seed * 2u + 1u;
+  for (std::size_t i = 0; i < order; ++i) {
+    Sng sng(make_source(config.kind, config.width, salt++));
+    inputs.x_streams.push_back(sng.generate(x, length));
+  }
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    inputs.z_streams[k].reserve(order + 1);
+    for (std::size_t j = 0; j <= order; ++j) {
+      Sng sng(make_source(config.kind, config.width, salt++));
+      inputs.z_streams[k].push_back(sng.generate(coeffs[k][j], length));
+    }
+  }
+  return inputs;
+}
+
 ReSCUnit::ReSCUnit(BernsteinPoly poly) : poly_(std::move(poly)) {
   if (!poly_.is_sc_compatible(1e-9)) {
     throw std::invalid_argument(

@@ -49,6 +49,41 @@ struct ScInputConfig {
                                       std::size_t order, std::size_t length,
                                       const ScInputConfig& config = {});
 
+/// Stimulus for K programs fused onto one circuit: the n data streams are
+/// generated once and shared by every program; only the K * (n+1)
+/// coefficient streams are per-program. This is where the fused engine
+/// mode gets its stimulus amortization from.
+struct FusedScInputs {
+  std::vector<Bitstream> x_streams;  ///< n shared encodings of x
+  /// z_streams[k][j] encodes coefficient b_j of program k.
+  std::vector<std::vector<Bitstream>> z_streams;
+
+  [[nodiscard]] std::size_t order() const noexcept { return x_streams.size(); }
+  [[nodiscard]] std::size_t programs() const noexcept {
+    return z_streams.size();
+  }
+  [[nodiscard]] std::size_t length() const noexcept {
+    if (!x_streams.empty()) return x_streams.front().size();
+    if (z_streams.empty() || z_streams.front().empty()) return 0;
+    return z_streams.front().front().size();
+  }
+
+  /// View of program k as a single-program stimulus (copies streams).
+  /// \throws std::out_of_range on a bad program index.
+  [[nodiscard]] ScInputs program(std::size_t k) const;
+};
+
+/// Generate fused stimulus for K coefficient vectors sharing one input x.
+/// Program 0 receives exactly the streams make_sc_inputs would generate
+/// from the same config (bit-for-bit), so a one-program fused run is
+/// identical to the unfused path; later programs draw fresh decorrelated
+/// source salts.
+/// \throws std::invalid_argument if coeffs is empty or any vector's size
+///         is not order + 1.
+[[nodiscard]] FusedScInputs make_fused_sc_inputs(
+    double x, const std::vector<std::vector<double>>& coeffs,
+    std::size_t order, std::size_t length, const ScInputConfig& config = {});
+
 /// Electronic ReSC evaluation unit.
 class ReSCUnit {
  public:

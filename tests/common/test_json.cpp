@@ -1,0 +1,99 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oscs {
+namespace {
+
+TEST(JsonNumber, RoundTripsDoublesAndMapsNonFiniteToNull) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(std::stod(json_number(0.1)), 0.1);
+  EXPECT_EQ(std::stod(json_number(1.0 / 3.0)), 1.0 / 3.0);
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(INFINITY), "null");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, BuildsNestedDocumentsWithCommasAndIndent) {
+  JsonWriter json;
+  json.begin_object()
+      .field("name", "grid")
+      .field("count", 2)
+      .field("ok", true)
+      .key("cells")
+      .begin_array();
+  json.begin_object().field("x", 0.5).end_object();
+  json.begin_object().field("x", 1.5).end_object();
+  json.end_array().end_object();
+  ASSERT_TRUE(json.complete());
+  const std::string text = json.str();
+  EXPECT_EQ(text,
+            "{\n"
+            "  \"name\": \"grid\",\n"
+            "  \"count\": 2,\n"
+            "  \"ok\": true,\n"
+            "  \"cells\": [\n"
+            "    {\n"
+            "      \"x\": 0.5\n"
+            "    },\n"
+            "    {\n"
+            "      \"x\": 1.5\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine) {
+  JsonWriter json;
+  json.begin_object().key("empty").begin_array().end_array().end_object();
+  EXPECT_EQ(json.str(), "{\n  \"empty\": []\n}\n");
+}
+
+TEST(JsonWriter, RejectsStructuralMisuse) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), std::logic_error);  // value without key
+    EXPECT_THROW((void)json.str(), std::logic_error);  // still open
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), std::logic_error);  // key inside array
+    EXPECT_THROW(json.end_object(), std::logic_error);
+  }
+  {
+    JsonWriter json;
+    json.value(1.0);
+    EXPECT_THROW(json.value(2.0), std::logic_error);  // second top level
+  }
+}
+
+TEST(WriteTextFile, CreatesParentDirectories) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "oscs_json_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "a" / "b.json").string();
+  write_text_file("{}\n", path, "test");
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{}\n");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace oscs

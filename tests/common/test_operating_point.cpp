@@ -1,0 +1,76 @@
+#include "common/operating_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace oscs {
+namespace {
+
+TEST(OperatingPoint, DefaultsAreValidAndNoiseless) {
+  const OperatingPoint op;
+  op.validate();
+  EXPECT_FALSE(op.noisy());
+  EXPECT_EQ(op.stream_length, 1024u);
+  EXPECT_EQ(op.sng_width, 16u);
+}
+
+TEST(OperatingPoint, WithHelpersReturnModifiedCopies) {
+  OperatingPoint op;
+  op.ber = 0.1;
+  op.snr = 42.0;
+  const OperatingPoint longer = op.with_stream_length(1 << 20);
+  EXPECT_EQ(longer.stream_length, std::size_t{1} << 20);
+  EXPECT_DOUBLE_EQ(longer.ber, 0.1);
+  EXPECT_EQ(op.stream_length, 1024u);  // original untouched
+
+  const OperatingPoint narrow = op.with_sng_width(8);
+  EXPECT_EQ(narrow.sng_width, 8u);
+
+  const OperatingPoint quiet = op.noiseless();
+  EXPECT_FALSE(quiet.noisy());
+  EXPECT_DOUBLE_EQ(quiet.ber, 0.0);
+  EXPECT_DOUBLE_EQ(quiet.snr, 42.0);  // diagnostics ride along
+  EXPECT_TRUE(op.noisy());
+}
+
+TEST(OperatingPoint, ComparesMemberwise) {
+  OperatingPoint a;
+  OperatingPoint b;
+  EXPECT_EQ(a, b);
+  b.ber = 0.01;
+  EXPECT_NE(a, b);
+  EXPECT_EQ(b.noiseless(), a);
+}
+
+TEST(OperatingPoint, ValidateRejectsOutOfRangeFields) {
+  OperatingPoint op;
+  op.probe_power_mw = 0.0;
+  EXPECT_THROW(op.validate(), std::invalid_argument);
+  op = OperatingPoint{};
+  op.probe_power_mw = -1.0;
+  EXPECT_THROW(op.validate(), std::invalid_argument);
+  op = OperatingPoint{};
+  op.ber = 0.6;
+  EXPECT_THROW(op.validate(), std::invalid_argument);
+  op = OperatingPoint{};
+  op.ber = -1e-9;
+  EXPECT_THROW(op.validate(), std::invalid_argument);
+  op = OperatingPoint{};
+  op.stream_length = 0;
+  EXPECT_THROW(op.validate(), std::invalid_argument);
+  op = OperatingPoint{};
+  op.sng_width = 0;
+  EXPECT_THROW(op.validate(), std::invalid_argument);
+  op = OperatingPoint{};
+  op.sng_width = 63;
+  EXPECT_THROW(op.validate(), std::invalid_argument);
+  // Boundary values are legal.
+  op = OperatingPoint{};
+  op.ber = 0.5;
+  op.sng_width = 62;
+  op.validate();
+}
+
+}  // namespace
+}  // namespace oscs

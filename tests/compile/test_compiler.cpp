@@ -46,6 +46,12 @@ TEST(CompilerCertification, AllRegistryFunctionsMeetAccuracyBudget) {
     ASSERT_TRUE(program->certification().has_value()) << fn.id;
     const Certification& cert = *program->certification();
     EXPECT_EQ(cert.stream_length, 4096u) << fn.id;
+    // The certificate records the operating point the link budget derived.
+    EXPECT_EQ(cert.op.stream_length, 4096u) << fn.id;
+    EXPECT_DOUBLE_EQ(cert.op.probe_power_mw,
+                     program->design_point().probe_power_mw)
+        << fn.id;
+    EXPECT_EQ(cert.noise_enabled, cert.op.noisy()) << fn.id;
     EXPECT_GT(cert.mc_mae_ci, 0.0) << fn.id;
     EXPECT_LE(cert.mc_mae, 0.02)
         << fn.id << " (mae " << cert.mc_mae << " +/- " << cert.mc_mae_ci
@@ -114,7 +120,7 @@ TEST(CompiledProgramTest, KernelKeepsCircuitAliveAfterProgramDies) {
   }  // program (and its direct circuit handle) destroyed here
   EXPECT_GT(kernel->received_power_mw(0x3, 1), 0.0);
   eng::PackedRunConfig config;
-  config.stream_length = 256;
+  config.op.stream_length = 256;
   const eng::PackedRunResult r =
       kernel->run(sc::BernsteinPoly({0.3, 0.7}), 0.5, config);
   EXPECT_EQ(r.length, 256u);
@@ -146,8 +152,7 @@ TEST(CompiledProgramTest, RunMatchesKernelEvaluation) {
   Compiler compiler;
   const auto program = compiler.compile("cube");
   eng::PackedRunConfig config;
-  config.stream_length = 1024;
-  config.noise_enabled = false;
+  config.op = program->design_point().with_stream_length(1024).noiseless();
   const eng::PackedRunResult r = program->run(0.6, config);
   EXPECT_EQ(r.length, 1024u);
   EXPECT_NEAR(r.electronic_estimate, 0.6 * 0.6 * 0.6, 0.05);

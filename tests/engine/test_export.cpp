@@ -9,6 +9,7 @@
 #include <string>
 
 #include "optsc/defaults.hpp"
+#include "optsc/link_budget.hpp"
 #include "stochastic/functions.hpp"
 
 namespace oscs::engine {
@@ -91,8 +92,8 @@ TEST(BatchExportTest, WritesFilesCreatingParentDirectories) {
 TEST(BatchRunnerSharedKernel, MatchesCircuitConstructedRunner) {
   const optsc::OpticalScCircuit circuit(optsc::paper_defaults(3, 1.0));
   const BatchRunner from_circuit(circuit);
-  const BatchRunner from_kernel(
-      std::make_shared<const PackedKernel>(circuit));
+  const BatchRunner from_kernel(std::make_shared<const PackedKernel>(circuit),
+                                optsc::design_operating_point(circuit));
   BatchRequest request;
   request.polynomials.push_back(sc::paper_f2_bernstein());
   request.xs = {0.5};
@@ -104,7 +105,8 @@ TEST(BatchRunnerSharedKernel, MatchesCircuitConstructedRunner) {
   ASSERT_EQ(a.cells.size(), b.cells.size());
   EXPECT_DOUBLE_EQ(a.cells[0].optical_mean, b.cells[0].optical_mean);
   EXPECT_DOUBLE_EQ(a.optical_mae, b.optical_mae);
-  EXPECT_THROW(BatchRunner(std::shared_ptr<const PackedKernel>{}),
+  EXPECT_THROW(BatchRunner(std::shared_ptr<const PackedKernel>{},
+                           oscs::OperatingPoint{}),
                std::invalid_argument);
 }
 

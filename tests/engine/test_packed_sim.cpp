@@ -15,6 +15,7 @@ namespace oscs::engine {
 namespace {
 
 namespace sc = oscs::stochastic;
+using optsc::design_operating_point;
 using optsc::OpticalScCircuit;
 using optsc::paper_defaults;
 
@@ -22,14 +23,17 @@ sc::BernsteinPoly order2_poly() {
   return sc::BernsteinPoly({0.0, 0.0, 1.0});  // x^2
 }
 
-TEST(PackedKernel, SnapshotsThresholdAndBerLikeTheSimulator) {
+TEST(PackedKernel, SnapshotsThresholdLikeTheSimulatorAndBerComesFromBudget) {
   const OpticalScCircuit c(paper_defaults());
   const PackedKernel kernel(c);
   const optsc::TransientSimulator sim(c);
+  const oscs::OperatingPoint op = design_operating_point(c);
   EXPECT_EQ(kernel.order(), 2u);
   EXPECT_DOUBLE_EQ(kernel.threshold_mw(), sim.threshold_mw());
-  // The reference design runs far above the noise floor.
-  EXPECT_LT(kernel.flip_probability(), 1e-12);
+  EXPECT_DOUBLE_EQ(op.threshold_mw, kernel.threshold_mw());
+  // The reference design runs far above the noise floor; the BER lives on
+  // the operating point now, not inside the kernel.
+  EXPECT_LT(op.ber, 1e-12);
   EXPECT_TRUE(kernel.mux_exact());
 }
 
@@ -106,21 +110,20 @@ TEST(PackedKernel, SimulatorEnginesAgreeBitForBitWithNoiseDisabled) {
 }
 
 TEST(PackedKernel, StrongLinkNoiseIsANoOp) {
-  // flip_probability ~ 0 at the reference probe power: enabling noise must
-  // not alter a single decision.
+  // The design-point BER ~ 0 at the reference probe power: running at the
+  // noisy operating point must not alter a single decision.
   const OpticalScCircuit c(paper_defaults());
   const PackedKernel kernel(c);
   PackedRunConfig cfg;
-  cfg.stream_length = 4096;
-  cfg.noise_enabled = true;
+  cfg.op = design_operating_point(c).with_stream_length(4096);
   const PackedRunResult noisy = kernel.run(order2_poly(), 0.5, cfg);
-  cfg.noise_enabled = false;
+  cfg.op = cfg.op.noiseless();
   const PackedRunResult clean = kernel.run(order2_poly(), 0.5, cfg);
   EXPECT_EQ(noisy.noise_flips, 0u);
   EXPECT_DOUBLE_EQ(noisy.optical_estimate, clean.optical_estimate);
 }
 
-TEST(PackedKernel, FlipMaskStatisticsMatchTheAnalyticBer) {
+TEST(NoiseFlips, FlipMaskStatisticsMatchTheOperatingPointBer) {
   // Size the probe for a BER around 2e-2 and check the flip counts are
   // binomial with that rate: mean within 5 sigma over a long stream.
   optsc::CircuitParams params = paper_defaults();
@@ -130,23 +133,27 @@ TEST(PackedKernel, FlipMaskStatisticsMatchTheAnalyticBer) {
     params.lasers.probe_power_mw = budget.min_probe_power_mw(2e-2);
   }
   const OpticalScCircuit c(params);
-  const PackedKernel kernel(c);
-  const double p = kernel.flip_probability();
+  const oscs::OperatingPoint op = design_operating_point(c);
+  const double p = op.ber;
   ASSERT_NEAR(p, 2e-2, 1e-3);
 
   const std::size_t length = 1 << 16;
   sc::Bitstream stream(length);  // all zeros: flips == ones afterwards
   oscs::Xoshiro256 rng(99);
-  const std::size_t flips = kernel.apply_noise_flips(stream, rng);
+  const std::size_t flips = apply_noise_flips(stream, p, rng);
   EXPECT_EQ(stream.count_ones(), flips);
   const double mean = p * static_cast<double>(length);
   const double sigma = std::sqrt(mean * (1.0 - p));
   EXPECT_NEAR(static_cast<double>(flips), mean, 5.0 * sigma);
 
-  // Deterministic for a fixed RNG seed.
+  // Deterministic for a fixed RNG seed, and identical to the two-step
+  // sample + apply pass the fused mode uses.
   sc::Bitstream again(length);
   oscs::Xoshiro256 rng2(99);
-  EXPECT_EQ(kernel.apply_noise_flips(again, rng2), flips);
+  const std::vector<std::size_t> positions =
+      sample_flip_positions(length, p, rng2);
+  flip_positions(again, positions);
+  EXPECT_EQ(positions.size(), flips);
   EXPECT_EQ(again, stream);
 }
 
@@ -161,16 +168,18 @@ TEST(PackedKernel, NoisyEstimateTracksTheAnalyticExpectation) {
   }
   const OpticalScCircuit c(params);
   const PackedKernel kernel(c);
-  const double p = kernel.flip_probability();
+  const oscs::OperatingPoint op =
+      design_operating_point(c).with_stream_length(8192);
+  const double p = op.ber;
   const sc::BernsteinPoly poly = order2_poly();
   const double x = 0.4;
   const double target = poly(x) * (1.0 - p) + (1.0 - poly(x)) * p;
 
   oscs::Accumulator acc;
   PackedRunConfig cfg;
-  cfg.stream_length = 8192;
+  cfg.op = op;
   for (std::uint64_t rep = 0; rep < 16; ++rep) {
-    cfg.stimulus.seed = 1000 + rep;
+    cfg.stimulus_seed = 1000 + rep;
     cfg.noise_seed = 2000 + rep;
     acc.add(kernel.run(poly, x, cfg).optical_estimate);
   }
@@ -189,7 +198,6 @@ TEST(PackedKernel, NoisyEnginesAreStatisticallyConsistent) {
   }
   const OpticalScCircuit c(params);
   const optsc::TransientSimulator sim(c);
-  const PackedKernel kernel(c);
 
   oscs::Accumulator packed_acc;
   oscs::Accumulator legacy_acc;
@@ -205,7 +213,7 @@ TEST(PackedKernel, NoisyEnginesAreStatisticallyConsistent) {
   }
   const double tolerance = packed_acc.ci_halfwidth() +
                            legacy_acc.ci_halfwidth() +
-                           kernel.flip_probability();
+                           sim.design_point().ber;
   EXPECT_NEAR(packed_acc.mean(), legacy_acc.mean(), tolerance);
 }
 
@@ -215,8 +223,13 @@ TEST(PackedKernel, RejectsBadInputs) {
   PackedRunConfig cfg;
   EXPECT_THROW(kernel.run(sc::paper_f2_bernstein(), 0.5, cfg),
                std::invalid_argument);  // degree 3 on an order-2 circuit
-  cfg.stream_length = 0;
+  cfg.op.stream_length = 0;
   EXPECT_THROW(kernel.run(order2_poly(), 0.5, cfg), std::invalid_argument);
+  cfg.op.stream_length = 64;
+  cfg.op.ber = 0.75;  // outside [0, 0.5]
+  EXPECT_THROW(kernel.run(order2_poly(), 0.5, cfg), std::invalid_argument);
+  EXPECT_THROW(kernel.run_fused({}, 0.5, PackedRunConfig{}),
+               std::invalid_argument);
 
   sc::ScInputs bad;
   bad.x_streams.assign(2, sc::Bitstream(64));

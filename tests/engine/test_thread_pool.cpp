@@ -66,6 +66,63 @@ TEST(ThreadPool, WorkersCanSubmitFollowUpJobs) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPool, ZeroTasksAcrossRepeatedWaitsAndManyWorkers) {
+  // A pool that never receives work must be safely waitable any number of
+  // times and destructible with idle workers outnumbering the CPU count.
+  ThreadPool pool(32);
+  for (int i = 0; i < 5; ++i) {
+    pool.wait_idle();
+    EXPECT_EQ(pool.pending(), 0u);
+  }
+}
+
+TEST(ThreadPool, TaskThrowPropagatesTheExactErrorMessage) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task exploded"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task exploded");
+  }
+  // A second wait after the rethrow reports no stale error.
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, PoolReuseAfterExceptionRunsFullWavesAgain) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  // Wave 1: a mix of throwing and counting jobs.
+  for (int i = 0; i < 20; ++i) {
+    if (i % 4 == 0) {
+      pool.submit([] { throw std::logic_error("poisoned job"); });
+    } else {
+      pool.submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // Every non-throwing job still ran: the error does not cancel the queue.
+  EXPECT_EQ(counter.load(), 15);
+  // Waves 2..4: the pool keeps full throughput after the exception.
+  for (int wave = 0; wave < 3; ++wave) {
+    counter = 0;
+    for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, NonStdExceptionIsRethrownToo) {
+  ThreadPool pool(1);
+  pool.submit([] { throw 42; });  // NOLINT: deliberate non-std throw
+  EXPECT_THROW(pool.wait_idle(), int);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
 TEST(ThreadPool, DestructorDrainsPendingJobs) {
   std::atomic<int> counter{0};
   {
