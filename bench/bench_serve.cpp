@@ -1,0 +1,185 @@
+/// Serving-layer bench: the acceptance criteria of the serving PR made
+/// measurable.
+///   1. Warm-cache request latency vs the cold-compile request (target:
+///      >= 50x faster once the program is resident).
+///   2. Eight concurrent TCP clients hammering one server with a mixed
+///      sigmoid/tanh workload: zero duplicate compiles (single-flight)
+///      and metrics totals that add up exactly.
+/// Emits BENCH_serve.json for the CI perf trajectory.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "serve/server.hpp"
+#include "serve/tcp.hpp"
+
+using namespace oscs;
+namespace sv = oscs::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+std::string evaluate_request(const std::string& fn, std::size_t length,
+                             std::size_t repeats) {
+  return R"({"function": ")" + fn + R"(", "xs": [0.25, 0.5, 0.75],)" +
+         R"( "stream_lengths": [)" + std::to_string(length) +
+         R"(], "repeats": )" + std::to_string(repeats) + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_serve",
+                 "Compiled-program serving: cold vs warm latency and "
+                 "concurrent-client cache sharing");
+  args.add_int("warm_requests", 200, "warm requests for the latency mean");
+  args.add_int("clients", 8, "concurrent TCP clients");
+  args.add_int("requests", 25, "requests per client");
+  args.add_int("length", 1024, "stream length per evaluation [bits]");
+  args.add_int("repeats", 2, "MC repeats per grid cell");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto length = static_cast<std::size_t>(
+      std::max(64L, args.get_int("length")));
+  const auto repeats =
+      static_cast<std::size_t>(std::max(1L, args.get_int("repeats")));
+  const long warm_requests = std::max(1L, args.get_int("warm_requests"));
+  const int clients = static_cast<int>(std::max(1L, args.get_int("clients")));
+  const int per_client =
+      static_cast<int>(std::max(1L, args.get_int("requests")));
+
+  bench::banner("Program serving - warm cache vs cold compile");
+
+  // ---- Phase 1: cold vs warm latency, in-process (no socket noise).
+  // Default compile options: the cold path includes MC certification,
+  // exactly what a first-touch production request pays.
+  sv::ProgramServer server{sv::ServerOptions{}};
+  const std::string request = evaluate_request("sigmoid", length, repeats);
+
+  const auto t_cold = Clock::now();
+  const std::string cold_response = server.handle_json(request);
+  const double cold_ms = ms_since(t_cold);
+  if (!json_parse(cold_response).find("ok")->as_bool()) {
+    std::printf("FAIL: cold request rejected: %s\n", cold_response.c_str());
+    return 1;
+  }
+
+  const auto t_warm = Clock::now();
+  for (long r = 0; r < warm_requests; ++r) {
+    (void)server.handle_json(request);
+  }
+  const double warm_ms =
+      ms_since(t_warm) / static_cast<double>(warm_requests);
+  const double speedup = cold_ms / warm_ms;
+  const bool latency_pass = speedup >= 50.0;
+
+  std::printf("  cold request (compile + certify + run): %8.2f ms\n",
+              cold_ms);
+  std::printf("  warm request (cache hit + run):         %8.3f ms\n",
+              warm_ms);
+  std::printf("  speedup: %.0fx (target >= 50x) -> %s\n", speedup,
+              latency_pass ? "PASS" : "FAIL");
+
+  // ---- Phase 2: concurrent clients over TCP, one shared warm cache.
+  bench::section("8-client mixed sigmoid/tanh workload over TCP");
+  sv::ServerOptions options;
+  options.compile.certify = false;  // stress the cache path, not MC time
+  options.threads = 1;
+  sv::ProgramServer shared(options);
+  sv::TcpServer tcp(shared, /*port=*/0);
+
+  std::atomic<long> ok_count{0};
+  const auto t_traffic = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      sv::TcpClient client(tcp.port());
+      const std::string fn = (c % 2 == 0) ? "sigmoid" : "tanh";
+      const std::string line = evaluate_request(fn, length, repeats);
+      for (int r = 0; r < per_client; ++r) {
+        if (json_parse(client.request(line)).find("ok")->as_bool()) {
+          ++ok_count;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double traffic_ms = ms_since(t_traffic);
+  tcp.stop();
+
+  const long total_requests = static_cast<long>(clients) * per_client;
+  const double rps = static_cast<double>(total_requests) / traffic_ms * 1e3;
+  const sv::ServerMetrics m = shared.metrics();
+
+  const bool all_ok = ok_count.load() == total_requests;
+  // Two functions -> exactly two pipeline runs, no matter how the misses
+  // raced (single-flight dedup).
+  const bool no_duplicate_compiles = m.cache.inserts == 2;
+  const bool totals_consistent =
+      m.received == static_cast<std::size_t>(total_requests) &&
+      m.completed == static_cast<std::size_t>(total_requests) &&
+      m.cache.hits + m.cache.misses + m.cache.coalesced ==
+          static_cast<std::size_t>(total_requests) &&
+      m.in_flight == 0;
+
+  std::printf("  %d clients x %d requests: %ld ok, %.0f req/s\n", clients,
+              per_client, ok_count.load(), rps);
+  std::printf("  cache: %zu hits, %zu misses, %zu coalesced, %zu inserts\n",
+              m.cache.hits, m.cache.misses, m.cache.coalesced,
+              m.cache.inserts);
+  std::printf("  duplicate compiles: %s, metrics totals: %s\n",
+              no_duplicate_compiles ? "none (PASS)" : "FOUND (FAIL)",
+              totals_consistent ? "consistent (PASS)"
+                                : "inconsistent (FAIL)");
+
+  // ---- Roll-up.
+  JsonWriter json;
+  json.begin_object()
+      .field("bench", "serve")
+      .field("stream_length", length)
+      .field("repeats", repeats)
+      .key("latency")
+      .begin_object()
+      .field("cold_ms", cold_ms)
+      .field("warm_ms", warm_ms)
+      .field("speedup", speedup)
+      .field("warm_requests", warm_requests)
+      .end_object()
+      .key("concurrency")
+      .begin_object()
+      .field("clients", clients)
+      .field("requests_per_client", per_client)
+      .field("requests_ok", ok_count.load())
+      .field("requests_per_second", rps)
+      .field("cache_hits", m.cache.hits)
+      .field("cache_misses", m.cache.misses)
+      .field("cache_coalesced", m.cache.coalesced)
+      .field("cache_inserts", m.cache.inserts)
+      .end_object()
+      .field("latency_pass", latency_pass)
+      .field("single_flight_pass", no_duplicate_compiles)
+      .field("metrics_pass", totals_consistent)
+      .end_object();
+  write_text_file(json.str(), "BENCH_serve.json", "bench_serve");
+
+  const bool pass =
+      latency_pass && all_ok && no_duplicate_compiles && totals_consistent;
+  std::printf("\n  %s: warm >= 50x cold, single-flight, metrics totals\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

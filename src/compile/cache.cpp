@@ -23,13 +23,23 @@ std::shared_ptr<const CompiledProgram> ProgramCache::get(
   return it->second->second;
 }
 
+bool ProgramCache::contains(const ProgramKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.find(key) != index_.end();
+}
+
 void ProgramCache::put(const ProgramKey& key,
                        std::shared_ptr<const CompiledProgram> program) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    // A replace stores a new program and drops the old one: count both
+    // sides so churn metrics track reality (and inserts - evictions stays
+    // equal to size()).
     it->second->second = std::move(program);
     lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.inserts;
+    ++stats_.evictions;
     return;
   }
   lru_.emplace_front(key, std::move(program));
@@ -41,6 +51,61 @@ void ProgramCache::put(const ProgramKey& key,
     ++stats_.evictions;
   }
 }
+
+std::shared_ptr<const CompiledProgram> ProgramCache::get_or_compile(
+    const ProgramKey& key, const Factory& factory) {
+  std::promise<std::shared_ptr<const CompiledProgram>> promise;
+  ProgramFuture future;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    const auto fit = inflight_.find(key);
+    if (fit != inflight_.end()) {
+      // Another thread is already compiling this key: piggyback on its
+      // result instead of duplicating the pipeline. Counted as coalesced,
+      // not as a miss - every lookup lands in exactly one of
+      // hits/misses/coalesced.
+      ++stats_.coalesced;
+      future = fit->second;
+    } else {
+      ++stats_.misses;
+      leader = true;
+      future = promise.get_future().share();
+      inflight_.emplace(key, future);
+    }
+  }
+  if (!leader) {
+    return future.get();  // rethrows the leader's exception on failure
+  }
+  // Leader: run the pipeline outside every lock, publish to the cache
+  // before releasing the in-flight slot (so no window exists where the
+  // key is neither resident nor in flight), then wake the waiters.
+  try {
+    std::shared_ptr<const CompiledProgram> program = factory();
+    put(key, program);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_value(program);
+    return program;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+
 
 std::size_t ProgramCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -5,9 +5,13 @@
 ///        projection/quantization/codegen/certification pipeline - the
 ///        serving-path optimization for repeated compile requests.
 ///        Thread-safe: one mutex guards the list + index (compilation
-///        itself happens outside the lock).
+///        itself happens outside the lock), and get_or_compile() adds
+///        single-flight deduplication so a miss storm on one key compiles
+///        exactly once while the other callers wait for the result.
 
 #include <cstddef>
+#include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -29,33 +33,69 @@ class ProgramCache {
   [[nodiscard]] std::shared_ptr<const CompiledProgram> get(
       const ProgramKey& key);
 
+  /// Pure peek: true when the key is resident. Perturbs neither the LRU
+  /// order nor the hit/miss counters - the admission-control probe.
+  [[nodiscard]] bool contains(const ProgramKey& key) const;
+
   /// Insert (or replace) an entry as most-recently-used, evicting the
   /// least-recently-used entry when over capacity. Shared pointers held by
-  /// callers keep evicted programs alive.
+  /// callers keep evicted programs alive. Replacing a resident key counts
+  /// one insert (the new program) and one eviction (the displaced one), so
+  /// `inserts - evictions == size()` holds at all times and exported churn
+  /// metrics stay truthful.
   void put(const ProgramKey& key,
            std::shared_ptr<const CompiledProgram> program);
+
+  /// Factory signature for get_or_compile: runs the full compile pipeline
+  /// for one key. Invoked outside every cache lock.
+  using Factory = std::function<std::shared_ptr<const CompiledProgram>()>;
+
+  /// Single-flight lookup: return the cached program, or run `factory` to
+  /// build and insert it - with the guarantee that concurrent misses on
+  /// the same key invoke the factory exactly once. Losers of the race
+  /// block until the winner's program (or exception) is ready and count
+  /// toward Stats::coalesced. A failed factory clears the in-flight slot,
+  /// so the next request retries the compile.
+  /// \throws whatever the factory throws (rethrown to every waiter too).
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> get_or_compile(
+      const ProgramKey& key, const Factory& factory);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   void clear();
 
   /// Monotonic counters since construction (or the last clear()).
+  /// Every lookup lands in exactly one of hits / misses / coalesced, so
+  /// the three always sum to the number of get()/get_or_compile() calls.
   struct Stats {
     std::size_t hits = 0;
+    /// Lookups that found nothing resident and (for get_or_compile) led
+    /// the compile themselves.
     std::size_t misses = 0;
+    /// Programs stored, including ones that replaced a resident key.
     std::size_t inserts = 0;
+    /// Programs dropped: LRU capacity evictions plus replaced entries.
+    /// Invariant: inserts - evictions == size().
     std::size_t evictions = 0;
+    /// get_or_compile callers that piggybacked on an in-flight compile
+    /// instead of starting a duplicate one.
+    std::size_t coalesced = 0;
   };
   [[nodiscard]] Stats stats() const;
 
  private:
   using Entry = std::pair<ProgramKey, std::shared_ptr<const CompiledProgram>>;
+  using ProgramFuture =
+      std::shared_future<std::shared_ptr<const CompiledProgram>>;
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<ProgramKey, std::list<Entry>::iterator, ProgramKeyHash>
       index_;
+  /// Keys currently being compiled by a get_or_compile leader; waiters
+  /// share the leader's future instead of compiling again.
+  std::unordered_map<ProgramKey, ProgramFuture, ProgramKeyHash> inflight_;
   Stats stats_;
 };
 

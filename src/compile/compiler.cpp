@@ -27,7 +27,7 @@ ProgramKey make_program_key(const std::string& function_id,
   digest = digest_mix(digest, options.projection.target_max_error);
   digest = digest_mix(digest, options.projection.error_samples);
   digest = digest_mix(digest, options.projection.quadrature_points);
-  digest = digest_mix(digest, std::uint64_t{options.certify ? 1 : 0});
+  digest = digest_mix(digest, std::uint64_t{options.certify ? 1u : 0u});
   if (options.certify) {
     digest = digest_mix(digest, options.certification.stream_length);
     digest = digest_mix(digest, options.certification.repeats);
@@ -36,7 +36,7 @@ ProgramKey make_program_key(const std::string& function_id,
     digest = digest_mix(
         digest, static_cast<std::uint64_t>(options.certification.source_kind));
     digest = digest_mix(
-        digest, std::uint64_t{options.certification.noise_enabled ? 1 : 0});
+        digest, std::uint64_t{options.certification.noise_enabled ? 1u : 0u});
   }
   return ProgramKey{function_id, options.projection.max_degree,
                     options.sng_width, digest};
@@ -69,16 +69,11 @@ std::shared_ptr<const CompiledProgram> Compiler::compile(
     const std::string& function_id, const std::function<double(double)>& f,
     const CompileOptions& options) {
   const ProgramKey key = make_program_key(function_id, options);
-  if (std::shared_ptr<const CompiledProgram> hit = cache_.get(key)) {
-    return hit;
-  }
-  // Pipeline runs outside the cache lock; concurrent misses on the same
-  // key duplicate work once and the last insert wins - acceptable for a
-  // pure value cache.
-  std::shared_ptr<const CompiledProgram> program =
-      compile_function(function_id, f, options);
-  cache_.put(key, program);
-  return program;
+  // Single-flight: concurrent misses on the same key run the pipeline
+  // once; the other callers block on that result (the lock is never held
+  // across the compile itself).
+  return cache_.get_or_compile(
+      key, [&] { return compile_function(function_id, f, options); });
 }
 
 std::shared_ptr<const CompiledProgram> Compiler::compile(

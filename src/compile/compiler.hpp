@@ -42,7 +42,9 @@ class Compiler {
                     std::size_t cache_capacity = 16);
 
   /// Compile `f` under the given cache id with the compiler defaults.
-  /// A cache hit (same id, degree cap, width) skips the whole pipeline.
+  /// A cache hit (same id, degree cap, width) skips the whole pipeline;
+  /// concurrent misses on one key are single-flighted - the pipeline runs
+  /// once and every caller shares the result.
   [[nodiscard]] std::shared_ptr<const CompiledProgram> compile(
       const std::string& function_id, const std::function<double(double)>& f);
 

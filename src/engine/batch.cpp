@@ -28,6 +28,15 @@ void BatchRequest::validate() const {
   if (stream_lengths.empty()) {
     throw std::invalid_argument("BatchRequest: no stream lengths");
   }
+  for (double x : xs) {
+    // SC encodes x as a bit probability: anything outside [0, 1] (or a
+    // NaN smuggled in through a parsed request) would silently produce a
+    // meaningless stream instead of an error.
+    if (!(x >= 0.0 && x <= 1.0)) {
+      throw std::invalid_argument(
+          "BatchRequest: x values must be finite and in [0, 1]");
+    }
+  }
   for (std::size_t len : stream_lengths) {
     if (len == 0) {
       throw std::invalid_argument("BatchRequest: zero stream length");

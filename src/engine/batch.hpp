@@ -49,7 +49,8 @@ struct BatchRequest {
   /// Grid cells in the request.
   [[nodiscard]] std::size_t cells() const noexcept;
   /// \throws std::invalid_argument on an empty dimension, zero
-  ///         repeats/length, or an invalid operating point.
+  ///         repeats/length, an x outside [0, 1] (or NaN), or an invalid
+  ///         operating point.
   void validate() const;
 };
 
@@ -110,8 +111,11 @@ class BatchRunner {
 
   /// Run the request on an existing pool: one task per (cell, repeat),
   /// each with its own stimulus.
-  /// \throws std::invalid_argument on an invalid request or a polynomial
-  ///         order mismatch (surfaced from worker tasks).
+  /// \throws std::invalid_argument per `BatchRequest::validate()` (empty
+  ///         grids, zero repeats, out-of-range x, invalid operating
+  ///         point) or on a polynomial order mismatch - all raised before
+  ///         any task is submitted. run_fused() shares this exact
+  ///         contract.
   [[nodiscard]] BatchSummary run(const BatchRequest& request,
                                  ThreadPool& pool) const;
 
@@ -128,8 +132,9 @@ class BatchRunner {
   /// streams and flip positions); not bit-identical to run() for K > 1
   /// because the sample layout differs. Cells come back in the same
   /// polynomial-major order as run().
-  /// \throws std::invalid_argument on an invalid request or a polynomial
-  ///         order mismatch.
+  /// \throws std::invalid_argument with the same error contract as run():
+  ///         `BatchRequest::validate()` plus the order check, raised
+  ///         before any task is submitted.
   [[nodiscard]] BatchSummary run_fused(const BatchRequest& request,
                                        ThreadPool& pool) const;
 

@@ -1,0 +1,280 @@
+#include "serve/protocol.hpp"
+
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace oscs::serve {
+
+std::string ProgramSpec::display_id() const {
+  if (!function_id.empty()) return function_id;
+  if (!raw_id.empty()) return raw_id;
+  return "coefficients[" + std::to_string(coefficients.size()) + "]";
+}
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& message) {
+  throw ServeError(400, "bad_request", message);
+}
+
+/// Every shape accessor funnels through these so the 400 message names
+/// the offending member.
+double member_number(const JsonValue& v, const std::string& name) {
+  if (!v.is_number()) bad_request("'" + name + "' must be a number");
+  return v.as_number();
+}
+
+std::uint64_t member_uint(const JsonValue& v, const std::string& name) {
+  if (!v.is_number()) bad_request("'" + name + "' must be an integer");
+  try {
+    return v.as_uint64();
+  } catch (const std::invalid_argument&) {
+    bad_request("'" + name + "' must be a non-negative integer");
+  }
+}
+
+std::string member_string(const JsonValue& v, const std::string& name) {
+  if (!v.is_string()) bad_request("'" + name + "' must be a string");
+  return v.as_string();
+}
+
+/// SNG width with the [1, 62] range enforced before any narrowing cast -
+/// a silent wrap would run the request at a width the client never asked
+/// for (and poison the cache key).
+unsigned member_width(const JsonValue& v, const std::string& name) {
+  const std::uint64_t width = member_uint(v, name);
+  if (width == 0 || width > 62) {
+    bad_request("'" + name + "' must lie in [1, 62]");
+  }
+  return static_cast<unsigned>(width);
+}
+
+std::vector<double> number_array(const JsonValue& v, const std::string& name) {
+  if (!v.is_array()) bad_request("'" + name + "' must be an array of numbers");
+  std::vector<double> out;
+  out.reserve(v.items().size());
+  for (const JsonValue& item : v.items()) {
+    out.push_back(member_number(item, name));
+  }
+  return out;
+}
+
+ProgramSpec parse_program_spec(const JsonValue& v) {
+  if (!v.is_object()) bad_request("'programs' entries must be objects");
+  ProgramSpec spec;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "function") {
+      spec.function_id = member_string(value, "function");
+      if (spec.function_id.empty()) bad_request("'function' must be nonempty");
+    } else if (key == "coefficients") {
+      spec.coefficients = number_array(value, "coefficients");
+      if (spec.coefficients.empty()) {
+        bad_request("'coefficients' must be nonempty");
+      }
+    } else if (key == "degree") {
+      spec.degree = static_cast<std::size_t>(member_uint(value, "degree"));
+    } else if (key == "id") {
+      spec.raw_id = member_string(value, "id");
+    } else {
+      bad_request("unknown program member '" + key + "'");
+    }
+  }
+  const bool has_fn = !spec.function_id.empty();
+  const bool has_raw = !spec.coefficients.empty();
+  if (has_fn == has_raw) {
+    bad_request("each program needs exactly one of 'function'/'coefficients'");
+  }
+  if (has_raw && spec.degree.has_value()) {
+    bad_request("'degree' only applies to 'function' programs");
+  }
+  return spec;
+}
+
+oscs::OperatingPoint parse_operating_point(const JsonValue& v) {
+  if (!v.is_object()) bad_request("'operating_point' must be an object");
+  oscs::OperatingPoint op;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "probe_power_mw") {
+      op.probe_power_mw = member_number(value, "probe_power_mw");
+    } else if (key == "ber") {
+      op.ber = member_number(value, "ber");
+    } else if (key == "snr") {
+      op.snr = member_number(value, "snr");
+    } else if (key == "threshold_mw") {
+      op.threshold_mw = member_number(value, "threshold_mw");
+    } else if (key == "stream_length") {
+      op.stream_length =
+          static_cast<std::size_t>(member_uint(value, "stream_length"));
+    } else if (key == "sng_width") {
+      op.sng_width = member_width(value, "sng_width");
+    } else {
+      bad_request("unknown operating_point member '" + key + "'");
+    }
+  }
+  return op;
+}
+
+}  // namespace
+
+ServeRequest parse_request(const std::string& text) {
+  JsonValue doc;
+  try {
+    doc = json_parse(text);
+  } catch (const std::invalid_argument& e) {
+    bad_request(e.what());
+  }
+  if (!doc.is_object()) bad_request("request must be a JSON object");
+
+  ServeRequest req;
+  // Single-program sugar collected here, merged after the loop.
+  ProgramSpec sugar;
+  bool has_sugar_fn = false;
+  bool has_sugar_raw = false;
+
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "op") {
+      const std::string op = member_string(value, "op");
+      if (op == "evaluate") {
+        req.op = RequestOp::kEvaluate;
+      } else if (op == "metrics") {
+        req.op = RequestOp::kMetrics;
+      } else if (op == "ping") {
+        req.op = RequestOp::kPing;
+      } else {
+        bad_request("unknown op '" + op + "'");
+      }
+    } else if (key == "id") {
+      req.id = member_string(value, "id");
+    } else if (key == "programs") {
+      if (!value.is_array()) bad_request("'programs' must be an array");
+      for (const JsonValue& entry : value.items()) {
+        req.programs.push_back(parse_program_spec(entry));
+      }
+    } else if (key == "function") {
+      sugar.function_id = member_string(value, "function");
+      if (sugar.function_id.empty()) bad_request("'function' must be nonempty");
+      has_sugar_fn = true;
+    } else if (key == "coefficients") {
+      sugar.coefficients = number_array(value, "coefficients");
+      if (sugar.coefficients.empty()) {
+        bad_request("'coefficients' must be nonempty");
+      }
+      has_sugar_raw = true;
+    } else if (key == "degree") {
+      sugar.degree = static_cast<std::size_t>(member_uint(value, "degree"));
+    } else if (key == "xs") {
+      req.xs = number_array(value, "xs");
+    } else if (key == "stream_lengths") {
+      if (!value.is_array()) bad_request("'stream_lengths' must be an array");
+      req.stream_lengths.clear();
+      for (const JsonValue& item : value.items()) {
+        req.stream_lengths.push_back(
+            static_cast<std::size_t>(member_uint(item, "stream_lengths")));
+      }
+    } else if (key == "repeats") {
+      req.repeats = static_cast<std::size_t>(member_uint(value, "repeats"));
+    } else if (key == "seed") {
+      req.seed = member_uint(value, "seed");
+    } else if (key == "sng_width") {
+      req.sng_width = member_width(value, "sng_width");
+    } else if (key == "operating_point") {
+      req.operating_point = parse_operating_point(value);
+    } else if (key == "probe_power_mw") {
+      req.probe_power_mw = member_number(value, "probe_power_mw");
+    } else {
+      bad_request("unknown request member '" + key + "'");
+    }
+  }
+
+  if (has_sugar_fn || has_sugar_raw) {
+    if (!req.programs.empty()) {
+      bad_request("'programs' excludes top-level 'function'/'coefficients'");
+    }
+    if (has_sugar_fn && has_sugar_raw) {
+      bad_request("request needs exactly one of 'function'/'coefficients'");
+    }
+    if (has_sugar_raw && sugar.degree.has_value()) {
+      // Same contract as the 'programs' form - never silently ignored.
+      bad_request("'degree' only applies to 'function' programs");
+    }
+    req.programs.push_back(std::move(sugar));
+  } else if (sugar.degree.has_value()) {
+    bad_request("'degree' needs a top-level 'function'");
+  }
+
+  if (req.op == RequestOp::kEvaluate) {
+    if (req.programs.empty()) {
+      bad_request("evaluate request names no programs");
+    }
+    if (req.xs.empty()) bad_request("'xs' must be a nonempty array");
+    if (req.stream_lengths.empty()) {
+      bad_request("'stream_lengths' must be nonempty");
+    }
+    if (req.repeats == 0) bad_request("'repeats' must be positive");
+    if (req.operating_point.has_value() && req.probe_power_mw.has_value()) {
+      bad_request(
+          "request carries both 'operating_point' and 'probe_power_mw'");
+    }
+  }
+  return req;
+}
+
+std::string write_response(const ServeResponse& response) {
+  JsonWriter json(/*pretty=*/false);
+  json.begin_object();
+  if (!response.id.empty()) json.field("id", response.id);
+  json.field("ok", true).field("fused", response.fused);
+  json.key("programs").begin_array();
+  for (const std::string& id : response.programs) json.value(id);
+  json.end_array();
+  json.key("op");
+  operating_point_json(json, response.op);
+  json.key("cells").begin_array();
+  for (const CellResult& cell : response.cells) {
+    json.begin_object()
+        .field("program", cell.program)
+        .field("x", cell.x)
+        .field("stream_length", cell.stream_length)
+        .field("repeats", cell.repeats)
+        .field("expected", cell.expected)
+        .field("optical_mean", cell.optical_mean)
+        .field("optical_ci", cell.optical_ci)
+        .field("abs_error_mean", cell.abs_error_mean)
+        .field("abs_error_ci", cell.abs_error_ci)
+        .field("flip_rate", cell.flip_rate)
+        .end_object();
+  }
+  json.end_array();
+  json.field("optical_mae", response.optical_mae)
+      .field("worst_cell_error", response.worst_cell_error)
+      .field("total_bits", response.total_bits);
+  json.key("latency_us")
+      .begin_object()
+      .field("parse", response.latency.parse_us)
+      .field("resolve", response.latency.resolve_us)
+      .field("execute", response.latency.execute_us)
+      .field("total", response.latency.total_us)
+      .end_object();
+  json.end_object();
+  return json.str();
+}
+
+std::string write_error(const std::string& request_id, int status,
+                        const std::string& reason,
+                        const std::string& message) {
+  JsonWriter json(/*pretty=*/false);
+  json.begin_object();
+  if (!request_id.empty()) json.field("id", request_id);
+  json.field("ok", false)
+      .key("error")
+      .begin_object()
+      .field("status", status)
+      .field("reason", reason)
+      .field("message", message)
+      .end_object()
+      .end_object();
+  return json.str();
+}
+
+}  // namespace oscs::serve

@@ -1,0 +1,147 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief Wire schema of the compiled-program serving layer: JSON requests
+///        in, JSON responses out, one document per line. The request names
+///        one or more programs (registry function ids or raw Bernstein
+///        coefficients), an evaluation grid, and optionally the link
+///        conditions to run under; the response carries per-cell Monte-
+///        Carlo estimates plus stage latencies. Everything round-trips
+///        through common/json.hpp - the strict parser on the way in, the
+///        compact writer on the way out.
+///
+/// Request:
+///   {"op": "evaluate",                 // default; also "metrics", "ping"
+///    "id": "client-42",                // optional, echoed back
+///    "programs": [{"function": "sigmoid"},
+///                 {"function": "tanh", "degree": 4},
+///                 {"coefficients": [0.1, 0.5, 0.9], "id": "ramp"}],
+///    "xs": [0.25, 0.5, 0.75],
+///    "stream_lengths": [4096],         // default [4096]
+///    "repeats": 8,                     // default 8
+///    "seed": 1,                        // default 1
+///    "sng_width": 16,                  // optional override
+///    "operating_point": {...},         // optional explicit op, or
+///    "probe_power_mw": 0.8}            // optional link-budget derivation
+/// Single-program sugar: a top-level "function" or "coefficients" member
+/// instead of "programs".
+///
+/// Response (success):
+///   {"id": ..., "ok": true, "fused": bool, "programs": [ids...],
+///    "op": {...}, "cells": [{"program", "x", "stream_length", "repeats",
+///    "expected", "optical_mean", "optical_ci", "abs_error_mean",
+///    "abs_error_ci", "flip_rate"}...], "optical_mae": ...,
+///    "worst_cell_error": ..., "total_bits": ...,
+///    "latency_us": {"parse", "resolve", "execute", "total"}}
+/// Response (failure):
+///   {"id": ..., "ok": false,
+///    "error": {"status": 4xx/5xx, "reason": ..., "message": ...}}
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/operating_point.hpp"
+
+namespace oscs::serve {
+
+/// Request-level failure carrying an HTTP-style status code and a short
+/// machine-readable reason ("bad_request", "unknown_function", "busy",
+/// "compile_budget", "internal").
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(int status, std::string reason, const std::string& message)
+      : std::runtime_error(message), status_(status),
+        reason_(std::move(reason)) {}
+
+  [[nodiscard]] int status() const noexcept { return status_; }
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  int status_;
+  std::string reason_;
+};
+
+/// One program in a request: either a registry/compilable function id or
+/// raw Bernstein coefficients that bypass the compiler.
+struct ProgramSpec {
+  std::string function_id;           ///< registry id; empty for raw specs
+  std::vector<double> coefficients;  ///< raw spec; empty for function specs
+  std::string raw_id;                ///< optional display id for raw specs
+  std::optional<std::size_t> degree;  ///< degree-cap override (function)
+
+  [[nodiscard]] bool is_raw() const noexcept { return function_id.empty(); }
+  /// The id echoed into response cells.
+  [[nodiscard]] std::string display_id() const;
+};
+
+enum class RequestOp : std::uint8_t { kEvaluate, kMetrics, kPing };
+
+/// A parsed, shape-validated request (semantic checks - registry lookup,
+/// admission - happen in the server).
+struct ServeRequest {
+  RequestOp op = RequestOp::kEvaluate;
+  std::string id;  ///< echoed into the response; may be empty
+  std::vector<ProgramSpec> programs;
+  std::vector<double> xs;
+  std::vector<std::size_t> stream_lengths{4096};
+  std::size_t repeats = 8;
+  std::uint64_t seed = 1;
+  std::optional<unsigned> sng_width;
+  /// Explicit operating point (takes precedence over probe_power_mw).
+  std::optional<oscs::OperatingPoint> operating_point;
+  /// Probe power to map through the execution circuit's link budget.
+  std::optional<double> probe_power_mw;
+};
+
+/// Parse and shape-validate one request document.
+/// \throws ServeError(400, "bad_request") on malformed JSON, unknown
+///         members, wrong types or out-of-range scalar values.
+[[nodiscard]] ServeRequest parse_request(const std::string& text);
+
+/// One evaluation-grid cell of a response.
+struct CellResult {
+  std::string program;  ///< display id of the program this cell belongs to
+  double x = 0.0;
+  std::size_t stream_length = 0;
+  std::size_t repeats = 0;
+  double expected = 0.0;      ///< double-precision reference value
+  double optical_mean = 0.0;  ///< MC mean of the optical estimate
+  double optical_ci = 0.0;    ///< 95% CI half-width of that mean
+  double abs_error_mean = 0.0;
+  double abs_error_ci = 0.0;
+  double flip_rate = 0.0;  ///< transmission flips per bit
+};
+
+/// Stage latencies of one request [microseconds].
+struct StageLatency {
+  double parse_us = 0.0;
+  double resolve_us = 0.0;  ///< program resolution incl. compiles
+  double execute_us = 0.0;  ///< batch engine run
+  double total_us = 0.0;
+};
+
+/// A successful evaluation outcome.
+struct ServeResponse {
+  std::string id;
+  bool fused = false;  ///< multi-program request ran the fused kernel
+  std::vector<std::string> programs;  ///< display ids, request order
+  oscs::OperatingPoint op{};          ///< operating point the batch ran at
+  std::vector<CellResult> cells;      ///< program-major, then x, then length
+  double optical_mae = 0.0;
+  double worst_cell_error = 0.0;
+  std::size_t total_bits = 0;
+  StageLatency latency{};
+};
+
+/// Serialize a success response as one compact JSON line (trailing '\n').
+[[nodiscard]] std::string write_response(const ServeResponse& response);
+
+/// Serialize a failure as one compact JSON line (trailing '\n').
+[[nodiscard]] std::string write_error(const std::string& request_id,
+                                      int status, const std::string& reason,
+                                      const std::string& message);
+
+}  // namespace oscs::serve

@@ -1,0 +1,462 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/json.hpp"
+#include "compile/registry.hpp"
+#include "engine/thread_pool.hpp"
+#include "optsc/defaults.hpp"
+#include "optsc/link_budget.hpp"
+
+namespace oscs::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// RAII slot in the bounded in-flight gate.
+class InFlightGuard {
+ public:
+  InFlightGuard(std::mutex& mutex, ServerMetrics& counters,
+                std::size_t limit)
+      : mutex_(mutex), counters_(counters) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counters_.in_flight >= limit) {
+      throw ServeError(429, "busy",
+                       "server at capacity (" + std::to_string(limit) +
+                           " requests in flight)");
+    }
+    ++counters_.in_flight;
+  }
+
+  ~InFlightGuard() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --counters_.in_flight;
+  }
+
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::mutex& mutex_;
+  ServerMetrics& counters_;
+};
+
+void stage_json(JsonWriter& json, const char* name, const StageStats& stage) {
+  json.key(name)
+      .begin_object()
+      .field("count", stage.count)
+      .field("total_us", stage.total_us)
+      .field("mean_us", stage.mean_us())
+      .field("max_us", stage.max_us)
+      .end_object();
+}
+
+}  // namespace
+
+ProgramServer::ProgramServer(ServerOptions options)
+    : options_(options),
+      compiler_(options.compile, options.cache_capacity) {}
+
+void ProgramServer::record_stage(StageStats ServerMetrics::* stage,
+                                 double us) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  StageStats& s = counters_.*stage;
+  ++s.count;
+  s.total_us += us;
+  s.max_us = std::max(s.max_us, us);
+}
+
+void ProgramServer::bump(std::size_t ServerMetrics::* counter) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ++(counters_.*counter);
+}
+
+std::unique_ptr<engine::ThreadPool> ProgramServer::acquire_pool() {
+  {
+    std::lock_guard<std::mutex> lock(pools_mutex_);
+    if (!idle_pools_.empty()) {
+      std::unique_ptr<engine::ThreadPool> pool =
+          std::move(idle_pools_.back());
+      idle_pools_.pop_back();
+      return pool;
+    }
+  }
+  return std::make_unique<engine::ThreadPool>(options_.threads);
+}
+
+void ProgramServer::release_pool(std::unique_ptr<engine::ThreadPool> pool) {
+  if (pool == nullptr) return;
+  std::lock_guard<std::mutex> lock(pools_mutex_);
+  idle_pools_.push_back(std::move(pool));
+}
+
+const ProgramServer::OrderEngine& ProgramServer::order_engine(
+    std::size_t order) {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  auto it = order_engines_.find(order);
+  if (it == order_engines_.end()) {
+    OrderEngine built;
+    built.circuit = std::make_shared<const optsc::OpticalScCircuit>(
+        optsc::paper_defaults(order));
+    built.kernel = std::make_shared<const engine::PackedKernel>(*built.circuit);
+    built.design_point = optsc::design_operating_point(*built.circuit);
+    it = order_engines_.emplace(order, std::move(built)).first;
+  }
+  return it->second;
+}
+
+ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
+  Resolved resolved;
+  resolved.labels.reserve(request.programs.size());
+
+  // Pass 1: compile (or accept) every program and find the common circuit
+  // order the fused kernel will run at. `holds` stays parallel to the
+  // request's program list (nullptr for raw-coefficient entries).
+  std::size_t target_order = 1;
+  std::vector<stochastic::BernsteinPoly> polys;
+  polys.reserve(request.programs.size());
+  for (const ProgramSpec& spec : request.programs) {
+    resolved.labels.push_back(spec.display_id());
+    if (spec.is_raw()) {
+      if (spec.coefficients.empty()) {
+        // Typed-path callers can hand over an all-empty spec; keep it a
+        // client error instead of a 500 out of BernsteinPoly.
+        throw ServeError(
+            400, "bad_request",
+            "each program needs exactly one of 'function'/'coefficients'");
+      }
+      for (double c : spec.coefficients) {
+        if (!(c >= 0.0 && c <= 1.0)) {
+          throw ServeError(400, "bad_request",
+                           "coefficients must be finite and lie in [0, 1]");
+        }
+      }
+      stochastic::BernsteinPoly poly(spec.coefficients);
+      if (poly.degree() == 0) poly = poly.elevated();  // circuit minimum
+      if (poly.degree() > engine::PackedKernel::kMaxOrder) {
+        throw ServeError(400, "bad_request",
+                         "coefficient degree exceeds the kernel order limit (" +
+                             std::to_string(engine::PackedKernel::kMaxOrder) +
+                             ")");
+      }
+      target_order = std::max(target_order, poly.degree());
+      polys.push_back(std::move(poly));
+      resolved.holds.emplace_back();
+      continue;
+    }
+
+    const compile::RegistryFunction* fn =
+        compile::find_function(spec.function_id);
+    if (fn == nullptr) {
+      throw ServeError(404, "unknown_function",
+                       "unknown function '" + spec.function_id + "'");
+    }
+    compile::CompileOptions opts = options_.compile;
+    opts.projection.max_degree = spec.degree.value_or(fn->degree);
+    if (request.sng_width.has_value()) opts.sng_width = *request.sng_width;
+
+    // Cold-compile admission: expensive high-degree pipelines only run
+    // when the program is already resident.
+    if (opts.projection.max_degree > options_.max_cold_degree &&
+        !compiler_.cache().contains(
+            compile::make_program_key(spec.function_id, opts))) {
+      throw ServeError(
+          429, "compile_budget",
+          "cold compile at degree " +
+              std::to_string(opts.projection.max_degree) +
+              " exceeds the admission budget (max_cold_degree = " +
+              std::to_string(options_.max_cold_degree) + ")");
+    }
+
+    std::shared_ptr<const compile::CompiledProgram> program;
+    try {
+      program = compiler_.compile(spec.function_id, fn->f, opts);
+    } catch (const std::invalid_argument& e) {
+      throw ServeError(400, "bad_request", e.what());
+    }
+    target_order = std::max(target_order, program->circuit_order());
+    polys.push_back(program->poly());
+    resolved.holds.push_back(std::move(program));
+  }
+
+  // Pass 2: elevate every polynomial to the common order (value-
+  // preserving) so one kernel pass can evaluate them all.
+  resolved.polys.reserve(polys.size());
+  for (stochastic::BernsteinPoly& poly : polys) {
+    if (poly.degree() < target_order) {
+      poly = poly.elevated(target_order - poly.degree());
+    }
+    resolved.polys.push_back(std::move(poly));
+  }
+
+  for (const auto& program : resolved.holds) {
+    if (program != nullptr && program->circuit_order() == target_order) {
+      resolved.kernel = program->kernel();
+      resolved.design_point = program->design_point();
+      resolved.circuit = &program->circuit();
+      break;
+    }
+  }
+  if (resolved.kernel == nullptr) {
+    const OrderEngine& fallback = order_engine(target_order);
+    resolved.kernel = fallback.kernel;
+    resolved.design_point = fallback.design_point;
+    resolved.circuit = fallback.circuit.get();
+  }
+  return resolved;
+}
+
+oscs::OperatingPoint ProgramServer::resolve_operating_point(
+    const ServeRequest& request, const Resolved& resolved) const {
+  oscs::OperatingPoint op;
+  if (request.operating_point.has_value()) {
+    op = *request.operating_point;
+    if (request.sng_width.has_value()) op = op.with_sng_width(*request.sng_width);
+  } else if (request.probe_power_mw.has_value()) {
+    const unsigned width =
+        request.sng_width.value_or(resolved.design_point.sng_width);
+    try {
+      op = optsc::LinkBudget(*resolved.circuit, optsc::EyeModel::kPhysical)
+               .operating_point(*request.probe_power_mw,
+                                request.stream_lengths.front(), width);
+    } catch (const std::invalid_argument& e) {
+      throw ServeError(400, "bad_request", e.what());
+    }
+  } else {
+    op = resolved.design_point;
+    if (request.sng_width.has_value()) op = op.with_sng_width(*request.sng_width);
+  }
+  try {
+    op.validate();
+  } catch (const std::invalid_argument& e) {
+    throw ServeError(400, "bad_request", e.what());
+  }
+  return op;
+}
+
+ServeResponse ProgramServer::handle(const ServeRequest& request) {
+  bump(&ServerMetrics::received);
+  try {
+    return evaluate(request);
+  } catch (const ServeError& e) {
+    count_error(e.reason());
+    throw;
+  } catch (const std::exception&) {
+    bump(&ServerMetrics::failed);
+    throw;
+  }
+}
+
+void ProgramServer::count_error(const std::string& reason) {
+  if (reason == "busy") {
+    bump(&ServerMetrics::rejected_busy);
+  } else if (reason == "compile_budget") {
+    bump(&ServerMetrics::rejected_budget);
+  } else {
+    bump(&ServerMetrics::failed);
+  }
+}
+
+ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
+  if (request.op != RequestOp::kEvaluate) {
+    throw ServeError(400, "bad_request",
+                     "handle() only serves evaluate requests");
+  }
+  // The typed entry point bypasses parse_request's shape checks; repeat
+  // the ones this function relies on before anything dereferences them.
+  if (request.programs.empty()) {
+    throw ServeError(400, "bad_request", "evaluate request names no programs");
+  }
+  if (request.xs.empty()) {
+    throw ServeError(400, "bad_request", "'xs' must be a nonempty array");
+  }
+  if (request.stream_lengths.empty()) {
+    throw ServeError(400, "bad_request", "'stream_lengths' must be nonempty");
+  }
+  if (request.repeats == 0) {
+    throw ServeError(400, "bad_request", "'repeats' must be positive");
+  }
+  // Evaluate-cost admission, in floating point so absurd uint64 values
+  // cannot overflow their way past the gate. Checked before any compile
+  // work and before an in-flight slot is taken.
+  double length_bits = 0.0;
+  for (std::size_t len : request.stream_lengths) {
+    length_bits += static_cast<double>(len);
+  }
+  const double work_bits = static_cast<double>(request.programs.size()) *
+                           static_cast<double>(request.xs.size()) *
+                           static_cast<double>(request.repeats) * length_bits;
+  if (work_bits > options_.max_request_bits) {
+    throw ServeError(413, "too_large",
+                     "request demands " + std::to_string(work_bits) +
+                         " stream bits, above the per-request budget of " +
+                         std::to_string(options_.max_request_bits));
+  }
+  const auto t0 = Clock::now();
+  InFlightGuard guard(metrics_mutex_, counters_, options_.max_in_flight);
+
+  ServeResponse response;
+  response.id = request.id;
+  response.programs.reserve(request.programs.size());
+
+  const auto t_resolve = Clock::now();
+  Resolved resolved = resolve(request);
+  response.latency.resolve_us = us_since(t_resolve);
+  record_stage(&ServerMetrics::resolve, response.latency.resolve_us);
+
+  const oscs::OperatingPoint op = resolve_operating_point(request, resolved);
+
+  engine::BatchRequest batch;
+  batch.polynomials = resolved.polys;
+  batch.xs = request.xs;
+  batch.stream_lengths = request.stream_lengths;
+  batch.repeats = request.repeats;
+  batch.seed = request.seed;
+  batch.op = op;
+
+  const auto t_execute = Clock::now();
+  engine::BatchSummary summary;
+  response.fused = resolved.polys.size() > 1;
+  {
+    // Leased, not constructed: thread spawn/join stays off the warm path.
+    // A worker-task exception leaves the pool reusable (ThreadPool
+    // contract), so the lease returns it to the free list either way.
+    std::unique_ptr<engine::ThreadPool> pool = acquire_pool();
+    try {
+      const engine::BatchRunner runner(resolved.kernel,
+                                       resolved.design_point);
+      summary = response.fused ? runner.run_fused(batch, *pool)
+                               : runner.run(batch, *pool);
+    } catch (const std::invalid_argument& e) {
+      release_pool(std::move(pool));
+      // Everything the engine rejects traces back to request content.
+      throw ServeError(400, "bad_request", e.what());
+    } catch (...) {
+      release_pool(std::move(pool));
+      throw;
+    }
+    release_pool(std::move(pool));
+  }
+  response.latency.execute_us = us_since(t_execute);
+  record_stage(&ServerMetrics::execute, response.latency.execute_us);
+
+  response.programs = resolved.labels;
+  response.op = summary.op;
+  response.optical_mae = summary.optical_mae;
+  response.worst_cell_error = summary.worst_cell_error;
+  response.total_bits = summary.total_bits;
+  response.cells.reserve(summary.cells.size());
+  for (const engine::BatchCell& cell : summary.cells) {
+    CellResult out;
+    out.program = resolved.labels[cell.poly_index];
+    out.x = cell.x;
+    out.stream_length = cell.stream_length;
+    out.repeats = cell.repeats;
+    out.expected = cell.expected;
+    out.optical_mean = cell.optical_mean;
+    out.optical_ci = cell.optical_ci;
+    out.abs_error_mean = cell.optical_abs_error_mean;
+    out.abs_error_ci = cell.optical_abs_error_ci;
+    out.flip_rate = cell.flip_rate_mean;
+    response.cells.push_back(std::move(out));
+  }
+
+  response.latency.total_us = us_since(t0);
+  bump(&ServerMetrics::completed);
+  return response;
+}
+
+std::string ProgramServer::handle_json(const std::string& line) {
+  const auto t0 = Clock::now();
+  bump(&ServerMetrics::received);
+  std::string request_id;
+  try {
+    ServeRequest request = parse_request(line);
+    request_id = request.id;
+    const double parse_us = us_since(t0);
+    record_stage(&ServerMetrics::parse, parse_us);
+
+    switch (request.op) {
+      case RequestOp::kPing: {
+        JsonWriter json(/*pretty=*/false);
+        json.begin_object();
+        if (!request.id.empty()) json.field("id", request.id);
+        json.field("ok", true).field("pong", true).end_object();
+        return json.str();
+      }
+      case RequestOp::kMetrics:
+        return metrics_json(/*pretty=*/false, request.id);
+      case RequestOp::kEvaluate: {
+        ServeResponse response = evaluate(request);
+        response.latency.parse_us = parse_us;
+        response.latency.total_us = us_since(t0);
+        return write_response(response);
+      }
+    }
+    throw ServeError(500, "internal", "unhandled request op");
+  } catch (const ServeError& e) {
+    count_error(e.reason());
+    return write_error(request_id, e.status(), e.reason(), e.what());
+  } catch (const std::exception& e) {
+    bump(&ServerMetrics::failed);
+    return write_error(request_id, 500, "internal", e.what());
+  }
+}
+
+ServerMetrics ProgramServer::metrics() const {
+  ServerMetrics snapshot;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    snapshot = counters_;
+  }
+  snapshot.cache = compiler_.cache().stats();
+  snapshot.cache_size = compiler_.cache().size();
+  snapshot.cache_capacity = compiler_.cache().capacity();
+  return snapshot;
+}
+
+std::string ProgramServer::metrics_json(bool pretty,
+                                        const std::string& request_id) const {
+  const ServerMetrics m = metrics();
+  JsonWriter json(pretty);
+  json.begin_object();
+  if (!request_id.empty()) json.field("id", request_id);
+  json.field("ok", true).key("metrics").begin_object();
+  json.key("cache")
+      .begin_object()
+      .field("hits", m.cache.hits)
+      .field("misses", m.cache.misses)
+      .field("inserts", m.cache.inserts)
+      .field("evictions", m.cache.evictions)
+      .field("coalesced", m.cache.coalesced)
+      .field("size", m.cache_size)
+      .field("capacity", m.cache_capacity)
+      .end_object();
+  json.key("requests")
+      .begin_object()
+      .field("received", m.received)
+      .field("completed", m.completed)
+      .field("rejected_busy", m.rejected_busy)
+      .field("rejected_budget", m.rejected_budget)
+      .field("failed", m.failed)
+      .field("in_flight", m.in_flight)
+      .end_object();
+  json.key("latency_us").begin_object();
+  stage_json(json, "parse", m.parse);
+  stage_json(json, "resolve", m.resolve);
+  stage_json(json, "execute", m.execute);
+  json.end_object();
+  json.end_object().end_object();
+  return json.str();
+}
+
+}  // namespace oscs::serve

@@ -1,0 +1,168 @@
+#pragma once
+/// \file server.hpp
+/// \brief The compiled-program serving core: resolve JSON requests through
+///        the compiler's shared warm cache (single-flight, so a miss storm
+///        compiles once), execute them on the batch engine - fused kernel
+///        when one request carries several programs - and answer with JSON.
+///        Transport-free by design: handle_json() maps one request line to
+///        one response line, so tests and benches call it in-process and
+///        the TCP front end (serve/tcp.hpp) is a thin wrapper.
+///
+/// Admission control:
+///   * a bounded in-flight gate - at most `max_in_flight` evaluate
+///     requests execute concurrently; the rest are rejected immediately
+///     with a 429 "busy" error instead of queueing without bound;
+///   * a cold-compile budget - a request whose function would compile at a
+///     degree above `max_cold_degree` is rejected with 429
+///     "compile_budget" unless the program is already resident, keeping
+///     expensive cold pipelines from starving cheap warm traffic.
+/// Metrics ("op": "metrics", never gated) export the cache counters
+/// (hits/misses/inserts/evictions/coalesced), request counters and
+/// per-stage latency accumulators.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/operating_point.hpp"
+#include "compile/compiler.hpp"
+#include "engine/batch.hpp"
+#include "serve/protocol.hpp"
+
+namespace oscs::serve {
+
+/// Server construction knobs.
+struct ServerOptions {
+  std::size_t cache_capacity = 32;  ///< program cache entries
+  /// Evaluate requests allowed to execute concurrently; further ones are
+  /// rejected with 429 "busy".
+  std::size_t max_in_flight = 64;
+  /// Highest degree admitted for a cold compile; resident programs of any
+  /// degree always serve. Rejection carries 429 "compile_budget".
+  std::size_t max_cold_degree = 8;
+  /// Evaluate-cost ceiling: total stream bits one request may demand
+  /// (programs x xs x repeats x sum of stream lengths). Without it a
+  /// single absurd repeats/length value wedges an in-flight slot
+  /// indefinitely. Rejection carries 413 "too_large".
+  double max_request_bits = 4.0e9;
+  /// Batch-engine workers per request (0 picks hardware concurrency; keep
+  /// small - concurrency across requests is the design axis).
+  std::size_t threads = 2;
+  /// Compiler pipeline defaults (certification settings etc.).
+  compile::CompileOptions compile{};
+};
+
+/// One latency accumulator (microseconds).
+struct StageStats {
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+
+  [[nodiscard]] double mean_us() const noexcept {
+    return count == 0 ? 0.0 : total_us / static_cast<double>(count);
+  }
+};
+
+/// Snapshot exported by the metrics endpoint.
+struct ServerMetrics {
+  compile::ProgramCache::Stats cache{};
+  std::size_t cache_size = 0;
+  std::size_t cache_capacity = 0;
+
+  std::size_t received = 0;         ///< requests of any op
+  std::size_t completed = 0;        ///< successful evaluates
+  std::size_t rejected_busy = 0;    ///< 429 in-flight gate
+  std::size_t rejected_budget = 0;  ///< 429 cold-compile budget
+  std::size_t failed = 0;           ///< every other error response
+  std::size_t in_flight = 0;        ///< evaluates executing right now
+
+  StageStats parse;    ///< request text -> ServeRequest
+  StageStats resolve;  ///< program resolution incl. compiles
+  StageStats execute;  ///< batch engine run
+};
+
+/// The serving core. Thread-safe: any number of transport threads may call
+/// handle_json()/handle() concurrently; they share one compiler cache.
+class ProgramServer {
+ public:
+  explicit ProgramServer(ServerOptions options = {});
+
+  /// One request line in, one response line out (always terminated with
+  /// '\n'). Never throws: every failure becomes an error document.
+  [[nodiscard]] std::string handle_json(const std::string& line);
+
+  /// Typed evaluate path (admission control included) for in-process
+  /// callers that want structured results.
+  /// \throws ServeError on rejection or a bad request; the request must
+  ///         carry op == kEvaluate.
+  [[nodiscard]] ServeResponse handle(const ServeRequest& request);
+
+  [[nodiscard]] ServerMetrics metrics() const;
+  /// The metrics snapshot as a JSON document (compact single line when
+  /// `pretty` is false - the wire format). `request_id` is echoed when
+  /// nonempty.
+  [[nodiscard]] std::string metrics_json(
+      bool pretty = false, const std::string& request_id = "") const;
+
+  /// The shared compiler (e.g. to pre-warm the cache before traffic).
+  [[nodiscard]] compile::Compiler& compiler() noexcept { return compiler_; }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// A request's programs resolved onto one common circuit order.
+  struct Resolved {
+    std::vector<stochastic::BernsteinPoly> polys;  ///< elevated to order
+    std::vector<std::string> labels;               ///< request order
+    std::shared_ptr<const engine::PackedKernel> kernel;
+    oscs::OperatingPoint design_point{};
+    /// Circuit behind `kernel` (link-budget derivations); owned via
+    /// `holds` or `order_engines_`.
+    const optsc::OpticalScCircuit* circuit = nullptr;
+    /// Keeps compiled programs (and their kernels/circuits) alive.
+    std::vector<std::shared_ptr<const compile::CompiledProgram>> holds;
+  };
+
+  /// Fallback execution engine for orders no compiled program provides
+  /// (raw-coefficient programs, mixed-order fusions).
+  struct OrderEngine {
+    std::shared_ptr<const optsc::OpticalScCircuit> circuit;
+    std::shared_ptr<const engine::PackedKernel> kernel;
+    oscs::OperatingPoint design_point{};
+  };
+
+  /// The evaluate path both public entry points share (admission gate,
+  /// resolution, execution); counting happens in the callers.
+  [[nodiscard]] ServeResponse evaluate(const ServeRequest& request);
+  [[nodiscard]] Resolved resolve(const ServeRequest& request);
+  [[nodiscard]] const OrderEngine& order_engine(std::size_t order);
+  [[nodiscard]] oscs::OperatingPoint resolve_operating_point(
+      const ServeRequest& request, const Resolved& resolved) const;
+
+  void record_stage(StageStats ServerMetrics::* stage, double us);
+  void bump(std::size_t ServerMetrics::* counter);
+  void count_error(const std::string& reason);
+
+  /// Thread pools are reused across requests (spawning threads per
+  /// request would sit on the warm hot path); the free list is bounded
+  /// by peak request concurrency, itself bounded by max_in_flight.
+  [[nodiscard]] std::unique_ptr<engine::ThreadPool> acquire_pool();
+  void release_pool(std::unique_ptr<engine::ThreadPool> pool);
+
+  ServerOptions options_;
+  compile::Compiler compiler_;
+
+  mutable std::mutex engines_mutex_;
+  std::map<std::size_t, OrderEngine> order_engines_;
+
+  std::mutex pools_mutex_;
+  std::vector<std::unique_ptr<engine::ThreadPool>> idle_pools_;
+
+  mutable std::mutex metrics_mutex_;
+  ServerMetrics counters_;  ///< cache fields filled on export
+};
+
+}  // namespace oscs::serve

@@ -59,14 +59,93 @@ TEST(ProgramCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
-TEST(ProgramCacheTest, PutReplacesExistingKeyWithoutEviction) {
+TEST(ProgramCacheTest, PutReplaceCountsOneInsertAndOneEviction) {
+  // Regression: the overwrite path used to swap the program silently, so
+  // exported metrics undercounted churn. A replace stores a new program
+  // (insert) and drops the old one (eviction).
   ProgramCache cache(2);
   cache.put(key_of("a"), make_program("a", 0.1));
   const auto updated = make_program("a", 0.9);
   cache.put(key_of("a"), updated);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.get(key_of("a")).get(), updated.get());
-  EXPECT_EQ(cache.stats().evictions, 0u);
+  const ProgramCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(ProgramCacheTest, StatsInvariantInsertsMinusEvictionsEqualsSize) {
+  // Mixed workload: fresh inserts, replacements and capacity evictions
+  // must keep the churn ledger balanced at every step.
+  ProgramCache cache(2);
+  const auto check = [&cache](const char* when) {
+    const ProgramCache::Stats s = cache.stats();
+    ASSERT_EQ(s.inserts - s.evictions, cache.size()) << when;
+  };
+  check("empty");
+  cache.put(key_of("a"), make_program("a", 0.1));
+  check("first insert");
+  cache.put(key_of("a"), make_program("a", 0.2));  // replace
+  check("replace");
+  cache.put(key_of("b"), make_program("b", 0.3));
+  check("second insert");
+  cache.put(key_of("c"), make_program("c", 0.4));  // capacity eviction
+  check("capacity eviction");
+  cache.put(key_of("c"), make_program("c", 0.5));  // replace at capacity
+  check("replace at capacity");
+  const ProgramCache::Stats s = cache.stats();
+  EXPECT_EQ(s.inserts, 5u);
+  EXPECT_EQ(s.evictions, 3u);
+}
+
+TEST(ProgramCacheTest, ContainsPeeksWithoutTouchingStatsOrLruOrder) {
+  ProgramCache cache(2);
+  cache.put(key_of("a"), make_program("a", 0.1));
+  cache.put(key_of("b"), make_program("b", 0.2));
+  EXPECT_TRUE(cache.contains(key_of("a")));
+  EXPECT_FALSE(cache.contains(key_of("zzz")));
+  const ProgramCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  // contains() must not have promoted "a": inserting "c" still evicts it.
+  cache.put(key_of("c"), make_program("c", 0.3));
+  EXPECT_FALSE(cache.contains(key_of("a")));
+  EXPECT_TRUE(cache.contains(key_of("b")));
+}
+
+TEST(ProgramCacheTest, GetOrCompileCompilesOnceThenHits) {
+  ProgramCache cache(4);
+  int calls = 0;
+  const auto factory = [&calls] {
+    ++calls;
+    return make_program("a", 0.25);
+  };
+  const auto first = cache.get_or_compile(key_of("a"), factory);
+  const auto second = cache.get_or_compile(key_of("a"), factory);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(first.get(), second.get());
+  const ProgramCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.coalesced, 0u);
+}
+
+TEST(ProgramCacheTest, GetOrCompileFailureClearsInFlightSlotForRetry) {
+  ProgramCache cache(4);
+  EXPECT_THROW(
+      (void)cache.get_or_compile(
+          key_of("a"),
+          []() -> std::shared_ptr<const CompiledProgram> {
+            throw std::runtime_error("projection failed");
+          }),
+      std::runtime_error);
+  EXPECT_FALSE(cache.contains(key_of("a")));
+  // The failed compile must not wedge the key: a retry runs the factory.
+  const auto program = cache.get_or_compile(
+      key_of("a"), [] { return make_program("a", 0.5); });
+  EXPECT_NE(program, nullptr);
+  EXPECT_TRUE(cache.contains(key_of("a")));
 }
 
 TEST(ProgramCacheTest, SharedPointersSurviveEviction) {

@@ -1,0 +1,189 @@
+/// Concurrency tests for the ProgramCache: raw get/put/clear hammering
+/// under overlapping keys (the TSan target) and the single-flight
+/// guarantee of get_or_compile - one pipeline run per key under a miss
+/// storm, which the serving layer's acceptance criteria depend on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compile/cache.hpp"
+#include "compile/compiler.hpp"
+
+namespace oscs::compile {
+namespace {
+
+std::shared_ptr<const CompiledProgram> make_program(const std::string& id,
+                                                    double value) {
+  CompileOptions options;
+  options.projection.min_degree = 0;
+  options.projection.max_degree = 0;
+  options.certify = false;
+  return compile_function(id, [value](double) { return value; }, options);
+}
+
+ProgramKey key_of(const std::string& id) { return ProgramKey{id, 0, 16}; }
+
+TEST(ProgramCacheConcurrency, GetPutClearHammerOnOverlappingKeys) {
+  ProgramCache cache(4);
+  // Pre-build the programs serially: the hammer should stress the cache,
+  // not the compiler pipeline.
+  std::vector<std::shared_ptr<const CompiledProgram>> programs;
+  std::vector<ProgramKey> keys;
+  for (int k = 0; k < 6; ++k) {
+    const std::string id = "fn" + std::to_string(k);
+    keys.push_back(key_of(id));
+    programs.push_back(make_program(id, 0.1 + 0.1 * k));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load()) std::this_thread::yield();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::size_t k =
+            static_cast<std::size_t>(t + i) % keys.size();
+        switch ((t + i) % 5) {
+          case 0:
+          case 1:
+            cache.put(keys[k], programs[k]);
+            break;
+          case 2:
+          case 3: {
+            const auto hit = cache.get(keys[k]);
+            // A hit must always return an intact shared program.
+            if (hit) {
+              ASSERT_GE(hit->poly().degree(), 1u);
+            }
+            break;
+          }
+          case 4:
+            if (i % 100 == 0) {
+              cache.clear();
+            } else {
+              ASSERT_LE(cache.size(), cache.capacity());
+            }
+            break;
+        }
+      }
+    });
+  }
+  start.store(true);
+  for (std::thread& th : threads) th.join();
+
+  // clear() resets the ledger mid-run, so only the invariant that keeps
+  // the books balanced afterwards can be asserted.
+  const ProgramCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.inserts - stats.evictions, cache.size());
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(ProgramCacheConcurrency, SingleFlightCompilesOncePerKeyUnderMissStorm) {
+  ProgramCache cache(8);
+  constexpr int kThreads = 16;
+  std::atomic<int> factory_calls{0};
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const CompiledProgram>> results(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load()) std::this_thread::yield();
+      results[t] = cache.get_or_compile(key_of("hot"), [&] {
+        ++factory_calls;
+        // Hold the in-flight window open long enough that every other
+        // thread arrives while the compile is still running.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return make_program("hot", 0.5);
+      });
+    });
+  }
+  start.store(true);
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(factory_calls.load(), 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  const ProgramCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 1u);
+  // Everyone who arrived during the compile coalesced; latecomers that
+  // arrived after the insert count as plain hits instead.
+  EXPECT_EQ(stats.coalesced + stats.hits + 1, kThreads);
+}
+
+TEST(ProgramCacheConcurrency, SingleFlightKeepsDistinctKeysIndependent) {
+  ProgramCache cache(8);
+  constexpr int kKeys = 4;
+  constexpr int kThreadsPerKey = 4;
+  std::atomic<int> calls[kKeys] = {};
+  std::vector<std::thread> threads;
+  std::atomic<bool> start{false};
+  for (int k = 0; k < kKeys; ++k) {
+    for (int t = 0; t < kThreadsPerKey; ++t) {
+      threads.emplace_back([&, k] {
+        while (!start.load()) std::this_thread::yield();
+        const std::string id = "key" + std::to_string(k);
+        (void)cache.get_or_compile(key_of(id), [&, k, id] {
+          ++calls[k];
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          return make_program(id, 0.2 + 0.1 * k);
+        });
+      });
+    }
+  }
+  start.store(true);
+  for (std::thread& th : threads) th.join();
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(calls[k].load(), 1) << "key" << k;
+  }
+  EXPECT_EQ(cache.stats().inserts, static_cast<std::size_t>(kKeys));
+}
+
+TEST(ProgramCacheConcurrency, FailedLeaderPropagatesToWaitersThenRetries) {
+  ProgramCache cache(8);
+  constexpr int kThreads = 6;
+  std::atomic<int> factory_calls{0};
+  std::atomic<int> failures{0};
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!start.load()) std::this_thread::yield();
+      try {
+        (void)cache.get_or_compile(
+            key_of("doomed"),
+            [&]() -> std::shared_ptr<const CompiledProgram> {
+              ++factory_calls;
+              std::this_thread::sleep_for(std::chrono::milliseconds(30));
+              throw std::runtime_error("infeasible projection");
+            });
+      } catch (const std::runtime_error&) {
+        ++failures;
+      }
+    });
+  }
+  start.store(true);
+  for (std::thread& th : threads) th.join();
+
+  // Every caller saw the failure (leader or propagated), and the key was
+  // left retryable: a fresh call runs the factory again.
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_GE(factory_calls.load(), 1);
+  const auto program = cache.get_or_compile(
+      key_of("doomed"), [] { return make_program("doomed", 0.5); });
+  EXPECT_NE(program, nullptr);
+}
+
+}  // namespace
+}  // namespace oscs::compile

@@ -1,0 +1,142 @@
+/// Loopback TCP front-end tests: framing, connection reuse, malformed
+/// lines, concurrent clients sharing one warm cache, and clean shutdown.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/server.hpp"
+#include "serve/tcp.hpp"
+
+namespace oscs::serve {
+namespace {
+
+ServerOptions fast_options() {
+  ServerOptions options;
+  options.compile.certify = false;
+  options.threads = 1;
+  return options;
+}
+
+TEST(TcpServerTest, RoundTripsOneRequest) {
+  ProgramServer server(fast_options());
+  TcpServer tcp(server, /*port=*/0);
+  ASSERT_GT(tcp.port(), 0);
+
+  TcpClient client(tcp.port());
+  const std::string response = client.request(
+      R"({"id": "t1", "function": "sigmoid", "xs": [0.5], "stream_lengths": [256], "repeats": 2})");
+  const JsonValue doc = json_parse(response);
+  EXPECT_TRUE(doc.find("ok")->as_bool()) << response;
+  EXPECT_EQ(doc.find("id")->as_string(), "t1");
+  EXPECT_EQ(tcp.connections_accepted(), 1u);
+}
+
+TEST(TcpServerTest, OneConnectionServesManyRequestsIncludingErrors) {
+  ProgramServer server(fast_options());
+  TcpServer tcp(server, /*port=*/0);
+  TcpClient client(tcp.port());
+
+  // A malformed line answers with an error document and the connection
+  // stays usable for the next request.
+  const JsonValue bad = json_parse(client.request("{not json"));
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+  EXPECT_EQ(bad.find("error")->find("status")->as_number(), 400.0);
+
+  for (int i = 0; i < 3; ++i) {
+    const JsonValue doc = json_parse(client.request(
+        R"({"coefficients": [0.2, 0.8], "xs": [0.5], "stream_lengths": [128], "repeats": 2})"));
+    EXPECT_TRUE(doc.find("ok")->as_bool());
+  }
+  const JsonValue metrics =
+      json_parse(client.request(R"({"op": "metrics"})"));
+  EXPECT_EQ(metrics.find("metrics")
+                ->find("requests")
+                ->find("received")
+                ->as_number(),
+            5.0);
+  EXPECT_EQ(tcp.connections_accepted(), 1u);
+}
+
+TEST(TcpServerTest, ConcurrentClientsShareOneWarmCache) {
+  ProgramServer server(fast_options());
+  TcpServer tcp(server, /*port=*/0);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 4;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TcpClient client(tcp.port());
+      const std::string fn = (c % 2 == 0) ? "sigmoid" : "tanh";
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::string response = client.request(
+            R"({"function": ")" + fn +
+            R"(", "xs": [0.25, 0.75], "stream_lengths": [256], "repeats": 2})");
+        if (json_parse(response).find("ok")->as_bool()) ++ok_count;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(ok_count.load(), kClients * kRequestsPerClient);
+  EXPECT_EQ(tcp.connections_accepted(), static_cast<std::size_t>(kClients));
+  const ServerMetrics m = server.metrics();
+  EXPECT_EQ(m.completed, static_cast<std::size_t>(kClients *
+                                                  kRequestsPerClient));
+  // Two functions, one shared cache: exactly two pipeline runs total,
+  // even under the concurrent miss storm (single-flight dedup).
+  EXPECT_EQ(m.cache.inserts, 2u);
+  EXPECT_EQ(m.cache.misses + m.cache.hits + m.cache.coalesced,
+            static_cast<std::size_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(m.in_flight, 0u);
+}
+
+TEST(TcpServerTest, OverlongRequestLineAnswers400AndClosesConnection) {
+  ProgramServer server(fast_options());
+  TcpServer tcp(server, /*port=*/0);
+  TcpClient client(tcp.port());
+  // 2 MiB with no newline: the framing layer must cut the client off
+  // instead of buffering without bound. Depending on socket buffer sizes
+  // the client either reads the 400 line or sees the reset mid-send; both
+  // prove the server stopped buffering.
+  const std::string flood(2 << 20, 'a');
+  bool reset_mid_send = false;
+  std::string response;
+  try {
+    response = client.request(flood + "\n");
+  } catch (const std::runtime_error&) {
+    reset_mid_send = true;
+  }
+  if (!reset_mid_send) {
+    const JsonValue doc = json_parse(response);
+    EXPECT_FALSE(doc.find("ok")->as_bool());
+    EXPECT_EQ(doc.find("error")->find("status")->as_number(), 400.0);
+  }
+  EXPECT_THROW((void)client.request(R"({"op": "ping"})"),
+               std::runtime_error);  // connection was closed
+}
+
+TEST(TcpServerTest, StopUnblocksConnectedClients) {
+  ProgramServer server(fast_options());
+  auto tcp = std::make_unique<TcpServer>(server, /*port=*/0);
+  TcpClient client(tcp->port());
+  // One request proves the connection is live before the shutdown.
+  (void)client.request(R"({"op": "ping"})");
+  tcp->stop();
+  // After stop, the connection is gone: the next request fails instead of
+  // hanging.
+  EXPECT_THROW((void)client.request(R"({"op": "ping"})"),
+               std::runtime_error);
+  tcp.reset();  // double-stop via the destructor is a no-op
+}
+
+}  // namespace
+}  // namespace oscs::serve
