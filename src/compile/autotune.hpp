@@ -82,4 +82,24 @@ struct AutoTuneResult {
                                        double accuracy_budget,
                                        const AutoTuneOptions& options = {});
 
+/// Bivariate auto-tune over the same (degree, width, stream length) walk:
+/// each degree candidate becomes a symmetric per-axis cap (max_degree_x =
+/// max_degree_y = degree) and project2's per-axis selection picks the
+/// cheapest (deg_x, deg_y) under it; certification runs on the
+/// grid_points x grid_points (x, y) MC grid. The cost proxy counts both
+/// input banks: stream_length * (degree + 1)^2 * width.
+/// \throws std::invalid_argument on invalid options or a non-positive
+///         budget.
+[[nodiscard]] AutoTuneResult auto_tune2(
+    const std::string& function_id,
+    const std::function<double(double, double)>& f, double accuracy_budget,
+    const AutoTuneOptions& options = {});
+
+/// Bivariate-registry convenience: tune a built-in two-input function by
+/// id.
+/// \throws std::invalid_argument on an unknown id.
+[[nodiscard]] AutoTuneResult auto_tune2(const std::string& registry_id,
+                                        double accuracy_budget,
+                                        const AutoTuneOptions& options = {});
+
 }  // namespace oscs::compile

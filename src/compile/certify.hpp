@@ -60,6 +60,27 @@ struct CertificationOptions {
     const std::function<double(double)>& reference,
     const oscs::OperatingPoint& op, const CertificationOptions& options = {});
 
+/// Certify a bivariate `program` against its two-input reference at its
+/// design operating point. The MC grid is the tensor of
+/// options.grid_points interior points per axis - grid_points^2 (x, y)
+/// cells, every pair evaluated through the two-input kernel mode.
+/// \throws std::invalid_argument on invalid options or a univariate
+///         program.
+[[nodiscard]] Certification certify2(
+    const CompiledProgram& program,
+    const std::function<double(double, double)>& reference,
+    const CertificationOptions& options = {});
+
+/// Bivariate certification at an explicit operating point (BER, stream
+/// length and SNG width all come from `op`). The building block
+/// certify2() and auto_tune2() share.
+/// \throws std::invalid_argument on invalid options, an invalid operating
+///         point or a univariate program.
+[[nodiscard]] Certification certify2_at(
+    const CompiledProgram& program,
+    const std::function<double(double, double)>& reference,
+    const oscs::OperatingPoint& op, const CertificationOptions& options = {});
+
 /// Controls for the operating-point grid sweep.
 struct GridCertificationOptions {
   /// Explicit per-channel probe powers [mW]. When empty, `probe_scales`

@@ -20,13 +20,10 @@ std::uint64_t digest_mix(std::uint64_t h, double v) {
 
 }  // namespace
 
-ProgramKey make_program_key(const std::string& function_id,
-                            const CompileOptions& options) {
-  std::uint64_t digest = 0;
-  digest = digest_mix(digest, options.projection.min_degree);
-  digest = digest_mix(digest, options.projection.target_max_error);
-  digest = digest_mix(digest, options.projection.error_samples);
-  digest = digest_mix(digest, options.projection.quadrature_points);
+namespace {
+
+std::uint64_t certification_digest(std::uint64_t digest,
+                                   const CompileOptions& options) {
   digest = digest_mix(digest, std::uint64_t{options.certify ? 1u : 0u});
   if (options.certify) {
     digest = digest_mix(digest, options.certification.stream_length);
@@ -38,8 +35,37 @@ ProgramKey make_program_key(const std::string& function_id,
     digest = digest_mix(
         digest, std::uint64_t{options.certification.noise_enabled ? 1u : 0u});
   }
+  return digest;
+}
+
+}  // namespace
+
+ProgramKey make_program_key(const std::string& function_id,
+                            const CompileOptions& options) {
+  std::uint64_t digest = 0;
+  digest = digest_mix(digest, options.projection.min_degree);
+  digest = digest_mix(digest, options.projection.target_max_error);
+  digest = digest_mix(digest, options.projection.error_samples);
+  digest = digest_mix(digest, options.projection.quadrature_points);
+  digest = certification_digest(digest, options);
   return ProgramKey{function_id, options.projection.max_degree,
-                    options.sng_width, digest};
+                    /*degree_y=*/0, options.sng_width, digest};
+}
+
+ProgramKey make_program_key2(const std::string& function_id,
+                             const CompileOptions& options) {
+  // The arity salt keeps a bivariate key distinct from any univariate one
+  // even if every other field coincided.
+  std::uint64_t digest = digest_mix(0, std::uint64_t{2});
+  digest = digest_mix(digest, options.projection2.min_degree_x);
+  digest = digest_mix(digest, options.projection2.min_degree_y);
+  digest = digest_mix(digest, options.projection2.target_max_error);
+  digest = digest_mix(digest, options.projection2.error_samples);
+  digest = digest_mix(digest, options.projection2.quadrature_points);
+  digest = certification_digest(digest, options);
+  return ProgramKey{function_id, options.projection2.max_degree_x,
+                    options.projection2.max_degree_y, options.sng_width,
+                    digest};
 }
 
 std::shared_ptr<const CompiledProgram> compile_function(
@@ -91,6 +117,57 @@ std::shared_ptr<const CompiledProgram> Compiler::compile(
                                 function_id + "'");
   }
   return compile(*fn);
+}
+
+std::shared_ptr<const CompiledProgram> compile_function2(
+    const std::string& function_id,
+    const std::function<double(double, double)>& f,
+    const CompileOptions& options) {
+  ProjectionResult2 projection = project2(f, options.projection2);
+  QuantizationResult2 quantized =
+      quantize2(projection.poly, options.sng_width);
+  ProgramKey key = make_program_key2(function_id, options);
+  auto program = std::make_shared<CompiledProgram>(
+      std::move(key), std::move(projection), std::move(quantized));
+  if (options.certify) {
+    program->attach_certification(
+        certify2(*program, f, options.certification));
+  }
+  return program;
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile2(
+    const std::string& function_id,
+    const std::function<double(double, double)>& f) {
+  return compile2(function_id, f, defaults_);
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile2(
+    const std::string& function_id,
+    const std::function<double(double, double)>& f,
+    const CompileOptions& options) {
+  const ProgramKey key = make_program_key2(function_id, options);
+  return cache_.get_or_compile(
+      key, [&] { return compile_function2(function_id, f, options); });
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile2(
+    const RegistryFunction2& fn) {
+  CompileOptions options = defaults_;
+  options.projection2.max_degree_x = fn.degree_x;
+  options.projection2.max_degree_y = fn.degree_y;
+  return compile2(fn.id, fn.f, options);
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile2(
+    const std::string& function_id) {
+  const RegistryFunction2* fn = find_function2(function_id);
+  if (fn == nullptr) {
+    throw std::invalid_argument(
+        "Compiler: unknown bivariate registry function '" + function_id +
+        "'");
+  }
+  return compile2(*fn);
 }
 
 }  // namespace oscs::compile

@@ -20,9 +20,13 @@
 
 namespace oscs::compile {
 
-/// Per-request (and compiler-default) pipeline controls.
+/// Per-request (and compiler-default) pipeline controls. `projection`
+/// steers univariate compiles, `projection2` the bivariate path - one
+/// options struct serves both arities so the server can carry a single
+/// defaults object.
 struct CompileOptions {
   ProjectionOptions projection{};
+  ProjectionOptions2 projection2{};  ///< bivariate (tensor-product) path
   unsigned sng_width = 16;  ///< quantization / SNG resolution [bits]
   bool certify = true;      ///< run the MC certification stage
   CertificationOptions certification{};
@@ -33,6 +37,12 @@ struct CompileOptions {
 /// option drift between requests can never serve a stale hit.
 [[nodiscard]] ProgramKey make_program_key(const std::string& function_id,
                                           const CompileOptions& options);
+
+/// Bivariate cache key: (function id, degree_x, degree_y, SNG width) plus
+/// the options digest (salted with the arity, so a univariate and a
+/// bivariate program can never collide even with equal degree fields).
+[[nodiscard]] ProgramKey make_program_key2(const std::string& function_id,
+                                           const CompileOptions& options);
 
 /// Thread-safe compile service with a program cache.
 class Compiler {
@@ -63,6 +73,29 @@ class Compiler {
   [[nodiscard]] std::shared_ptr<const CompiledProgram> compile(
       const std::string& function_id);
 
+  /// Compile a bivariate `f` under the given cache id with the compiler
+  /// defaults. Shares the cache (and its single-flight miss handling)
+  /// with the univariate path; keys can never collide across arities.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile2(
+      const std::string& function_id,
+      const std::function<double(double, double)>& f);
+
+  /// Same, with per-request options.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile2(
+      const std::string& function_id,
+      const std::function<double(double, double)>& f,
+      const CompileOptions& options);
+
+  /// Compile a bivariate registry entry; its recommended per-axis degrees
+  /// become the degree caps.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile2(
+      const RegistryFunction2& fn);
+
+  /// Compile a bivariate registry entry by id.
+  /// \throws std::invalid_argument on an unknown id.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile2(
+      const std::string& function_id);
+
   [[nodiscard]] const CompileOptions& defaults() const noexcept {
     return defaults_;
   }
@@ -78,6 +111,14 @@ class Compiler {
 /// codegen -> optional certification). The building block Compiler wraps.
 [[nodiscard]] std::shared_ptr<const CompiledProgram> compile_function(
     const std::string& function_id, const std::function<double(double)>& f,
+    const CompileOptions& options = {});
+
+/// Uncached single-shot bivariate pipeline run (tensor-product projection
+/// -> grid quantization -> two-input codegen -> optional (x, y)-grid
+/// certification). The building block Compiler::compile2 wraps.
+[[nodiscard]] std::shared_ptr<const CompiledProgram> compile_function2(
+    const std::string& function_id,
+    const std::function<double(double, double)>& f,
     const CompileOptions& options = {});
 
 }  // namespace oscs::compile

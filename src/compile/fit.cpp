@@ -150,4 +150,142 @@ ProjectionResult project(const std::function<double(double)>& f,
   return best;
 }
 
+void ProjectionOptions2::validate() const {
+  if (min_degree_x > max_degree_x || min_degree_y > max_degree_y) {
+    throw std::invalid_argument(
+        "ProjectionOptions2: min_degree > max_degree on an axis");
+  }
+  if (error_samples < 2) {
+    throw std::invalid_argument("ProjectionOptions2: need >= 2 error samples");
+  }
+  if (quadrature_points == 0) {
+    throw std::invalid_argument("ProjectionOptions2: zero quadrature points");
+  }
+  if (!(target_max_error > 0.0)) {
+    throw std::invalid_argument(
+        "ProjectionOptions2: target_max_error must be positive");
+  }
+}
+
+ProjectionResult2 project2_at_degree(
+    const std::function<double(double, double)>& f, std::size_t degree_x,
+    std::size_t degree_y, const ProjectionOptions2& options) {
+  options.validate();
+  const std::size_t rows = degree_x + 1;
+  const std::size_t cols = degree_y + 1;
+  const std::size_t dim = rows * cols;
+
+  // Kronecker normal equations: G[(i1,j1),(i2,j2)] = Gx(i1,i2) Gy(j1,j2)
+  // with the flat row-major coefficient layout BernsteinPoly2 uses. At the
+  // hardware degree caps dim stays tiny (<= (kMaxOrder+1)^2), so the dense
+  // solve is cheap.
+  const oscs::Matrix gram_x = sc::bernstein_gram(degree_x);
+  const oscs::Matrix gram_y = sc::bernstein_gram(degree_y);
+  oscs::Matrix gram(dim, dim);
+  for (std::size_t i1 = 0; i1 < rows; ++i1) {
+    for (std::size_t j1 = 0; j1 < cols; ++j1) {
+      for (std::size_t i2 = 0; i2 < rows; ++i2) {
+        for (std::size_t j2 = 0; j2 < cols; ++j2) {
+          gram(i1 * cols + j1, i2 * cols + j2) =
+              gram_x(i1, i2) * gram_y(j1, j2);
+        }
+      }
+    }
+  }
+  const std::vector<double> rhs =
+      sc::bernstein_moments2(f, degree_x, degree_y, options.quadrature_points);
+
+  std::vector<double> unconstrained = oscs::cholesky_solve(gram, rhs);
+  double gap = 0.0;
+  for (double b : unconstrained) {
+    gap = std::max(gap, std::max(-b, b - 1.0));
+  }
+  gap = std::max(gap, 0.0);
+
+  ProjectionResult2 result;
+  result.degree_x = degree_x;
+  result.degree_y = degree_y;
+  result.feasibility_gap = gap;
+  // Targets sitting exactly on the box boundary (x*y puts three
+  // coefficients at 0 and one at 1) come back with round-off-sized
+  // violations; treat those as feasible and clip them exactly instead of
+  // reporting a binding constraint.
+  constexpr double kGapEps = 1e-10;
+  result.clamped = gap > kGapEps;
+  if (!result.clamped) {
+    for (double& b : unconstrained) {
+      b = std::min(1.0, std::max(0.0, b));
+    }
+    result.poly = sc::BernsteinPoly2(degree_x, degree_y,
+                                     std::move(unconstrained));
+  } else {
+    std::vector<BoundState> state(dim, BoundState::kFree);
+    result.poly = sc::BernsteinPoly2(degree_x, degree_y,
+                                     solve_with_bounds(gram, rhs, state));
+  }
+
+  const std::size_t samples = options.error_samples;
+  double max_err = 0.0;
+  for (std::size_t sx = 0; sx <= samples; ++sx) {
+    const double x = static_cast<double>(sx) / static_cast<double>(samples);
+    for (std::size_t sy = 0; sy <= samples; ++sy) {
+      const double y = static_cast<double>(sy) / static_cast<double>(samples);
+      max_err = std::max(max_err, std::abs(f(x, y) - result.poly(x, y)));
+    }
+  }
+  result.max_error = max_err;
+  result.l2_error = std::sqrt(std::max(
+      0.0, oscs::integrate_gl(
+               [&](double x) {
+                 return oscs::integrate_gl(
+                     [&](double y) {
+                       const double e = f(x, y) - result.poly(x, y);
+                       return e * e;
+                     },
+                     0.0, 1.0, options.quadrature_points);
+               },
+               0.0, 1.0, options.quadrature_points)));
+  result.target_met = result.max_error <= options.target_max_error;
+  return result;
+}
+
+ProjectionResult2 project2(const std::function<double(double, double)>& f,
+                           const ProjectionOptions2& options) {
+  options.validate();
+  // Candidates ordered by coefficient count (the 2D LUT hardware cost),
+  // ties by the smaller total degree then the smaller x degree - so the
+  // first target hit is the cheapest representable surface.
+  struct Cand {
+    std::size_t dx, dy;
+  };
+  std::vector<Cand> candidates;
+  for (std::size_t dx = options.min_degree_x; dx <= options.max_degree_x;
+       ++dx) {
+    for (std::size_t dy = options.min_degree_y; dy <= options.max_degree_y;
+         ++dy) {
+      candidates.push_back({dx, dy});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Cand& a, const Cand& b) {
+              const std::size_t ca = (a.dx + 1) * (a.dy + 1);
+              const std::size_t cb = (b.dx + 1) * (b.dy + 1);
+              if (ca != cb) return ca < cb;
+              if (a.dx + a.dy != b.dx + b.dy) return a.dx + a.dy < b.dx + b.dy;
+              return a.dx < b.dx;
+            });
+
+  ProjectionResult2 best;
+  bool have_best = false;
+  for (const Cand& c : candidates) {
+    ProjectionResult2 r = project2_at_degree(f, c.dx, c.dy, options);
+    if (r.target_met) return r;
+    if (!have_best || r.max_error < best.max_error) {
+      best = std::move(r);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
 }  // namespace oscs::compile

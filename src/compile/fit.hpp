@@ -59,4 +59,55 @@ struct ProjectionResult {
 [[nodiscard]] ProjectionResult project(const std::function<double(double)>& f,
                                        const ProjectionOptions& options = {});
 
+/// Controls for the bivariate (tensor-product) projection stage. The
+/// degree range is per axis; error estimation samples and quadrature
+/// nodes are per axis too (the grids are their squares).
+struct ProjectionOptions2 {
+  std::size_t min_degree_x = 1;  ///< first x degree tried
+  std::size_t max_degree_x = 4;  ///< x degree cap
+  std::size_t min_degree_y = 1;  ///< first y degree tried
+  std::size_t max_degree_y = 4;  ///< y degree cap
+  /// Degree growth stops once the estimated sup-norm error of the
+  /// constrained fit drops to or below this.
+  double target_max_error = 0.01;
+  std::size_t error_samples = 48;      ///< sup-norm grid density per axis
+  std::size_t quadrature_points = 32;  ///< Gauss-Legendre nodes per axis
+
+  /// \throws std::invalid_argument on an empty degree range (either
+  ///         axis) or non-positive sample counts.
+  void validate() const;
+};
+
+/// Outcome of one bivariate projection.
+struct ProjectionResult2 {
+  stochastic::BernsteinPoly2 poly{0, 0, std::vector<double>{0.0}};
+  std::size_t degree_x = 0;
+  std::size_t degree_y = 0;
+  double max_error = 0.0;  ///< sup-norm estimate over the unit square
+  double l2_error = 0.0;   ///< continuous L2 norm of f - poly
+  /// How far the unconstrained least-squares optimum leaves [0,1].
+  double feasibility_gap = 0.0;
+  bool clamped = false;     ///< the [0,1] constraint was binding
+  bool target_met = false;  ///< max_error <= target_max_error
+};
+
+/// Bound-constrained tensor-product least-squares fit at fixed per-axis
+/// degrees. The normal-equations matrix is the Kronecker product
+/// Gx (x) Gy of the per-axis analytic Grams; when the [0,1] constraint
+/// binds, the same active-set descent as the univariate path re-solves
+/// the free coefficients over the full Kronecker system.
+/// \throws std::invalid_argument on invalid options.
+[[nodiscard]] ProjectionResult2 project2_at_degree(
+    const std::function<double(double, double)>& f, std::size_t degree_x,
+    std::size_t degree_y, const ProjectionOptions2& options = {});
+
+/// Per-axis degree auto-selection: candidate (deg_x, deg_y) pairs are
+/// visited in increasing coefficient count (deg_x+1)*(deg_y+1) - the
+/// hardware cost of the 2D LUT - returning the first pair meeting
+/// target_max_error, or the best fit found when none does.
+/// \throws std::invalid_argument on invalid options.
+[[nodiscard]] ProjectionResult2 project2(
+    const std::function<double(double, double)>& f,
+    const ProjectionOptions2& options = {});
+
 }  // namespace oscs::compile

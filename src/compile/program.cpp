@@ -13,11 +13,33 @@ std::size_t ProgramKeyHash::operator()(const ProgramKey& key) const noexcept {
   // Boost-style hash combine.
   h ^= std::hash<std::size_t>{}(key.degree) + 0x9E3779B97F4A7C15ULL + (h << 6) +
        (h >> 2);
+  h ^= std::hash<std::size_t>{}(key.degree_y) + 0x9E3779B97F4A7C15ULL +
+       (h << 6) + (h >> 2);
   h ^= std::hash<unsigned>{}(key.width) + 0x9E3779B97F4A7C15ULL + (h << 6) +
        (h >> 2);
   h ^= std::hash<std::uint64_t>{}(key.options_digest) + 0x9E3779B97F4A7C15ULL +
        (h << 6) + (h >> 2);
   return h;
+}
+
+void CompiledProgram::build_backend(std::size_t circuit_order,
+                                    std::optional<std::size_t> order_y) {
+  circuit_ = std::make_shared<optsc::OpticalScCircuit>(
+      optsc::paper_defaults(circuit_order));
+  // The kernel keeps a raw pointer into the circuit (for the diagnostics
+  // path), so its deleter captures the circuit handle: a kernel reference
+  // that outlives this program keeps the circuit alive too.
+  engine::PackedKernel* kernel =
+      order_y.has_value()
+          ? new engine::PackedKernel(*circuit_, circuit_order, *order_y)
+          : new engine::PackedKernel(*circuit_);
+  kernel_ = std::shared_ptr<const engine::PackedKernel>(
+      kernel, [circuit = circuit_](const engine::PackedKernel* k) {
+        delete k;
+      });
+  design_point_ =
+      optsc::design_operating_point(*circuit_, /*stream_length=*/1024,
+                                    /*sng_width=*/key_.width);
 }
 
 CompiledProgram::CompiledProgram(ProgramKey key, ProjectionResult projection,
@@ -36,19 +58,30 @@ CompiledProgram::CompiledProgram(ProgramKey key, ProjectionResult projection,
     throw std::invalid_argument(
         "CompiledProgram: degree exceeds the packed-kernel order limit");
   }
-  circuit_ = std::make_shared<optsc::OpticalScCircuit>(
-      optsc::paper_defaults(run_poly_.degree()));
-  // The kernel keeps a raw pointer into the circuit (for the diagnostics
-  // path), so its deleter captures the circuit handle: a kernel reference
-  // that outlives this program keeps the circuit alive too.
-  kernel_ = std::shared_ptr<const engine::PackedKernel>(
-      new engine::PackedKernel(*circuit_),
-      [circuit = circuit_](const engine::PackedKernel* kernel) {
-        delete kernel;
-      });
-  design_point_ =
-      optsc::design_operating_point(*circuit_, /*stream_length=*/1024,
-                                    /*sng_width=*/key_.width);
+  build_backend(run_poly_.degree(), std::nullopt);
+}
+
+CompiledProgram::CompiledProgram(ProgramKey key, ProjectionResult2 projection,
+                                 QuantizationResult2 quantization)
+    : key_(std::move(key)),
+      bivariate_(true),
+      projection2_(std::move(projection)),
+      quantization2_(std::move(quantization)),
+      run_poly2_(quantization2_->poly) {
+  // Every input bank needs at least one data channel; per-axis elevation
+  // duplicates degenerate rows/columns, value-preserving, so the
+  // comparator grid is preserved exactly.
+  const std::size_t lift_x = run_poly2_->deg_x() == 0 ? 1 : 0;
+  const std::size_t lift_y = run_poly2_->deg_y() == 0 ? 1 : 0;
+  if (lift_x + lift_y > 0) {
+    run_poly2_ = run_poly2_->elevated(lift_x, lift_y);
+  }
+  if (run_poly2_->deg_x() > engine::PackedKernel::kMaxOrder ||
+      run_poly2_->deg_y() > engine::PackedKernel::kMaxOrder) {
+    throw std::invalid_argument(
+        "CompiledProgram: degree exceeds the packed-kernel order limit");
+  }
+  build_backend(run_poly2_->deg_x(), run_poly2_->deg_y());
 }
 
 }  // namespace oscs::compile

@@ -23,13 +23,18 @@
 namespace oscs::compile {
 
 /// Cache identity of a compiled program: the function's registry id, the
-/// requested degree cap and the SNG resolution, plus a digest of the
+/// requested degree cap(s) and the SNG resolution, plus a digest of the
 /// remaining pipeline options (projection tolerances, certification
 /// settings) so a cache hit is only ever served for a request that would
-/// compile the identical program.
+/// compile the identical program. Bivariate programs key on
+/// (id, degree, degree_y, width) with `degree` carrying the x-axis cap;
+/// univariate keys leave degree_y at 0, so the two arities can never
+/// collide in the cache.
 struct ProgramKey {
   std::string function_id;
-  std::size_t degree = 6;  ///< requested degree cap (projection max_degree)
+  std::size_t degree = 6;  ///< requested degree cap (projection max_degree;
+                           ///< x-axis cap for bivariate programs)
+  std::size_t degree_y = 0;  ///< bivariate y-axis cap; 0 = univariate
   unsigned width = 16;     ///< SNG resolution [bits]
   std::uint64_t options_digest = 0;  ///< hash of the remaining options
 
@@ -71,8 +76,23 @@ class CompiledProgram {
   CompiledProgram(ProgramKey key, ProjectionResult projection,
                   QuantizationResult quantization);
 
+  /// Bivariate codegen: the circuit is order-matched to the x axis (the
+  /// paper reference design drives one MZI chain) and the packed kernel
+  /// is built in its two-input tensor-product mode. A degree-0 axis is
+  /// elevated to 1 - value-preserving, and the minimum per input bank.
+  /// \throws std::invalid_argument if either quantized degree exceeds the
+  ///         packed-kernel order limit.
+  CompiledProgram(ProgramKey key, ProjectionResult2 projection,
+                  QuantizationResult2 quantization);
+
   CompiledProgram(const CompiledProgram&) = delete;
   CompiledProgram& operator=(const CompiledProgram&) = delete;
+
+  /// True for programs compiled from a two-input function (tensor-product
+  /// Bernstein surface). The univariate accessors (poly/projection/
+  /// quantization) are only meaningful when this is false, and vice
+  /// versa.
+  [[nodiscard]] bool is_bivariate() const noexcept { return bivariate_; }
 
   [[nodiscard]] const ProgramKey& key() const noexcept { return key_; }
   [[nodiscard]] const std::string& function_id() const noexcept {
@@ -83,19 +103,40 @@ class CompiledProgram {
   [[nodiscard]] const stochastic::BernsteinPoly& poly() const noexcept {
     return run_poly_;
   }
-  [[nodiscard]] std::size_t circuit_order() const noexcept {
-    return run_poly_.degree();
+  /// The tensor-product surface a bivariate program runs.
+  /// \throws std::bad_optional_access on a univariate program.
+  [[nodiscard]] const stochastic::BernsteinPoly2& poly2() const {
+    return run_poly2_.value();
   }
-  /// True when the degree-0 fit was elevated to meet the order-1 circuit
-  /// minimum.
+  [[nodiscard]] std::size_t circuit_order() const noexcept {
+    return bivariate_ ? run_poly2_->deg_x() : run_poly_.degree();
+  }
+  /// Bivariate y-axis circuit order (0 for univariate programs).
+  [[nodiscard]] std::size_t circuit_order_y() const noexcept {
+    return bivariate_ ? run_poly2_->deg_y() : 0;
+  }
+  /// True when a degree-0 fit (either axis for bivariate programs) was
+  /// elevated to meet the order-1 circuit minimum.
   [[nodiscard]] bool elevated() const noexcept {
-    return projection_.degree == 0;
+    return bivariate_ ? (projection2_->degree_x == 0 ||
+                         projection2_->degree_y == 0)
+                      : projection_.degree == 0;
   }
   [[nodiscard]] const ProjectionResult& projection() const noexcept {
     return projection_;
   }
   [[nodiscard]] const QuantizationResult& quantization() const noexcept {
     return quantization_;
+  }
+  /// Bivariate projection outcome.
+  /// \throws std::bad_optional_access on a univariate program.
+  [[nodiscard]] const ProjectionResult2& projection2() const {
+    return projection2_.value();
+  }
+  /// Bivariate quantization outcome.
+  /// \throws std::bad_optional_access on a univariate program.
+  [[nodiscard]] const QuantizationResult2& quantization2() const {
+    return quantization2_.value();
   }
   [[nodiscard]] const optsc::OpticalScCircuit& circuit() const noexcept {
     return *circuit_;
@@ -127,11 +168,26 @@ class CompiledProgram {
     return kernel_->run(run_poly_, x, config);
   }
 
+  /// One bivariate evaluation through the packed kernel's two-input mode.
+  /// \throws std::bad_optional_access on a univariate program.
+  [[nodiscard]] engine::PackedRunResult run2(
+      double x, double y, const engine::PackedRunConfig& config) const {
+    return kernel_->run2(run_poly2_.value(), x, y, config);
+  }
+
  private:
+  /// Shared tail of both constructors: circuit + kernel + design point.
+  void build_backend(std::size_t circuit_order,
+                     std::optional<std::size_t> order_y);
+
   ProgramKey key_;
+  bool bivariate_ = false;
   ProjectionResult projection_;
   QuantizationResult quantization_;
+  std::optional<ProjectionResult2> projection2_;
+  std::optional<QuantizationResult2> quantization2_;
   stochastic::BernsteinPoly run_poly_{std::vector<double>{0.0}};
+  std::optional<stochastic::BernsteinPoly2> run_poly2_;
   std::shared_ptr<optsc::OpticalScCircuit> circuit_;  ///< kernel points here
   std::shared_ptr<const engine::PackedKernel> kernel_;
   oscs::OperatingPoint design_point_{};

@@ -35,4 +35,24 @@ struct QuantizationResult {
 [[nodiscard]] QuantizationResult quantize(const stochastic::BernsteinPoly& poly,
                                           unsigned width);
 
+/// Outcome of quantizing one tensor-product coefficient grid. The
+/// partition-of-unity argument carries over verbatim: the 2D basis sums
+/// to one on the unit square, so the induced sup-norm error is again
+/// bounded by the worst per-coefficient snap.
+struct QuantizationResult2 {
+  stochastic::BernsteinPoly2 poly{0, 0, std::vector<double>{0.0}};
+  /// Comparator thresholds, flat row-major like the coefficient grid.
+  std::vector<std::uint64_t> levels;
+  unsigned width = 16;           ///< SNG resolution [bits]
+  double max_coeff_delta = 0.0;  ///< max_ij |quantized_ij - original_ij|
+  double induced_error_bound = 0.0;  ///< == max_coeff_delta (see above)
+};
+
+/// Quantize a tensor-product `poly` (coefficients must already lie in
+/// [0,1]) to the comparator grid of a `width`-bit SNG.
+/// \throws std::invalid_argument if width is 0 or > 62, or if a
+///         coefficient lies outside [0,1].
+[[nodiscard]] QuantizationResult2 quantize2(
+    const stochastic::BernsteinPoly2& poly, unsigned width);
+
 }  // namespace oscs::compile

@@ -43,4 +43,41 @@ std::vector<std::string> registry_ids() {
   return ids;
 }
 
+const std::vector<RegistryFunction2>& function_registry2() {
+  // The image-compositing workload class the tensor-product ReSC opens:
+  // every entry maps the unit square into [0,1]. mul and alpha_blend are
+  // exactly bilinear (degree (1,1) representable with coefficients on the
+  // corners), euclid2 and bilinear_gamma stress the per-axis degree
+  // selector the way sqrt/gamma do in the univariate catalogue.
+  static const std::vector<RegistryFunction2> kRegistry = {
+      {"mul", "x * y", [](double x, double y) { return x * y; }, 1, 1},
+      {"alpha_blend", "y * x + (1 - y) * 0.25 (pixel x over background "
+       "0.25 with alpha y)",
+       [](double x, double y) { return y * x + (1.0 - y) * 0.25; }, 1, 1},
+      {"euclid2", "sqrt((x^2 + y^2) / 2)",
+       [](double x, double y) { return std::sqrt((x * x + y * y) / 2.0); },
+       4, 4},
+      {"bilinear_gamma", "((x + y) / 2)^0.45 (gamma-corrected compositing)",
+       [](double x, double y) { return std::pow((x + y) / 2.0, 0.45); }, 5,
+       5},
+  };
+  return kRegistry;
+}
+
+const RegistryFunction2* find_function2(std::string_view id) {
+  for (const RegistryFunction2& fn : function_registry2()) {
+    if (fn.id == id) return &fn;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> registry2_ids() {
+  std::vector<std::string> ids;
+  ids.reserve(function_registry2().size());
+  for (const RegistryFunction2& fn : function_registry2()) {
+    ids.push_back(fn.id);
+  }
+  return ids;
+}
+
 }  // namespace oscs::compile

@@ -32,4 +32,26 @@ struct RegistryFunction {
 /// All registry ids, in catalogue order.
 [[nodiscard]] std::vector<std::string> registry_ids();
 
+/// One named bivariate compile target: [0,1]^2 -> [0,1], with per-axis
+/// recommended degree caps for the tensor-product projection.
+struct RegistryFunction2 {
+  std::string id;          ///< cache / CLI identifier
+  std::string expression;  ///< human-readable formula
+  std::function<double(double, double)> f;
+  std::size_t degree_x = 3;  ///< recommended x-axis degree cap
+  std::size_t degree_y = 3;  ///< recommended y-axis degree cap
+};
+
+/// The built-in bivariate catalogue (mul, alpha_blend, euclid2,
+/// bilinear_gamma - the image blending / gamma-corrected compositing
+/// workload class). Ids are disjoint from the univariate catalogue.
+/// Stable order; built once.
+[[nodiscard]] const std::vector<RegistryFunction2>& function_registry2();
+
+/// Lookup by id in the bivariate catalogue; nullptr when unknown.
+[[nodiscard]] const RegistryFunction2* find_function2(std::string_view id);
+
+/// All bivariate registry ids, in catalogue order.
+[[nodiscard]] std::vector<std::string> registry2_ids();
+
 }  // namespace oscs::compile

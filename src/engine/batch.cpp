@@ -13,17 +13,34 @@ namespace oscs::engine {
 namespace sc = oscs::stochastic;
 
 std::size_t BatchRequest::cells() const noexcept {
-  return polynomials.size() * xs.size() * stream_lengths.size();
+  return program_count() * xs.size() * stream_lengths.size();
 }
 
 std::size_t BatchRequest::tasks() const noexcept { return cells() * repeats; }
 
 void BatchRequest::validate() const {
-  if (polynomials.empty()) {
+  if (!polynomials.empty() && !polynomials2.empty()) {
+    throw std::invalid_argument(
+        "BatchRequest: populate exactly one of polynomials/polynomials2");
+  }
+  if (polynomials.empty() && polynomials2.empty()) {
     throw std::invalid_argument("BatchRequest: no polynomials");
   }
   if (xs.empty()) {
     throw std::invalid_argument("BatchRequest: no x values");
+  }
+  if (bivariate()) {
+    // Bivariate evaluation points are (xs[i], ys[i]) PAIRS; a length
+    // mismatch would silently truncate or read past one of the vectors.
+    if (ys.size() != xs.size()) {
+      throw std::invalid_argument(
+          "BatchRequest: ys must pair element-wise with xs (got " +
+          std::to_string(ys.size()) + " ys for " + std::to_string(xs.size()) +
+          " xs)");
+    }
+  } else if (!ys.empty()) {
+    throw std::invalid_argument(
+        "BatchRequest: ys is only legal with bivariate polynomials2");
   }
   if (stream_lengths.empty()) {
     throw std::invalid_argument("BatchRequest: no stream lengths");
@@ -35,6 +52,12 @@ void BatchRequest::validate() const {
     if (!(x >= 0.0 && x <= 1.0)) {
       throw std::invalid_argument(
           "BatchRequest: x values must be finite and in [0, 1]");
+    }
+  }
+  for (double y : ys) {
+    if (!(y >= 0.0 && y <= 1.0)) {
+      throw std::invalid_argument(
+          "BatchRequest: y values must be finite and in [0, 1]");
     }
   }
   for (std::size_t len : stream_lengths) {
@@ -63,6 +86,11 @@ BatchRunner::BatchRunner(const optsc::OpticalScCircuit& circuit)
     : kernel_(std::make_shared<PackedKernel>(circuit)),
       design_point_(optsc::design_operating_point(circuit)) {}
 
+BatchRunner::BatchRunner(const optsc::OpticalScCircuit& circuit,
+                         std::size_t order_x, std::size_t order_y)
+    : kernel_(std::make_shared<PackedKernel>(circuit, order_x, order_y)),
+      design_point_(optsc::design_operating_point(circuit)) {}
+
 BatchRunner::BatchRunner(std::shared_ptr<const PackedKernel> kernel,
                          oscs::OperatingPoint design_point)
     : kernel_(std::move(kernel)), design_point_(design_point) {
@@ -73,10 +101,23 @@ BatchRunner::BatchRunner(std::shared_ptr<const PackedKernel> kernel,
 }
 
 void BatchRunner::check_orders(const BatchRequest& request) const {
+  if (request.bivariate() != kernel_->bivariate()) {
+    throw std::invalid_argument(
+        request.bivariate()
+            ? "BatchRunner: bivariate request on a univariate kernel"
+            : "BatchRunner: univariate request on a bivariate kernel");
+  }
   for (const sc::BernsteinPoly& poly : request.polynomials) {
     if (poly.degree() != kernel_->order()) {
       throw std::invalid_argument(
           "BatchRunner: polynomial order does not match the circuit");
+    }
+  }
+  for (const sc::BernsteinPoly2& poly : request.polynomials2) {
+    if (poly.deg_x() != kernel_->order() ||
+        poly.deg_y() != kernel_->order_y()) {
+      throw std::invalid_argument(
+          "BatchRunner: polynomial orders do not match the circuit");
     }
   }
 }
@@ -93,9 +134,13 @@ BatchSummary BatchRunner::aggregate(const BatchRequest& request,
   summary.cells.reserve(request.cells());
   const std::size_t n_lengths = request.stream_lengths.size();
   const std::size_t n_xs = request.xs.size();
-  for (std::size_t pi = 0; pi < request.polynomials.size(); ++pi) {
+  const bool bivariate = request.bivariate();
+  for (std::size_t pi = 0; pi < request.program_count(); ++pi) {
     for (std::size_t xi = 0; xi < n_xs; ++xi) {
-      const double expected = request.polynomials[pi](request.xs[xi]);
+      const double expected =
+          bivariate
+              ? request.polynomials2[pi](request.xs[xi], request.ys[xi])
+              : request.polynomials[pi](request.xs[xi]);
       for (std::size_t li = 0; li < n_lengths; ++li) {
         const std::size_t length = request.stream_lengths[li];
         oscs::Accumulator optical;
@@ -114,6 +159,7 @@ BatchSummary BatchRunner::aggregate(const BatchRequest& request,
         BatchCell cell;
         cell.poly_index = pi;
         cell.x = request.xs[xi];
+        if (bivariate) cell.y = request.ys[xi];
         cell.stream_length = length;
         cell.repeats = request.repeats;
         cell.expected = expected;
@@ -151,7 +197,7 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
   const std::size_t n_lengths = request.stream_lengths.size();
   const std::size_t n_xs = request.xs.size();
   std::size_t task_index = 0;
-  for (std::size_t pi = 0; pi < request.polynomials.size(); ++pi) {
+  for (std::size_t pi = 0; pi < request.program_count(); ++pi) {
     for (std::size_t xi = 0; xi < n_xs; ++xi) {
       for (std::size_t li = 0; li < n_lengths; ++li) {
         for (std::size_t rep = 0; rep < request.repeats; ++rep, ++task_index) {
@@ -163,7 +209,11 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
             cfg.stimulus_seed = derive_task_seed(request.seed, t, 0);
             cfg.noise_seed = derive_task_seed(request.seed, t, 1);
             const PackedRunResult r =
-                kernel_->run(request.polynomials[pi], request.xs[xi], cfg);
+                request.bivariate()
+                    ? kernel_->run2(request.polynomials2[pi], request.xs[xi],
+                                    request.ys[xi], cfg)
+                    : kernel_->run(request.polynomials[pi], request.xs[xi],
+                                   cfg);
             outs[t] = {r.optical_estimate, r.electronic_estimate,
                        r.transmission_flips};
           });
@@ -193,15 +243,16 @@ BatchSummary BatchRunner::run_fused(const BatchRequest& request,
   check_orders(request);
   const oscs::OperatingPoint base = request.op.value_or(design_point_);
 
-  const std::size_t n_programs = request.polynomials.size();
+  const std::size_t n_programs = request.program_count();
   const std::size_t n_lengths = request.stream_lengths.size();
   const std::size_t n_xs = request.xs.size();
   const std::size_t n_tasks = n_xs * n_lengths * request.repeats;
   std::vector<TaskOut> outs(n_tasks * n_programs);
 
-  // One task per (x, length, repeat): a single fused kernel pass evaluates
-  // every program on shared data streams and one flip mask, then scatters
-  // into per-program slots.
+  // One task per (point, length, repeat): a single fused kernel pass
+  // evaluates every program on shared data streams (both input banks in
+  // the bivariate mode) and one flip mask, then scatters into per-program
+  // slots.
   std::size_t task_index = 0;
   for (std::size_t xi = 0; xi < n_xs; ++xi) {
     for (std::size_t li = 0; li < n_lengths; ++li) {
@@ -214,7 +265,11 @@ BatchSummary BatchRunner::run_fused(const BatchRequest& request,
           cfg.stimulus_seed = derive_task_seed(request.seed, t, 0);
           cfg.noise_seed = derive_task_seed(request.seed, t, 1);
           const std::vector<PackedRunResult> results =
-              kernel_->run_fused(request.polynomials, request.xs[xi], cfg);
+              request.bivariate()
+                  ? kernel_->run2_fused(request.polynomials2,
+                                        request.xs[xi], request.ys[xi], cfg)
+                  : kernel_->run_fused(request.polynomials, request.xs[xi],
+                                       cfg);
           for (std::size_t pi = 0; pi < n_programs; ++pi) {
             const PackedRunResult& r = results[pi];
             outs[t * n_programs + pi] = {r.optical_estimate,

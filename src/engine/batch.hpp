@@ -28,11 +28,29 @@
 
 namespace oscs::engine {
 
-/// A grid of evaluations: every polynomial at every x at every stream
-/// length, each repeated `repeats` times with decorrelated streams.
+/// A grid of evaluations: every polynomial at every evaluation point at
+/// every stream length, each repeated `repeats` times with decorrelated
+/// streams.
+///
+/// Two arities, selected by which polynomial list is populated:
+///   * univariate - `polynomials` set, `ys` empty: the grid crosses every
+///     polynomial with every x in `xs`;
+///   * bivariate  - `polynomials2` set (tensor-product programs): `ys`
+///     must pair element-wise with `xs`, so the evaluation points are the
+///     (xs[i], ys[i]) PAIRS, not a cross product.
+/// Exactly one of `polynomials`/`polynomials2` may be nonempty, and `ys`
+/// is only legal (and then mandatory, same length as `xs`) in the
+/// bivariate form - `validate()` rejects every other combination, run()
+/// and run_fused() both call it before submitting any task.
 struct BatchRequest {
   std::vector<stochastic::BernsteinPoly> polynomials;
+  /// Bivariate (tensor-product) programs; mutually exclusive with
+  /// `polynomials`.
+  std::vector<stochastic::BernsteinPoly2> polynomials2;
   std::vector<double> xs;
+  /// Second input coordinate, paired element-wise with `xs` (bivariate
+  /// requests only; must match xs.size()).
+  std::vector<double> ys;
   std::vector<std::size_t> stream_lengths;
   std::size_t repeats = 8;
 
@@ -44,13 +62,23 @@ struct BatchRequest {
   /// runner's design point. Use `op->noiseless()` to switch noise off.
   std::optional<oscs::OperatingPoint> op;
 
+  /// True when the request carries tensor-product programs.
+  [[nodiscard]] bool bivariate() const noexcept {
+    return !polynomials2.empty();
+  }
+  /// Programs in the request, whichever arity is populated.
+  [[nodiscard]] std::size_t program_count() const noexcept {
+    return bivariate() ? polynomials2.size() : polynomials.size();
+  }
   /// Evaluations in the request (cells() * repeats).
   [[nodiscard]] std::size_t tasks() const noexcept;
   /// Grid cells in the request.
   [[nodiscard]] std::size_t cells() const noexcept;
   /// \throws std::invalid_argument on an empty dimension, zero
-  ///         repeats/length, an x outside [0, 1] (or NaN), or an invalid
-  ///         operating point.
+  ///         repeats/length, an x or y outside [0, 1] (or NaN), both or
+  ///         neither polynomial list populated, a `ys` whose length does
+  ///         not match `xs` (bivariate) or a nonempty `ys` on a
+  ///         univariate request, or an invalid operating point.
   void validate() const;
 };
 
@@ -58,6 +86,7 @@ struct BatchRequest {
 struct BatchCell {
   std::size_t poly_index = 0;
   double x = 0.0;
+  double y = 0.0;  ///< second input coordinate (bivariate cells; else 0)
   std::size_t stream_length = 0;
   std::size_t repeats = 0;
 
@@ -94,6 +123,15 @@ class BatchRunner {
   ///         kernel limit.
   explicit BatchRunner(const optsc::OpticalScCircuit& circuit);
 
+  /// Bivariate runner: builds the kernel in its two-input tensor-product
+  /// mode at per-axis orders (order_x, order_y); the circuit supplies the
+  /// eye geometry and design operating point exactly as in the univariate
+  /// constructor. Only bivariate requests run on this runner.
+  /// \throws std::invalid_argument if either order exceeds the packed
+  ///         kernel limit.
+  BatchRunner(const optsc::OpticalScCircuit& circuit, std::size_t order_x,
+              std::size_t order_y);
+
   /// Share an externally prebuilt kernel (e.g. the one a CompiledProgram
   /// carries) instead of re-deriving the decision LUT. `design_point` is
   /// the operating point requests without an explicit one run at.
@@ -110,12 +148,16 @@ class BatchRunner {
   }
 
   /// Run the request on an existing pool: one task per (cell, repeat),
-  /// each with its own stimulus.
+  /// each with its own stimulus. Accepts either arity: a bivariate
+  /// request evaluates its (xs[i], ys[i]) pairs through the two-input
+  /// kernel mode.
   /// \throws std::invalid_argument per `BatchRequest::validate()` (empty
-  ///         grids, zero repeats, out-of-range x, invalid operating
-  ///         point) or on a polynomial order mismatch - all raised before
-  ///         any task is submitted. run_fused() shares this exact
-  ///         contract.
+  ///         grids, zero repeats, out-of-range x/y, mismatched x/y vector
+  ///         lengths, invalid operating point), on a polynomial order
+  ///         mismatch, or when the request arity does not match the
+  ///         kernel mode (bivariate request on a univariate runner and
+  ///         vice versa) - all raised before any task is submitted.
+  ///         run_fused() shares this exact contract.
   [[nodiscard]] BatchSummary run(const BatchRequest& request,
                                  ThreadPool& pool) const;
 

@@ -100,6 +100,34 @@ PackedKernel::PackedKernel(const optsc::OpticalScCircuit& circuit)
   }
 }
 
+PackedKernel::PackedKernel(const optsc::OpticalScCircuit& circuit,
+                           std::size_t order_x, std::size_t order_y)
+    : circuit_(&circuit),
+      order_(order_x),
+      order_y_(order_y),
+      bivariate_(true) {
+  if (order_ > kMaxOrder || order_y_ > kMaxOrder) {
+    throw std::invalid_argument(
+        "PackedKernel: bivariate order (" + std::to_string(order_) + ", " +
+        std::to_string(order_y_) + ") exceeds the LUT limit " +
+        std::to_string(kMaxOrder));
+  }
+  planes_ = static_cast<std::size_t>(std::bit_width(order_));
+  planes_y_ = static_cast<std::size_t>(std::bit_width(order_y_));
+
+  // Same eye geometry as the univariate mode: the slicer threshold sits
+  // mid-eye and is probe-power invariant. The per-state physics table of
+  // the univariate LUT does not scale to 2^((n+1)(m+1)) coefficient
+  // patterns, so the bivariate decision model is the ideal 2D MUX
+  // (mux-exact by construction); receiver noise still arrives per run as
+  // Eq. 9 decision flips through `oscs::OperatingPoint`.
+  const optsc::LinkBudget budget(circuit, optsc::EyeModel::kPhysical);
+  const optsc::EyeAnalysis eye =
+      budget.analyze(circuit.params().lasers.probe_power_mw);
+  threshold_mw_ = eye.threshold_mw;
+  mux_exact_ = true;
+}
+
 bool PackedKernel::decision(std::uint32_t z_pattern, std::size_t ones) const {
   if (z_pattern >= decisions_.size() || ones > order_) {
     throw std::out_of_range("PackedKernel::decision: state out of range");
@@ -168,8 +196,21 @@ std::vector<PackedKernel::Streams> PackedKernel::evaluate_core(
     const std::vector<const std::vector<sc::Bitstream>*>& z_sets) const {
   const std::size_t n = order_;
   const std::size_t programs = z_sets.size();
+  if (bivariate_) {
+    throw std::invalid_argument(
+        "PackedKernel: univariate stimulus on a bivariate kernel (use "
+        "evaluate2/run2)");
+  }
   if (x_streams.size() != n || programs == 0) {
     throw std::invalid_argument("PackedKernel: stimulus shape mismatch");
+  }
+  // Shape before length: the order-0 case derives the stream length from
+  // the first coefficient stream, so its presence must be validated
+  // before it is dereferenced.
+  for (const std::vector<sc::Bitstream>* zs : z_sets) {
+    if (zs->size() != n + 1) {
+      throw std::invalid_argument("PackedKernel: stimulus shape mismatch");
+    }
   }
   const std::size_t length =
       x_streams.empty() ? z_sets.front()->front().size()
@@ -180,9 +221,6 @@ std::vector<PackedKernel::Streams> PackedKernel::evaluate_core(
     }
   }
   for (const std::vector<sc::Bitstream>* zs : z_sets) {
-    if (zs->size() != n + 1) {
-      throw std::invalid_argument("PackedKernel: stimulus shape mismatch");
-    }
     for (const sc::Bitstream& s : *zs) {
       if (s.size() != length) {
         throw std::invalid_argument("PackedKernel: ragged z streams");
@@ -260,8 +298,11 @@ std::vector<PackedRunResult> PackedKernel::run_fused(
   const sc::FusedScInputs inputs = sc::make_fused_sc_inputs(
       x, coeffs, order_, config.op.stream_length,
       {config.source_kind, config.op.sng_width, config.stimulus_seed});
-  std::vector<Streams> streams = evaluate_fused(inputs);
+  return finish_runs(evaluate_fused(inputs), config);
+}
 
+std::vector<PackedRunResult> PackedKernel::finish_runs(
+    std::vector<Streams> streams, const PackedRunConfig& config) const {
   // One flip-mask pass: positions are sampled once at the operating
   // point's BER and applied to every program's decision stream. Marginal
   // per-program statistics are unchanged; programs share the flip pattern
@@ -273,8 +314,8 @@ std::vector<PackedRunResult> PackedKernel::run_fused(
                                   noise_rng);
   }
 
-  std::vector<PackedRunResult> results(polys.size());
-  for (std::size_t prog = 0; prog < polys.size(); ++prog) {
+  std::vector<PackedRunResult> results(streams.size());
+  for (std::size_t prog = 0; prog < streams.size(); ++prog) {
     Streams& s = streams[prog];
     flip_positions(s.optical, flips);
     PackedRunResult& r = results[prog];
@@ -285,6 +326,161 @@ std::vector<PackedRunResult> PackedKernel::run_fused(
     r.transmission_flips = (s.optical ^ s.electronic).count_ones();
   }
   return results;
+}
+
+PackedKernel::Streams PackedKernel::evaluate2(
+    const sc::ScInputs2& inputs) const {
+  std::vector<Streams> out =
+      evaluate2_core(inputs.x_streams, inputs.y_streams, {&inputs.z_streams});
+  return std::move(out.front());
+}
+
+std::vector<PackedKernel::Streams> PackedKernel::evaluate2_fused(
+    const sc::FusedScInputs2& inputs) const {
+  std::vector<const std::vector<sc::Bitstream>*> z_sets;
+  z_sets.reserve(inputs.z_streams.size());
+  for (const std::vector<sc::Bitstream>& zs : inputs.z_streams) {
+    z_sets.push_back(&zs);
+  }
+  return evaluate2_core(inputs.x_streams, inputs.y_streams, z_sets);
+}
+
+std::vector<PackedKernel::Streams> PackedKernel::evaluate2_core(
+    const std::vector<sc::Bitstream>& x_streams,
+    const std::vector<sc::Bitstream>& y_streams,
+    const std::vector<const std::vector<sc::Bitstream>*>& z_sets) const {
+  const std::size_t n = order_;
+  const std::size_t m = order_y_;
+  const std::size_t programs = z_sets.size();
+  if (!bivariate_) {
+    throw std::invalid_argument(
+        "PackedKernel: bivariate stimulus on a univariate kernel (use "
+        "evaluate/run)");
+  }
+  if (x_streams.size() != n || y_streams.size() != m || programs == 0) {
+    throw std::invalid_argument("PackedKernel: stimulus shape mismatch");
+  }
+  // Shape before length: with both orders 0 the stream length comes from
+  // the first coefficient stream, so its presence must be validated
+  // before it is dereferenced.
+  for (const std::vector<sc::Bitstream>* zs : z_sets) {
+    if (zs->size() != (n + 1) * (m + 1)) {
+      throw std::invalid_argument("PackedKernel: stimulus shape mismatch");
+    }
+  }
+  const std::size_t length = !x_streams.empty()  ? x_streams.front().size()
+                             : !y_streams.empty() ? y_streams.front().size()
+                                                  : z_sets.front()->front().size();
+  for (const sc::Bitstream& s : x_streams) {
+    if (s.size() != length) {
+      throw std::invalid_argument("PackedKernel: ragged x streams");
+    }
+  }
+  for (const sc::Bitstream& s : y_streams) {
+    if (s.size() != length) {
+      throw std::invalid_argument("PackedKernel: ragged y streams");
+    }
+  }
+  for (const std::vector<sc::Bitstream>* zs : z_sets) {
+    for (const sc::Bitstream& s : *zs) {
+      if (s.size() != length) {
+        throw std::invalid_argument("PackedKernel: ragged z streams");
+      }
+    }
+  }
+
+  const std::size_t nwords = (length + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> optical(
+      programs, std::vector<std::uint64_t>(nwords, 0));
+  std::vector<std::vector<std::uint64_t>> electronic(
+      programs, std::vector<std::uint64_t>(nwords, 0));
+
+  // kMaxOrder bounds the per-axis scratch arrays.
+  std::array<std::uint64_t, kMaxOrder + 1> sel_x{};
+  std::array<std::uint64_t, kMaxOrder + 1> sel_y{};
+  constexpr std::size_t kMaxPlanes = std::bit_width(PackedKernel::kMaxOrder);
+  std::array<std::uint64_t, kMaxPlanes> planes_x{};
+  std::array<std::uint64_t, kMaxPlanes> planes_y{};
+
+  for (std::size_t w = 0; w < nwords; ++w) {
+    // 1. Two carry-save adders over the shared input banks: plane j of
+    //    planes_x/planes_y holds bit j of the per-lane row/column index.
+    //    Computed once per word and reused by every fused program.
+    planes_x.fill(0);
+    planes_y.fill(0);
+    sc::accumulate_count_planes(x_streams, w, planes_x.data(), planes_);
+    sc::accumulate_count_planes(y_streams, w, planes_y.data(), planes_y_);
+
+    // 2. The two packed select-index plane sets become per-axis equality
+    //    masks; their AND is the (i, j) coefficient select.
+    for (std::size_t i = 0; i <= n; ++i) {
+      sel_x[i] = sc::count_equals_mask(planes_x.data(), planes_, i);
+    }
+    for (std::size_t j = 0; j <= m; ++j) {
+      sel_y[j] = sc::count_equals_mask(planes_y.data(), planes_y_, j);
+    }
+
+    // 3. Per program: the 2D MUX word. The bivariate decision model is
+    //    mux-exact (see the constructor), so the optical word equals the
+    //    ideal MUX word before noise.
+    for (std::size_t prog = 0; prog < programs; ++prog) {
+      const std::vector<sc::Bitstream>& zs = *z_sets[prog];
+      std::uint64_t mux = 0;
+      for (std::size_t i = 0; i <= n; ++i) {
+        if (sel_x[i] == 0) continue;
+        for (std::size_t j = 0; j <= m; ++j) {
+          const std::uint64_t sel = sel_x[i] & sel_y[j];
+          if (sel == 0) continue;
+          mux |= sel & zs[i * (m + 1) + j].word(w);
+        }
+      }
+      electronic[prog][w] = mux;
+      optical[prog][w] = mux;
+    }
+  }
+
+  std::vector<Streams> out;
+  out.reserve(programs);
+  for (std::size_t prog = 0; prog < programs; ++prog) {
+    out.push_back(
+        {sc::Bitstream::from_words(std::move(optical[prog]), length),
+         sc::Bitstream::from_words(std::move(electronic[prog]), length)});
+  }
+  return out;
+}
+
+PackedRunResult PackedKernel::run2(const sc::BernsteinPoly2& poly, double x,
+                                   double y,
+                                   const PackedRunConfig& config) const {
+  return run2_fused({poly}, x, y, config).front();
+}
+
+std::vector<PackedRunResult> PackedKernel::run2_fused(
+    const std::vector<sc::BernsteinPoly2>& polys, double x, double y,
+    const PackedRunConfig& config) const {
+  if (polys.empty()) {
+    throw std::invalid_argument("PackedKernel: no programs to run");
+  }
+  if (!bivariate_) {
+    throw std::invalid_argument(
+        "PackedKernel: bivariate run on a univariate kernel");
+  }
+  for (const sc::BernsteinPoly2& poly : polys) {
+    if (poly.deg_x() != order_ || poly.deg_y() != order_y_) {
+      throw std::invalid_argument(
+          "PackedKernel: polynomial orders do not match the circuit");
+    }
+  }
+  config.op.validate();
+
+  std::vector<std::vector<double>> coeffs;
+  coeffs.reserve(polys.size());
+  for (const sc::BernsteinPoly2& poly : polys) coeffs.push_back(poly.coeffs());
+
+  const sc::FusedScInputs2 inputs = sc::make_fused_sc_inputs2(
+      x, y, coeffs, order_, order_y_, config.op.stream_length,
+      {config.source_kind, config.op.sng_width, config.stimulus_seed});
+  return finish_runs(evaluate2_fused(inputs), config);
 }
 
 }  // namespace oscs::engine

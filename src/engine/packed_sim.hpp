@@ -93,7 +93,25 @@ class PackedKernel {
   /// \throws std::invalid_argument if circuit.order() > kMaxOrder.
   explicit PackedKernel(const optsc::OpticalScCircuit& circuit);
 
+  /// Bivariate (tensor-product ReSC) mode: two packed select-index plane
+  /// sets per word - an x adder over `order_x` data streams and a y adder
+  /// over `order_y` - select one of the (order_x+1)*(order_y+1)
+  /// coefficient streams. The circuit supplies the eye geometry
+  /// (threshold) exactly as in the univariate constructor; the 2D
+  /// coefficient LUT is the ideal MUX (the per-state physics table would
+  /// be 2^((n+1)(m+1)) entries), so the optical decision model is
+  /// mux-exact by construction and receiver noise still arrives as Eq. 9
+  /// flip masks from the caller's `oscs::OperatingPoint`. Either order may
+  /// be 0 (that input bank degenerates).
+  /// \throws std::invalid_argument if either order exceeds kMaxOrder.
+  PackedKernel(const optsc::OpticalScCircuit& circuit, std::size_t order_x,
+               std::size_t order_y);
+
   [[nodiscard]] std::size_t order() const noexcept { return order_; }
+  /// Bivariate mode: y-axis order (column select range 0..order_y()).
+  [[nodiscard]] std::size_t order_y() const noexcept { return order_y_; }
+  /// True when the kernel was built in the two-input tensor-product mode.
+  [[nodiscard]] bool bivariate() const noexcept { return bivariate_; }
   /// Mid-eye decision threshold [mW], physical-eye semantics (identical to
   /// the legacy TransientSimulator placement).
   [[nodiscard]] double threshold_mw() const noexcept { return threshold_mw_; }
@@ -144,6 +162,37 @@ class PackedKernel {
       const std::vector<stochastic::BernsteinPoly>& polys, double x,
       const PackedRunConfig& config) const;
 
+  /// Noiseless word-parallel pass over two-input stimulus (bivariate
+  /// kernels only). Bit-identical to ReSC2Unit::output_stream on the same
+  /// stimulus.
+  /// \throws std::invalid_argument on stimulus shape mismatch or a
+  ///         univariate kernel.
+  [[nodiscard]] Streams evaluate2(const stochastic::ScInputs2& inputs) const;
+
+  /// Fused noiseless two-input pass: K coefficient grids on shared x and
+  /// y banks - both adders' select planes computed once per word.
+  /// \throws std::invalid_argument on stimulus shape mismatch or a
+  ///         univariate kernel.
+  [[nodiscard]] std::vector<Streams> evaluate2_fused(
+      const stochastic::FusedScInputs2& inputs) const;
+
+  /// Full bivariate evaluation: generate the two-bank SNG stimulus, run
+  /// the packed pass, apply decision flips at config.op.ber.
+  /// \throws std::invalid_argument if the polynomial orders mismatch, the
+  ///         kernel is univariate or the operating point is invalid.
+  [[nodiscard]] PackedRunResult run2(const stochastic::BernsteinPoly2& poly,
+                                     double x, double y,
+                                     const PackedRunConfig& config) const;
+
+  /// Fused bivariate evaluation: K programs share both stimulus banks and
+  /// one flip-mask pass. A one-program fused run is bit-identical to
+  /// run2().
+  /// \throws std::invalid_argument on an empty program list, an order
+  ///         mismatch, a univariate kernel or an invalid operating point.
+  [[nodiscard]] std::vector<PackedRunResult> run2_fused(
+      const std::vector<stochastic::BernsteinPoly2>& polys, double x,
+      double y, const PackedRunConfig& config) const;
+
  private:
   /// Assemble the ideal-MUX and optical-decision words for one program
   /// from the per-word select masks and coefficient words.
@@ -157,9 +206,24 @@ class PackedKernel {
       const std::vector<const std::vector<stochastic::Bitstream>*>& z_sets)
       const;
 
+  /// Shared core of evaluate2/evaluate2_fused: shared x and y banks, K
+  /// borrowed coefficient-grid stream sets (no copies).
+  [[nodiscard]] std::vector<Streams> evaluate2_core(
+      const std::vector<stochastic::Bitstream>& x_streams,
+      const std::vector<stochastic::Bitstream>& y_streams,
+      const std::vector<const std::vector<stochastic::Bitstream>*>& z_sets)
+      const;
+
+  /// Shared flip-mask + statistics tail of run_fused/run2_fused.
+  [[nodiscard]] std::vector<PackedRunResult> finish_runs(
+      std::vector<Streams> streams, const PackedRunConfig& config) const;
+
   const optsc::OpticalScCircuit* circuit_;
   std::size_t order_ = 0;
+  std::size_t order_y_ = 0;   ///< bivariate mode: column select range
+  bool bivariate_ = false;    ///< two-input tensor-product mode
   std::size_t planes_ = 0;  ///< bit-planes needed for adder values 0..n
+  std::size_t planes_y_ = 0;  ///< bit-planes for the y adder (bivariate)
   double threshold_mw_ = 0.0;
   bool mux_exact_ = false;
   /// decisions_[p] bit k = noiseless decision for pattern p, adder k.

@@ -9,6 +9,10 @@ namespace oscs::serve {
 std::string ProgramSpec::display_id() const {
   if (!function_id.empty()) return function_id;
   if (!raw_id.empty()) return raw_id;
+  if (!coefficients2.empty()) {
+    return "coefficients[" + std::to_string(coefficients2.size()) + "x" +
+           std::to_string(coefficients2.front().size()) + "]";
+  }
   return "coefficients[" + std::to_string(coefficients.size()) + "]";
 }
 
@@ -60,6 +64,29 @@ std::vector<double> number_array(const JsonValue& v, const std::string& name) {
   return out;
 }
 
+/// "coefficients" accepts a flat number array (univariate) or a nested
+/// row-major grid of equal-length nonempty rows (bivariate surface).
+void parse_coefficients(const JsonValue& v, ProgramSpec& spec) {
+  if (!v.is_array() || v.items().empty()) {
+    bad_request("'coefficients' must be nonempty");
+  }
+  if (!v.items().front().is_array()) {
+    spec.coefficients = number_array(v, "coefficients");
+    return;
+  }
+  spec.coefficients2.reserve(v.items().size());
+  for (const JsonValue& row : v.items()) {
+    if (!row.is_array() || row.items().empty()) {
+      bad_request("'coefficients' grid rows must be nonempty arrays");
+    }
+    spec.coefficients2.push_back(number_array(row, "coefficients"));
+    if (spec.coefficients2.back().size() !=
+        spec.coefficients2.front().size()) {
+      bad_request("'coefficients' grid rows must have equal length");
+    }
+  }
+}
+
 ProgramSpec parse_program_spec(const JsonValue& v) {
   if (!v.is_object()) bad_request("'programs' entries must be objects");
   ProgramSpec spec;
@@ -68,10 +95,7 @@ ProgramSpec parse_program_spec(const JsonValue& v) {
       spec.function_id = member_string(value, "function");
       if (spec.function_id.empty()) bad_request("'function' must be nonempty");
     } else if (key == "coefficients") {
-      spec.coefficients = number_array(value, "coefficients");
-      if (spec.coefficients.empty()) {
-        bad_request("'coefficients' must be nonempty");
-      }
+      parse_coefficients(value, spec);
     } else if (key == "degree") {
       spec.degree = static_cast<std::size_t>(member_uint(value, "degree"));
     } else if (key == "id") {
@@ -81,7 +105,8 @@ ProgramSpec parse_program_spec(const JsonValue& v) {
     }
   }
   const bool has_fn = !spec.function_id.empty();
-  const bool has_raw = !spec.coefficients.empty();
+  const bool has_raw =
+      !spec.coefficients.empty() || !spec.coefficients2.empty();
   if (has_fn == has_raw) {
     bad_request("each program needs exactly one of 'function'/'coefficients'");
   }
@@ -131,6 +156,9 @@ ServeRequest parse_request(const std::string& text) {
   ProgramSpec sugar;
   bool has_sugar_fn = false;
   bool has_sugar_raw = false;
+  // Single-point "y" sugar, merged with "ys" after the loop.
+  std::optional<double> y_sugar;
+  bool has_ys = false;
 
   for (const auto& [key, value] : doc.members()) {
     if (key == "op") {
@@ -156,15 +184,17 @@ ServeRequest parse_request(const std::string& text) {
       if (sugar.function_id.empty()) bad_request("'function' must be nonempty");
       has_sugar_fn = true;
     } else if (key == "coefficients") {
-      sugar.coefficients = number_array(value, "coefficients");
-      if (sugar.coefficients.empty()) {
-        bad_request("'coefficients' must be nonempty");
-      }
+      parse_coefficients(value, sugar);
       has_sugar_raw = true;
     } else if (key == "degree") {
       sugar.degree = static_cast<std::size_t>(member_uint(value, "degree"));
     } else if (key == "xs") {
       req.xs = number_array(value, "xs");
+    } else if (key == "ys") {
+      req.ys = number_array(value, "ys");
+      has_ys = true;
+    } else if (key == "y") {
+      y_sugar = member_number(value, "y");
     } else if (key == "stream_lengths") {
       if (!value.is_array()) bad_request("'stream_lengths' must be an array");
       req.stream_lengths.clear();
@@ -203,11 +233,23 @@ ServeRequest parse_request(const std::string& text) {
     bad_request("'degree' needs a top-level 'function'");
   }
 
+  if (y_sugar.has_value()) {
+    if (has_ys) bad_request("request carries both 'y' and 'ys'");
+    // The single-point sugar broadcasts over every x (mirroring how one
+    // "y" naturally reads against an "xs" array).
+    req.ys.assign(req.xs.empty() ? 1 : req.xs.size(), *y_sugar);
+  }
+
   if (req.op == RequestOp::kEvaluate) {
     if (req.programs.empty()) {
       bad_request("evaluate request names no programs");
     }
     if (req.xs.empty()) bad_request("'xs' must be a nonempty array");
+    if (!req.ys.empty() && req.ys.size() != req.xs.size()) {
+      bad_request("'ys' must pair element-wise with 'xs' (" +
+                  std::to_string(req.ys.size()) + " ys for " +
+                  std::to_string(req.xs.size()) + " xs)");
+    }
     if (req.stream_lengths.empty()) {
       bad_request("'stream_lengths' must be nonempty");
     }
@@ -234,8 +276,9 @@ std::string write_response(const ServeResponse& response) {
   for (const CellResult& cell : response.cells) {
     json.begin_object()
         .field("program", cell.program)
-        .field("x", cell.x)
-        .field("stream_length", cell.stream_length)
+        .field("x", cell.x);
+    if (cell.bivariate) json.field("y", cell.y);
+    json.field("stream_length", cell.stream_length)
         .field("repeats", cell.repeats)
         .field("expected", cell.expected)
         .field("optical_mean", cell.optical_mean)

@@ -16,6 +16,7 @@
 ///                 {"function": "tanh", "degree": 4},
 ///                 {"coefficients": [0.1, 0.5, 0.9], "id": "ramp"}],
 ///    "xs": [0.25, 0.5, 0.75],
+///    "ys": [0.5, 0.5, 0.75],           // bivariate only: pairs with "xs"
 ///    "stream_lengths": [4096],         // default [4096]
 ///    "repeats": 8,                     // default 8
 ///    "seed": 1,                        // default 1
@@ -24,6 +25,14 @@
 ///    "probe_power_mw": 0.8}            // optional link-budget derivation
 /// Single-program sugar: a top-level "function" or "coefficients" member
 /// instead of "programs".
+///
+/// Bivariate (tensor-product ReSC) requests name two-input programs -
+/// registry ids from the bivariate catalogue ("mul", "alpha_blend", ...)
+/// or a nested coefficient grid ("coefficients": [[...], [...]]) - and
+/// carry the second input coordinate as "ys" (an array pairing
+/// element-wise with "xs") or the single-point sugar "y". A request
+/// without "ys"/"y" takes the univariate path unchanged; arities cannot
+/// mix within one request.
 ///
 /// Response (success):
 ///   {"id": ..., "ok": true, "fused": bool, "programs": [ids...],
@@ -64,15 +73,24 @@ class ServeError : public std::runtime_error {
   std::string reason_;
 };
 
-/// One program in a request: either a registry/compilable function id or
-/// raw Bernstein coefficients that bypass the compiler.
+/// One program in a request: either a registry/compilable function id
+/// (univariate or bivariate catalogue) or raw Bernstein coefficients that
+/// bypass the compiler - a flat vector (univariate) or a nested
+/// row-major grid (bivariate tensor-product surface).
 struct ProgramSpec {
   std::string function_id;           ///< registry id; empty for raw specs
-  std::vector<double> coefficients;  ///< raw spec; empty for function specs
+  std::vector<double> coefficients;  ///< raw univariate spec
+  /// Raw bivariate spec: coefficient grid rows (c[i][j] multiplies
+  /// B_i(x) B_j(y)); empty for univariate/function specs.
+  std::vector<std::vector<double>> coefficients2;
   std::string raw_id;                ///< optional display id for raw specs
-  std::optional<std::size_t> degree;  ///< degree-cap override (function)
+  std::optional<std::size_t> degree;  ///< degree-cap override (function;
+                                      ///< per-axis cap for bivariate ids)
 
   [[nodiscard]] bool is_raw() const noexcept { return function_id.empty(); }
+  [[nodiscard]] bool is_raw_bivariate() const noexcept {
+    return !coefficients2.empty();
+  }
   /// The id echoed into response cells.
   [[nodiscard]] std::string display_id() const;
 };
@@ -86,6 +104,9 @@ struct ServeRequest {
   std::string id;  ///< echoed into the response; may be empty
   std::vector<ProgramSpec> programs;
   std::vector<double> xs;
+  /// Second input coordinate (bivariate requests): pairs element-wise
+  /// with `xs`. Empty selects the univariate path.
+  std::vector<double> ys;
   std::vector<std::size_t> stream_lengths{4096};
   std::size_t repeats = 8;
   std::uint64_t seed = 1;
@@ -105,6 +126,8 @@ struct ServeRequest {
 struct CellResult {
   std::string program;  ///< display id of the program this cell belongs to
   double x = 0.0;
+  bool bivariate = false;  ///< cell carries a y coordinate
+  double y = 0.0;          ///< second input coordinate (bivariate cells)
   std::size_t stream_length = 0;
   std::size_t repeats = 0;
   double expected = 0.0;      ///< double-precision reference value

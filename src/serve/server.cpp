@@ -114,25 +114,93 @@ const ProgramServer::OrderEngine& ProgramServer::order_engine(
   return it->second;
 }
 
+const ProgramServer::OrderEngine& ProgramServer::order_engine2(
+    std::size_t order_x, std::size_t order_y) {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  auto it = order_engines2_.find({order_x, order_y});
+  if (it == order_engines2_.end()) {
+    OrderEngine built;
+    built.circuit = std::make_shared<const optsc::OpticalScCircuit>(
+        optsc::paper_defaults(order_x));
+    built.kernel = std::make_shared<const engine::PackedKernel>(
+        *built.circuit, order_x, order_y);
+    built.design_point = optsc::design_operating_point(*built.circuit);
+    it = order_engines2_.emplace(std::make_pair(order_x, order_y),
+                                 std::move(built))
+             .first;
+  }
+  return it->second;
+}
+
 ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
   Resolved resolved;
   resolved.labels.reserve(request.programs.size());
+  // The request's arity is declared by 'ys'; every program must match it
+  // (arities cannot mix within one fused batch).
+  resolved.bivariate = !request.ys.empty();
 
   // Pass 1: compile (or accept) every program and find the common circuit
-  // order the fused kernel will run at. `holds` stays parallel to the
+  // order(s) the fused kernel will run at. `holds` stays parallel to the
   // request's program list (nullptr for raw-coefficient entries).
   std::size_t target_order = 1;
+  std::size_t target_order_y = 1;
   std::vector<stochastic::BernsteinPoly> polys;
+  std::vector<stochastic::BernsteinPoly2> polys2;
   polys.reserve(request.programs.size());
   for (const ProgramSpec& spec : request.programs) {
     resolved.labels.push_back(spec.display_id());
     if (spec.is_raw()) {
-      if (spec.coefficients.empty()) {
+      if (spec.coefficients.empty() && spec.coefficients2.empty()) {
         // Typed-path callers can hand over an all-empty spec; keep it a
         // client error instead of a 500 out of BernsteinPoly.
         throw ServeError(
             400, "bad_request",
             "each program needs exactly one of 'function'/'coefficients'");
+      }
+      if (spec.is_raw_bivariate()) {
+        if (!resolved.bivariate) {
+          throw ServeError(400, "bad_request",
+                           "bivariate coefficient grid in a request without "
+                           "'ys' (arities cannot mix)");
+        }
+        for (const std::vector<double>& row : spec.coefficients2) {
+          for (double c : row) {
+            if (!(c >= 0.0 && c <= 1.0)) {
+              throw ServeError(
+                  400, "bad_request",
+                  "coefficients must be finite and lie in [0, 1]");
+            }
+          }
+        }
+        // Typed-path callers can hand over a ragged or empty-row grid;
+        // keep it a client error instead of a 500 out of BernsteinPoly2.
+        std::optional<stochastic::BernsteinPoly2> parsed;
+        try {
+          parsed.emplace(spec.coefficients2);
+        } catch (const std::invalid_argument& e) {
+          throw ServeError(400, "bad_request", e.what());
+        }
+        stochastic::BernsteinPoly2 poly = std::move(*parsed);
+        // Circuit minimum: one data channel per input bank.
+        poly = poly.elevated(poly.deg_x() == 0 ? 1 : 0,
+                             poly.deg_y() == 0 ? 1 : 0);
+        if (poly.deg_x() > engine::PackedKernel::kMaxOrder ||
+            poly.deg_y() > engine::PackedKernel::kMaxOrder) {
+          throw ServeError(
+              400, "bad_request",
+              "coefficient degree exceeds the kernel order limit (" +
+                  std::to_string(engine::PackedKernel::kMaxOrder) + ")");
+        }
+        target_order = std::max(target_order, poly.deg_x());
+        target_order_y = std::max(target_order_y, poly.deg_y());
+        polys2.push_back(std::move(poly));
+        resolved.holds.emplace_back();
+        continue;
+      }
+      if (resolved.bivariate) {
+        throw ServeError(400, "bad_request",
+                         "'ys' requires bivariate programs; got a flat "
+                         "coefficient vector (arities cannot mix)");
       }
       for (double c : spec.coefficients) {
         if (!(c >= 0.0 && c <= 1.0)) {
@@ -156,50 +224,113 @@ ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
 
     const compile::RegistryFunction* fn =
         compile::find_function(spec.function_id);
-    if (fn == nullptr) {
+    if (fn != nullptr) {
+      if (resolved.bivariate) {
+        throw ServeError(400, "bad_request",
+                         "function '" + spec.function_id +
+                             "' is univariate but the request carries 'ys' "
+                             "(arities cannot mix)");
+      }
+      compile::CompileOptions opts = options_.compile;
+      opts.projection.max_degree = spec.degree.value_or(fn->degree);
+      if (request.sng_width.has_value()) opts.sng_width = *request.sng_width;
+
+      // Cold-compile admission: expensive high-degree pipelines only run
+      // when the program is already resident.
+      if (opts.projection.max_degree > options_.max_cold_degree &&
+          !compiler_.cache().contains(
+              compile::make_program_key(spec.function_id, opts))) {
+        throw ServeError(
+            429, "compile_budget",
+            "cold compile at degree " +
+                std::to_string(opts.projection.max_degree) +
+                " exceeds the admission budget (max_cold_degree = " +
+                std::to_string(options_.max_cold_degree) + ")");
+      }
+
+      std::shared_ptr<const compile::CompiledProgram> program;
+      try {
+        program = compiler_.compile(spec.function_id, fn->f, opts);
+      } catch (const std::invalid_argument& e) {
+        throw ServeError(400, "bad_request", e.what());
+      }
+      target_order = std::max(target_order, program->circuit_order());
+      polys.push_back(program->poly());
+      resolved.holds.push_back(std::move(program));
+      continue;
+    }
+
+    const compile::RegistryFunction2* fn2 =
+        compile::find_function2(spec.function_id);
+    if (fn2 == nullptr) {
       throw ServeError(404, "unknown_function",
                        "unknown function '" + spec.function_id + "'");
     }
+    if (!resolved.bivariate) {
+      throw ServeError(400, "bad_request",
+                       "bivariate function '" + spec.function_id +
+                           "' needs 'ys' (arities cannot mix)");
+    }
     compile::CompileOptions opts = options_.compile;
-    opts.projection.max_degree = spec.degree.value_or(fn->degree);
+    // A request 'degree' caps both axes; otherwise the registry's
+    // per-axis recommendation applies.
+    opts.projection2.max_degree_x = spec.degree.value_or(fn2->degree_x);
+    opts.projection2.max_degree_y = spec.degree.value_or(fn2->degree_y);
     if (request.sng_width.has_value()) opts.sng_width = *request.sng_width;
 
-    // Cold-compile admission: expensive high-degree pipelines only run
-    // when the program is already resident.
-    if (opts.projection.max_degree > options_.max_cold_degree &&
+    // Cold-compile admission on the larger axis cap: the pipeline cost
+    // scales with the coefficient grid, which either axis can blow up.
+    const std::size_t cold_degree = std::max(opts.projection2.max_degree_x,
+                                             opts.projection2.max_degree_y);
+    if (cold_degree > options_.max_cold_degree &&
         !compiler_.cache().contains(
-            compile::make_program_key(spec.function_id, opts))) {
+            compile::make_program_key2(spec.function_id, opts))) {
       throw ServeError(
           429, "compile_budget",
-          "cold compile at degree " +
-              std::to_string(opts.projection.max_degree) +
+          "cold compile at degree " + std::to_string(cold_degree) +
               " exceeds the admission budget (max_cold_degree = " +
               std::to_string(options_.max_cold_degree) + ")");
     }
 
     std::shared_ptr<const compile::CompiledProgram> program;
     try {
-      program = compiler_.compile(spec.function_id, fn->f, opts);
+      program = compiler_.compile2(spec.function_id, fn2->f, opts);
     } catch (const std::invalid_argument& e) {
       throw ServeError(400, "bad_request", e.what());
     }
     target_order = std::max(target_order, program->circuit_order());
-    polys.push_back(program->poly());
+    target_order_y = std::max(target_order_y, program->circuit_order_y());
+    polys2.push_back(program->poly2());
     resolved.holds.push_back(std::move(program));
   }
 
-  // Pass 2: elevate every polynomial to the common order (value-
+  // Pass 2: elevate every polynomial to the common order(s) (value-
   // preserving) so one kernel pass can evaluate them all.
-  resolved.polys.reserve(polys.size());
-  for (stochastic::BernsteinPoly& poly : polys) {
-    if (poly.degree() < target_order) {
-      poly = poly.elevated(target_order - poly.degree());
+  if (resolved.bivariate) {
+    resolved.polys2.reserve(polys2.size());
+    for (stochastic::BernsteinPoly2& poly : polys2) {
+      if (poly.deg_x() < target_order || poly.deg_y() < target_order_y) {
+        poly = poly.elevated(target_order - poly.deg_x(),
+                             target_order_y - poly.deg_y());
+      }
+      resolved.polys2.push_back(std::move(poly));
     }
-    resolved.polys.push_back(std::move(poly));
+  } else {
+    resolved.polys.reserve(polys.size());
+    for (stochastic::BernsteinPoly& poly : polys) {
+      if (poly.degree() < target_order) {
+        poly = poly.elevated(target_order - poly.degree());
+      }
+      resolved.polys.push_back(std::move(poly));
+    }
   }
 
   for (const auto& program : resolved.holds) {
-    if (program != nullptr && program->circuit_order() == target_order) {
+    if (program != nullptr &&
+        program->is_bivariate() == resolved.bivariate &&
+        program->circuit_order() == target_order &&
+        (!resolved.bivariate ||
+         program->circuit_order_y() == target_order_y)) {
       resolved.kernel = program->kernel();
       resolved.design_point = program->design_point();
       resolved.circuit = &program->circuit();
@@ -207,7 +338,9 @@ ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
     }
   }
   if (resolved.kernel == nullptr) {
-    const OrderEngine& fallback = order_engine(target_order);
+    const OrderEngine& fallback =
+        resolved.bivariate ? order_engine2(target_order, target_order_y)
+                           : order_engine(target_order);
     resolved.kernel = fallback.kernel;
     resolved.design_point = fallback.design_point;
     resolved.circuit = fallback.circuit.get();
@@ -279,6 +412,12 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
   if (request.xs.empty()) {
     throw ServeError(400, "bad_request", "'xs' must be a nonempty array");
   }
+  if (!request.ys.empty() && request.ys.size() != request.xs.size()) {
+    throw ServeError(400, "bad_request",
+                     "'ys' must pair element-wise with 'xs' (" +
+                         std::to_string(request.ys.size()) + " ys for " +
+                         std::to_string(request.xs.size()) + " xs)");
+  }
   if (request.stream_lengths.empty()) {
     throw ServeError(400, "bad_request", "'stream_lengths' must be nonempty");
   }
@@ -316,7 +455,12 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
   const oscs::OperatingPoint op = resolve_operating_point(request, resolved);
 
   engine::BatchRequest batch;
-  batch.polynomials = resolved.polys;
+  if (resolved.bivariate) {
+    batch.polynomials2 = resolved.polys2;
+    batch.ys = request.ys;
+  } else {
+    batch.polynomials = resolved.polys;
+  }
   batch.xs = request.xs;
   batch.stream_lengths = request.stream_lengths;
   batch.repeats = request.repeats;
@@ -325,7 +469,7 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
 
   const auto t_execute = Clock::now();
   engine::BatchSummary summary;
-  response.fused = resolved.polys.size() > 1;
+  response.fused = request.programs.size() > 1;
   {
     // Leased, not constructed: thread spawn/join stays off the warm path.
     // A worker-task exception leaves the pool reusable (ThreadPool
@@ -359,6 +503,8 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
     CellResult out;
     out.program = resolved.labels[cell.poly_index];
     out.x = cell.x;
+    out.bivariate = resolved.bivariate;
+    out.y = cell.y;
     out.stream_length = cell.stream_length;
     out.repeats = cell.repeats;
     out.expected = cell.expected;
@@ -371,7 +517,14 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
   }
 
   response.latency.total_us = us_since(t0);
-  bump(&ServerMetrics::completed);
+  {
+    // One lock scope for both counters, so a concurrent metrics read can
+    // never observe completed != completed_univariate + completed_bivariate.
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++counters_.completed;
+    ++(resolved.bivariate ? counters_.completed_bivariate
+                          : counters_.completed_univariate);
+  }
   return response;
 }
 
@@ -445,6 +598,8 @@ std::string ProgramServer::metrics_json(bool pretty,
       .begin_object()
       .field("received", m.received)
       .field("completed", m.completed)
+      .field("completed_univariate", m.completed_univariate)
+      .field("completed_bivariate", m.completed_bivariate)
       .field("rejected_busy", m.rejected_busy)
       .field("rejected_budget", m.rejected_budget)
       .field("failed", m.failed)

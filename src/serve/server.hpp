@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "common/operating_point.hpp"
 #include "compile/compiler.hpp"
@@ -73,6 +74,9 @@ struct ServerMetrics {
 
   std::size_t received = 0;         ///< requests of any op
   std::size_t completed = 0;        ///< successful evaluates
+  /// Successful evaluates by arity; the two always sum to `completed`.
+  std::size_t completed_univariate = 0;
+  std::size_t completed_bivariate = 0;
   std::size_t rejected_busy = 0;    ///< 429 in-flight gate
   std::size_t rejected_budget = 0;  ///< 429 cold-compile budget
   std::size_t failed = 0;           ///< every other error response
@@ -113,9 +117,14 @@ class ProgramServer {
   }
 
  private:
-  /// A request's programs resolved onto one common circuit order.
+  /// A request's programs resolved onto one common circuit order (one
+  /// common per-axis order pair for bivariate requests).
   struct Resolved {
+    bool bivariate = false;  ///< request resolved onto the two-input path
     std::vector<stochastic::BernsteinPoly> polys;  ///< elevated to order
+    /// Bivariate programs, elevated to the common per-axis orders
+    /// (populated instead of `polys` when `bivariate`).
+    std::vector<stochastic::BernsteinPoly2> polys2;
     std::vector<std::string> labels;               ///< request order
     std::shared_ptr<const engine::PackedKernel> kernel;
     oscs::OperatingPoint design_point{};
@@ -139,6 +148,10 @@ class ProgramServer {
   [[nodiscard]] ServeResponse evaluate(const ServeRequest& request);
   [[nodiscard]] Resolved resolve(const ServeRequest& request);
   [[nodiscard]] const OrderEngine& order_engine(std::size_t order);
+  /// Fallback engine for bivariate order pairs no compiled program
+  /// provides (raw grids, mixed-order fusions).
+  [[nodiscard]] const OrderEngine& order_engine2(std::size_t order_x,
+                                                 std::size_t order_y);
   [[nodiscard]] oscs::OperatingPoint resolve_operating_point(
       const ServeRequest& request, const Resolved& resolved) const;
 
@@ -157,6 +170,7 @@ class ProgramServer {
 
   mutable std::mutex engines_mutex_;
   std::map<std::size_t, OrderEngine> order_engines_;
+  std::map<std::pair<std::size_t, std::size_t>, OrderEngine> order_engines2_;
 
   std::mutex pools_mutex_;
   std::vector<std::unique_ptr<engine::ThreadPool>> idle_pools_;

@@ -1,5 +1,6 @@
 #include "stochastic/bernstein.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -129,6 +130,158 @@ BernsteinPoly BernsteinPoly::fit(const std::function<double(double)>& f,
     for (double& v : b) v = oscs::clamp01(v);
   }
   return BernsteinPoly(std::move(b));
+}
+
+double bernstein_basis2(std::size_t i, std::size_t j, std::size_t n,
+                        std::size_t m, double x, double y) {
+  return bernstein_basis(i, n, x) * bernstein_basis(j, m, y);
+}
+
+std::vector<double> bernstein_moments2(
+    const std::function<double(double, double)>& f, std::size_t deg_x,
+    std::size_t deg_y, std::size_t quad_points) {
+  const std::size_t cols = deg_y + 1;
+  std::vector<double> rhs((deg_x + 1) * cols, 0.0);
+  for (std::size_t i = 0; i <= deg_x; ++i) {
+    for (std::size_t j = 0; j <= deg_y; ++j) {
+      rhs[i * cols + j] = oscs::integrate_gl(
+          [&](double x) {
+            return bernstein_basis(i, deg_x, x) *
+                   oscs::integrate_gl(
+                       [&](double y) {
+                         return f(x, y) * bernstein_basis(j, deg_y, y);
+                       },
+                       0.0, 1.0, quad_points);
+          },
+          0.0, 1.0, quad_points);
+    }
+  }
+  return rhs;
+}
+
+BernsteinPoly2::BernsteinPoly2(std::size_t deg_x, std::size_t deg_y,
+                               std::vector<double> coeffs)
+    : deg_x_(deg_x), deg_y_(deg_y), coeffs_(std::move(coeffs)) {
+  if (coeffs_.size() != (deg_x_ + 1) * (deg_y_ + 1)) {
+    throw std::invalid_argument(
+        "BernsteinPoly2: need (deg_x+1)*(deg_y+1) coefficients");
+  }
+}
+
+BernsteinPoly2::BernsteinPoly2(const std::vector<std::vector<double>>& grid) {
+  if (grid.empty() || grid.front().empty()) {
+    throw std::invalid_argument("BernsteinPoly2: empty coefficient grid");
+  }
+  deg_x_ = grid.size() - 1;
+  deg_y_ = grid.front().size() - 1;
+  coeffs_.reserve((deg_x_ + 1) * (deg_y_ + 1));
+  for (const std::vector<double>& row : grid) {
+    if (row.size() != deg_y_ + 1) {
+      throw std::invalid_argument("BernsteinPoly2: ragged coefficient grid");
+    }
+    coeffs_.insert(coeffs_.end(), row.begin(), row.end());
+  }
+}
+
+double BernsteinPoly2::operator()(double x, double y) const {
+  // Collapse the y axis in every row by de Casteljau, then collapse the
+  // resulting control values along x.
+  std::vector<double> rows(deg_x_ + 1, 0.0);
+  std::vector<double> w(deg_y_ + 1, 0.0);
+  for (std::size_t i = 0; i <= deg_x_; ++i) {
+    const double* row = coeffs_.data() + i * (deg_y_ + 1);
+    std::copy(row, row + deg_y_ + 1, w.begin());
+    for (std::size_t level = deg_y_; level > 0; --level) {
+      for (std::size_t j = 0; j < level; ++j) {
+        w[j] = (1.0 - y) * w[j] + y * w[j + 1];
+      }
+    }
+    rows[i] = w[0];
+  }
+  for (std::size_t level = deg_x_; level > 0; --level) {
+    for (std::size_t i = 0; i < level; ++i) {
+      rows[i] = (1.0 - x) * rows[i] + x * rows[i + 1];
+    }
+  }
+  return rows[0];
+}
+
+bool BernsteinPoly2::is_sc_compatible(double tolerance) const noexcept {
+  for (double c : coeffs_) {
+    if (c < -tolerance || c > 1.0 + tolerance) return false;
+  }
+  return true;
+}
+
+BernsteinPoly2 BernsteinPoly2::transposed() const {
+  std::vector<double> t((deg_x_ + 1) * (deg_y_ + 1), 0.0);
+  for (std::size_t i = 0; i <= deg_x_; ++i) {
+    for (std::size_t j = 0; j <= deg_y_; ++j) {
+      t[j * (deg_x_ + 1) + i] = coeffs_[i * (deg_y_ + 1) + j];
+    }
+  }
+  return BernsteinPoly2(deg_y_, deg_x_, std::move(t));
+}
+
+BernsteinPoly2 BernsteinPoly2::elevated(std::size_t times_x,
+                                        std::size_t times_y) const {
+  // Elevate along y (each row is a univariate Bernstein polynomial in y),
+  // then along x through a transpose round trip - both value-preserving.
+  std::size_t ny = deg_y_;
+  std::vector<double> c = coeffs_;
+  if (times_y > 0) {
+    std::vector<double> out((deg_x_ + 1) * (ny + times_y + 1), 0.0);
+    for (std::size_t i = 0; i <= deg_x_; ++i) {
+      const BernsteinPoly row(std::vector<double>(
+          c.begin() + static_cast<std::ptrdiff_t>(i * (ny + 1)),
+          c.begin() + static_cast<std::ptrdiff_t>((i + 1) * (ny + 1))));
+      const std::vector<double> up = row.elevated(times_y).coeffs();
+      std::copy(up.begin(), up.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(
+                                  i * (ny + times_y + 1)));
+    }
+    ny += times_y;
+    c = std::move(out);
+  }
+  BernsteinPoly2 grown(deg_x_, ny, std::move(c));
+  if (times_x == 0) return grown;
+  // The transpose swaps the axes, so the x elevation runs through the
+  // row-wise y path above.
+  return grown.transposed().elevated(0, times_x).transposed();
+}
+
+BernsteinPoly2 BernsteinPoly2::fit(
+    const std::function<double(double, double)>& f, std::size_t deg_x,
+    std::size_t deg_y, bool clamp_to_unit) {
+  // Normal equations Gx C Gy = M (both Grams symmetric), factored into
+  // per-axis Cholesky solves: column solves against Gx, then row solves
+  // against Gy.
+  const std::size_t rows = deg_x + 1;
+  const std::size_t cols = deg_y + 1;
+  const std::vector<double> moments = bernstein_moments2(f, deg_x, deg_y);
+  const oscs::Matrix gram_x = bernstein_gram(deg_x);
+  const oscs::Matrix gram_y = bernstein_gram(deg_y);
+
+  std::vector<double> t(rows * cols, 0.0);  // T = Gx^-1 M
+  std::vector<double> column(rows, 0.0);
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) column[i] = moments[i * cols + j];
+    const std::vector<double> solved = oscs::cholesky_solve(gram_x, column);
+    for (std::size_t i = 0; i < rows; ++i) t[i * cols + j] = solved[i];
+  }
+  std::vector<double> c(rows * cols, 0.0);  // C = T Gy^-1 (row solves)
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::vector<double> row(
+        t.begin() + static_cast<std::ptrdiff_t>(i * cols),
+        t.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols));
+    const std::vector<double> solved = oscs::cholesky_solve(gram_y, row);
+    std::copy(solved.begin(), solved.end(),
+              c.begin() + static_cast<std::ptrdiff_t>(i * cols));
+  }
+  if (clamp_to_unit) {
+    for (double& v : c) v = oscs::clamp01(v);
+  }
+  return BernsteinPoly2(deg_x, deg_y, std::move(c));
 }
 
 }  // namespace oscs::stochastic

@@ -82,6 +82,97 @@ FusedScInputs make_fused_sc_inputs(double x,
   return inputs;
 }
 
+std::size_t ScInputs2::select_x(std::size_t t) const {
+  std::size_t k = 0;
+  for (const auto& xs : x_streams) k += xs.bit(t) ? 1 : 0;
+  return k;
+}
+
+std::size_t ScInputs2::select_y(std::size_t t) const {
+  std::size_t k = 0;
+  for (const auto& ys : y_streams) k += ys.bit(t) ? 1 : 0;
+  return k;
+}
+
+ScInputs2 make_sc_inputs2(double x, double y,
+                          const std::vector<double>& coeffs,
+                          std::size_t order_x, std::size_t order_y,
+                          std::size_t length, const ScInputConfig& config) {
+  if (coeffs.size() != (order_x + 1) * (order_y + 1)) {
+    throw std::invalid_argument(
+        "make_sc_inputs2: need (order_x+1)*(order_y+1) coefficients, got " +
+        std::to_string(coeffs.size()));
+  }
+  ScInputs2 inputs;
+  inputs.x_streams.reserve(order_x);
+  inputs.y_streams.reserve(order_y);
+  inputs.z_streams.reserve(coeffs.size());
+  // Salt sequence: x bank, then y bank, then the coefficient grid
+  // row-major - mirrored exactly by make_fused_sc_inputs2 program 0.
+  std::uint64_t salt = config.seed * 2u + 1u;
+  for (std::size_t i = 0; i < order_x; ++i) {
+    Sng sng(make_source(config.kind, config.width, salt++));
+    inputs.x_streams.push_back(sng.generate(x, length));
+  }
+  for (std::size_t j = 0; j < order_y; ++j) {
+    Sng sng(make_source(config.kind, config.width, salt++));
+    inputs.y_streams.push_back(sng.generate(y, length));
+  }
+  for (double c : coeffs) {
+    Sng sng(make_source(config.kind, config.width, salt++));
+    inputs.z_streams.push_back(sng.generate(c, length));
+  }
+  return inputs;
+}
+
+ScInputs2 FusedScInputs2::program(std::size_t k) const {
+  if (k >= z_streams.size()) {
+    throw std::out_of_range("FusedScInputs2::program: index out of range");
+  }
+  return ScInputs2{x_streams, y_streams, z_streams[k]};
+}
+
+FusedScInputs2 make_fused_sc_inputs2(
+    double x, double y, const std::vector<std::vector<double>>& coeffs,
+    std::size_t order_x, std::size_t order_y, std::size_t length,
+    const ScInputConfig& config) {
+  if (coeffs.empty()) {
+    throw std::invalid_argument("make_fused_sc_inputs2: no programs");
+  }
+  for (const std::vector<double>& c : coeffs) {
+    if (c.size() != (order_x + 1) * (order_y + 1)) {
+      throw std::invalid_argument(
+          "make_fused_sc_inputs2: need (order_x+1)*(order_y+1) coefficients "
+          "per program, got " +
+          std::to_string(c.size()));
+    }
+  }
+  FusedScInputs2 inputs;
+  inputs.x_streams.reserve(order_x);
+  inputs.y_streams.reserve(order_y);
+  inputs.z_streams.resize(coeffs.size());
+  // Salt sequence matches make_sc_inputs2 for the shared banks and
+  // program 0's grid, so a one-program fused stimulus is bit-identical to
+  // the unfused one; further programs keep drawing fresh salts.
+  std::uint64_t salt = config.seed * 2u + 1u;
+  for (std::size_t i = 0; i < order_x; ++i) {
+    Sng sng(make_source(config.kind, config.width, salt++));
+    inputs.x_streams.push_back(sng.generate(x, length));
+  }
+  for (std::size_t j = 0; j < order_y; ++j) {
+    Sng sng(make_source(config.kind, config.width, salt++));
+    inputs.y_streams.push_back(sng.generate(y, length));
+  }
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    inputs.z_streams[k].reserve(coeffs[k].size());
+    for (double c : coeffs[k]) {
+      Sng sng(make_source(config.kind, config.width, salt++));
+      inputs.z_streams[k].push_back(sng.generate(c, length));
+    }
+  }
+  return inputs;
+}
+
 ReSCUnit::ReSCUnit(BernsteinPoly poly) : poly_(std::move(poly)) {
   if (!poly_.is_sc_compatible(1e-9)) {
     throw std::invalid_argument(
@@ -146,6 +237,96 @@ double ReSCUnit::exact_expectation(double x) const {
   double s = 0.0;
   for (std::size_t k = 0; k <= n; ++k) {
     s += poly_.coeffs()[k] * bernstein_basis(k, n, x);
+  }
+  return s;
+}
+
+ReSC2Unit::ReSC2Unit(BernsteinPoly2 poly) : poly_(std::move(poly)) {
+  if (!poly_.is_sc_compatible(1e-9)) {
+    throw std::invalid_argument(
+        "ReSC2Unit: Bernstein coefficients must lie in [0, 1] for a "
+        "stochastic implementation");
+  }
+}
+
+Bitstream ReSC2Unit::output_stream(const ScInputs2& inputs) const {
+  const std::size_t n = order_x();
+  const std::size_t m = order_y();
+  if (inputs.order_x() != n || inputs.order_y() != m) {
+    throw std::invalid_argument("ReSC2Unit: stimulus order mismatch");
+  }
+  if (inputs.z_streams.size() != (n + 1) * (m + 1)) {
+    throw std::invalid_argument(
+        "ReSC2Unit: coefficient stream count mismatch");
+  }
+  const std::size_t n_cycles = inputs.length();
+  for (const Bitstream& s : inputs.x_streams) {
+    if (s.size() != n_cycles) {
+      throw std::invalid_argument("ReSC2Unit: ragged x streams");
+    }
+  }
+  for (const Bitstream& s : inputs.y_streams) {
+    if (s.size() != n_cycles) {
+      throw std::invalid_argument("ReSC2Unit: ragged y streams");
+    }
+  }
+  for (const Bitstream& s : inputs.z_streams) {
+    if (s.size() != n_cycles) {
+      throw std::invalid_argument("ReSC2Unit: ragged z streams");
+    }
+  }
+  // Two word-parallel adders (one carry-save bit-plane accumulation per
+  // input bank), then the 2D MUX: the (i, j) select mask is the AND of
+  // the per-axis equality masks and routes 64 coefficient bits at a time.
+  const std::size_t planes_x = static_cast<std::size_t>(std::bit_width(n));
+  const std::size_t planes_y = static_cast<std::size_t>(std::bit_width(m));
+  std::vector<std::uint64_t> px(planes_x, 0);
+  std::vector<std::uint64_t> py(planes_y, 0);
+  std::vector<std::uint64_t> sel_y(m + 1, 0);
+  const std::size_t n_words = (n_cycles + 63) / 64;
+  std::vector<std::uint64_t> out_words(n_words, 0);
+  for (std::size_t w = 0; w < n_words; ++w) {
+    std::fill(px.begin(), px.end(), 0);
+    std::fill(py.begin(), py.end(), 0);
+    accumulate_count_planes(inputs.x_streams, w, px.data(), planes_x);
+    accumulate_count_planes(inputs.y_streams, w, py.data(), planes_y);
+    for (std::size_t j = 0; j <= m; ++j) {
+      sel_y[j] = count_equals_mask(py.data(), planes_y, j);
+    }
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      const std::uint64_t sx = count_equals_mask(px.data(), planes_x, i);
+      if (sx == 0) continue;
+      for (std::size_t j = 0; j <= m; ++j) {
+        const std::uint64_t sel = sx & sel_y[j];
+        if (sel == 0) continue;
+        out |= sel & inputs.z_streams[i * (m + 1) + j].word(w);
+      }
+    }
+    out_words[w] = out;
+  }
+  return Bitstream::from_words(std::move(out_words), n_cycles);
+}
+
+double ReSC2Unit::evaluate(const ScInputs2& inputs) const {
+  return output_stream(inputs).probability();
+}
+
+double ReSC2Unit::evaluate(double x, double y, std::size_t length,
+                           const ScInputConfig& config) const {
+  const ScInputs2 inputs = make_sc_inputs2(x, y, poly_.coeffs(), order_x(),
+                                           order_y(), length, config);
+  return evaluate(inputs);
+}
+
+double ReSC2Unit::exact_expectation(double x, double y) const {
+  const std::size_t n = order_x();
+  const std::size_t m = order_y();
+  double s = 0.0;
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (std::size_t j = 0; j <= m; ++j) {
+      s += poly_.coeff(i, j) * bernstein_basis2(i, j, n, m, x, y);
+    }
   }
   return s;
 }

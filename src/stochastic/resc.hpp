@@ -84,6 +84,87 @@ struct FusedScInputs {
     double x, const std::vector<std::vector<double>>& coeffs,
     std::size_t order, std::size_t length, const ScInputConfig& config = {});
 
+/// Per-cycle stimulus of the two-input (tensor-product) ReSC unit: n
+/// encodings of x, m encodings of y, and (n+1)*(m+1) coefficient streams
+/// in row-major order (stream i*(m+1)+j encodes c_{i,j}), all of equal
+/// length. Either input order may be zero (that axis degenerates).
+struct ScInputs2 {
+  std::vector<Bitstream> x_streams;  ///< n independent encodings of x
+  std::vector<Bitstream> y_streams;  ///< m independent encodings of y
+  /// Row-major coefficient streams: index i*(order_y()+1)+j is c_{i,j}.
+  std::vector<Bitstream> z_streams;
+
+  [[nodiscard]] std::size_t order_x() const noexcept {
+    return x_streams.size();
+  }
+  [[nodiscard]] std::size_t order_y() const noexcept {
+    return y_streams.size();
+  }
+  /// Stream length; when both input banks are empty the coefficient
+  /// streams define it.
+  [[nodiscard]] std::size_t length() const noexcept {
+    if (!x_streams.empty()) return x_streams.front().size();
+    if (!y_streams.empty()) return y_streams.front().size();
+    return z_streams.empty() ? 0 : z_streams.front().size();
+  }
+  /// Ones among the x bits at cycle t (selects coefficient row i).
+  [[nodiscard]] std::size_t select_x(std::size_t t) const;
+  /// Ones among the y bits at cycle t (selects coefficient column j).
+  [[nodiscard]] std::size_t select_y(std::size_t t) const;
+};
+
+/// Generate the shared stimulus for evaluating a tensor-product Bernstein
+/// polynomial of per-axis orders (order_x, order_y) at (x, y). `coeffs` is
+/// the flat row-major grid, (order_x+1)*(order_y+1) long.
+/// \throws std::invalid_argument on a coefficient-count mismatch.
+[[nodiscard]] ScInputs2 make_sc_inputs2(double x, double y,
+                                        const std::vector<double>& coeffs,
+                                        std::size_t order_x,
+                                        std::size_t order_y,
+                                        std::size_t length,
+                                        const ScInputConfig& config = {});
+
+/// Fused two-input stimulus: the x and y banks are generated once and
+/// shared by every program; only the K coefficient-grid stream sets are
+/// per-program.
+struct FusedScInputs2 {
+  std::vector<Bitstream> x_streams;  ///< n shared encodings of x
+  std::vector<Bitstream> y_streams;  ///< m shared encodings of y
+  /// z_streams[k] is program k's flat row-major coefficient streams.
+  std::vector<std::vector<Bitstream>> z_streams;
+
+  [[nodiscard]] std::size_t order_x() const noexcept {
+    return x_streams.size();
+  }
+  [[nodiscard]] std::size_t order_y() const noexcept {
+    return y_streams.size();
+  }
+  [[nodiscard]] std::size_t programs() const noexcept {
+    return z_streams.size();
+  }
+  [[nodiscard]] std::size_t length() const noexcept {
+    if (!x_streams.empty()) return x_streams.front().size();
+    if (!y_streams.empty()) return y_streams.front().size();
+    if (z_streams.empty() || z_streams.front().empty()) return 0;
+    return z_streams.front().front().size();
+  }
+
+  /// View of program k as a single-program stimulus (copies streams).
+  /// \throws std::out_of_range on a bad program index.
+  [[nodiscard]] ScInputs2 program(std::size_t k) const;
+};
+
+/// Generate fused two-input stimulus for K coefficient grids sharing one
+/// (x, y). Program 0 receives exactly the streams make_sc_inputs2 would
+/// generate from the same config (bit-for-bit), so a one-program fused
+/// run is identical to the unfused path.
+/// \throws std::invalid_argument if coeffs is empty or any grid's size is
+///         not (order_x+1)*(order_y+1).
+[[nodiscard]] FusedScInputs2 make_fused_sc_inputs2(
+    double x, double y, const std::vector<std::vector<double>>& coeffs,
+    std::size_t order_x, std::size_t order_y, std::size_t length,
+    const ScInputConfig& config = {});
+
 /// Electronic ReSC evaluation unit.
 class ReSCUnit {
  public:
@@ -111,6 +192,42 @@ class ReSCUnit {
 
  private:
   BernsteinPoly poly_;
+};
+
+/// Electronic two-input ReSC evaluation unit - the tensor-product
+/// generalization of Qian et al.'s architecture: one adder counts the
+/// ones among the n x bits (row select i), a second adder counts the m y
+/// bits (column select j), and the MUX routes coefficient stream c_{i,j}
+/// to the output. E[out] = sum_{i,j} c_{i,j} B_{i,n}(x) B_{j,m}(y).
+class ReSC2Unit {
+ public:
+  /// \param poly Tensor-product Bernstein polynomial; must be
+  ///        SC-compatible (all coefficients in [0,1]) up to a small
+  ///        tolerance.
+  explicit ReSC2Unit(BernsteinPoly2 poly);
+
+  [[nodiscard]] const BernsteinPoly2& poly() const noexcept { return poly_; }
+  [[nodiscard]] std::size_t order_x() const noexcept { return poly_.deg_x(); }
+  [[nodiscard]] std::size_t order_y() const noexcept { return poly_.deg_y(); }
+
+  /// The raw output stream: out[t] = z_{i(t),j(t)}[t] with i(t)/j(t) the
+  /// two adder values.
+  /// \throws std::invalid_argument on stimulus shape mismatch.
+  [[nodiscard]] Bitstream output_stream(const ScInputs2& inputs) const;
+
+  /// De-randomized estimate: fraction of ones in the output stream.
+  [[nodiscard]] double evaluate(const ScInputs2& inputs) const;
+
+  /// Convenience: generate stimulus internally and evaluate at (x, y).
+  [[nodiscard]] double evaluate(double x, double y, std::size_t length,
+                                const ScInputConfig& config = {}) const;
+
+  /// Exact expected output for ideal streams - algebraically the
+  /// tensor-product Bernstein value itself.
+  [[nodiscard]] double exact_expectation(double x, double y) const;
+
+ private:
+  BernsteinPoly2 poly_;
 };
 
 }  // namespace oscs::stochastic

@@ -22,7 +22,7 @@ std::shared_ptr<const CompiledProgram> make_program(const std::string& id,
   return compile_function(id, [value](double) { return value; }, options);
 }
 
-ProgramKey key_of(const std::string& id) { return ProgramKey{id, 0, 16}; }
+ProgramKey key_of(const std::string& id) { return ProgramKey{id, 0, 0, 16}; }
 
 TEST(ProgramCacheTest, MissThenHit) {
   ProgramCache cache(4);
@@ -39,10 +39,11 @@ TEST(ProgramCacheTest, MissThenHit) {
 
 TEST(ProgramCacheTest, KeyDistinguishesDegreeAndWidth) {
   ProgramCache cache(4);
-  cache.put(ProgramKey{"f", 2, 16}, make_program("f", 0.5));
-  EXPECT_EQ(cache.get(ProgramKey{"f", 3, 16}), nullptr);
-  EXPECT_EQ(cache.get(ProgramKey{"f", 2, 8}), nullptr);
-  EXPECT_NE(cache.get(ProgramKey{"f", 2, 16}), nullptr);
+  cache.put(ProgramKey{"f", 2, 0, 16}, make_program("f", 0.5));
+  EXPECT_EQ(cache.get(ProgramKey{"f", 3, 0, 16}), nullptr);
+  EXPECT_EQ(cache.get(ProgramKey{"f", 2, 1, 16}), nullptr);  // y-axis degree
+  EXPECT_EQ(cache.get(ProgramKey{"f", 2, 0, 8}), nullptr);
+  EXPECT_NE(cache.get(ProgramKey{"f", 2, 0, 16}), nullptr);
 }
 
 TEST(ProgramCacheTest, EvictsLeastRecentlyUsed) {

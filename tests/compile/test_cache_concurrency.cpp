@@ -28,7 +28,7 @@ std::shared_ptr<const CompiledProgram> make_program(const std::string& id,
   return compile_function(id, [value](double) { return value; }, options);
 }
 
-ProgramKey key_of(const std::string& id) { return ProgramKey{id, 0, 16}; }
+ProgramKey key_of(const std::string& id) { return ProgramKey{id, 0, 0, 16}; }
 
 TEST(ProgramCacheConcurrency, GetPutClearHammerOnOverlappingKeys) {
   ProgramCache cache(4);

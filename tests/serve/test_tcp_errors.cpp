@@ -1,0 +1,189 @@
+/// Negative-path tests over the REAL TCP transport (not the in-process
+/// handle_json shortcut): 413 "too_large", 429 "busy" and
+/// "compile_budget", malformed "y" payloads, mixed univariate/bivariate
+/// fused batches - then a metrics reconciliation pass proving the
+/// counters add up after the error storm.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/server.hpp"
+#include "serve/tcp.hpp"
+
+namespace oscs::serve {
+namespace {
+
+ServerOptions fast_options() {
+  ServerOptions options;
+  options.compile.certify = false;
+  options.threads = 1;
+  return options;
+}
+
+int error_status(const std::string& response) {
+  const JsonValue doc = json_parse(response);
+  if (doc.find("ok")->as_bool()) return 0;
+  return static_cast<int>(doc.find("error")->find("status")->as_number());
+}
+
+std::string error_reason(const std::string& response) {
+  const JsonValue doc = json_parse(response);
+  if (doc.find("ok")->as_bool()) return "";
+  return doc.find("error")->find("reason")->as_string();
+}
+
+TEST(BivariateTcpErrorTest, TooLargeRequestIs413OverTcp) {
+  ServerOptions options = fast_options();
+  options.max_request_bits = 1.0e6;
+  ProgramServer server(options);
+  TcpServer tcp(server, /*port=*/0);
+  TcpClient client(tcp.port());
+
+  // 1 program x 1 x x 1e9 repeats x 4096 bits >> 1e6.
+  const std::string response = client.request(
+      R"({"function": "mul", "xs": [0.5], "ys": [0.5],)"
+      R"( "stream_lengths": [4096], "repeats": 1000000000})");
+  EXPECT_EQ(error_status(response), 413);
+  EXPECT_EQ(error_reason(response), "too_large");
+  // The connection survives the rejection.
+  const std::string ping = client.request(R"({"op": "ping"})");
+  EXPECT_TRUE(json_parse(ping).find("ok")->as_bool());
+}
+
+TEST(BivariateTcpErrorTest, BusyGateIs429OverTcp) {
+  ServerOptions options = fast_options();
+  options.max_in_flight = 0;  // every evaluate is over capacity
+  ProgramServer server(options);
+  TcpServer tcp(server, /*port=*/0);
+  TcpClient client(tcp.port());
+
+  const std::string response = client.request(
+      R"({"function": "mul", "xs": [0.5], "ys": [0.5],)"
+      R"( "stream_lengths": [256], "repeats": 2})");
+  EXPECT_EQ(error_status(response), 429);
+  EXPECT_EQ(error_reason(response), "busy");
+  // Metrics are never gated.
+  const std::string metrics = client.request(R"({"op": "metrics"})");
+  EXPECT_TRUE(json_parse(metrics).find("ok")->as_bool());
+}
+
+TEST(BivariateTcpErrorTest, ColdCompileBudgetIs429OverTcp) {
+  ServerOptions options = fast_options();
+  options.max_cold_degree = 0;  // every cold compile exceeds the budget
+  ProgramServer server(options);
+  TcpServer tcp(server, /*port=*/0);
+  TcpClient client(tcp.port());
+
+  for (const char* request :
+       {// bivariate catalogue entry
+        R"({"function": "mul", "xs": [0.5], "ys": [0.5],)"
+        R"( "stream_lengths": [256], "repeats": 2})",
+        // univariate catalogue entry - same gate
+        R"({"function": "sigmoid", "xs": [0.5],)"
+        R"( "stream_lengths": [256], "repeats": 2})"}) {
+    const std::string response = client.request(request);
+    EXPECT_EQ(error_status(response), 429) << request;
+    EXPECT_EQ(error_reason(response), "compile_budget") << request;
+  }
+  // Raw coefficient grids never compile: they pass the budget gate.
+  const std::string raw = client.request(
+      R"({"coefficients": [[0.0, 0.0], [0.0, 1.0]], "xs": [0.5],)"
+      R"( "ys": [0.5], "stream_lengths": [256], "repeats": 2})");
+  EXPECT_TRUE(json_parse(raw).find("ok")->as_bool()) << raw;
+}
+
+TEST(BivariateTcpErrorTest, ErrorStormMetricsReconcile) {
+  ProgramServer server(fast_options());
+  TcpServer tcp(server, /*port=*/0);
+  TcpClient client(tcp.port());
+
+  std::size_t sent = 0;
+  std::size_t expect_completed_uni = 0;
+  std::size_t expect_completed_biv = 0;
+  std::size_t expect_failed = 0;
+  std::size_t non_evaluate = 0;
+
+  auto send = [&](const std::string& line) {
+    ++sent;
+    return client.request(line);
+  };
+
+  // Warm both arities so the storm runs against a live cache.
+  EXPECT_EQ(error_status(send(
+                R"({"function": "square", "xs": [0.5],)"
+                R"( "stream_lengths": [256], "repeats": 2})")),
+            0);
+  ++expect_completed_uni;
+  EXPECT_EQ(error_status(send(
+                R"({"function": "mul", "xs": [0.5], "ys": [0.5],)"
+                R"( "stream_lengths": [256], "repeats": 2})")),
+            0);
+  ++expect_completed_biv;
+
+  // The storm: malformed "y" payloads and mixed-arity fused batches, each
+  // answered with a 400 on the same connection.
+  const std::vector<std::string> storm = {
+      // malformed y payloads
+      R"({"function": "mul", "xs": [0.5], "ys": "bad",)"
+      R"( "stream_lengths": [256], "repeats": 2})",
+      R"({"function": "mul", "xs": [0.5], "ys": [2.5],)"
+      R"( "stream_lengths": [256], "repeats": 2})",
+      R"({"function": "mul", "xs": [0.5], "ys": [0.5, 0.6],)"
+      R"( "stream_lengths": [256], "repeats": 2})",
+      R"({"function": "mul", "xs": [0.5], "y": "x",)"
+      R"( "stream_lengths": [256], "repeats": 2})",
+      // mixed univariate/bivariate fused batches, both directions
+      R"({"programs": [{"function": "mul"}, {"function": "square"}],)"
+      R"( "xs": [0.5], "ys": [0.5], "stream_lengths": [256], "repeats": 2})",
+      R"({"programs": [{"function": "square"}, {"function": "mul"}],)"
+      R"( "xs": [0.5], "stream_lengths": [256], "repeats": 2})",
+      R"({"programs": [{"coefficients": [[0.1, 0.2], [0.3, 0.4]]},)"
+      R"( {"coefficients": [0.1, 0.9]}], "xs": [0.5], "ys": [0.5],)"
+      R"( "stream_lengths": [256], "repeats": 2})",
+  };
+  for (const std::string& line : storm) {
+    EXPECT_EQ(error_status(send(line)), 400) << line;
+    ++expect_failed;
+  }
+
+  // The connection is still healthy: one more success per arity.
+  EXPECT_EQ(error_status(send(
+                R"({"function": "square", "xs": [0.25],)"
+                R"( "stream_lengths": [256], "repeats": 2})")),
+            0);
+  ++expect_completed_uni;
+  EXPECT_EQ(error_status(send(
+                R"({"function": "mul", "xs": [0.25], "ys": [0.75],)"
+                R"( "stream_lengths": [256], "repeats": 2})")),
+            0);
+  ++expect_completed_biv;
+
+  const std::string metrics_line = send(R"({"op": "metrics"})");
+  ++non_evaluate;
+  const JsonValue doc = json_parse(metrics_line);
+  const JsonValue& requests = *doc.find("metrics")->find("requests");
+  const auto field = [&](const char* name) {
+    return static_cast<std::size_t>(requests.find(name)->as_number());
+  };
+
+  // Reconciliation: every request landed in exactly one bucket.
+  EXPECT_EQ(field("received"), sent);
+  EXPECT_EQ(field("completed"), expect_completed_uni + expect_completed_biv);
+  EXPECT_EQ(field("completed_univariate"), expect_completed_uni);
+  EXPECT_EQ(field("completed_bivariate"), expect_completed_biv);
+  EXPECT_EQ(field("failed"), expect_failed);
+  EXPECT_EQ(field("rejected_busy"), 0u);
+  EXPECT_EQ(field("rejected_budget"), 0u);
+  EXPECT_EQ(field("in_flight"), 0u);
+  EXPECT_EQ(field("completed") + field("failed") + field("rejected_busy") +
+                field("rejected_budget") + non_evaluate,
+            field("received"));
+  EXPECT_EQ(tcp.connections_accepted(), 1u);
+}
+
+}  // namespace
+}  // namespace oscs::serve
