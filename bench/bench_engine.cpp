@@ -17,6 +17,8 @@
 #include "common/json.hpp"
 #include "engine/batch.hpp"
 #include "engine/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 #include "optsc/defaults.hpp"
 #include "optsc/simulator.hpp"
 #include "stochastic/functions.hpp"
@@ -49,6 +51,17 @@ double time_simulator(const TransientSimulator& sim,
   return best;
 }
 
+/// The engine pool's task-wait histogram on the global registry - the
+/// same instance src/engine/thread_pool.cpp records into, so the scaling
+/// table can reset it per thread-count run and report the queue-wait
+/// tail of exactly that run.
+oscs::obs::Histogram& queue_wait_histogram() {
+  return oscs::obs::Registry::global().histogram(
+      "oscs_engine_pool_task_wait_us",
+      "time from task submit to a worker dequeuing it [microseconds]", {},
+      oscs::obs::Histogram::latency_us());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +72,7 @@ int main(int argc, char** argv) {
   args.add_int("length", 4096, "stream length [bits] for the speedup run");
   args.add_int("repeats", 8, "MC repeats per batch cell");
   args.add_int("fused_k", 8, "programs sharing one circuit in the fused run");
+  args.add_flag("prom", "dump the Prometheus text exposition to stdout");
   if (!args.parse(argc, argv)) return 0;
   const long trials = std::max(1L, args.get_int("trials"));
   const auto length =
@@ -120,9 +134,13 @@ int main(int argc, char** argv) {
   std::printf("  grid: %zu cells x %zu repeats = %zu tasks\n", req.cells(),
               req.repeats, req.tasks());
 
-  CsvTable scaling({"threads", "seconds", "tasks_per_s", "speedup_vs_1"});
+  CsvTable scaling({"threads", "seconds", "tasks_per_s", "speedup_vs_1",
+                    "wait_p50_us", "wait_p95_us", "wait_p99_us"});
   double t_one = 0.0;
   for (std::size_t threads : {1u, 2u, 4u}) {
+    // Per-run queue-wait distribution: reset, run, snapshot - the
+    // histogram only holds this thread count's waits when read below.
+    queue_wait_histogram().reset();
     double best = 1e300;
     eng::BatchSummary summary;
     for (long t = 0; t < trials; ++t) {
@@ -130,13 +148,18 @@ int main(int argc, char** argv) {
       summary = runner.run(req, threads);
       best = std::min(best, seconds_since(t0));
     }
+    const oscs::obs::Histogram::Snapshot wait =
+        queue_wait_histogram().snapshot();
     if (threads == 1) t_one = best;
     const double rate = static_cast<double>(summary.tasks) / best;
     std::printf("  %zu thread(s): %8.1f ms  %8.1f tasks/s  speedup %.2fx  "
-                "(batch MAE %.4f)\n",
+                "wait p50/p95/p99 %.0f/%.0f/%.0f us  (batch MAE %.4f)\n",
                 threads, best * 1e3, rate, t_one / best,
-                summary.optical_mae);
-    scaling.add_row({static_cast<double>(threads), best, rate, t_one / best});
+                wait.quantile(0.50), wait.quantile(0.95),
+                wait.quantile(0.99), summary.optical_mae);
+    scaling.add_row({static_cast<double>(threads), best, rate, t_one / best,
+                     wait.quantile(0.50), wait.quantile(0.95),
+                     wait.quantile(0.99)});
   }
   scaling.write(bench::results_dir() + "/engine_scaling.csv");
   bench::note(
@@ -224,6 +247,9 @@ int main(int argc, char** argv) {
           .field("seconds", std::stod(scaling.at(r, 1)))
           .field("tasks_per_s", std::stod(scaling.at(r, 2)))
           .field("speedup_vs_1", std::stod(scaling.at(r, 3)))
+          .field("wait_p50_us", std::stod(scaling.at(r, 4)))
+          .field("wait_p95_us", std::stod(scaling.at(r, 5)))
+          .field("wait_p99_us", std::stod(scaling.at(r, 6)))
           .end_object();
     }
     json.end_array();
@@ -239,6 +265,11 @@ int main(int argc, char** argv) {
     json.end_object();
     write_text_file(json.str(), "BENCH_engine.json", "bench_engine");
     bench::note("machine-readable summary written to BENCH_engine.json");
+  }
+
+  if (args.flag("prom")) {
+    bench::section("Prometheus exposition (global registry)");
+    std::fputs(oscs::obs::Registry::global().prometheus().c_str(), stdout);
   }
 
   std::printf("  (checksum %.3f)\n", checksum);

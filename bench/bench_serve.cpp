@@ -1,11 +1,15 @@
 /// Serving-layer bench: the acceptance criteria of the serving PR made
 /// measurable.
 ///   1. Warm-cache request latency vs the cold-compile request (target:
-///      >= 50x faster once the program is resident).
+///      >= 50x faster once the program is resident), now with p50/p99
+///      tails from a client-side histogram, not just the mean.
 ///   2. Eight concurrent TCP clients hammering one server with a mixed
 ///      sigmoid/tanh workload: zero duplicate compiles (single-flight)
-///      and metrics totals that add up exactly.
-/// Emits BENCH_serve.json for the CI perf trajectory.
+///      and metrics totals that add up exactly, plus the server's own
+///      per-stage percentile breakdown and the engine pool's queue-wait
+///      distribution for the same traffic.
+/// Emits BENCH_serve.json for the CI perf trajectory; --prom additionally
+/// dumps the server's Prometheus text exposition to stdout.
 
 #include <algorithm>
 #include <atomic>
@@ -18,6 +22,8 @@
 #include "bench/bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "serve/tcp.hpp"
 
@@ -40,6 +46,30 @@ std::string evaluate_request(const std::string& fn, std::size_t length,
          R"(], "repeats": )" + std::to_string(repeats) + "}";
 }
 
+/// The engine pool's task-wait histogram on the global registry - the
+/// same instance src/engine/thread_pool.cpp records into, so the bench
+/// can reset it per phase and read the queue-wait tail of its own
+/// traffic.
+obs::Histogram& queue_wait_histogram() {
+  return obs::Registry::global().histogram(
+      "oscs_engine_pool_task_wait_us",
+      "time from task submit to a worker dequeuing it [microseconds]", {},
+      obs::Histogram::latency_us());
+}
+
+void stage_fields(JsonWriter& json, const char* name,
+                  const sv::StageStats& stage) {
+  json.key(name)
+      .begin_object()
+      .field("count", stage.count)
+      .field("mean_us", stage.mean_us())
+      .field("p50_us", stage.p50_us)
+      .field("p95_us", stage.p95_us)
+      .field("p99_us", stage.p99_us)
+      .field("max_us", stage.max_us)
+      .end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,6 +81,7 @@ int main(int argc, char** argv) {
   args.add_int("requests", 25, "requests per client");
   args.add_int("length", 1024, "stream length per evaluation [bits]");
   args.add_int("repeats", 2, "MC repeats per grid cell");
+  args.add_flag("prom", "dump the Prometheus text exposition to stdout");
   if (!args.parse(argc, argv)) return 0;
 
   const auto length = static_cast<std::size_t>(
@@ -78,19 +109,28 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  obs::Histogram warm_hist(obs::Histogram::latency_us());
   const auto t_warm = Clock::now();
   for (long r = 0; r < warm_requests; ++r) {
+    const auto t_req = Clock::now();
     (void)server.handle_json(request);
+    warm_hist.record(
+        std::chrono::duration<double, std::micro>(Clock::now() - t_req)
+            .count());
   }
   const double warm_ms =
       ms_since(t_warm) / static_cast<double>(warm_requests);
+  const obs::Histogram::Snapshot warm = warm_hist.snapshot();
+  const double warm_p50_ms = warm.quantile(0.50) / 1e3;
+  const double warm_p99_ms = warm.quantile(0.99) / 1e3;
   const double speedup = cold_ms / warm_ms;
   const bool latency_pass = speedup >= 50.0;
 
   std::printf("  cold request (compile + certify + run): %8.2f ms\n",
               cold_ms);
-  std::printf("  warm request (cache hit + run):         %8.3f ms\n",
-              warm_ms);
+  std::printf("  warm request (cache hit + run):         %8.3f ms mean, "
+              "p50 %.3f ms, p99 %.3f ms\n",
+              warm_ms, warm_p50_ms, warm_p99_ms);
   std::printf("  speedup: %.0fx (target >= 50x) -> %s\n", speedup,
               latency_pass ? "PASS" : "FAIL");
 
@@ -102,6 +142,12 @@ int main(int argc, char** argv) {
   sv::ProgramServer shared(options);
   sv::TcpServer tcp(shared, /*port=*/0);
 
+  // Isolate the queue-wait distribution to this phase's traffic (phase 1
+  // and any earlier process activity recorded into the same global
+  // histogram).
+  queue_wait_histogram().reset();
+
+  obs::Histogram client_hist(obs::Histogram::latency_us());
   std::atomic<long> ok_count{0};
   const auto t_traffic = Clock::now();
   std::vector<std::thread> workers;
@@ -112,9 +158,12 @@ int main(int argc, char** argv) {
       const std::string fn = (c % 2 == 0) ? "sigmoid" : "tanh";
       const std::string line = evaluate_request(fn, length, repeats);
       for (int r = 0; r < per_client; ++r) {
-        if (json_parse(client.request(line)).find("ok")->as_bool()) {
-          ++ok_count;
-        }
+        const auto t_req = Clock::now();
+        const bool ok = json_parse(client.request(line)).find("ok")->as_bool();
+        client_hist.record(
+            std::chrono::duration<double, std::micro>(Clock::now() - t_req)
+                .count());
+        if (ok) ++ok_count;
       }
     });
   }
@@ -125,6 +174,9 @@ int main(int argc, char** argv) {
   const long total_requests = static_cast<long>(clients) * per_client;
   const double rps = static_cast<double>(total_requests) / traffic_ms * 1e3;
   const sv::ServerMetrics m = shared.metrics();
+  const obs::Histogram::Snapshot client_side = client_hist.snapshot();
+  const obs::Histogram::Snapshot queue_wait =
+      queue_wait_histogram().snapshot();
 
   const bool all_ok = ok_count.load() == total_requests;
   // Two functions -> exactly two pipeline runs, no matter how the misses
@@ -139,6 +191,16 @@ int main(int argc, char** argv) {
 
   std::printf("  %d clients x %d requests: %ld ok, %.0f req/s\n", clients,
               per_client, ok_count.load(), rps);
+  std::printf("  client-side latency: p50 %.2f ms, p99 %.2f ms\n",
+              client_side.quantile(0.50) / 1e3,
+              client_side.quantile(0.99) / 1e3);
+  std::printf("  server stages (p50 us): parse %.0f, resolve %.0f, "
+              "execute %.0f, serialize %.0f, total %.0f\n",
+              m.parse.p50_us, m.resolve.p50_us, m.execute.p50_us,
+              m.serialize.p50_us, m.total.p50_us);
+  std::printf("  engine queue wait: %llu waits, p50 %.1f us, p99 %.1f us\n",
+              static_cast<unsigned long long>(queue_wait.count()),
+              queue_wait.quantile(0.50), queue_wait.quantile(0.99));
   std::printf("  cache: %zu hits, %zu misses, %zu coalesced, %zu inserts\n",
               m.cache.hits, m.cache.misses, m.cache.coalesced,
               m.cache.inserts);
@@ -157,6 +219,8 @@ int main(int argc, char** argv) {
       .begin_object()
       .field("cold_ms", cold_ms)
       .field("warm_ms", warm_ms)
+      .field("warm_p50_ms", warm_p50_ms)
+      .field("warm_p99_ms", warm_p99_ms)
       .field("speedup", speedup)
       .field("warm_requests", warm_requests)
       .end_object()
@@ -166,16 +230,38 @@ int main(int argc, char** argv) {
       .field("requests_per_client", per_client)
       .field("requests_ok", ok_count.load())
       .field("requests_per_second", rps)
+      .field("client_p50_ms", client_side.quantile(0.50) / 1e3)
+      .field("client_p99_ms", client_side.quantile(0.99) / 1e3)
       .field("cache_hits", m.cache.hits)
       .field("cache_misses", m.cache.misses)
       .field("cache_coalesced", m.cache.coalesced)
       .field("cache_inserts", m.cache.inserts)
-      .end_object()
-      .field("latency_pass", latency_pass)
+      .end_object();
+  json.key("stages").begin_object();
+  stage_fields(json, "parse", m.parse);
+  stage_fields(json, "resolve", m.resolve);
+  stage_fields(json, "execute", m.execute);
+  stage_fields(json, "serialize", m.serialize);
+  stage_fields(json, "total", m.total);
+  json.end_object();
+  json.key("queue_wait")
+      .begin_object()
+      .field("count", queue_wait.count())
+      .field("p50_us", queue_wait.quantile(0.50))
+      .field("p95_us", queue_wait.quantile(0.95))
+      .field("p99_us", queue_wait.quantile(0.99))
+      .field("max_us", queue_wait.max)
+      .end_object();
+  json.field("latency_pass", latency_pass)
       .field("single_flight_pass", no_duplicate_compiles)
       .field("metrics_pass", totals_consistent)
       .end_object();
   write_text_file(json.str(), "BENCH_serve.json", "bench_serve");
+
+  if (args.flag("prom")) {
+    bench::section("Prometheus exposition (op: metrics_prom body)");
+    std::fputs(shared.metrics_prometheus().c_str(), stdout);
+  }
 
   const bool pass =
       latency_pass && all_ok && no_duplicate_compiles && totals_consistent;

@@ -2,7 +2,47 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace oscs::compile {
+
+namespace {
+
+// Cache traffic is mirrored onto the shared observability registry so a
+// Prometheus scrape sees it next to the engine and serve families. The
+// per-instance Stats struct stays authoritative for in-process callers
+// (each server exports its own cache's numbers); these counters aggregate
+// across every cache in the process.
+
+struct CacheCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& inserts;
+  obs::Counter& evictions;
+  obs::Counter& coalesced;
+};
+
+CacheCounters& cache_counters() {
+  static CacheCounters counters{
+      obs::Registry::global().counter("oscs_compile_cache_events_total",
+                                      "program cache lookups and churn",
+                                      {{"event", "hit"}}),
+      obs::Registry::global().counter("oscs_compile_cache_events_total",
+                                      "program cache lookups and churn",
+                                      {{"event", "miss"}}),
+      obs::Registry::global().counter("oscs_compile_cache_events_total",
+                                      "program cache lookups and churn",
+                                      {{"event", "insert"}}),
+      obs::Registry::global().counter("oscs_compile_cache_events_total",
+                                      "program cache lookups and churn",
+                                      {{"event", "eviction"}}),
+      obs::Registry::global().counter("oscs_compile_cache_events_total",
+                                      "program cache lookups and churn",
+                                      {{"event", "coalesced"}})};
+  return counters;
+}
+
+}  // namespace
 
 ProgramCache::ProgramCache(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
@@ -16,9 +56,11 @@ std::shared_ptr<const CompiledProgram> ProgramCache::get(
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    cache_counters().misses.inc();
     return nullptr;
   }
   ++stats_.hits;
+  cache_counters().hits.inc();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -40,15 +82,19 @@ void ProgramCache::put(const ProgramKey& key,
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.inserts;
     ++stats_.evictions;
+    cache_counters().inserts.inc();
+    cache_counters().evictions.inc();
     return;
   }
   lru_.emplace_front(key, std::move(program));
   index_.emplace(key, lru_.begin());
   ++stats_.inserts;
+  cache_counters().inserts.inc();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
+    cache_counters().evictions.inc();
   }
 }
 
@@ -62,6 +108,7 @@ std::shared_ptr<const CompiledProgram> ProgramCache::get_or_compile(
     const auto it = index_.find(key);
     if (it != index_.end()) {
       ++stats_.hits;
+      cache_counters().hits.inc();
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->second;
     }
@@ -72,9 +119,11 @@ std::shared_ptr<const CompiledProgram> ProgramCache::get_or_compile(
       // not as a miss - every lookup lands in exactly one of
       // hits/misses/coalesced.
       ++stats_.coalesced;
+      cache_counters().coalesced.inc();
       future = fit->second;
     } else {
       ++stats_.misses;
+      cache_counters().misses.inc();
       leader = true;
       future = promise.get_future().share();
       inflight_.emplace(key, future);

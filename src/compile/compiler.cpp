@@ -1,13 +1,43 @@
 #include "compile/compiler.hpp"
 
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace oscs::compile {
 
 namespace {
+
+/// Cold-compile and certification durations (global registry); every cold
+/// pipeline run also opens a span on the calling request's trace when one
+/// is installed (thread-local), so serving traces show compile time under
+/// their resolve span.
+
+obs::Histogram& cold_histogram() {
+  static obs::Histogram& histogram = obs::Registry::global().histogram(
+      "oscs_compile_cold_us",
+      "full cold-compile pipeline duration [microseconds]", {},
+      obs::Histogram::latency_us());
+  return histogram;
+}
+
+obs::Histogram& certify_histogram() {
+  static obs::Histogram& histogram = obs::Registry::global().histogram(
+      "oscs_compile_certify_us",
+      "Monte-Carlo certification stage duration [microseconds]", {},
+      obs::Histogram::latency_us());
+  return histogram;
+}
+
+double us_between(std::chrono::steady_clock::time_point t0,
+                  std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
 
 std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
@@ -71,6 +101,8 @@ ProgramKey make_program_key2(const std::string& function_id,
 std::shared_ptr<const CompiledProgram> compile_function(
     const std::string& function_id, const std::function<double(double)>& f,
     const CompileOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span span(obs::current_trace(), "compile");
   ProjectionResult projection = project(f, options.projection);
   QuantizationResult quantized =
       quantize(projection.poly, options.sng_width);
@@ -78,8 +110,13 @@ std::shared_ptr<const CompiledProgram> compile_function(
   auto program = std::make_shared<CompiledProgram>(
       std::move(key), std::move(projection), std::move(quantized));
   if (options.certify) {
+    obs::Span certify_span(obs::current_trace(), "certify");
+    const auto t_certify = std::chrono::steady_clock::now();
     program->attach_certification(certify(*program, f, options.certification));
+    certify_histogram().record(
+        us_between(t_certify, std::chrono::steady_clock::now()));
   }
+  cold_histogram().record(us_between(t0, std::chrono::steady_clock::now()));
   return program;
 }
 
@@ -123,6 +160,8 @@ std::shared_ptr<const CompiledProgram> compile_function2(
     const std::string& function_id,
     const std::function<double(double, double)>& f,
     const CompileOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span span(obs::current_trace(), "compile");
   ProjectionResult2 projection = project2(f, options.projection2);
   QuantizationResult2 quantized =
       quantize2(projection.poly, options.sng_width);
@@ -130,9 +169,14 @@ std::shared_ptr<const CompiledProgram> compile_function2(
   auto program = std::make_shared<CompiledProgram>(
       std::move(key), std::move(projection), std::move(quantized));
   if (options.certify) {
+    obs::Span certify_span(obs::current_trace(), "certify");
+    const auto t_certify = std::chrono::steady_clock::now();
     program->attach_certification(
         certify2(*program, f, options.certification));
+    certify_histogram().record(
+        us_between(t_certify, std::chrono::steady_clock::now()));
   }
+  cold_histogram().record(us_between(t0, std::chrono::steady_clock::now()));
   return program;
 }
 

@@ -6,11 +6,67 @@
 #include <utility>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "optsc/link_budget.hpp"
 
 namespace oscs::engine {
 
 namespace sc = oscs::stochastic;
+
+namespace {
+
+// Engine throughput metrics (global registry; references resolved once).
+
+obs::Counter& bits_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "oscs_engine_bits_evaluated_total",
+      "stream bits evaluated by the batch engine");
+  return counter;
+}
+
+obs::Counter& words_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "oscs_engine_words_processed_total",
+      "64-bit stimulus words processed by the packed kernel");
+  return counter;
+}
+
+obs::Histogram& request_bits_histogram() {
+  static obs::Histogram& histogram = obs::Registry::global().histogram(
+      "oscs_engine_request_bits",
+      "stream bits evaluated per batch run [bits]", {},
+      obs::Histogram::size_units());
+  return histogram;
+}
+
+obs::Histogram& fused_k_histogram() {
+  static obs::Histogram& histogram = obs::Registry::global().histogram(
+      "oscs_engine_fused_k", "programs fused into one kernel pass", {},
+      obs::Histogram::Options{/*min_value=*/1.0, /*growth=*/2.0,
+                              /*buckets=*/12});
+  return histogram;
+}
+
+/// 64-bit words one evaluation of a `length`-bit stream touches.
+std::size_t words_for(std::size_t length) noexcept {
+  return (length + 63) / 64;
+}
+
+/// Export one finished batch into the engine counters. `passes` is the
+/// number of kernel passes per (x, length, repeat) task: the per-program
+/// count for run(), 1 for the fused mode (shared stimulus).
+void record_batch(const BatchRequest& request, const BatchSummary& summary,
+                  std::size_t passes_per_task) {
+  bits_counter().inc(summary.total_bits);
+  request_bits_histogram().record(static_cast<double>(summary.total_bits));
+  std::size_t words = 0;
+  for (std::size_t length : request.stream_lengths) {
+    words += words_for(length) * request.xs.size() * request.repeats;
+  }
+  words_counter().inc(words * passes_per_task);
+}
+
+}  // namespace
 
 std::size_t BatchRequest::cells() const noexcept {
   return program_count() * xs.size() * stream_lengths.size();
@@ -224,11 +280,14 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
   pool.wait_idle();
 
   const std::size_t repeats = request.repeats;
-  return aggregate(request, outs, base,
-                   [n_xs, n_lengths, repeats](std::size_t pi, std::size_t xi,
-                                              std::size_t li, std::size_t rep) {
-                     return ((pi * n_xs + xi) * n_lengths + li) * repeats + rep;
-                   });
+  BatchSummary summary =
+      aggregate(request, outs, base,
+                [n_xs, n_lengths, repeats](std::size_t pi, std::size_t xi,
+                                           std::size_t li, std::size_t rep) {
+                  return ((pi * n_xs + xi) * n_lengths + li) * repeats + rep;
+                });
+  record_batch(request, summary, request.program_count());
+  return summary;
 }
 
 BatchSummary BatchRunner::run(const BatchRequest& request,
@@ -283,13 +342,18 @@ BatchSummary BatchRunner::run_fused(const BatchRequest& request,
   pool.wait_idle();
 
   const std::size_t repeats = request.repeats;
-  return aggregate(
+  BatchSummary summary = aggregate(
       request, outs, base,
       [n_lengths, repeats, n_programs](std::size_t pi, std::size_t xi,
                                        std::size_t li, std::size_t rep) {
         const std::size_t t = (xi * n_lengths + li) * repeats + rep;
         return t * n_programs + pi;
       });
+  // One shared stimulus pass serves all K programs - that is the point of
+  // fusion, and the words counter reflects it.
+  record_batch(request, summary, 1);
+  fused_k_histogram().record(static_cast<double>(n_programs));
+  return summary;
 }
 
 BatchSummary BatchRunner::run_fused(const BatchRequest& request,

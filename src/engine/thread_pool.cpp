@@ -3,7 +3,40 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace oscs::engine {
+
+namespace {
+
+// Pool metrics live in the global registry (one series aggregated across
+// every pool instance - the serving layer leases many short-lived pools,
+// and the scrape cares about the process-wide queue behavior). The
+// references are resolved once; the hot path is pure relaxed atomics.
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge = obs::Registry::global().gauge(
+      "oscs_engine_pool_queue_depth",
+      "jobs queued or executing across all thread pools");
+  return gauge;
+}
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "oscs_engine_pool_tasks_total",
+      "jobs executed across all thread pools");
+  return counter;
+}
+
+obs::Histogram& wait_histogram() {
+  static obs::Histogram& histogram = obs::Registry::global().histogram(
+      "oscs_engine_pool_task_wait_us",
+      "queue wait per job: submit to dequeue [microseconds]", {},
+      obs::Histogram::latency_us());
+  return histogram;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -27,9 +60,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(job));
+    queue_.push_back({std::move(job), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
+  queue_depth_gauge().add(1);
   work_cv_.notify_one();
 }
 
@@ -50,7 +84,7 @@ std::size_t ThreadPool::pending() const {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -58,12 +92,18 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    wait_histogram().record(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - job.enqueued)
+            .count());
     try {
-      job();
+      job.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    tasks_counter().inc();
+    queue_depth_gauge().add(-1);
     bool idle;
     {
       std::lock_guard<std::mutex> lock(mutex_);

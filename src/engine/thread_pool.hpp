@@ -7,6 +7,7 @@
 ///        task derives its own seeds and writes its own output slot), so
 ///        the pool needs no ordering guarantees beyond running every job.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -45,12 +46,19 @@ class ThreadPool {
   [[nodiscard]] std::size_t pending() const;
 
  private:
+  /// Queued job plus its enqueue timestamp, so dequeue can export the
+  /// queue-wait distribution (obs histogram) per task.
+  struct Job {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   ///< signals workers: job or stop
   std::condition_variable idle_cv_;   ///< signals waiters: all drained
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;  ///< jobs queued or currently executing
   std::exception_ptr first_error_;

@@ -1,0 +1,167 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace oscs::obs {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Non-negative doubles order exactly like their IEEE-754 bit patterns, so
+// sum/min/max accumulate through CAS loops on uint64 storage - no mutex
+// ever touches the record path. Samples are clamped to >= 0 first.
+
+void atomic_add(std::atomic<std::uint64_t>& bits, double delta) noexcept {
+  std::uint64_t cur = bits.load(kRelaxed);
+  while (!bits.compare_exchange_weak(
+      cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + delta),
+      kRelaxed, kRelaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<std::uint64_t>& bits, double value) noexcept {
+  std::uint64_t cur = bits.load(kRelaxed);
+  while (value < std::bit_cast<double>(cur) &&
+         !bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(value),
+                                     kRelaxed, kRelaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& bits, double value) noexcept {
+  std::uint64_t cur = bits.load(kRelaxed);
+  while (value > std::bit_cast<double>(cur) &&
+         !bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(value),
+                                     kRelaxed, kRelaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Options Histogram::latency_us() {
+  return Options{/*min_value=*/1.0, /*growth=*/1.5, /*buckets=*/48};
+}
+
+Histogram::Options Histogram::size_units() {
+  return Options{/*min_value=*/64.0, /*growth=*/2.0, /*buckets=*/32};
+}
+
+Histogram::Histogram(Options options) : options_(options) {
+  if (!(options_.min_value > 0.0)) {
+    throw std::invalid_argument("Histogram: min_value must be positive");
+  }
+  if (!(options_.growth > 1.0)) {
+    throw std::invalid_argument("Histogram: growth must exceed 1");
+  }
+  if (options_.buckets == 0) {
+    throw std::invalid_argument("Histogram: need at least one bucket");
+  }
+  bounds_.reserve(options_.buckets);
+  double bound = options_.min_value;
+  for (std::size_t i = 0; i < options_.buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options_.growth;
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  reset();
+}
+
+std::size_t Histogram::bucket_index(double value) const noexcept {
+  // First bound >= value: bucket i covers (bound[i-1], bound[i]], bucket 0
+  // also absorbs everything at or below min_value. Exact boundary values
+  // land in the bucket they bound (inclusive upper bounds), which the
+  // boundary edge-case tests pin down.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::record(double value) noexcept {
+  // NaN and negatives clamp to zero: the sample still counts (dropping it
+  // would make count() lie) and lands in the first bucket.
+  const double v = (value > 0.0) ? value : 0.0;
+  counts_[bucket_index(v)].fetch_add(1, kRelaxed);
+  atomic_add(sum_bits_, v);
+  atomic_min(min_bits_, v);
+  atomic_max(max_bits_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+    snap.counts[i] = counts_[i].load(kRelaxed);
+  }
+  snap.sum = std::bit_cast<double>(sum_bits_.load(kRelaxed));
+  if (snap.count() > 0) {
+    snap.min = std::bit_cast<double>(min_bits_.load(kRelaxed));
+    snap.max = std::bit_cast<double>(max_bits_.load(kRelaxed));
+    if (!std::isfinite(snap.min)) snap.min = 0.0;  // raced with reset()
+  }
+  return snap;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument(
+        "Histogram: merge requires identical bucket layouts");
+  }
+  const Snapshot theirs = other.snapshot();
+  for (std::size_t i = 0; i < theirs.counts.size(); ++i) {
+    counts_[i].fetch_add(theirs.counts[i], kRelaxed);
+  }
+  if (theirs.count() > 0) {
+    atomic_add(sum_bits_, theirs.sum);
+    atomic_min(min_bits_, theirs.min);
+    atomic_max(max_bits_, theirs.max);
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+    counts_[i].store(0, kRelaxed);
+  }
+  sum_bits_.store(std::bit_cast<std::uint64_t>(0.0), kRelaxed);
+  min_bits_.store(
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity()),
+      kRelaxed);
+  max_bits_.store(std::bit_cast<std::uint64_t>(0.0), kRelaxed);
+}
+
+std::uint64_t Histogram::Snapshot::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  return total;
+}
+
+double Histogram::Snapshot::mean() const noexcept {
+  const std::uint64_t total = count();
+  return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double c = static_cast<double>(counts[b]);
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      const double lower = (b == 0) ? 0.0 : bounds[b - 1];
+      const double upper = (b < bounds.size()) ? bounds[b] : max;
+      const double pos = std::clamp((rank - cum) / c, 0.0, 1.0);
+      const double estimate = lower + (upper - lower) * pos;
+      return std::clamp(estimate, min, max);
+    }
+    cum += c;
+  }
+  return max;  // rounding left rank past the last sample
+}
+
+}  // namespace oscs::obs

@@ -1,0 +1,104 @@
+#pragma once
+/// \file histogram.hpp
+/// \brief Lock-free fixed-bucket log-scale histogram for latency and size
+///        distributions. record() is wait-free (one relaxed fetch_add on a
+///        bucket counter plus CAS accumulation of sum/min/max), so it can
+///        sit on the request hot path of the serving layer and inside the
+///        engine's worker loops; quantile extraction (p50/p95/p99 with
+///        linear interpolation inside the landing bucket) happens on a
+///        Snapshot taken at export time.
+///
+/// Bucket layout: `buckets` finite buckets whose inclusive upper bounds
+/// grow geometrically from `min_value` by `growth`, plus one implicit
+/// overflow bucket. Bucket 0 covers (-inf, min_value] (negative or NaN
+/// samples clamp to it), bucket i covers (bound[i-1], bound[i]], and the
+/// overflow bucket covers (bound[buckets-1], +inf). A quantile estimate is
+/// therefore always inside the bucket the exact quantile falls in, i.e.
+/// its relative error is bounded by `growth - 1` for values above
+/// `min_value` (tighter in practice thanks to interpolation and the
+/// tracked min/max clamps).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace oscs::obs {
+
+class Histogram {
+ public:
+  struct Options {
+    /// Inclusive upper bound of the first bucket (also the resolution
+    /// floor: everything at or below lands together).
+    double min_value = 1.0;
+    /// Ratio between adjacent bucket bounds; must exceed 1.
+    double growth = 1.5;
+    /// Finite buckets (an overflow bucket is always added on top).
+    std::size_t buckets = 48;
+  };
+
+  /// Log-spaced latency buckets: 1 us resolution floor, 1.5x growth, 48
+  /// buckets -> covers up to ~490 s before overflowing.
+  [[nodiscard]] static Options latency_us();
+  /// Log-spaced size buckets (bits, bytes, counts): floor 64, 2x growth,
+  /// 32 buckets -> covers up to ~2.7e11.
+  [[nodiscard]] static Options size_units();
+
+  /// \throws std::invalid_argument on a non-positive min_value, a growth
+  ///         factor <= 1, or zero buckets.
+  explicit Histogram(Options options = latency_us());
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one sample. Wait-free; NaN and negative values clamp into the
+  /// first bucket (count is never silently dropped).
+  void record(double value) noexcept;
+
+  /// Point-in-time copy of the counters. Taken with relaxed loads: counts
+  /// racing in during the copy may or may not be included, but every
+  /// derived statistic is computed from the one copied state.
+  struct Snapshot {
+    std::vector<double> bounds;          ///< finite-bucket upper bounds
+    std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (overflow)
+    double sum = 0.0;
+    double min = 0.0;  ///< smallest recorded sample (0 when empty)
+    double max = 0.0;  ///< largest recorded sample (0 when empty)
+
+    [[nodiscard]] std::uint64_t count() const noexcept;
+    [[nodiscard]] double mean() const noexcept;
+    /// Quantile estimate for q in [0, 1]: walks the cumulative counts to
+    /// the landing bucket, interpolates linearly inside it, then clamps
+    /// to the recorded [min, max]. Returns 0 on an empty snapshot.
+    [[nodiscard]] double quantile(double q) const noexcept;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Add another histogram's counts/sum/min/max into this one.
+  /// \throws std::invalid_argument when the bucket layouts differ.
+  void merge(const Histogram& other);
+
+  /// Zero every counter (not atomic with respect to concurrent record()
+  /// calls: samples racing with the reset land before or after it).
+  void reset() noexcept;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  /// Finite-bucket upper bounds (layout introspection for exporters).
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double value) const noexcept;
+
+  Options options_;
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 counters; the last one is the overflow bucket.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> sum_bits_;  ///< bit-cast double accumulator
+  std::atomic<std::uint64_t> min_bits_;  ///< bit-cast double running min
+  std::atomic<std::uint64_t> max_bits_;  ///< bit-cast double running max
+};
+
+}  // namespace oscs::obs

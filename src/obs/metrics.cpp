@@ -1,0 +1,262 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace oscs::obs {
+
+namespace {
+
+/// Exposition float formatting (Prometheus parses Go floats; %.17g round-
+/// trips doubles exactly).
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Label values escape backslash, double quote and newline.
+std::string escape_label(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// HELP text escapes backslash and newline.
+std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+constexpr const char* kQuantileSuffix[] = {"_p50", "_p95", "_p99"};
+
+}  // namespace
+
+std::string prometheus_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: metrics
+  return *instance;                            // outlive static teardown
+}
+
+Registry::Entry* Registry::find_entry(std::string_view name,
+                                      const Labels& labels, Kind kind) {
+  for (Entry& entry : entries_) {
+    if (entry.name != name) continue;
+    if (entry.kind != kind) {
+      // One family, one type - a name shared across metric kinds would
+      // render an invalid exposition.
+      throw std::invalid_argument("Registry: metric '" + std::string(name) +
+                                  "' already registered with another type");
+    }
+    if (entry.labels == labels) return &entry;
+  }
+  return nullptr;
+}
+
+const Registry::Entry* Registry::find_entry_const(std::string_view name,
+                                                  const Labels& labels) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name && entry.labels == labels) return &entry;
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           Labels labels) {
+  if (name.empty()) throw std::invalid_argument("Registry: empty metric name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = find_entry(name, labels, Kind::kCounter)) {
+    return *existing->counter;
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.kind = Kind::kCounter;
+  entry.name = std::string(name);
+  entry.help = std::string(help);
+  entry.labels = std::move(labels);
+  entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       Labels labels) {
+  if (name.empty()) throw std::invalid_argument("Registry: empty metric name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = find_entry(name, labels, Kind::kGauge)) {
+    return *existing->gauge;
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.kind = Kind::kGauge;
+  entry.name = std::string(name);
+  entry.help = std::string(help);
+  entry.labels = std::move(labels);
+  entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               Labels labels, Histogram::Options options) {
+  if (name.empty()) throw std::invalid_argument("Registry: empty metric name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = find_entry(name, labels, Kind::kHistogram)) {
+    return *existing->histogram;
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.kind = Kind::kHistogram;
+  entry.name = std::string(name);
+  entry.help = std::string(help);
+  entry.labels = std::move(labels);
+  entry.histogram = std::make_unique<Histogram>(options);
+  return *entry.histogram;
+}
+
+const Counter* Registry::find_counter(std::string_view name,
+                                      const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = find_entry_const(name, labels);
+  return (entry != nullptr && entry->kind == Kind::kCounter)
+             ? entry->counter.get()
+             : nullptr;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name,
+                                  const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = find_entry_const(name, labels);
+  return (entry != nullptr && entry->kind == Kind::kGauge) ? entry->gauge.get()
+                                                           : nullptr;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name,
+                                          const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = find_entry_const(name, labels);
+  return (entry != nullptr && entry->kind == Kind::kHistogram)
+             ? entry->histogram.get()
+             : nullptr;
+}
+
+std::string Registry::prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::unordered_set<std::string> emitted;
+
+  for (const Entry& lead : entries_) {
+    if (!emitted.insert(lead.name).second) continue;
+    out += "# HELP " + lead.name + " " + escape_help(lead.help) + "\n";
+    out += "# TYPE " + lead.name + " ";
+    switch (lead.kind) {
+      case Kind::kCounter: out += "counter\n"; break;
+      case Kind::kGauge: out += "gauge\n"; break;
+      case Kind::kHistogram: out += "histogram\n"; break;
+    }
+    for (const Entry& entry : entries_) {
+      if (entry.name != lead.name) continue;
+      const std::string labels = prometheus_labels(entry.labels);
+      switch (entry.kind) {
+        case Kind::kCounter:
+          out += entry.name + labels + " " +
+                 std::to_string(entry.counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += entry.name + labels + " " +
+                 std::to_string(entry.gauge->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = entry.histogram->snapshot();
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            cum += snap.counts[i];
+            Labels with_le = entry.labels;
+            with_le.emplace_back("le", fmt_double(snap.bounds[i]));
+            out += entry.name + "_bucket" + prometheus_labels(with_le) + " " +
+                   std::to_string(cum) + "\n";
+          }
+          cum += snap.counts.back();
+          Labels with_inf = entry.labels;
+          with_inf.emplace_back("le", "+Inf");
+          out += entry.name + "_bucket" + prometheus_labels(with_inf) + " " +
+                 std::to_string(cum) + "\n";
+          out += entry.name + "_sum" + labels + " " + fmt_double(snap.sum) +
+                 "\n";
+          out += entry.name + "_count" + labels + " " + std::to_string(cum) +
+                 "\n";
+          break;
+        }
+      }
+    }
+  }
+
+  // Precomputed quantile gauges per histogram family, so a scraper gets
+  // p50/p95/p99 directly instead of re-deriving them from buckets.
+  std::unordered_set<std::string> quantile_emitted;
+  for (const Entry& lead : entries_) {
+    if (lead.kind != Kind::kHistogram) continue;
+    if (!quantile_emitted.insert(lead.name).second) continue;
+    for (std::size_t qi = 0; qi < 3; ++qi) {
+      const std::string family = lead.name + kQuantileSuffix[qi];
+      out += "# HELP " + family + " quantile estimate of " + lead.name + "\n";
+      out += "# TYPE " + family + " gauge\n";
+      for (const Entry& entry : entries_) {
+        if (entry.name != lead.name || entry.kind != Kind::kHistogram) {
+          continue;
+        }
+        const double q =
+            entry.histogram->snapshot().quantile(kQuantiles[qi]);
+        out += family + prometheus_labels(entry.labels) + " " + fmt_double(q) +
+               "\n";
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->reset(); break;
+      case Kind::kGauge: entry.gauge->reset(); break;
+      case Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace oscs::obs

@@ -1,0 +1,143 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Lock-light metrics core: atomic counters and gauges plus a named
+///        registry that renders the Prometheus text exposition format
+///        (v0.0.4). Hot-path updates are single relaxed atomic operations;
+///        the registry mutex is touched only at registration (cold, once
+///        per call site thanks to cached references) and at export.
+///
+/// Two registries matter in practice:
+///   * Registry::global() - process-wide; the engine (thread pools, batch
+///     runner) and the compiler cache record here, so one scrape sees
+///     every layer;
+///   * per-instance registries - e.g. each serve::ProgramServer owns one,
+///     keeping its request counters isolated from other server instances
+///     in the same process (tests spin up dozens).
+/// Registering the same (name, labels) pair again returns the existing
+/// metric, so independent call sites share one series.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace oscs::obs {
+
+/// Monotonic counter. All operations are relaxed atomics.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Integer gauge (queue depths, in-flight counts). add() returns the new
+/// value so callers can gate on it without a separate load (the serving
+/// layer's lock-free admission check).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t add(std::int64_t delta) noexcept {
+    return value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Ordered label set attached to one series ({key, value} pairs; order is
+/// preserved in the exposition output).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Named metric registry with Prometheus text exposition.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry engine- and compile-layer metrics use.
+  [[nodiscard]] static Registry& global();
+
+  /// Register (or look up) a metric. The returned reference stays valid
+  /// for the registry's lifetime; call sites cache it in a static or a
+  /// member so the hot path never re-enters the registry mutex.
+  /// \throws std::invalid_argument when (name, labels) already exists
+  ///         with a different metric type, or when `name` is empty.
+  Counter& counter(std::string_view name, std::string_view help,
+                   Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               Labels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       Labels labels = {},
+                       Histogram::Options options = Histogram::latency_us());
+
+  /// Lookup without registering; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(std::string_view name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      std::string_view name, const Labels& labels = {}) const;
+
+  /// Render every registered metric in the Prometheus text exposition
+  /// format: HELP/TYPE headers once per family, one line per series;
+  /// histograms emit cumulative `_bucket{le=...}` lines plus `_sum` and
+  /// `_count`, and additionally `<name>_p50/_p95/_p99` gauge families so
+  /// scrapers get quantiles without recomputing them from buckets.
+  [[nodiscard]] std::string prometheus() const;
+
+  /// Zero every registered metric (bench/test isolation helper).
+  void reset_all();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  [[nodiscard]] Entry* find_entry(std::string_view name, const Labels& labels,
+                                  Kind kind);
+  [[nodiscard]] const Entry* find_entry_const(std::string_view name,
+                                              const Labels& labels) const;
+
+  mutable std::mutex mutex_;
+  /// Registration order drives exposition order; deque keeps references
+  /// stable across growth.
+  std::deque<Entry> entries_;
+};
+
+/// Render one label set as `{k1="v1",k2="v2"}` (empty string for no
+/// labels); values are escaped per the exposition format.
+[[nodiscard]] std::string prometheus_labels(const Labels& labels);
+
+}  // namespace oscs::obs

@@ -1,0 +1,127 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.hpp"
+
+namespace oscs::obs {
+
+namespace {
+
+thread_local Trace* t_current_trace = nullptr;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string Trace::make_id() {
+  // Sequence counter mixed with a per-process steady-clock salt: unique
+  // within the process, and distinct across processes started at
+  // different times (good enough for log correlation; no global
+  // coordination intended).
+  static std::atomic<std::uint64_t> sequence{0};
+  static const std::uint64_t salt = splitmix64(static_cast<std::uint64_t>(
+      Clock::now().time_since_epoch().count()));
+  const std::uint64_t id = splitmix64(
+      salt ^ sequence.fetch_add(1, std::memory_order_relaxed));
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, id);
+  return buf;
+}
+
+Trace::Trace(std::string id) : id_(std::move(id)), t0_(Clock::now()) {}
+
+int Trace::begin_span(std::string_view name) {
+  const int index = static_cast<int>(spans_.size());
+  SpanRecord record;
+  record.name = std::string(name);
+  record.parent = open_.empty() ? -1 : open_.back();
+  const Clock::time_point now = Clock::now();
+  record.start_us =
+      std::chrono::duration<double, std::micro>(now - t0_).count();
+  spans_.push_back(std::move(record));
+  starts_.push_back(now);
+  open_.push_back(index);
+  return index;
+}
+
+void Trace::end_span(int index) {
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  SpanRecord& record = spans_[static_cast<std::size_t>(index)];
+  if (!record.open) return;
+  record.duration_us = std::chrono::duration<double, std::micro>(
+                           Clock::now() - starts_[static_cast<std::size_t>(
+                                              index)])
+                           .count();
+  record.open = false;
+  // Unwind the open stack down to (and including) this span, so a span
+  // closed before its children still leaves a consistent stack.
+  while (!open_.empty()) {
+    const int top = open_.back();
+    open_.pop_back();
+    if (top == index) break;
+    spans_[static_cast<std::size_t>(top)].open = false;
+  }
+}
+
+double Trace::elapsed_us() const {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0_)
+      .count();
+}
+
+Trace* current_trace() noexcept { return t_current_trace; }
+
+TraceScope::TraceScope(Trace* trace) noexcept : previous_(t_current_trace) {
+  t_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { t_current_trace = previous_; }
+
+TraceLog::TraceLog(Options options) : options_(std::move(options)) {
+  if (enabled()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_.open(options_.path, std::ios::app);
+  }
+}
+
+void TraceLog::observe(const Trace& trace, std::string_view request_id,
+                       std::string_view status) {
+  if (!enabled()) return;
+  // The sampling decision is one relaxed fetch_add; only sampled traces
+  // pay for serialization and the file mutex.
+  const std::uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
+  if (n % options_.sample_every != 0) return;
+
+  JsonWriter json(/*pretty=*/false);
+  json.begin_object()
+      .field("trace_id", trace.id())
+      .field("request_id", request_id)
+      .field("status", status)
+      .field("total_us", trace.elapsed_us());
+  json.key("spans").begin_array();
+  for (const Trace::SpanRecord& span : trace.spans()) {
+    json.begin_object()
+        .field("name", span.name)
+        .field("parent", span.parent)
+        .field("start_us", span.start_us)
+        .field("duration_us", span.duration_us)
+        .end_object();
+  }
+  json.end_array().end_object();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) {
+    out_ << json.str();  // str() ends with '\n'
+    // Sampled writes are rare; flushing each keeps the file tail-able
+    // and complete even while the process keeps running.
+    out_.flush();
+  }
+}
+
+}  // namespace oscs::obs

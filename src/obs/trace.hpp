@@ -1,0 +1,144 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Per-request trace spans: a Trace owns a tree of named, timed
+///        spans (parse -> resolve -> compile -> execute -> serialize in
+///        the serving layer), Span is the RAII timer that builds it, and
+///        TraceLog optionally appends sampled traces as JSONL.
+///
+/// A Trace is single-threaded by design: one request, one thread, one
+/// trace. Layers that cannot be handed the trace explicitly (the compiler
+/// running inside a cache factory, for instance) pick it up through the
+/// thread-local current_trace() installed by TraceScope; Span tolerates a
+/// null trace, so instrumented code needs no "is tracing on" branches.
+///
+/// Timing uses std::chrono::steady_clock exclusively - wall-clock jumps
+/// must never corrupt latency spans.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oscs::obs {
+
+/// One request's span tree. Not thread-safe (single-threaded per request).
+class Trace {
+ public:
+  /// Process-unique 16-hex-digit id (an atomic sequence mixed through
+  /// SplitMix64 with a per-process steady-clock salt).
+  [[nodiscard]] static std::string make_id();
+
+  explicit Trace(std::string id = make_id());
+
+  /// One completed (or open) span. `parent` indexes into spans(); -1 for
+  /// roots. Times are microseconds relative to the trace start.
+  struct SpanRecord {
+    std::string name;
+    int parent = -1;
+    double start_us = 0.0;
+    double duration_us = 0.0;
+    bool open = true;
+  };
+
+  /// Open a span nested under the innermost open span. Returns its index.
+  [[nodiscard]] int begin_span(std::string_view name);
+  /// Close span `index`, fixing its duration. Closing out of order is
+  /// tolerated (the open stack unwinds down to the closed span).
+  void end_span(int index);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept {
+    return spans_;
+  }
+  /// Microseconds since the trace was constructed.
+  [[nodiscard]] double elapsed_us() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::string id_;
+  Clock::time_point t0_;
+  std::vector<SpanRecord> spans_;
+  std::vector<Clock::time_point> starts_;  ///< parallel to spans_
+  std::vector<int> open_;                  ///< stack of open span indices
+};
+
+/// RAII span: opens on construction, closes on destruction. A null trace
+/// makes every operation a no-op, so call sites never branch on sampling.
+class Span {
+ public:
+  Span(Trace* trace, std::string_view name)
+      : trace_(trace), index_(trace ? trace->begin_span(name) : -1) {}
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Close early (idempotent; the destructor then does nothing).
+  void end() {
+    if (trace_ != nullptr && index_ >= 0) trace_->end_span(index_);
+    index_ = -1;
+  }
+
+ private:
+  Trace* trace_;
+  int index_;
+};
+
+/// The calling thread's active trace (nullptr when none is installed).
+[[nodiscard]] Trace* current_trace() noexcept;
+
+/// Installs `trace` as the thread's current trace for its own lifetime,
+/// restoring the previous one on destruction (scopes nest).
+class TraceScope {
+ public:
+  explicit TraceScope(Trace* trace) noexcept;
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* previous_;
+};
+
+/// Sampled JSONL trace sink: every `sample_every`-th completed trace is
+/// appended to `path` as one JSON line
+///   {"trace_id": ..., "request_id": ..., "status": ...,
+///    "total_us": ..., "spans": [{"name", "parent", "start_us",
+///    "duration_us"}...]}
+/// Thread-safe; the mutex sits only on the sampled (cold) write path -
+/// the sampling decision itself is one relaxed fetch_add.
+class TraceLog {
+ public:
+  struct Options {
+    std::string path;             ///< JSONL file (appended)
+    std::size_t sample_every = 0; ///< 0 disables; 1 logs every trace
+  };
+
+  TraceLog() = default;
+  explicit TraceLog(Options options);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return options_.sample_every > 0 && !options_.path.empty();
+  }
+
+  /// Record one completed trace; writes only when it lands on the sample
+  /// grid. `request_id` and `status` are echoed into the line.
+  void observe(const Trace& trace, std::string_view request_id,
+               std::string_view status);
+
+ private:
+  Options options_;
+  std::atomic<std::uint64_t> seen_{0};
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace oscs::obs

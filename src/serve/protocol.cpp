@@ -167,6 +167,8 @@ ServeRequest parse_request(const std::string& text) {
         req.op = RequestOp::kEvaluate;
       } else if (op == "metrics") {
         req.op = RequestOp::kMetrics;
+      } else if (op == "metrics_prom") {
+        req.op = RequestOp::kMetricsProm;
       } else if (op == "ping") {
         req.op = RequestOp::kPing;
       } else {
@@ -174,6 +176,8 @@ ServeRequest parse_request(const std::string& text) {
       }
     } else if (key == "id") {
       req.id = member_string(value, "id");
+    } else if (key == "trace") {
+      req.trace = member_string(value, "trace");
     } else if (key == "programs") {
       if (!value.is_array()) bad_request("'programs' must be an array");
       for (const JsonValue& entry : value.items()) {
@@ -266,7 +270,9 @@ std::string write_response(const ServeResponse& response) {
   JsonWriter json(/*pretty=*/false);
   json.begin_object();
   if (!response.id.empty()) json.field("id", response.id);
-  json.field("ok", true).field("fused", response.fused);
+  json.field("ok", true);
+  if (!response.trace_id.empty()) json.field("trace_id", response.trace_id);
+  json.field("fused", response.fused);
   json.key("programs").begin_array();
   for (const std::string& id : response.programs) json.value(id);
   json.end_array();
@@ -305,11 +311,14 @@ std::string write_response(const ServeResponse& response) {
 
 std::string write_error(const std::string& request_id, int status,
                         const std::string& reason,
-                        const std::string& message) {
+                        const std::string& message,
+                        const std::string& trace_id) {
   JsonWriter json(/*pretty=*/false);
   json.begin_object();
   if (!request_id.empty()) json.field("id", request_id);
-  json.field("ok", false)
+  json.field("ok", false);
+  if (!trace_id.empty()) json.field("trace_id", trace_id);
+  json
       .key("error")
       .begin_object()
       .field("status", status)

@@ -10,8 +10,12 @@
 ///        compact writer on the way out.
 ///
 /// Request:
-///   {"op": "evaluate",                 // default; also "metrics", "ping"
+///   {"op": "evaluate",                 // default; also "metrics",
+///                                      // "metrics_prom", "ping"
 ///    "id": "client-42",                // optional, echoed back
+///    "trace": "abcd0123",              // optional client trace id; the
+///                                      // server generates one otherwise
+///                                      // and echoes it as "trace_id"
 ///    "programs": [{"function": "sigmoid"},
 ///                 {"function": "tanh", "degree": 4},
 ///                 {"coefficients": [0.1, 0.5, 0.9], "id": "ramp"}],
@@ -35,7 +39,8 @@
 /// mix within one request.
 ///
 /// Response (success):
-///   {"id": ..., "ok": true, "fused": bool, "programs": [ids...],
+///   {"id": ..., "ok": true, "trace_id": ..., "fused": bool,
+///    "programs": [ids...],
 ///    "op": {...}, "cells": [{"program", "x", "stream_length", "repeats",
 ///    "expected", "optical_mean", "optical_ci", "abs_error_mean",
 ///    "abs_error_ci", "flip_rate"}...], "optical_mae": ...,
@@ -95,13 +100,21 @@ struct ProgramSpec {
   [[nodiscard]] std::string display_id() const;
 };
 
-enum class RequestOp : std::uint8_t { kEvaluate, kMetrics, kPing };
+enum class RequestOp : std::uint8_t {
+  kEvaluate,
+  kMetrics,      ///< JSON metrics document
+  kMetricsProm,  ///< Prometheus text exposition (JSON envelope with "body")
+  kPing,
+};
 
 /// A parsed, shape-validated request (semantic checks - registry lookup,
 /// admission - happen in the server).
 struct ServeRequest {
   RequestOp op = RequestOp::kEvaluate;
   std::string id;  ///< echoed into the response; may be empty
+  /// Client-supplied trace id; empty lets the server generate one. The
+  /// response carries the effective id as "trace_id" either way.
+  std::string trace;
   std::vector<ProgramSpec> programs;
   std::vector<double> xs;
   /// Second input coordinate (bivariate requests): pairs element-wise
@@ -149,6 +162,7 @@ struct StageLatency {
 /// A successful evaluation outcome.
 struct ServeResponse {
   std::string id;
+  std::string trace_id;  ///< request-scoped trace id (see obs/trace.hpp)
   bool fused = false;  ///< multi-program request ran the fused kernel
   std::vector<std::string> programs;  ///< display ids, request order
   oscs::OperatingPoint op{};          ///< operating point the batch ran at
@@ -163,8 +177,10 @@ struct ServeResponse {
 [[nodiscard]] std::string write_response(const ServeResponse& response);
 
 /// Serialize a failure as one compact JSON line (trailing '\n').
+/// `trace_id` is echoed when nonempty.
 [[nodiscard]] std::string write_error(const std::string& request_id,
                                       int status, const std::string& reason,
-                                      const std::string& message);
+                                      const std::string& message,
+                                      const std::string& trace_id = "");
 
 }  // namespace oscs::serve

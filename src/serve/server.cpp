@@ -22,33 +22,50 @@ double us_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
 }
 
-/// RAII slot in the bounded in-flight gate.
+constexpr const char* kRequestsHelp = "requests received (any op)";
+constexpr const char* kCompletedHelp = "successful evaluate responses";
+constexpr const char* kErrorsHelp = "error responses by reason";
+constexpr const char* kStageHelp = "per-stage request latency [microseconds]";
+
+/// RAII slot in the bounded in-flight gate. Lock-free: one atomic add
+/// claims a slot, and a result above the limit means the claim loses -
+/// give the slot back and reject. Rejection storms never serialize.
 class InFlightGuard {
  public:
-  InFlightGuard(std::mutex& mutex, ServerMetrics& counters,
-                std::size_t limit)
-      : mutex_(mutex), counters_(counters) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (counters_.in_flight >= limit) {
+  InFlightGuard(obs::Gauge& in_flight, std::size_t limit)
+      : in_flight_(in_flight) {
+    if (in_flight_.add(1) > static_cast<std::int64_t>(limit)) {
+      in_flight_.add(-1);
+      armed_ = false;
       throw ServeError(429, "busy",
                        "server at capacity (" + std::to_string(limit) +
                            " requests in flight)");
     }
-    ++counters_.in_flight;
   }
 
   ~InFlightGuard() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    --counters_.in_flight;
+    if (armed_) in_flight_.add(-1);
   }
 
   InFlightGuard(const InFlightGuard&) = delete;
   InFlightGuard& operator=(const InFlightGuard&) = delete;
 
  private:
-  std::mutex& mutex_;
-  ServerMetrics& counters_;
+  obs::Gauge& in_flight_;
+  bool armed_ = true;
 };
+
+StageStats stage_snapshot(const obs::Histogram& histogram) {
+  const obs::Histogram::Snapshot s = histogram.snapshot();
+  StageStats out;
+  out.count = static_cast<std::size_t>(s.count());
+  out.total_us = s.sum;
+  out.max_us = s.max;
+  out.p50_us = s.quantile(0.50);
+  out.p95_us = s.quantile(0.95);
+  out.p99_us = s.quantile(0.99);
+  return out;
+}
 
 void stage_json(JsonWriter& json, const char* name, const StageStats& stage) {
   json.key(name)
@@ -57,6 +74,9 @@ void stage_json(JsonWriter& json, const char* name, const StageStats& stage) {
       .field("total_us", stage.total_us)
       .field("mean_us", stage.mean_us())
       .field("max_us", stage.max_us)
+      .field("p50_us", stage.p50_us)
+      .field("p95_us", stage.p95_us)
+      .field("p99_us", stage.p99_us)
       .end_object();
 }
 
@@ -64,20 +84,53 @@ void stage_json(JsonWriter& json, const char* name, const StageStats& stage) {
 
 ProgramServer::ProgramServer(ServerOptions options)
     : options_(options),
-      compiler_(options.compile, options.cache_capacity) {}
-
-void ProgramServer::record_stage(StageStats ServerMetrics::* stage,
-                                 double us) {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  StageStats& s = counters_.*stage;
-  ++s.count;
-  s.total_us += us;
-  s.max_us = std::max(s.max_us, us);
-}
-
-void ProgramServer::bump(std::size_t ServerMetrics::* counter) {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  ++(counters_.*counter);
+      compiler_(options.compile, options.cache_capacity),
+      received_(registry_.counter("oscs_serve_requests_received_total",
+                                  kRequestsHelp)),
+      completed_univariate_(
+          registry_.counter("oscs_serve_requests_completed_total",
+                            kCompletedHelp, {{"arity", "univariate"}})),
+      completed_bivariate_(
+          registry_.counter("oscs_serve_requests_completed_total",
+                            kCompletedHelp, {{"arity", "bivariate"}})),
+      errors_{registry_.counter("oscs_serve_errors_total", kErrorsHelp,
+                                {{"reason", "bad_request"}}),
+              registry_.counter("oscs_serve_errors_total", kErrorsHelp,
+                                {{"reason", "unknown_function"}}),
+              registry_.counter("oscs_serve_errors_total", kErrorsHelp,
+                                {{"reason", "too_large"}}),
+              registry_.counter("oscs_serve_errors_total", kErrorsHelp,
+                                {{"reason", "busy"}}),
+              registry_.counter("oscs_serve_errors_total", kErrorsHelp,
+                                {{"reason", "compile_budget"}}),
+              registry_.counter("oscs_serve_errors_total", kErrorsHelp,
+                                {{"reason", "internal"}}),
+              registry_.counter("oscs_serve_errors_total", kErrorsHelp,
+                                {{"reason", "other"}})},
+      in_flight_(registry_.gauge("oscs_serve_in_flight",
+                                 "evaluate requests executing right now")),
+      cache_size_gauge_(registry_.gauge("oscs_serve_cache_size",
+                                        "compiled programs resident")),
+      cache_capacity_gauge_(registry_.gauge("oscs_serve_cache_capacity",
+                                            "program cache capacity")),
+      parse_hist_(registry_.histogram("oscs_serve_stage_latency_us",
+                                      kStageHelp, {{"stage", "parse"}},
+                                      obs::Histogram::latency_us())),
+      resolve_hist_(registry_.histogram("oscs_serve_stage_latency_us",
+                                        kStageHelp, {{"stage", "resolve"}},
+                                        obs::Histogram::latency_us())),
+      execute_hist_(registry_.histogram("oscs_serve_stage_latency_us",
+                                        kStageHelp, {{"stage", "execute"}},
+                                        obs::Histogram::latency_us())),
+      serialize_hist_(registry_.histogram(
+          "oscs_serve_stage_latency_us", kStageHelp,
+          {{"stage", "serialize"}}, obs::Histogram::latency_us())),
+      total_hist_(registry_.histogram("oscs_serve_stage_latency_us",
+                                      kStageHelp, {{"stage", "total"}},
+                                      obs::Histogram::latency_us())),
+      trace_log_(options.trace_log) {
+  cache_capacity_gauge_.set(
+      static_cast<std::int64_t>(compiler_.cache().capacity()));
 }
 
 std::unique_ptr<engine::ThreadPool> ProgramServer::acquire_pool() {
@@ -377,29 +430,47 @@ oscs::OperatingPoint ProgramServer::resolve_operating_point(
 }
 
 ServeResponse ProgramServer::handle(const ServeRequest& request) {
-  bump(&ServerMetrics::received);
+  received_.inc();
+  obs::Trace trace(request.trace.empty() ? obs::Trace::make_id()
+                                         : request.trace);
+  obs::TraceScope scope(&trace);
   try {
-    return evaluate(request);
+    ServeResponse response = evaluate(request, trace);
+    response.trace_id = trace.id();
+    total_hist_.record(trace.elapsed_us());
+    trace_log_.observe(trace, request.id, "ok");
+    return response;
   } catch (const ServeError& e) {
     count_error(e.reason());
+    trace_log_.observe(trace, request.id, e.reason());
     throw;
   } catch (const std::exception&) {
-    bump(&ServerMetrics::failed);
+    count_error("internal");
+    trace_log_.observe(trace, request.id, "internal");
     throw;
   }
 }
 
 void ProgramServer::count_error(const std::string& reason) {
   if (reason == "busy") {
-    bump(&ServerMetrics::rejected_busy);
+    errors_.busy.inc();
   } else if (reason == "compile_budget") {
-    bump(&ServerMetrics::rejected_budget);
+    errors_.compile_budget.inc();
+  } else if (reason == "bad_request") {
+    errors_.bad_request.inc();
+  } else if (reason == "unknown_function") {
+    errors_.unknown_function.inc();
+  } else if (reason == "too_large") {
+    errors_.too_large.inc();
+  } else if (reason == "internal") {
+    errors_.internal.inc();
   } else {
-    bump(&ServerMetrics::failed);
+    errors_.other.inc();
   }
 }
 
-ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
+ServeResponse ProgramServer::evaluate(const ServeRequest& request,
+                                      obs::Trace& trace) {
   if (request.op != RequestOp::kEvaluate) {
     throw ServeError(400, "bad_request",
                      "handle() only serves evaluate requests");
@@ -440,17 +511,22 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
                          " stream bits, above the per-request budget of " +
                          std::to_string(options_.max_request_bits));
   }
-  const auto t0 = Clock::now();
-  InFlightGuard guard(metrics_mutex_, counters_, options_.max_in_flight);
+  InFlightGuard guard(in_flight_, options_.max_in_flight);
 
   ServeResponse response;
   response.id = request.id;
   response.programs.reserve(request.programs.size());
 
   const auto t_resolve = Clock::now();
-  Resolved resolved = resolve(request);
+  Resolved resolved;
+  {
+    // Compile/certify spans attach under this one through the thread-
+    // local trace scope (the compiler runs inside the cache factory).
+    obs::Span span(&trace, "resolve");
+    resolved = resolve(request);
+  }
   response.latency.resolve_us = us_since(t_resolve);
-  record_stage(&ServerMetrics::resolve, response.latency.resolve_us);
+  resolve_hist_.record(response.latency.resolve_us);
 
   const oscs::OperatingPoint op = resolve_operating_point(request, resolved);
 
@@ -471,6 +547,7 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
   engine::BatchSummary summary;
   response.fused = request.programs.size() > 1;
   {
+    obs::Span span(&trace, "execute");
     // Leased, not constructed: thread spawn/join stays off the warm path.
     // A worker-task exception leaves the pool reusable (ThreadPool
     // contract), so the lease returns it to the free list either way.
@@ -491,7 +568,7 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
     release_pool(std::move(pool));
   }
   response.latency.execute_us = us_since(t_execute);
-  record_stage(&ServerMetrics::execute, response.latency.execute_us);
+  execute_hist_.record(response.latency.execute_us);
 
   response.programs = resolved.labels;
   response.op = summary.op;
@@ -516,64 +593,117 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request) {
     response.cells.push_back(std::move(out));
   }
 
-  response.latency.total_us = us_since(t0);
-  {
-    // One lock scope for both counters, so a concurrent metrics read can
-    // never observe completed != completed_univariate + completed_bivariate.
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++counters_.completed;
-    ++(resolved.bivariate ? counters_.completed_bivariate
-                          : counters_.completed_univariate);
-  }
+  response.latency.total_us = trace.elapsed_us();
+  // Completion is two arity counters; `completed` is derived as their sum
+  // at snapshot time, so the invariant holds without a lock here.
+  (resolved.bivariate ? completed_bivariate_ : completed_univariate_).inc();
   return response;
 }
 
 std::string ProgramServer::handle_json(const std::string& line) {
   const auto t0 = Clock::now();
-  bump(&ServerMetrics::received);
+  received_.inc();
+  obs::Trace trace;
+  obs::TraceScope scope(&trace);
   std::string request_id;
   try {
-    ServeRequest request = parse_request(line);
+    ServeRequest request;
+    {
+      obs::Span span(&trace, "parse");
+      request = parse_request(line);
+    }
     request_id = request.id;
+    if (!request.trace.empty()) trace.set_id(request.trace);
     const double parse_us = us_since(t0);
-    record_stage(&ServerMetrics::parse, parse_us);
+    parse_hist_.record(parse_us);
 
     switch (request.op) {
       case RequestOp::kPing: {
         JsonWriter json(/*pretty=*/false);
         json.begin_object();
         if (!request.id.empty()) json.field("id", request.id);
-        json.field("ok", true).field("pong", true).end_object();
+        json.field("ok", true)
+            .field("trace_id", trace.id())
+            .field("pong", true)
+            .end_object();
         return json.str();
       }
       case RequestOp::kMetrics:
         return metrics_json(/*pretty=*/false, request.id);
+      case RequestOp::kMetricsProm:
+        return metrics_prom_json(request.id);
       case RequestOp::kEvaluate: {
-        ServeResponse response = evaluate(request);
+        ServeResponse response = evaluate(request, trace);
         response.latency.parse_us = parse_us;
-        response.latency.total_us = us_since(t0);
-        return write_response(response);
+        response.trace_id = trace.id();
+        std::string text;
+        {
+          obs::Span span(&trace, "serialize");
+          const auto t_serialize = Clock::now();
+          response.latency.total_us = us_since(t0);
+          text = write_response(response);
+          serialize_hist_.record(us_since(t_serialize));
+        }
+        total_hist_.record(us_since(t0));
+        trace_log_.observe(trace, request_id, "ok");
+        return text;
       }
     }
     throw ServeError(500, "internal", "unhandled request op");
   } catch (const ServeError& e) {
     count_error(e.reason());
-    return write_error(request_id, e.status(), e.reason(), e.what());
+    trace_log_.observe(trace, request_id, e.reason());
+    return write_error(request_id, e.status(), e.reason(), e.what(),
+                       trace.id());
   } catch (const std::exception& e) {
-    bump(&ServerMetrics::failed);
-    return write_error(request_id, 500, "internal", e.what());
+    count_error("internal");
+    trace_log_.observe(trace, request_id, "internal");
+    return write_error(request_id, 500, "internal", e.what(), trace.id());
   }
 }
 
 ServerMetrics ProgramServer::metrics() const {
   ServerMetrics snapshot;
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    snapshot = counters_;
-  }
   snapshot.cache = compiler_.cache().stats();
   snapshot.cache_size = compiler_.cache().size();
   snapshot.cache_capacity = compiler_.cache().capacity();
+
+  snapshot.received = static_cast<std::size_t>(received_.value());
+  snapshot.completed_univariate =
+      static_cast<std::size_t>(completed_univariate_.value());
+  snapshot.completed_bivariate =
+      static_cast<std::size_t>(completed_bivariate_.value());
+  // Derived, never stored: the invariant survives any interleaving of
+  // concurrent completions with this read.
+  snapshot.completed =
+      snapshot.completed_univariate + snapshot.completed_bivariate;
+
+  snapshot.errors = {
+      {"bad_request", static_cast<std::size_t>(errors_.bad_request.value())},
+      {"unknown_function",
+       static_cast<std::size_t>(errors_.unknown_function.value())},
+      {"too_large", static_cast<std::size_t>(errors_.too_large.value())},
+      {"busy", static_cast<std::size_t>(errors_.busy.value())},
+      {"compile_budget",
+       static_cast<std::size_t>(errors_.compile_budget.value())},
+      {"internal", static_cast<std::size_t>(errors_.internal.value())},
+      {"other", static_cast<std::size_t>(errors_.other.value())},
+  };
+  snapshot.rejected_busy = snapshot.errors["busy"];
+  snapshot.rejected_budget = snapshot.errors["compile_budget"];
+  snapshot.failed = snapshot.errors["bad_request"] +
+                    snapshot.errors["unknown_function"] +
+                    snapshot.errors["too_large"] +
+                    snapshot.errors["internal"] + snapshot.errors["other"];
+  const std::int64_t in_flight = in_flight_.value();
+  snapshot.in_flight =
+      in_flight > 0 ? static_cast<std::size_t>(in_flight) : 0;
+
+  snapshot.parse = stage_snapshot(parse_hist_);
+  snapshot.resolve = stage_snapshot(resolve_hist_);
+  snapshot.execute = stage_snapshot(execute_hist_);
+  snapshot.serialize = stage_snapshot(serialize_hist_);
+  snapshot.total = stage_snapshot(total_hist_);
   return snapshot;
 }
 
@@ -605,12 +735,45 @@ std::string ProgramServer::metrics_json(bool pretty,
       .field("failed", m.failed)
       .field("in_flight", m.in_flight)
       .end_object();
+  json.key("errors").begin_object();
+  for (const auto& [reason, count] : m.errors) {
+    json.field(reason.c_str(), count);
+  }
+  json.end_object();
   json.key("latency_us").begin_object();
   stage_json(json, "parse", m.parse);
   stage_json(json, "resolve", m.resolve);
   stage_json(json, "execute", m.execute);
+  stage_json(json, "serialize", m.serialize);
+  stage_json(json, "total", m.total);
   json.end_object();
   json.end_object().end_object();
+  return json.str();
+}
+
+std::string ProgramServer::metrics_prometheus() const {
+  // Scrape-time gauges: the cache answers for itself, the exposition just
+  // reflects it.
+  cache_size_gauge_.set(static_cast<std::int64_t>(compiler_.cache().size()));
+  cache_capacity_gauge_.set(
+      static_cast<std::int64_t>(compiler_.cache().capacity()));
+  // Serve families first (this instance), then the process-global
+  // registry (engine pools, batch throughput, compile pipeline).
+  return registry_.prometheus() + obs::Registry::global().prometheus();
+}
+
+std::string ProgramServer::metrics_prom_json(
+    const std::string& request_id) const {
+  // The exposition text is multi-line; the wire protocol is one document
+  // per line - so the text ships inside a JSON envelope whose writer
+  // escapes the newlines.
+  JsonWriter json(/*pretty=*/false);
+  json.begin_object();
+  if (!request_id.empty()) json.field("id", request_id);
+  json.field("ok", true)
+      .field("content_type", "text/plain; version=0.0.4")
+      .field("body", metrics_prometheus())
+      .end_object();
   return json.str();
 }
 

@@ -16,9 +16,22 @@
 ///     degree above `max_cold_degree` is rejected with 429
 ///     "compile_budget" unless the program is already resident, keeping
 ///     expensive cold pipelines from starving cheap warm traffic.
-/// Metrics ("op": "metrics", never gated) export the cache counters
-/// (hits/misses/inserts/evictions/coalesced), request counters and
-/// per-stage latency accumulators.
+///
+/// Observability (src/obs): every request-path record is a lock-free
+/// atomic - counters per outcome (arity, error reason), the in-flight
+/// gauge doubling as the admission gate, and per-stage log-bucket latency
+/// histograms (parse/resolve/execute/serialize/total) - so metric
+/// recording never serializes concurrent requests; the only locks left in
+/// the server guard the engine/pool caches. Each request runs under a
+/// trace (parse -> resolve -> compile/certify -> execute -> serialize
+/// spans; the id is echoed as "trace_id", client-suppliable via "trace")
+/// with an optional sampled JSONL trace log. Export goes two ways:
+///   * {"op": "metrics"} - the JSON document (back-compatible keys, now
+///     with *_p50/_p95/_p99 per stage plus serialize/total stages and a
+///     per-reason error breakdown);
+///   * {"op": "metrics_prom"} - the Prometheus text exposition (server
+///     families plus the process-global engine/compile registry) wrapped
+///     in a one-line JSON envelope {"ok", "content_type", "body"}.
 
 #include <cstddef>
 #include <map>
@@ -30,6 +43,9 @@
 #include "common/operating_point.hpp"
 #include "compile/compiler.hpp"
 #include "engine/batch.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 
 namespace oscs::serve {
@@ -53,13 +69,21 @@ struct ServerOptions {
   std::size_t threads = 2;
   /// Compiler pipeline defaults (certification settings etc.).
   compile::CompileOptions compile{};
+  /// Sampled JSONL trace sink (disabled by default; set a path and
+  /// sample_every >= 1 to log every N-th request's span tree).
+  obs::TraceLog::Options trace_log{};
 };
 
-/// One latency accumulator (microseconds).
+/// One stage's latency snapshot (microseconds). Derived at export time
+/// from the stage's lock-free histogram; the legacy mean/max fields are
+/// preserved and tail quantiles ride alongside.
 struct StageStats {
   std::size_t count = 0;
   double total_us = 0.0;
   double max_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
 
   [[nodiscard]] double mean_us() const noexcept {
     return count == 0 ? 0.0 : total_us / static_cast<double>(count);
@@ -73,18 +97,25 @@ struct ServerMetrics {
   std::size_t cache_capacity = 0;
 
   std::size_t received = 0;         ///< requests of any op
-  std::size_t completed = 0;        ///< successful evaluates
-  /// Successful evaluates by arity; the two always sum to `completed`.
+  /// Successful evaluates. Derived as the sum of the per-arity counters
+  /// at snapshot time, so the invariant completed == completed_univariate
+  /// + completed_bivariate holds even while requests are landing.
+  std::size_t completed = 0;
   std::size_t completed_univariate = 0;
   std::size_t completed_bivariate = 0;
   std::size_t rejected_busy = 0;    ///< 429 in-flight gate
   std::size_t rejected_budget = 0;  ///< 429 cold-compile budget
   std::size_t failed = 0;           ///< every other error response
   std::size_t in_flight = 0;        ///< evaluates executing right now
+  /// Error responses by reason (includes busy/compile_budget; `failed`
+  /// equals the sum of the non-rejection reasons).
+  std::map<std::string, std::size_t> errors;
 
-  StageStats parse;    ///< request text -> ServeRequest
-  StageStats resolve;  ///< program resolution incl. compiles
-  StageStats execute;  ///< batch engine run
+  StageStats parse;      ///< request text -> ServeRequest
+  StageStats resolve;    ///< program resolution incl. compiles
+  StageStats execute;    ///< batch engine run
+  StageStats serialize;  ///< response -> JSON line
+  StageStats total;      ///< request in -> response out
 };
 
 /// The serving core. Thread-safe: any number of transport threads may call
@@ -109,6 +140,11 @@ class ProgramServer {
   /// nonempty.
   [[nodiscard]] std::string metrics_json(
       bool pretty = false, const std::string& request_id = "") const;
+  /// The Prometheus text exposition: this server's families (requests,
+  /// errors, stage latency histograms with p50/p95/p99, cache size)
+  /// followed by the process-global registry (engine pools, batch
+  /// throughput, compile pipeline). Scrape-ready as-is.
+  [[nodiscard]] std::string metrics_prometheus() const;
 
   /// The shared compiler (e.g. to pre-warm the cache before traffic).
   [[nodiscard]] compile::Compiler& compiler() noexcept { return compiler_; }
@@ -143,9 +179,25 @@ class ProgramServer {
     oscs::OperatingPoint design_point{};
   };
 
+  /// Per-reason error counters: a fixed set of lock-free counters (the
+  /// reasons ServeError can carry are bounded), so the rejection storm
+  /// path stays atomic-only.
+  struct ErrorCounters {
+    obs::Counter& bad_request;
+    obs::Counter& unknown_function;
+    obs::Counter& too_large;
+    obs::Counter& busy;
+    obs::Counter& compile_budget;
+    obs::Counter& internal;
+    obs::Counter& other;
+  };
+
   /// The evaluate path both public entry points share (admission gate,
-  /// resolution, execution); counting happens in the callers.
-  [[nodiscard]] ServeResponse evaluate(const ServeRequest& request);
+  /// resolution, execution); counting happens in the callers. `trace`
+  /// receives the resolve/execute spans (compile spans attach through the
+  /// thread-local scope).
+  [[nodiscard]] ServeResponse evaluate(const ServeRequest& request,
+                                       obs::Trace& trace);
   [[nodiscard]] Resolved resolve(const ServeRequest& request);
   [[nodiscard]] const OrderEngine& order_engine(std::size_t order);
   /// Fallback engine for bivariate order pairs no compiled program
@@ -154,10 +206,9 @@ class ProgramServer {
                                                  std::size_t order_y);
   [[nodiscard]] oscs::OperatingPoint resolve_operating_point(
       const ServeRequest& request, const Resolved& resolved) const;
-
-  void record_stage(StageStats ServerMetrics::* stage, double us);
-  void bump(std::size_t ServerMetrics::* counter);
   void count_error(const std::string& reason);
+  [[nodiscard]] std::string metrics_prom_json(
+      const std::string& request_id) const;
 
   /// Thread pools are reused across requests (spawning threads per
   /// request would sit on the warm hot path); the free list is bounded
@@ -175,8 +226,26 @@ class ProgramServer {
   std::mutex pools_mutex_;
   std::vector<std::unique_ptr<engine::ThreadPool>> idle_pools_;
 
-  mutable std::mutex metrics_mutex_;
-  ServerMetrics counters_;  ///< cache fields filled on export
+  /// Per-instance metric registry (declared before the references into
+  /// it). Request counting is lock-free; this registry also renders the
+  /// serve families of metrics_prometheus().
+  obs::Registry registry_;
+  obs::Counter& received_;
+  obs::Counter& completed_univariate_;
+  obs::Counter& completed_bivariate_;
+  ErrorCounters errors_;
+  /// Doubles as the admission gate: add(1) returning a value above
+  /// max_in_flight means the slot must be given back and the request
+  /// rejected - no mutex on the gate.
+  obs::Gauge& in_flight_;
+  obs::Gauge& cache_size_gauge_;      ///< refreshed at scrape time
+  obs::Gauge& cache_capacity_gauge_;  ///< refreshed at scrape time
+  obs::Histogram& parse_hist_;
+  obs::Histogram& resolve_hist_;
+  obs::Histogram& execute_hist_;
+  obs::Histogram& serialize_hist_;
+  obs::Histogram& total_hist_;
+  obs::TraceLog trace_log_;
 };
 
 }  // namespace oscs::serve

@@ -1,0 +1,223 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace oscs::obs {
+namespace {
+
+/// Exact quantile of a sorted sample set (nearest-rank with the same
+/// rank convention the histogram uses: rank = q * n, 1-based ceiling).
+double exact_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t index =
+      rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  index = std::min(index, sorted.size() - 1);
+  return sorted[index];
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, RejectsDegenerateOptions) {
+  EXPECT_THROW(Histogram(Histogram::Options{0.0, 1.5, 8}),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram(Histogram::Options{1.0, 1.0, 8}),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram(Histogram::Options{1.0, 1.5, 0}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, TracksSumMinMaxExactly) {
+  Histogram h;
+  for (double v : {3.0, 7.0, 11.0, 2.0}) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 23.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 11.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 23.0 / 4.0);
+}
+
+TEST(Histogram, BucketUpperBoundsAreInclusive) {
+  // Samples landing exactly on a bucket bound must count into that
+  // bucket, not the next one - (lo, hi] semantics throughout.
+  Histogram h(Histogram::Options{1.0, 2.0, 4});  // bounds 1, 2, 4, 8
+  const std::vector<double>& bounds = h.bounds();
+  ASSERT_EQ(bounds.size(), 4u);
+  for (double bound : bounds) h.record(bound);
+  const auto s = h.snapshot();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_EQ(s.counts[i], 1u) << "bucket " << i;
+  }
+  EXPECT_EQ(s.counts.back(), 0u);  // nothing overflowed
+}
+
+TEST(Histogram, ValuesAboveTopBoundLandInOverflow) {
+  Histogram h(Histogram::Options{1.0, 2.0, 4});  // top finite bound 8
+  h.record(8.0000001);
+  h.record(1e12);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.counts.back(), 2u);
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(Histogram, NegativeAndNanClampIntoFirstBucket) {
+  Histogram h;
+  h.record(-5.0);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(0.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.counts.front(), 3u);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.min, 0.0);  // clamped samples count as 0
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Histogram, QuantileMatchesExactReferenceWithinBucketError) {
+  // Seeded log-normal workload (latency-shaped): the histogram estimate
+  // must stay within the documented relative error bound `growth - 1`
+  // of the exact sorted-sample quantile.
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> dist(std::log(200.0), 0.8);
+  const Histogram::Options options = Histogram::latency_us();
+  Histogram h(options);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    h.record(v);
+  }
+  const auto s = h.snapshot();
+  for (double q : {0.25, 0.5, 0.9, 0.95, 0.99}) {
+    const double exact = exact_quantile(samples, q);
+    const double estimate = s.quantile(q);
+    EXPECT_NEAR(estimate, exact, exact * (options.growth - 1.0))
+        << "q = " << q;
+  }
+}
+
+TEST(Histogram, QuantileOnUniformSeededWorkload) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(1.0, 5000.0);
+  const Histogram::Options options = Histogram::latency_us();
+  Histogram h(options);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    h.record(v);
+  }
+  const auto s = h.snapshot();
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double exact = exact_quantile(samples, q);
+    EXPECT_NEAR(s.quantile(q), exact, exact * (options.growth - 1.0))
+        << "q = " << q;
+  }
+}
+
+TEST(Histogram, QuantileExtremesClampToRecordedRange) {
+  Histogram h;
+  for (double v : {10.0, 20.0, 30.0}) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_GE(s.quantile(0.0), s.min);
+  EXPECT_LE(s.quantile(1.0), s.max);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 30.0);
+}
+
+TEST(Histogram, SingleValueQuantilesCollapseToIt) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(750.0);
+  const auto s = h.snapshot();
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 750.0) << "q = " << q;
+  }
+}
+
+TEST(Histogram, MergeAddsCountsSumAndRange) {
+  Histogram a;
+  Histogram b;
+  for (double v : {5.0, 10.0}) a.record(v);
+  for (double v : {1.0, 100.0}) b.record(v);
+  a.merge(b);
+  const auto s = a.snapshot();
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 116.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayouts) {
+  Histogram a(Histogram::Options{1.0, 2.0, 8});
+  Histogram b(Histogram::Options{1.0, 1.5, 8});
+  Histogram c(Histogram::Options{1.0, 2.0, 16});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, ResetZeroesEverythingAndStaysUsable) {
+  Histogram h;
+  for (double v : {3.0, 9.0, 27.0}) h.record(v);
+  h.reset();
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  h.record(12.0);
+  s = h.snapshot();
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.min, 12.0);
+  EXPECT_DOUBLE_EQ(s.max, 12.0);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  // Hammer from several threads (the TSan job runs this suite): every
+  // sample must land, and the exactly-representable sum must reconcile.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(1 + (t + i) % 64));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(s.min, 1.0);
+  EXPECT_LE(s.max, 64.0);
+  // Integer-valued samples up to 64: every partial sum is exact in a
+  // double, so the CAS accumulation must agree with the serial total.
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      expected_sum += static_cast<double>(1 + (t + i) % 64);
+    }
+  }
+  EXPECT_DOUBLE_EQ(s.sum, expected_sum);
+}
+
+}  // namespace
+}  // namespace oscs::obs
