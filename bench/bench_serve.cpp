@@ -8,8 +8,13 @@
 ///      and metrics totals that add up exactly, plus the server's own
 ///      per-stage percentile breakdown and the engine pool's queue-wait
 ///      distribution for the same traffic.
+///   3. Accuracy observability: shadow-reference sampling at 100% on a
+///      certified sigmoid server - clean traffic at the certified
+///      operating point must stay inside the certified error budget (no
+///      false drift), then deliberately degraded probe power must fire
+///      exactly one latched drift alert and flip health to violating.
 /// Emits BENCH_serve.json for the CI perf trajectory; --prom additionally
-/// dumps the server's Prometheus text exposition to stdout.
+/// dumps both servers' Prometheus text expositions to stdout.
 
 #include <algorithm>
 #include <atomic>
@@ -22,6 +27,7 @@
 #include "bench/bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
+#include "obs/accuracy.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "serve/server.hpp"
@@ -209,6 +215,61 @@ int main(int argc, char** argv) {
               totals_consistent ? "consistent (PASS)"
                                 : "inconsistent (FAIL)");
 
+  // ---- Phase 3: accuracy observability on a certified server.
+  bench::section("Shadow-reference accuracy: certified vs degraded probe");
+  sv::ServerOptions acc_options;  // certify on: budget = MAE + CI
+  acc_options.threads = 0;
+  sv::ProgramServer acc_server(acc_options);
+  // The certification grid (grid_points = 9 -> x = 0.1 .. 0.9), fresh MC
+  // seeds per request: the shadow observes redraws of the certified
+  // statistic itself.
+  const std::string clean_request =
+      R"({"function": "sigmoid", "xs": [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],)"
+      R"( "stream_lengths": [4096], "repeats": 16, "seed": )";
+  constexpr int kCleanRequests = 10;
+  for (int r = 0; r < kCleanRequests; ++r) {
+    const std::string line = clean_request + std::to_string(100 + r) + "}";
+    if (!json_parse(acc_server.handle_json(line)).find("ok")->as_bool()) {
+      std::printf("FAIL: clean accuracy request rejected\n");
+      return 1;
+    }
+  }
+  const sv::AccuracyReport clean = acc_server.accuracy_report();
+  const bool no_false_drift =
+      clean.drift_total == 0 && !clean.programs.empty() &&
+      clean.programs.front().ewma <= clean.programs.front().budget;
+  std::printf("  certified operating point (%d requests): observed mean "
+              "%.3e, p99 %.3e, budget %.3e -> %s\n",
+              kCleanRequests, clean.observed.mean, clean.observed.p99,
+              clean.programs.empty() ? 0.0 : clean.programs.front().budget,
+              no_false_drift ? "no drift (PASS)" : "false drift (FAIL)");
+
+  // Starve the probe laser (min power for BER 1e-2 is ~0.11 mW): the
+  // observed error must blow the certified budget and latch ONE alert.
+  constexpr int kDegradedRequests = 4;
+  for (int r = 0; r < kDegradedRequests; ++r) {
+    const std::string line =
+        R"({"function": "sigmoid", "xs": [0.1, 0.3, 0.5, 0.7, 0.9],)"
+        R"( "stream_lengths": [4096], "repeats": 8, "probe_power_mw": 0.08,)"
+        R"( "seed": )" + std::to_string(7 + r) + "}";
+    if (!json_parse(acc_server.handle_json(line)).find("ok")->as_bool()) {
+      std::printf("FAIL: degraded accuracy request rejected\n");
+      return 1;
+    }
+  }
+  const sv::AccuracyReport degraded = acc_server.accuracy_report();
+  const bool drift_alerted =
+      degraded.drift_total == 1 &&
+      degraded.status == obs::SloState::kViolating;
+  std::printf("  degraded probe 0.08 mW (%d requests): ewma %.3e, drift "
+              "alerts %llu, health %s -> %s\n",
+              kDegradedRequests,
+              degraded.programs.empty() ? 0.0
+                                        : degraded.programs.front().ewma,
+              static_cast<unsigned long long>(degraded.drift_total),
+              std::string(obs::slo_state_name(degraded.status)).c_str(),
+              drift_alerted ? "latched once (PASS)" : "FAIL");
+
   // ---- Roll-up.
   JsonWriter json;
   json.begin_object()
@@ -252,20 +313,39 @@ int main(int argc, char** argv) {
       .field("p99_us", queue_wait.quantile(0.99))
       .field("max_us", queue_wait.max)
       .end_object();
+  json.key("accuracy")
+      .begin_object()
+      .field("shadow_fraction", degraded.shadow_fraction)
+      .field("sampled", degraded.sampled)
+      .field("unsampled", degraded.unsampled)
+      .field("observed_mean", degraded.observed.mean)
+      .field("observed_p99", degraded.observed.p99)
+      .field("clean_observed_mean", clean.observed.mean)
+      .field("clean_observed_p99", clean.observed.p99)
+      .field("certified_budget",
+             clean.programs.empty() ? 0.0 : clean.programs.front().budget)
+      .field("drift_count", degraded.drift_total)
+      .field("health", obs::slo_state_name(degraded.status))
+      .end_object();
   json.field("latency_pass", latency_pass)
       .field("single_flight_pass", no_duplicate_compiles)
       .field("metrics_pass", totals_consistent)
+      .field("no_false_drift_pass", no_false_drift)
+      .field("drift_alert_pass", drift_alerted)
       .end_object();
   write_text_file(json.str(), "BENCH_serve.json", "bench_serve");
 
   if (args.flag("prom")) {
     bench::section("Prometheus exposition (op: metrics_prom body)");
     std::fputs(shared.metrics_prometheus().c_str(), stdout);
+    bench::section("Prometheus exposition (accuracy server)");
+    std::fputs(acc_server.metrics_prometheus().c_str(), stdout);
   }
 
-  const bool pass =
-      latency_pass && all_ok && no_duplicate_compiles && totals_consistent;
-  std::printf("\n  %s: warm >= 50x cold, single-flight, metrics totals\n",
+  const bool pass = latency_pass && all_ok && no_duplicate_compiles &&
+                    totals_consistent && no_false_drift && drift_alerted;
+  std::printf("\n  %s: warm >= 50x cold, single-flight, metrics totals, "
+              "accuracy SLOs\n",
               pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -5,6 +5,30 @@
 
 namespace oscs::compile {
 
+std::string certification_json(const CompiledProgram& program) {
+  oscs::JsonWriter json;
+  json.begin_object()
+      .field("function", program.function_id())
+      .field("arity", program.is_bivariate() ? 2 : 1)
+      .field("certified", program.certification().has_value());
+  if (const auto& cert = program.certification(); cert.has_value()) {
+    json.key("operating_point");
+    oscs::operating_point_json(json, cert->op);
+    json.field("mc_mae", cert->mc_mae)
+        .field("mc_mae_ci", cert->mc_mae_ci)
+        .field("mc_worst", cert->mc_worst)
+        .field("error_budget", *program.certified_error_budget())
+        .field("electronic_mae", cert->electronic_mae)
+        .field("approx_max_error", cert->approx_max_error)
+        .field("stream_length", cert->stream_length)
+        .field("repeats", cert->repeats)
+        .field("grid_points", cert->grid_points)
+        .field("noise_enabled", cert->noise_enabled);
+  }
+  json.end_object();
+  return json.str();
+}
+
 oscs::CsvTable grid_csv(const GridCertification& grid) {
   oscs::CsvTable table({"function", "probe_power_mw", "ber", "snr",
                         "stream_length", "repeats", "mc_mae", "mc_mae_ci",

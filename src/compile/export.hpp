@@ -10,8 +10,17 @@
 
 #include "common/csv.hpp"
 #include "compile/certify.hpp"
+#include "compile/program.hpp"
 
 namespace oscs::compile {
+
+/// One program's certification record as a JSON object: function id,
+/// arity, the certified operating point, MC MAE/CI/worst, the derived
+/// error budget (mc_mae + mc_mae_ci - what runtime SLOs enforce) and the
+/// deterministic approximation floor. `{"certified": false}` with only
+/// the identity fields when the program was compiled without
+/// certification.
+[[nodiscard]] std::string certification_json(const CompiledProgram& program);
 
 /// One row per grid cell: function id, probe power, BER, SNR, stream
 /// length, repeats, MC MAE/CI/worst, electronic MAE, approximation floor.

@@ -158,6 +158,14 @@ class CompiledProgram {
       const noexcept {
     return cert_;
   }
+  /// The program's certified error budget: mc_mae + mc_mae_ci, i.e. the
+  /// upper edge of the certificate's 95% confidence band. This is the
+  /// number the serving layer's accuracy SLOs compare live observed error
+  /// against; nullopt when the program was compiled without certification.
+  [[nodiscard]] std::optional<double> certified_error_budget() const noexcept {
+    if (!cert_.has_value()) return std::nullopt;
+    return cert_->mc_mae + cert_->mc_mae_ci;
+  }
   /// Attach the MC certificate (compiler-internal, before the program is
   /// shared out of the cache).
   void attach_certification(Certification cert) { cert_ = cert; }

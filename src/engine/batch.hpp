@@ -99,9 +99,26 @@ struct BatchCell {
   double flip_rate_mean = 0.0;  ///< transmission flips per bit
 };
 
+/// Per-program accuracy roll-up over one batch, in request program order.
+/// The error here is |optical_mean - expected| per cell - the estimator's
+/// deviation from the exact Bernstein value of the program actually run,
+/// matching the error definition MC certification uses (certify.hpp), so
+/// runtime series and certified budgets compare apples to apples. (This
+/// differs from BatchCell::optical_abs_error_mean, which averages the
+/// per-repeat deviations and therefore includes the estimator's variance.)
+struct ProgramAccuracy {
+  std::size_t cells = 0;     ///< grid cells contributing to this program
+  double mean_error = 0.0;   ///< mean over cells of |optical_mean - B(x)|
+  double worst_error = 0.0;  ///< max over cells of the same
+  double ci_mean = 0.0;      ///< mean per-cell 95% CI half-width
+};
+
 /// Whole-batch outcome.
 struct BatchSummary {
   std::vector<BatchCell> cells;  ///< polynomial-major, then x, then length
+  /// One entry per requested program (request order): the certification-
+  /// aligned error roll-up the serving layer's accuracy plane consumes.
+  std::vector<ProgramAccuracy> program_accuracy;
   std::size_t tasks = 0;
   std::size_t total_bits = 0;      ///< stream bits evaluated end to end
   double optical_mae = 0.0;        ///< mean of per-cell optical error means

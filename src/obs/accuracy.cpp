@@ -1,0 +1,74 @@
+#include "obs/accuracy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oscs::obs {
+
+ShadowSampler::ShadowSampler(double fraction) noexcept
+    : fraction_(std::clamp(fraction, 0.0, 1.0)) {}
+
+std::uint64_t ShadowSampler::hash(std::string_view trace_id) noexcept {
+  // FNV-1a 64: tiny, allocation-free, and stable across platforms - the
+  // determinism contract is the whole point, so no seeding.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : trace_id) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double ShadowSampler::unit_variate(std::uint64_t hash) noexcept {
+  // Top 53 bits -> exactly representable uniform in [0, 1).
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+bool ShadowSampler::should_sample(std::string_view trace_id) const noexcept {
+  if (fraction_ >= 1.0) return true;  // "" and all ids sample at 1.0
+  if (fraction_ <= 0.0) return false;
+  return unit_variate(hash(trace_id)) < fraction_;
+}
+
+std::string_view slo_state_name(SloState state) noexcept {
+  switch (state) {
+    case SloState::kOk: return "ok";
+    case SloState::kDegraded: return "degraded";
+    case SloState::kViolating: return "violating";
+  }
+  return "ok";
+}
+
+ErrorBudgetSlo::ErrorBudgetSlo(Options options) : options_(options) {
+  if (!(options_.budget > 0.0)) {
+    throw std::invalid_argument("ErrorBudgetSlo: budget must be positive");
+  }
+  if (!(options_.exit_ratio > 0.0) || options_.exit_ratio > 1.0) {
+    throw std::invalid_argument(
+        "ErrorBudgetSlo: exit_ratio must lie in (0, 1]");
+  }
+}
+
+bool ErrorBudgetSlo::observe(double ewma, std::uint64_t samples) noexcept {
+  if (samples < options_.min_samples) return false;
+  const double release = options_.exit_ratio * options_.budget;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SloState cur = state_.load(std::memory_order_relaxed);
+  if (cur == SloState::kViolating) {
+    // Latched: only an EWMA below the release threshold lets go. Hovering
+    // between release and budget keeps the violation (no flapping).
+    if (ewma < release) {
+      state_.store(SloState::kOk, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  if (ewma > options_.budget) {
+    state_.store(SloState::kViolating, std::memory_order_relaxed);
+    return true;  // the one drift edge per excursion
+  }
+  state_.store(ewma > release ? SloState::kDegraded : SloState::kOk,
+               std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace oscs::obs

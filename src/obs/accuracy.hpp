@@ -1,0 +1,95 @@
+#pragma once
+/// \file accuracy.hpp
+/// \brief Accuracy-plane observability primitives: deterministic shadow
+///        sampling and error-budget SLO evaluation with hysteresis.
+///
+/// These are the policy pieces the serving layer composes into its
+/// accuracy observer (serve/accuracy.hpp): ShadowSampler decides which
+/// requests pay for a double-precision reference evaluation, and
+/// ErrorBudgetSlo turns a running error estimate (an obs::EwmaGauge) plus
+/// a compile-time certified budget into an ok/degraded/violating state
+/// with a latched drift edge. Both are transport- and program-agnostic,
+/// so they unit-test without a server.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+namespace oscs::obs {
+
+/// Deterministic trace-id-hash sampler. Whether a request is sampled is a
+/// pure function of (trace_id, fraction): the same trace id set always
+/// yields the identical sampled subset, across processes and across
+/// server instances — so a shadow-error investigation can replay exactly
+/// the requests that were shadowed in production. fraction is clamped to
+/// [0, 1]; 0 samples nothing, 1 samples everything.
+class ShadowSampler {
+ public:
+  explicit ShadowSampler(double fraction = 1.0) noexcept;
+
+  [[nodiscard]] bool should_sample(std::string_view trace_id) const noexcept;
+  [[nodiscard]] double fraction() const noexcept { return fraction_; }
+
+  /// FNV-1a 64-bit hash of the trace id (exposed so tests can pin the
+  /// sampling decision boundary).
+  [[nodiscard]] static std::uint64_t hash(std::string_view trace_id) noexcept;
+  /// The uniform-[0,1) variate derived from the hash (top 53 bits); a
+  /// trace is sampled iff unit_variate(hash(id)) < fraction.
+  [[nodiscard]] static double unit_variate(std::uint64_t hash) noexcept;
+
+ private:
+  double fraction_;
+};
+
+/// Per-program SLO verdict. Ordered by severity so "worst state across
+/// programs" is a plain max.
+enum class SloState : std::uint8_t { kOk = 0, kDegraded = 1, kViolating = 2 };
+
+[[nodiscard]] std::string_view slo_state_name(SloState state) noexcept;
+
+/// Error-budget SLO evaluator with hysteresis. Feed it the current EWMA
+/// of observed error after each sampled request; it latches into
+/// kViolating when the EWMA exceeds the budget and only releases once the
+/// EWMA drops below exit_ratio * budget — the gap prevents alert flapping
+/// when the series hovers at the boundary. Between the two thresholds the
+/// state reads kDegraded (close to budget but not violating, or draining
+/// out of a violation). Evaluation is suppressed until min_samples
+/// observations have landed, so a couple of unlucky early shadows cannot
+/// fire a drift alert before the EWMA means anything.
+class ErrorBudgetSlo {
+ public:
+  struct Options {
+    /// Absolute error budget (typically certified MAE + CI, optionally
+    /// scaled by a margin).
+    double budget = 0.05;
+    /// Release / degraded threshold as a fraction of the budget, in
+    /// (0, 1]. exit_ratio = 1 disables the hysteresis gap.
+    double exit_ratio = 0.8;
+    /// Observations required before the state can leave kOk.
+    std::uint64_t min_samples = 8;
+  };
+
+  /// \throws std::invalid_argument on a non-positive budget or an
+  ///         exit_ratio outside (0, 1].
+  explicit ErrorBudgetSlo(Options options);
+
+  /// Evaluate the SLO against the latest EWMA value. `samples` is the
+  /// EWMA's observation count (gates the warmup). Returns true exactly on
+  /// the ok/degraded -> violating edge — the caller increments its drift
+  /// counter on true, so a sustained violation counts once, not once per
+  /// request.
+  bool observe(double ewma, std::uint64_t samples) noexcept;
+
+  [[nodiscard]] SloState state() const noexcept {
+    return state_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+  std::mutex mutex_;                  ///< serializes observe() transitions
+  std::atomic<SloState> state_{SloState::kOk};
+};
+
+}  // namespace oscs::obs

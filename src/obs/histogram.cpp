@@ -50,6 +50,10 @@ Histogram::Options Histogram::size_units() {
   return Options{/*min_value=*/64.0, /*growth=*/2.0, /*buckets=*/32};
 }
 
+Histogram::Options Histogram::unit_error() {
+  return Options{/*min_value=*/1e-5, /*growth=*/1.5, /*buckets=*/40};
+}
+
 Histogram::Histogram(Options options) : options_(options) {
   if (!(options_.min_value > 0.0)) {
     throw std::invalid_argument("Histogram: min_value must be positive");

@@ -12,11 +12,23 @@
 /// grow geometrically from `min_value` by `growth`, plus one implicit
 /// overflow bucket. Bucket 0 covers (-inf, min_value] (negative or NaN
 /// samples clamp to it), bucket i covers (bound[i-1], bound[i]], and the
-/// overflow bucket covers (bound[buckets-1], +inf). A quantile estimate is
-/// therefore always inside the bucket the exact quantile falls in, i.e.
-/// its relative error is bounded by `growth - 1` for values above
-/// `min_value` (tighter in practice thanks to interpolation and the
-/// tracked min/max clamps).
+/// overflow bucket covers (bound[buckets-1], +inf).
+///
+/// Quantile accuracy bound: an estimate always lies inside the bucket the
+/// exact quantile falls in, so for values above `min_value` the relative
+/// error of quantile(q) is bounded by `growth - 1` (a bucket's upper bound
+/// is at most `growth` times its lower bound; interpolation and the
+/// tracked min/max clamps tighten this in practice). Below `min_value`
+/// the bound does not apply — everything collapses into bucket 0 — so
+/// pick `min_value` at or below the smallest value worth resolving.
+///
+/// Edge cases (pinned by tests/obs/test_histogram.cpp):
+///   * count == 0: quantile(q) returns 0 for every q (p50 = p95 = p99 = 0),
+///     as do mean(), min and max — an empty series reads as all-zeros, not
+///     NaN, so exporters never emit non-finite text.
+///   * count == 1: quantile(q) returns exactly the recorded sample for
+///     every q — the interpolated estimate is clamped to [min, max], which
+///     both equal the sample.
 
 #include <atomic>
 #include <cstddef>
@@ -44,6 +56,11 @@ class Histogram {
   /// Log-spaced size buckets (bits, bytes, counts): floor 64, 2x growth,
   /// 32 buckets -> covers up to ~2.7e11.
   [[nodiscard]] static Options size_units();
+  /// Log-spaced buckets for absolute errors and confidence intervals in
+  /// [0, 1]: floor 1e-5, 1.5x growth, 40 buckets -> covers up to ~0.7 with
+  /// <= 50% relative quantile error throughout the certified-MAE range
+  /// (1e-4 .. 1e-1).
+  [[nodiscard]] static Options unit_error();
 
   /// \throws std::invalid_argument on a non-positive min_value, a growth
   ///         factor <= 1, or zero buckets.

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <bit>
 #include <cstdio>
 #include <stdexcept>
 #include <unordered_set>
@@ -49,6 +50,49 @@ constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
 constexpr const char* kQuantileSuffix[] = {"_p50", "_p95", "_p99"};
 
 }  // namespace
+
+EwmaGauge::EwmaGauge(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("EwmaGauge: alpha must lie in (0, 1]");
+  }
+  reset();
+}
+
+void EwmaGauge::observe(double value) noexcept {
+  // The first observation seeds the average with the sample itself - an
+  // EWMA started at zero would need 1/alpha samples to forget a value the
+  // series never carried.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    value_bits_.store(std::bit_cast<std::uint64_t>(value),
+                      std::memory_order_relaxed);
+    return;
+  }
+  std::uint64_t cur = value_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double blended =
+        std::bit_cast<double>(cur) +
+        alpha_ * (value - std::bit_cast<double>(cur));
+    if (value_bits_.compare_exchange_weak(
+            cur, std::bit_cast<std::uint64_t>(blended),
+            std::memory_order_relaxed, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double EwmaGauge::value() const noexcept {
+  return std::bit_cast<double>(value_bits_.load(std::memory_order_relaxed));
+}
+
+std::uint64_t EwmaGauge::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+void EwmaGauge::reset() noexcept {
+  value_bits_.store(std::bit_cast<std::uint64_t>(0.0),
+                    std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
 
 std::string prometheus_labels(const Labels& labels) {
   if (labels.empty()) return "";
@@ -142,6 +186,22 @@ Histogram& Registry::histogram(std::string_view name, std::string_view help,
   return *entry.histogram;
 }
 
+EwmaGauge& Registry::ewma(std::string_view name, std::string_view help,
+                          Labels labels, double alpha) {
+  if (name.empty()) throw std::invalid_argument("Registry: empty metric name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = find_entry(name, labels, Kind::kEwma)) {
+    return *existing->ewma;
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.kind = Kind::kEwma;
+  entry.name = std::string(name);
+  entry.help = std::string(help);
+  entry.labels = std::move(labels);
+  entry.ewma = std::make_unique<EwmaGauge>(alpha);
+  return *entry.ewma;
+}
+
 const Counter* Registry::find_counter(std::string_view name,
                                       const Labels& labels) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -168,6 +228,14 @@ const Histogram* Registry::find_histogram(std::string_view name,
              : nullptr;
 }
 
+const EwmaGauge* Registry::find_ewma(std::string_view name,
+                                     const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = find_entry_const(name, labels);
+  return (entry != nullptr && entry->kind == Kind::kEwma) ? entry->ewma.get()
+                                                          : nullptr;
+}
+
 std::string Registry::prometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
@@ -181,6 +249,7 @@ std::string Registry::prometheus() const {
       case Kind::kCounter: out += "counter\n"; break;
       case Kind::kGauge: out += "gauge\n"; break;
       case Kind::kHistogram: out += "histogram\n"; break;
+      case Kind::kEwma: out += "gauge\n"; break;
     }
     for (const Entry& entry : entries_) {
       if (entry.name != lead.name) continue;
@@ -215,6 +284,10 @@ std::string Registry::prometheus() const {
                  "\n";
           break;
         }
+        case Kind::kEwma:
+          out += entry.name + labels + " " + fmt_double(entry.ewma->value()) +
+                 "\n";
+          break;
       }
     }
   }
@@ -250,6 +323,7 @@ void Registry::reset_all() {
       case Kind::kCounter: entry.counter->reset(); break;
       case Kind::kGauge: entry.gauge->reset(); break;
       case Kind::kHistogram: entry.histogram->reset(); break;
+      case Kind::kEwma: entry.ewma->reset(); break;
     }
   }
 }

@@ -66,6 +66,33 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// Exponentially weighted moving average of a double-valued series - the
+/// accuracy plane's running estimate of observed error per program. The
+/// update is lock-free (one fetch_add on the sample counter plus a CAS
+/// loop on the bit-cast value); `alpha` is the weight of each new sample,
+/// so alpha = 1 degenerates to a last-value double gauge (how non-integer
+/// scrape-time values like error budgets are exported). The very first
+/// observation initializes the average to the sample itself; two racing
+/// first observations may blend against the zero initial value, which is
+/// telemetry-grade behavior, not an accounting error.
+class EwmaGauge {
+ public:
+  /// \throws std::invalid_argument when alpha is outside (0, 1].
+  explicit EwmaGauge(double alpha = 0.1);
+
+  void observe(double value) noexcept;
+  [[nodiscard]] double value() const noexcept;
+  /// Samples observed since construction or the last reset.
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  void reset() noexcept;
+
+ private:
+  double alpha_;
+  std::atomic<std::uint64_t> value_bits_{0};  ///< bit-cast double EWMA
+  std::atomic<std::uint64_t> count_{0};
+};
+
 /// Ordered label set attached to one series ({key, value} pairs; order is
 /// preserved in the exposition output).
 using Labels = std::vector<std::pair<std::string, std::string>>;
@@ -92,6 +119,10 @@ class Registry {
   Histogram& histogram(std::string_view name, std::string_view help,
                        Labels labels = {},
                        Histogram::Options options = Histogram::latency_us());
+  /// EWMA series render as gauge families (their current value) in the
+  /// exposition; `alpha` only applies when the series is first created.
+  EwmaGauge& ewma(std::string_view name, std::string_view help,
+                  Labels labels = {}, double alpha = 0.1);
 
   /// Lookup without registering; nullptr when absent.
   [[nodiscard]] const Counter* find_counter(std::string_view name,
@@ -100,6 +131,8 @@ class Registry {
                                         const Labels& labels = {}) const;
   [[nodiscard]] const Histogram* find_histogram(
       std::string_view name, const Labels& labels = {}) const;
+  [[nodiscard]] const EwmaGauge* find_ewma(std::string_view name,
+                                           const Labels& labels = {}) const;
 
   /// Render every registered metric in the Prometheus text exposition
   /// format: HELP/TYPE headers once per family, one line per series;
@@ -114,7 +147,7 @@ class Registry {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram, kEwma };
   struct Entry {
     Kind kind;
     std::string name;
@@ -123,6 +156,7 @@ class Registry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<EwmaGauge> ewma;
   };
 
   [[nodiscard]] Entry* find_entry(std::string_view name, const Labels& labels,

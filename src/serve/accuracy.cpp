@@ -1,0 +1,236 @@
+#include "serve/accuracy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace oscs::serve {
+
+namespace {
+
+constexpr const char* kCellErrHelp =
+    "per-cell |optical - expected| mean over MC repeats";
+constexpr const char* kCellCiHelp =
+    "per-cell 95% CI half-width of the optical mean";
+constexpr const char* kShadowHelp =
+    "per-program shadow |optical mean - reference| per sampled request";
+constexpr const char* kObservedHelp =
+    "aggregate shadow |optical mean - reference| across programs";
+constexpr const char* kSampledHelp = "evaluate requests by shadow decision";
+constexpr const char* kEwmaHelp = "observed-error EWMA per program";
+constexpr const char* kBudgetHelp =
+    "enforced error budget per program (margin * (mc_mae + mc_mae_ci), or "
+    "the default for uncertified programs)";
+constexpr const char* kStateHelp =
+    "SLO state per program (0 ok, 1 degraded, 2 violating)";
+constexpr const char* kDriftHelp =
+    "budget-violation edges per program (latched; one per excursion)";
+
+const char* arity_label(bool bivariate) {
+  return bivariate ? "bivariate" : "univariate";
+}
+
+}  // namespace
+
+AccuracyObserver::AccuracyObserver(obs::Registry& registry,
+                                   AccuracyOptions options)
+    : options_(std::move(options)),
+      registry_(registry),
+      sampler_(options_.shadow_fraction),
+      sampled_(registry.counter("oscs_serve_shadow_requests_total",
+                                kSampledHelp, {{"sampled", "true"}})),
+      unsampled_(registry.counter("oscs_serve_shadow_requests_total",
+                                  kSampledHelp, {{"sampled", "false"}})),
+      observed_hist_(registry.histogram("oscs_serve_observed_error",
+                                        kObservedHelp, {},
+                                        obs::Histogram::unit_error())) {
+  if (!options_.log_path.empty()) {
+    log_.open(options_.log_path, std::ios::app);
+  }
+}
+
+void AccuracyObserver::record_cells(const engine::BatchSummary& summary,
+                                    const std::vector<std::string>& labels,
+                                    bool bivariate) {
+  const char* arity = arity_label(bivariate);
+  for (const engine::BatchCell& cell : summary.cells) {
+    const std::string& program = labels[cell.poly_index];
+    // Key with a separator no display id contains, so ("ab", 1) and
+    // ("a", "b1") cannot collide.
+    std::string key = program;
+    key += '\x1f';
+    key += arity;
+    key += '\x1f';
+    key += std::to_string(cell.stream_length);
+
+    obs::Histogram* err_hist = nullptr;
+    obs::Histogram* ci_hist = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = cell_series_.find(key);
+      if (it == cell_series_.end()) {
+        obs::Labels series_labels{
+            {"program", program},
+            {"arity", arity},
+            {"stream_length", std::to_string(cell.stream_length)}};
+        obs::Histogram& err = registry_.histogram(
+            "oscs_serve_accuracy_abs_error", kCellErrHelp, series_labels,
+            obs::Histogram::unit_error());
+        obs::Histogram& ci = registry_.histogram(
+            "oscs_serve_accuracy_ci", kCellCiHelp, series_labels,
+            obs::Histogram::unit_error());
+        it = cell_series_.emplace(std::move(key), std::make_pair(&err, &ci))
+                 .first;
+      }
+      err_hist = it->second.first;
+      ci_hist = it->second.second;
+    }
+    err_hist->record(cell.optical_abs_error_mean);
+    ci_hist->record(cell.optical_ci);
+  }
+}
+
+AccuracyObserver::ProgramState& AccuracyObserver::program_state(
+    const ShadowObservation& obs_in) {
+  // Caller holds mutex_.
+  auto it = programs_.find(obs_in.program);
+  const bool certified =
+      obs_in.certified_mae.has_value() && obs_in.certified_ci.has_value();
+  if (it == programs_.end()) {
+    obs::Labels labels{{"program", obs_in.program}};
+    auto state = std::make_unique<ProgramState>(ProgramState{
+        registry_.ewma("oscs_serve_accuracy_ewma", kEwmaHelp, labels,
+                       options_.ewma_alpha),
+        registry_.ewma("oscs_serve_accuracy_budget", kBudgetHelp, labels,
+                       /*alpha=*/1.0),
+        registry_.counter("oscs_serve_accuracy_drift_total", kDriftHelp,
+                          labels),
+        registry_.gauge("oscs_serve_accuracy_slo_state", kStateHelp, labels),
+        registry_.histogram("oscs_serve_shadow_abs_error", kShadowHelp,
+                            labels, obs::Histogram::unit_error()),
+        nullptr, obs_in.bivariate});
+    it = programs_.emplace(obs_in.program, std::move(state)).first;
+  }
+  ProgramState& state = *it->second;
+  if (state.slo == nullptr || (certified && !state.certified)) {
+    // First sight, or a certificate showed up for a program first seen
+    // uncertified (e.g. cold-compiled with certification after a raw
+    // request used the same display id): (re)build the SLO around the
+    // authoritative budget. A rebuild forgets a latched violation, which
+    // is correct - the budget itself changed.
+    state.certified = certified;
+    state.certified_mae = certified ? *obs_in.certified_mae : 0.0;
+    state.certified_ci = certified ? *obs_in.certified_ci : 0.0;
+    state.budget =
+        certified
+            ? options_.budget_margin * (state.certified_mae +
+                                        state.certified_ci)
+            : options_.default_budget;
+    obs::ErrorBudgetSlo::Options slo_options;
+    slo_options.budget = state.budget;
+    slo_options.exit_ratio = options_.exit_ratio;
+    slo_options.min_samples = options_.min_samples;
+    state.slo = std::make_unique<obs::ErrorBudgetSlo>(slo_options);
+    state.budget_gauge.observe(state.budget);
+  }
+  return state;
+}
+
+void AccuracyObserver::record_shadow(
+    std::string_view trace_id,
+    const std::vector<ShadowObservation>& observations) {
+  (void)trace_id;  // the sampling decision already consumed it
+  sampled_.inc();
+  // The whole per-observation fold runs under the map mutex: the EWMA ->
+  // SLO -> drift sequence must be atomic per program (two concurrent
+  // shadows interleaving their observe() calls could both see the
+  // violation edge), and a budget upgrade swaps state.slo in place.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const ShadowObservation& obs_in : observations) {
+    ProgramState& state = program_state(obs_in);
+    state.shadow_hist.record(obs_in.observed_error);
+    observed_hist_.record(obs_in.observed_error);
+    state.ewma.observe(obs_in.observed_error);
+    if (state.slo->observe(state.ewma.value(), state.ewma.count())) {
+      state.drift.inc();
+    }
+    state.state_gauge.set(static_cast<std::int64_t>(state.slo->state()));
+  }
+}
+
+obs::SloState AccuracyObserver::worst_state() const {
+  // Caller holds mutex_.
+  obs::SloState worst = obs::SloState::kOk;
+  for (const auto& [id, state] : programs_) {
+    worst = std::max(worst, state->slo->state());
+  }
+  return worst;
+}
+
+void AccuracyObserver::log_slow(std::string_view trace_id, double total_us) {
+  if (options_.log_path.empty()) return;
+  obs::SloState status;
+  std::uint64_t drift = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status = worst_state();
+    for (const auto& [id, state] : programs_) drift += state->drift.value();
+  }
+  const bool slow =
+      options_.slow_request_us > 0.0 && total_us >= options_.slow_request_us;
+  if (!slow && status == obs::SloState::kOk) return;
+
+  JsonWriter json(/*pretty=*/false);
+  json.begin_object()
+      .field("trace_id", trace_id)
+      .field("total_us", total_us)
+      .field("slow", slow)
+      .field("status", obs::slo_state_name(status))
+      .field("drift_total", drift)
+      .end_object();
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  if (log_.is_open()) {
+    log_ << json.str();  // str() ends with '\n'
+    // Degraded/slow records are rare; flushing each keeps the file
+    // tail-able and readable the moment the request returns.
+    log_.flush();
+  }
+}
+
+AccuracyReport AccuracyObserver::report() const {
+  AccuracyReport out;
+  out.shadow_fraction = sampler_.fraction();
+  out.sampled = sampled_.value();
+  out.unsampled = unsampled_.value();
+
+  const obs::Histogram::Snapshot snap = observed_hist_.snapshot();
+  out.observed.count = snap.count();
+  out.observed.mean = snap.mean();
+  out.observed.p50 = snap.quantile(0.50);
+  out.observed.p95 = snap.quantile(0.95);
+  out.observed.p99 = snap.quantile(0.99);
+  out.observed.max = snap.max;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.programs.reserve(programs_.size());
+  for (const auto& [id, state] : programs_) {
+    ProgramHealth health;
+    health.program = id;
+    health.bivariate = state->bivariate;
+    health.state = state->slo->state();
+    health.certified = state->certified;
+    health.certified_mae = state->certified_mae;
+    health.certified_ci = state->certified_ci;
+    health.budget = state->budget;
+    health.ewma = state->ewma.value();
+    health.samples = state->ewma.count();
+    health.drift_total = state->drift.value();
+    out.drift_total += health.drift_total;
+    out.status = std::max(out.status, health.state);
+    out.programs.push_back(std::move(health));
+  }
+  return out;
+}
+
+}  // namespace oscs::serve

@@ -1,0 +1,208 @@
+#pragma once
+/// \file accuracy.hpp
+/// \brief The serving layer's accuracy-observability plane: per-request
+///        error telemetry, deterministic shadow-reference sampling, and
+///        per-program error-budget SLOs with latched drift alerting.
+///
+/// Three concerns, composed around the server's per-instance registry:
+///   * record_cells() surfaces the engine's per-cell `optical_ci` /
+///     `optical_abs_error_mean` into per-program histogram families
+///     (oscs_serve_accuracy_abs_error / oscs_serve_accuracy_ci, labeled by
+///     program, arity and stream length) - free telemetry, the numbers
+///     were already computed;
+///   * record_shadow() takes the double-precision reference errors a
+///     sampled request measured (obs::ShadowSampler decides which requests
+///     pay; unsampled requests never touch this path) and folds them into
+///     per-program EWMAs checked against the certified error budget
+///     (obs::ErrorBudgetSlo) - crossing the budget latches a violation
+///     and increments oscs_serve_accuracy_drift_total{program} exactly
+///     once per excursion;
+///   * report() / log_slow() expose the state: the health snapshot the
+///     {"op":"health"} endpoint serializes, and a JSONL log line (carrying
+///     trace_id) for slow requests and for every request served while a
+///     program is outside its budget.
+///
+/// Certified vs observed: the budget is margin * (mc_mae + mc_mae_ci)
+/// from the program's compile-time certificate - the upper edge of the MC
+/// confidence band. Programs without a certificate (raw coefficients, or
+/// compilation with certify off) fall back to `default_budget`; a budget
+/// upgrade happens transparently when a certified program is first seen.
+/// Observed error is |optical mean - reference(x)| per cell, averaged per
+/// program per request - the same definition certification uses, so the
+/// comparison is apples to apples.
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/batch.hpp"
+#include "obs/accuracy.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace oscs::serve {
+
+/// Accuracy-plane knobs (ServerOptions carries one of these).
+struct AccuracyOptions {
+  /// Fraction of requests shadowed with a double-precision reference
+  /// evaluation (deterministic per trace id; clamped to [0, 1]). The
+  /// reference costs microseconds against engine runs costing
+  /// milliseconds, so 1.0 is an acceptable default; turn it down for
+  /// high-QPS deployments.
+  double shadow_fraction = 1.0;
+  /// EWMA weight per sampled request for the per-program observed-error
+  /// series.
+  double ewma_alpha = 0.1;
+  /// Sampled observations required per program before SLO evaluation
+  /// starts (warmup; keeps one unlucky early shadow from firing drift).
+  std::uint64_t min_samples = 8;
+  /// Hysteresis release threshold as a fraction of the budget (see
+  /// obs::ErrorBudgetSlo).
+  double exit_ratio = 0.8;
+  /// Multiplier on the certified budget (mc_mae + mc_mae_ci). 1.0 enforces
+  /// the certificate as-is; raise it to tolerate benign seed-to-seed
+  /// variation, lower it to alert earlier.
+  double budget_margin = 1.0;
+  /// Error budget for programs without a certificate (raw-coefficient
+  /// programs, certification disabled).
+  double default_budget = 0.05;
+  /// JSONL sink for slow/degraded request lines; empty disables the log.
+  std::string log_path;
+  /// Requests slower than this (microseconds, end to end) are logged even
+  /// while every program is within budget; 0 logs only degraded traffic.
+  double slow_request_us = 0.0;
+};
+
+/// One program's shadow measurement from one sampled request.
+struct ShadowObservation {
+  std::string program;  ///< display id (registry id or "coefficients[k]")
+  bool bivariate = false;
+  /// Mean over the request's cells of |optical mean - reference|.
+  double observed_error = 0.0;
+  /// Compile-time certificate, when the program has one.
+  std::optional<double> certified_mae;
+  std::optional<double> certified_ci;
+};
+
+/// Per-program SLO snapshot (health endpoint row).
+struct ProgramHealth {
+  std::string program;
+  bool bivariate = false;
+  obs::SloState state = obs::SloState::kOk;
+  bool certified = false;
+  double certified_mae = 0.0;  ///< 0 when uncertified
+  double certified_ci = 0.0;   ///< 0 when uncertified
+  double budget = 0.0;         ///< enforced budget (margin applied)
+  double ewma = 0.0;           ///< current observed-error EWMA
+  std::uint64_t samples = 0;   ///< sampled observations folded in
+  std::uint64_t drift_total = 0;
+};
+
+/// Distribution summary of the aggregate observed shadow error.
+struct ErrorStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Whole accuracy-plane snapshot (health endpoint / bench roll-up).
+struct AccuracyReport {
+  double shadow_fraction = 0.0;
+  std::uint64_t sampled = 0;    ///< requests that ran the shadow reference
+  std::uint64_t unsampled = 0;  ///< requests that skipped it
+  std::uint64_t drift_total = 0;  ///< drift edges across all programs
+  ErrorStats observed;            ///< aggregate |sc - ref| distribution
+  std::vector<ProgramHealth> programs;  ///< sorted by program id
+  /// Worst state across programs (ok when no program has been shadowed).
+  obs::SloState status = obs::SloState::kOk;
+};
+
+/// The accuracy observer a ProgramServer owns. Thread-safe: cell/shadow
+/// recording from concurrent requests serializes only on a small internal
+/// map mutex (series references are cached; the metric updates themselves
+/// are the registry's lock-free atomics).
+class AccuracyObserver {
+ public:
+  AccuracyObserver(obs::Registry& registry, AccuracyOptions options);
+
+  [[nodiscard]] const AccuracyOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Whether this request should run the shadow reference (deterministic
+  /// in the trace id).
+  [[nodiscard]] bool should_sample(std::string_view trace_id) const noexcept {
+    return sampler_.should_sample(trace_id);
+  }
+
+  /// Surface one batch's per-cell error telemetry into the per-program
+  /// histogram families. `labels[cell.poly_index]` names the program.
+  void record_cells(const engine::BatchSummary& summary,
+                    const std::vector<std::string>& labels, bool bivariate);
+
+  /// Fold one sampled request's shadow measurements into the per-program
+  /// EWMAs and evaluate the SLOs. Counts the request as sampled.
+  void record_shadow(std::string_view trace_id,
+                     const std::vector<ShadowObservation>& observations);
+
+  /// Count one request that skipped the shadow path.
+  void count_unsampled() noexcept { unsampled_.inc(); }
+
+  /// Append a JSONL line for this request when it was slow (beyond
+  /// slow_request_us) or served while any program is degraded/violating.
+  /// No-op when log_path is empty.
+  void log_slow(std::string_view trace_id, double total_us);
+
+  /// Snapshot for the health endpoint and bench roll-ups.
+  [[nodiscard]] AccuracyReport report() const;
+
+ private:
+  struct ProgramState {
+    obs::EwmaGauge& ewma;
+    obs::EwmaGauge& budget_gauge;  ///< alpha=1: last-value double export
+    obs::Counter& drift;
+    obs::Gauge& state_gauge;  ///< 0 ok / 1 degraded / 2 violating
+    obs::Histogram& shadow_hist;
+    std::unique_ptr<obs::ErrorBudgetSlo> slo;
+    bool bivariate = false;
+    bool certified = false;
+    double certified_mae = 0.0;
+    double certified_ci = 0.0;
+    double budget = 0.0;
+  };
+
+  /// Get or create the per-program state; applies the certified budget
+  /// (and upgrades an uncertified default once a certificate shows up).
+  ProgramState& program_state(const ShadowObservation& obs_in);
+  [[nodiscard]] obs::SloState worst_state() const;
+
+  AccuracyOptions options_;
+  obs::Registry& registry_;
+  obs::ShadowSampler sampler_;
+
+  obs::Counter& sampled_;
+  obs::Counter& unsampled_;
+  obs::Histogram& observed_hist_;  ///< aggregate |sc - ref| across programs
+
+  mutable std::mutex mutex_;  ///< guards programs_ and cell_series_
+  std::map<std::string, std::unique_ptr<ProgramState>> programs_;
+  /// Cached per-(program, arity, length) cell-telemetry series so the
+  /// request path does not re-enter the registry mutex.
+  std::map<std::string, std::pair<obs::Histogram*, obs::Histogram*>>
+      cell_series_;
+
+  std::mutex log_mutex_;
+  std::ofstream log_;
+};
+
+}  // namespace oscs::serve

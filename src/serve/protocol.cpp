@@ -169,6 +169,8 @@ ServeRequest parse_request(const std::string& text) {
         req.op = RequestOp::kMetrics;
       } else if (op == "metrics_prom") {
         req.op = RequestOp::kMetricsProm;
+      } else if (op == "health") {
+        req.op = RequestOp::kHealth;
       } else if (op == "ping") {
         req.op = RequestOp::kPing;
       } else {

@@ -11,7 +11,7 @@
 ///
 /// Request:
 ///   {"op": "evaluate",                 // default; also "metrics",
-///                                      // "metrics_prom", "ping"
+///                                      // "metrics_prom", "health", "ping"
 ///    "id": "client-42",                // optional, echoed back
 ///    "trace": "abcd0123",              // optional client trace id; the
 ///                                      // server generates one otherwise
@@ -49,6 +49,16 @@
 /// Response (failure):
 ///   {"id": ..., "ok": false,
 ///    "error": {"status": 4xx/5xx, "reason": ..., "message": ...}}
+///
+/// Health ({"op": "health"}): the accuracy-SLO surface (serve/accuracy.hpp)
+///   {"id": ..., "ok": true, "status": "ok"|"degraded"|"violating",
+///    "shadow": {"fraction", "sampled", "unsampled"},
+///    "drift_total": ...,
+///    "observed": {"count", "mean", "p50", "p95", "p99", "max"},
+///    "programs": [{"program", "arity", "state", "certified",
+///    "certified_mae", "certified_ci", "budget", "ewma", "samples",
+///    "drift_total"}...]}   // sorted by program id; "status" is the worst
+///                          // per-program state (ok when nothing shadowed)
 
 #include <cstddef>
 #include <cstdint>
@@ -104,6 +114,7 @@ enum class RequestOp : std::uint8_t {
   kEvaluate,
   kMetrics,      ///< JSON metrics document
   kMetricsProm,  ///< Prometheus text exposition (JSON envelope with "body")
+  kHealth,       ///< accuracy SLO state per program (ok/degraded/violating)
   kPing,
 };
 

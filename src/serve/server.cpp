@@ -128,6 +128,7 @@ ProgramServer::ProgramServer(ServerOptions options)
       total_hist_(registry_.histogram("oscs_serve_stage_latency_us",
                                       kStageHelp, {{"stage", "total"}},
                                       obs::Histogram::latency_us())),
+      accuracy_(registry_, options.accuracy),
       trace_log_(options.trace_log) {
   cache_capacity_gauge_.set(
       static_cast<std::int64_t>(compiler_.cache().capacity()));
@@ -248,6 +249,7 @@ ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
         target_order_y = std::max(target_order_y, poly.deg_y());
         polys2.push_back(std::move(poly));
         resolved.holds.emplace_back();
+        resolved.refs2.emplace_back();  // raw: reference = cell expected
         continue;
       }
       if (resolved.bivariate) {
@@ -272,6 +274,7 @@ ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
       target_order = std::max(target_order, poly.degree());
       polys.push_back(std::move(poly));
       resolved.holds.emplace_back();
+      resolved.refs.emplace_back();  // raw: reference = cell expected
       continue;
     }
 
@@ -310,6 +313,7 @@ ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
       target_order = std::max(target_order, program->circuit_order());
       polys.push_back(program->poly());
       resolved.holds.push_back(std::move(program));
+      resolved.refs.push_back(fn->f);  // shadow reference: the registry f
       continue;
     }
 
@@ -355,6 +359,7 @@ ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
     target_order_y = std::max(target_order_y, program->circuit_order_y());
     polys2.push_back(program->poly2());
     resolved.holds.push_back(std::move(program));
+    resolved.refs2.push_back(fn2->f);  // shadow reference: the registry f
   }
 
   // Pass 2: elevate every polynomial to the common order(s) (value-
@@ -437,7 +442,9 @@ ServeResponse ProgramServer::handle(const ServeRequest& request) {
   try {
     ServeResponse response = evaluate(request, trace);
     response.trace_id = trace.id();
-    total_hist_.record(trace.elapsed_us());
+    const double total_us = trace.elapsed_us();
+    total_hist_.record(total_us);
+    accuracy_.log_slow(trace.id(), total_us);
     trace_log_.observe(trace, request.id, "ok");
     return response;
   } catch (const ServeError& e) {
@@ -593,6 +600,46 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
     response.cells.push_back(std::move(out));
   }
 
+  // Accuracy plane: per-cell telemetry is free (the numbers are already
+  // in the summary); the double-precision shadow reference only runs for
+  // deterministically sampled requests.
+  accuracy_.record_cells(summary, resolved.labels, resolved.bivariate);
+  if (accuracy_.should_sample(trace.id())) {
+    std::vector<ShadowObservation> shadow(resolved.labels.size());
+    std::vector<std::size_t> counts(resolved.labels.size(), 0);
+    for (const engine::BatchCell& cell : summary.cells) {
+      const std::size_t pi = cell.poly_index;
+      // Registry programs compare against the original f (what their
+      // certificate measured); raw-coefficient programs against the
+      // engine's exact Bernstein value - the same reference that already
+      // backs the response's `expected` field.
+      double reference = cell.expected;
+      if (resolved.bivariate) {
+        if (resolved.refs2[pi]) reference = resolved.refs2[pi](cell.x, cell.y);
+      } else {
+        if (resolved.refs[pi]) reference = resolved.refs[pi](cell.x);
+      }
+      shadow[pi].observed_error += std::abs(cell.optical_mean - reference);
+      ++counts[pi];
+    }
+    for (std::size_t pi = 0; pi < shadow.size(); ++pi) {
+      shadow[pi].program = resolved.labels[pi];
+      shadow[pi].bivariate = resolved.bivariate;
+      if (counts[pi] > 0) {
+        shadow[pi].observed_error /= static_cast<double>(counts[pi]);
+      }
+      if (resolved.holds[pi] != nullptr) {
+        if (const auto& cert = resolved.holds[pi]->certification()) {
+          shadow[pi].certified_mae = cert->mc_mae;
+          shadow[pi].certified_ci = cert->mc_mae_ci;
+        }
+      }
+    }
+    accuracy_.record_shadow(trace.id(), shadow);
+  } else {
+    accuracy_.count_unsampled();
+  }
+
   response.latency.total_us = trace.elapsed_us();
   // Completion is two arity counters; `completed` is derived as their sum
   // at snapshot time, so the invariant holds without a lock here.
@@ -632,6 +679,8 @@ std::string ProgramServer::handle_json(const std::string& line) {
         return metrics_json(/*pretty=*/false, request.id);
       case RequestOp::kMetricsProm:
         return metrics_prom_json(request.id);
+      case RequestOp::kHealth:
+        return health_json(request.id);
       case RequestOp::kEvaluate: {
         ServeResponse response = evaluate(request, trace);
         response.latency.parse_us = parse_us;
@@ -644,7 +693,9 @@ std::string ProgramServer::handle_json(const std::string& line) {
           text = write_response(response);
           serialize_hist_.record(us_since(t_serialize));
         }
-        total_hist_.record(us_since(t0));
+        const double total_us = us_since(t0);
+        total_hist_.record(total_us);
+        accuracy_.log_slow(trace.id(), total_us);
         trace_log_.observe(trace, request_id, "ok");
         return text;
       }
@@ -704,6 +755,11 @@ ServerMetrics ProgramServer::metrics() const {
   snapshot.execute = stage_snapshot(execute_hist_);
   snapshot.serialize = stage_snapshot(serialize_hist_);
   snapshot.total = stage_snapshot(total_hist_);
+
+  const AccuracyReport accuracy = accuracy_.report();
+  snapshot.shadow_sampled = static_cast<std::size_t>(accuracy.sampled);
+  snapshot.shadow_unsampled = static_cast<std::size_t>(accuracy.unsampled);
+  snapshot.accuracy_drift = static_cast<std::size_t>(accuracy.drift_total);
   return snapshot;
 }
 
@@ -747,6 +803,13 @@ std::string ProgramServer::metrics_json(bool pretty,
   stage_json(json, "serialize", m.serialize);
   stage_json(json, "total", m.total);
   json.end_object();
+  // Accuracy-plane totals; per-program detail answers on {"op":"health"}.
+  json.key("accuracy")
+      .begin_object()
+      .field("shadow_sampled", m.shadow_sampled)
+      .field("shadow_unsampled", m.shadow_unsampled)
+      .field("drift_total", m.accuracy_drift)
+      .end_object();
   json.end_object().end_object();
   return json.str();
 }
@@ -760,6 +823,48 @@ std::string ProgramServer::metrics_prometheus() const {
   // Serve families first (this instance), then the process-global
   // registry (engine pools, batch throughput, compile pipeline).
   return registry_.prometheus() + obs::Registry::global().prometheus();
+}
+
+std::string ProgramServer::health_json(const std::string& request_id) const {
+  const AccuracyReport report = accuracy_.report();
+  JsonWriter json(/*pretty=*/false);
+  json.begin_object();
+  if (!request_id.empty()) json.field("id", request_id);
+  json.field("ok", true).field("status",
+                               obs::slo_state_name(report.status));
+  json.key("shadow")
+      .begin_object()
+      .field("fraction", report.shadow_fraction)
+      .field("sampled", report.sampled)
+      .field("unsampled", report.unsampled)
+      .end_object();
+  json.field("drift_total", report.drift_total);
+  json.key("observed")
+      .begin_object()
+      .field("count", report.observed.count)
+      .field("mean", report.observed.mean)
+      .field("p50", report.observed.p50)
+      .field("p95", report.observed.p95)
+      .field("p99", report.observed.p99)
+      .field("max", report.observed.max)
+      .end_object();
+  json.key("programs").begin_array();
+  for (const ProgramHealth& program : report.programs) {
+    json.begin_object()
+        .field("program", program.program)
+        .field("arity", program.bivariate ? 2 : 1)
+        .field("state", obs::slo_state_name(program.state))
+        .field("certified", program.certified)
+        .field("certified_mae", program.certified_mae)
+        .field("certified_ci", program.certified_ci)
+        .field("budget", program.budget)
+        .field("ewma", program.ewma)
+        .field("samples", program.samples)
+        .field("drift_total", program.drift_total)
+        .end_object();
+  }
+  json.end_array().end_object();
+  return json.str();
 }
 
 std::string ProgramServer::metrics_prom_json(

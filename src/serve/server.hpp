@@ -34,11 +34,13 @@
 ///     in a one-line JSON envelope {"ok", "content_type", "body"}.
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/operating_point.hpp"
 #include "compile/compiler.hpp"
@@ -46,6 +48,7 @@
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/accuracy.hpp"
 #include "serve/protocol.hpp"
 
 namespace oscs::serve {
@@ -72,6 +75,9 @@ struct ServerOptions {
   /// Sampled JSONL trace sink (disabled by default; set a path and
   /// sample_every >= 1 to log every N-th request's span tree).
   obs::TraceLog::Options trace_log{};
+  /// Accuracy plane: shadow sampling fraction, error-budget SLO knobs and
+  /// the degraded/slow-request log (see serve/accuracy.hpp).
+  AccuracyOptions accuracy{};
 };
 
 /// One stage's latency snapshot (microseconds). Derived at export time
@@ -116,6 +122,11 @@ struct ServerMetrics {
   StageStats execute;    ///< batch engine run
   StageStats serialize;  ///< response -> JSON line
   StageStats total;      ///< request in -> response out
+
+  /// Accuracy-plane totals (program detail lives on {"op":"health"}).
+  std::size_t shadow_sampled = 0;    ///< requests that ran the reference
+  std::size_t shadow_unsampled = 0;  ///< requests that skipped it
+  std::size_t accuracy_drift = 0;    ///< drift edges across all programs
 };
 
 /// The serving core. Thread-safe: any number of transport threads may call
@@ -141,10 +152,20 @@ class ProgramServer {
   [[nodiscard]] std::string metrics_json(
       bool pretty = false, const std::string& request_id = "") const;
   /// The Prometheus text exposition: this server's families (requests,
-  /// errors, stage latency histograms with p50/p95/p99, cache size)
-  /// followed by the process-global registry (engine pools, batch
-  /// throughput, compile pipeline). Scrape-ready as-is.
+  /// errors, stage latency histograms with p50/p95/p99, cache size,
+  /// accuracy plane) followed by the process-global registry (engine
+  /// pools, batch throughput, compile pipeline). Scrape-ready as-is.
   [[nodiscard]] std::string metrics_prometheus() const;
+
+  /// The accuracy-plane snapshot behind {"op":"health"} (per-program SLO
+  /// states, shadow totals, observed-error distribution).
+  [[nodiscard]] AccuracyReport accuracy_report() const {
+    return accuracy_.report();
+  }
+  /// The {"op":"health"} response document (compact single line - the
+  /// wire format). `request_id` is echoed when nonempty.
+  [[nodiscard]] std::string health_json(
+      const std::string& request_id = "") const;
 
   /// The shared compiler (e.g. to pre-warm the cache before traffic).
   [[nodiscard]] compile::Compiler& compiler() noexcept { return compiler_; }
@@ -162,6 +183,12 @@ class ProgramServer {
     /// (populated instead of `polys` when `bivariate`).
     std::vector<stochastic::BernsteinPoly2> polys2;
     std::vector<std::string> labels;               ///< request order
+    /// Double-precision reference functions, parallel to `labels`: the
+    /// registry f for registry programs, empty for raw-coefficient ones
+    /// (their reference is the cell's exact Bernstein `expected`). The
+    /// shadow path reads these; only one arity's vector is populated.
+    std::vector<std::function<double(double)>> refs;
+    std::vector<std::function<double(double, double)>> refs2;
     std::shared_ptr<const engine::PackedKernel> kernel;
     oscs::OperatingPoint design_point{};
     /// Circuit behind `kernel` (link-budget derivations); owned via
@@ -245,6 +272,8 @@ class ProgramServer {
   obs::Histogram& execute_hist_;
   obs::Histogram& serialize_hist_;
   obs::Histogram& total_hist_;
+  /// Accuracy plane (registers its families on registry_ above).
+  AccuracyObserver accuracy_;
   obs::TraceLog trace_log_;
 };
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "compile/export.hpp"
 #include "stochastic/resc.hpp"
 
 namespace oscs::compile {
@@ -230,6 +231,41 @@ TEST(CertifyTest, DeterministicAcrossThreadCounts) {
   EXPECT_DOUBLE_EQ(a.mc_mae, b.mc_mae);
   EXPECT_DOUBLE_EQ(a.mc_mae_ci, b.mc_mae_ci);
   EXPECT_DOUBLE_EQ(a.mc_worst, b.mc_worst);
+}
+
+TEST(CompiledProgramTest, CertifiedErrorBudgetAndJsonExport) {
+  Compiler compiler;
+  const RegistryFunction* fn = find_function("sigmoid");
+  ASSERT_NE(fn, nullptr);
+
+  // Certified program: the budget is the upper edge of the MC band.
+  CompileOptions certified_opts;
+  certified_opts.certification.repeats = 4;
+  certified_opts.certification.grid_points = 5;
+  const auto program = compiler.compile("sigmoid", fn->f, certified_opts);
+  ASSERT_TRUE(program->certification().has_value());
+  const auto budget = program->certified_error_budget();
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_DOUBLE_EQ(*budget, program->certification()->mc_mae +
+                                program->certification()->mc_mae_ci);
+  EXPECT_GT(*budget, 0.0);
+
+  const std::string json = certification_json(*program);
+  EXPECT_NE(json.find("\"function\": \"sigmoid\""), std::string::npos);
+  EXPECT_NE(json.find("\"certified\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"error_budget\""), std::string::npos);
+  EXPECT_NE(json.find("\"mc_mae\""), std::string::npos);
+
+  // Uncertified program: no budget, and the export says so.
+  CompileOptions uncertified_opts;
+  uncertified_opts.certify = false;
+  Compiler cold;
+  const auto bare = cold.compile("sigmoid", fn->f, uncertified_opts);
+  EXPECT_FALSE(bare->certification().has_value());
+  EXPECT_FALSE(bare->certified_error_budget().has_value());
+  const std::string bare_json = certification_json(*bare);
+  EXPECT_NE(bare_json.find("\"certified\": false"), std::string::npos);
+  EXPECT_EQ(bare_json.find("\"error_budget\""), std::string::npos);
 }
 
 TEST(CertifyTest, OptionValidation) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "optsc/defaults.hpp"
@@ -143,6 +144,38 @@ TEST(BatchRunner, MasterSeedSelectsTheMonteCarloSample) {
     }
   }
   EXPECT_TRUE(any_different);
+}
+
+TEST(BatchRunner, ProgramAccuracyReconcilesWithCells) {
+  // The per-program roll-up must be derivable from the cells alone: one
+  // entry per requested program, mean/worst of |optical_mean - expected|
+  // and the mean CI over exactly that program's cells.
+  const OpticalScCircuit c(paper_defaults());
+  const BatchRunner runner(c);
+  const BatchRequest req = small_request();
+  const BatchSummary summary = runner.run(req, 2);
+
+  ASSERT_EQ(summary.program_accuracy.size(), req.polynomials.size());
+  for (std::size_t pi = 0; pi < req.polynomials.size(); ++pi) {
+    double sum = 0.0;
+    double worst = 0.0;
+    double ci_sum = 0.0;
+    std::size_t n = 0;
+    for (const BatchCell& cell : summary.cells) {
+      if (cell.poly_index != pi) continue;
+      const double err = std::abs(cell.optical_mean - cell.expected);
+      sum += err;
+      worst = std::max(worst, err);
+      ci_sum += cell.optical_ci;
+      ++n;
+    }
+    const ProgramAccuracy& acc = summary.program_accuracy[pi];
+    ASSERT_GT(n, 0u);
+    EXPECT_EQ(acc.cells, n) << pi;
+    EXPECT_DOUBLE_EQ(acc.mean_error, sum / static_cast<double>(n)) << pi;
+    EXPECT_DOUBLE_EQ(acc.worst_error, worst) << pi;
+    EXPECT_DOUBLE_EQ(acc.ci_mean, ci_sum / static_cast<double>(n)) << pi;
+  }
 }
 
 TEST(TaskSeeds, AreDecorrelatedAcrossTasksAndLanes) {

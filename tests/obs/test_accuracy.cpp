@@ -1,0 +1,280 @@
+#include "obs/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace oscs::obs {
+namespace {
+
+std::vector<std::string> make_trace_ids(std::size_t n) {
+  std::vector<std::string> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back("trace-" + std::to_string(i));
+  }
+  return ids;
+}
+
+TEST(ShadowSampler, DeterministicAcrossInstances) {
+  // The sampling decision is a pure function of (trace_id, fraction):
+  // two independent samplers at the same fraction must pick the exact
+  // same subset of any trace-id set.
+  const auto ids = make_trace_ids(5000);
+  const ShadowSampler a(0.3);
+  const ShadowSampler b(0.3);
+  for (const std::string& id : ids) {
+    EXPECT_EQ(a.should_sample(id), b.should_sample(id)) << id;
+  }
+}
+
+TEST(ShadowSampler, SampledSubsetIsStableAcrossCalls) {
+  const auto ids = make_trace_ids(1000);
+  const ShadowSampler sampler(0.5);
+  std::vector<bool> first;
+  first.reserve(ids.size());
+  for (const std::string& id : ids) {
+    first.push_back(sampler.should_sample(id));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(sampler.should_sample(ids[i]), first[i]) << ids[i];
+  }
+}
+
+TEST(ShadowSampler, FractionRespectedWithinBinomialTolerance) {
+  // n = 20000 at f = 0.25: sigma = sqrt(n f (1-f)) ~ 61, so +/- 4 sigma
+  // ~ +/- 245 around the 5000 expectation. FNV-1a is fixed, so this is
+  // deterministic - the tolerance covers hash-quality, not flakiness.
+  constexpr std::size_t kN = 20000;
+  constexpr double kFraction = 0.25;
+  const auto ids = make_trace_ids(kN);
+  const ShadowSampler sampler(kFraction);
+  std::size_t sampled = 0;
+  for (const std::string& id : ids) {
+    if (sampler.should_sample(id)) ++sampled;
+  }
+  const double expected = kFraction * static_cast<double>(kN);
+  const double sigma = std::sqrt(expected * (1.0 - kFraction));
+  EXPECT_NEAR(static_cast<double>(sampled), expected, 4.0 * sigma);
+}
+
+TEST(ShadowSampler, EdgeFractionsAndClamping) {
+  const auto ids = make_trace_ids(100);
+  const ShadowSampler none(0.0);
+  const ShadowSampler all(1.0);
+  const ShadowSampler below(-2.0);  // clamps to 0
+  const ShadowSampler above(7.0);   // clamps to 1
+  EXPECT_DOUBLE_EQ(below.fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(above.fraction(), 1.0);
+  for (const std::string& id : ids) {
+    EXPECT_FALSE(none.should_sample(id));
+    EXPECT_TRUE(all.should_sample(id));
+    EXPECT_FALSE(below.should_sample(id));
+    EXPECT_TRUE(above.should_sample(id));
+  }
+  // Fraction 1 samples even the empty id (servers always have a trace
+  // id, but the sampler must not care).
+  EXPECT_TRUE(all.should_sample(""));
+}
+
+TEST(ShadowSampler, UnitVariateMatchesDecisionBoundary) {
+  // should_sample is exactly unit_variate(hash(id)) < fraction; pin the
+  // boundary through the exposed helpers.
+  for (const std::string& id : make_trace_ids(200)) {
+    const double u = ShadowSampler::unit_variate(ShadowSampler::hash(id));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    EXPECT_EQ(ShadowSampler(u).should_sample(id), false) << id;  // u < u fails
+    const double above = std::nextafter(u, 2.0);
+    EXPECT_EQ(ShadowSampler(above).should_sample(id), u < above) << id;
+  }
+}
+
+TEST(EwmaGauge, FirstObservationSeedsTheAverage) {
+  EwmaGauge g(0.1);
+  EXPECT_EQ(g.count(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.observe(0.42);
+  EXPECT_EQ(g.count(), 1u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.42);  // not 0.1 * 0.42
+}
+
+TEST(EwmaGauge, ConvergesToAConstantSeries) {
+  EwmaGauge g(0.2);
+  g.observe(1.0);
+  for (int i = 0; i < 100; ++i) g.observe(0.5);
+  EXPECT_NEAR(g.value(), 0.5, 1e-6);
+  EXPECT_EQ(g.count(), 101u);
+}
+
+TEST(EwmaGauge, AlphaOneIsLastValueGauge) {
+  EwmaGauge g(1.0);
+  for (double v : {0.1, 0.9, 0.33}) g.observe(v);
+  EXPECT_DOUBLE_EQ(g.value(), 0.33);
+}
+
+TEST(EwmaGauge, RecurrenceMatchesHandComputation) {
+  EwmaGauge g(0.5);
+  g.observe(1.0);   // seed
+  g.observe(0.0);   // 1.0 + 0.5 * (0.0 - 1.0) = 0.5
+  g.observe(1.0);   // 0.5 + 0.5 * (1.0 - 0.5) = 0.75
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+}
+
+TEST(EwmaGauge, RejectsBadAlphaAndResets) {
+  EXPECT_THROW(EwmaGauge(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaGauge(-0.1), std::invalid_argument);
+  EXPECT_THROW(EwmaGauge(1.5), std::invalid_argument);
+  EwmaGauge g(0.3);
+  g.observe(2.0);
+  g.reset();
+  EXPECT_EQ(g.count(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.observe(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);  // reseeds after reset
+}
+
+TEST(EwmaGauge, ConcurrentObservationsStayBounded) {
+  // The CAS loop must keep the EWMA inside the convex hull of the
+  // observed values (every update is a convex combination); the TSan job
+  // runs this suite, so racing observes are also exercised there.
+  EwmaGauge g(0.05);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.observe(0.25 + 0.5 * ((i % 2 == 0) ? 0.0 : 1.0));  // 0.25 / 0.75
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(g.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Convex hull of {0, 0.25, 0.75} (0 only via a racing first blend).
+  EXPECT_GE(g.value(), 0.0);
+  EXPECT_LE(g.value(), 0.75);
+}
+
+TEST(RegistryEwma, RegistersExposesAndResets) {
+  Registry registry;
+  EwmaGauge& series = registry.ewma("test_accuracy_ewma", "help",
+                                    {{"program", "sigmoid"}}, 0.5);
+  EwmaGauge& again = registry.ewma("test_accuracy_ewma", "help",
+                                   {{"program", "sigmoid"}}, 0.5);
+  EXPECT_EQ(&series, &again);  // (name, labels) dedup
+  series.observe(0.125);
+  const EwmaGauge* found =
+      registry.find_ewma("test_accuracy_ewma", {{"program", "sigmoid"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->value(), 0.125);
+  EXPECT_EQ(registry.find_ewma("test_accuracy_ewma", {{"program", "tanh"}}),
+            nullptr);
+
+  // EWMA families render as gauges with full-fidelity values.
+  const std::string text = registry.prometheus();
+  EXPECT_NE(text.find("# TYPE test_accuracy_ewma gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_accuracy_ewma{program=\"sigmoid\"} 0.125"),
+            std::string::npos);
+
+  registry.reset_all();
+  EXPECT_DOUBLE_EQ(series.value(), 0.0);
+  EXPECT_EQ(series.count(), 0u);
+}
+
+TEST(RegistryEwma, NameCollisionWithOtherKindThrows) {
+  Registry registry;
+  registry.counter("test_collision_total", "help");
+  EXPECT_THROW(registry.ewma("test_collision_total", "help"),
+               std::invalid_argument);
+}
+
+TEST(ErrorBudgetSlo, RejectsBadOptions) {
+  EXPECT_THROW(ErrorBudgetSlo({/*budget=*/0.0}), std::invalid_argument);
+  EXPECT_THROW(ErrorBudgetSlo({/*budget=*/-1.0}), std::invalid_argument);
+  ErrorBudgetSlo::Options bad_ratio;
+  bad_ratio.exit_ratio = 0.0;
+  EXPECT_THROW(ErrorBudgetSlo{bad_ratio}, std::invalid_argument);
+  bad_ratio.exit_ratio = 1.5;
+  EXPECT_THROW(ErrorBudgetSlo{bad_ratio}, std::invalid_argument);
+}
+
+TEST(ErrorBudgetSlo, WarmupSuppressesEvaluation) {
+  ErrorBudgetSlo::Options options;
+  options.budget = 0.01;
+  options.min_samples = 8;
+  ErrorBudgetSlo slo(options);
+  // Wildly over budget, but under the warmup threshold: no edge, no
+  // state change.
+  for (std::uint64_t samples = 0; samples < 8; ++samples) {
+    EXPECT_FALSE(slo.observe(1.0, samples));
+    EXPECT_EQ(slo.state(), SloState::kOk);
+  }
+  EXPECT_TRUE(slo.observe(1.0, 8));  // warmup over: the edge fires
+  EXPECT_EQ(slo.state(), SloState::kViolating);
+}
+
+TEST(ErrorBudgetSlo, EdgeFiresExactlyOncePerExcursion) {
+  ErrorBudgetSlo::Options options;
+  options.budget = 0.01;
+  options.exit_ratio = 0.8;
+  options.min_samples = 0;
+  ErrorBudgetSlo slo(options);
+  EXPECT_TRUE(slo.observe(0.02, 10));    // cross: one edge
+  EXPECT_FALSE(slo.observe(0.02, 11));   // still violating: no new edge
+  EXPECT_FALSE(slo.observe(0.05, 12));   // worse: still the same excursion
+  EXPECT_EQ(slo.state(), SloState::kViolating);
+  EXPECT_FALSE(slo.observe(0.001, 13));  // release (below 0.008)
+  EXPECT_EQ(slo.state(), SloState::kOk);
+  EXPECT_TRUE(slo.observe(0.02, 14));    // a new excursion: a new edge
+}
+
+TEST(ErrorBudgetSlo, HysteresisPreventsFlappingAtTheBoundary) {
+  // A series hovering between the release threshold (0.008) and the
+  // budget (0.01) must hold the latched violation: exactly one edge, no
+  // ok/violating flapping.
+  ErrorBudgetSlo::Options options;
+  options.budget = 0.01;
+  options.exit_ratio = 0.8;
+  options.min_samples = 0;
+  ErrorBudgetSlo slo(options);
+  int edges = 0;
+  if (slo.observe(0.011, 1)) ++edges;
+  for (int i = 0; i < 100; ++i) {
+    // Oscillate across the budget line but never below the release line.
+    const double ewma = (i % 2 == 0) ? 0.0099 : 0.0101;
+    if (slo.observe(ewma, static_cast<std::uint64_t>(i + 2))) ++edges;
+    EXPECT_EQ(slo.state(), SloState::kViolating) << i;
+  }
+  EXPECT_EQ(edges, 1);
+}
+
+TEST(ErrorBudgetSlo, DegradedBandBetweenReleaseAndBudget) {
+  ErrorBudgetSlo::Options options;
+  options.budget = 0.01;
+  options.exit_ratio = 0.8;
+  options.min_samples = 0;
+  ErrorBudgetSlo slo(options);
+  EXPECT_FALSE(slo.observe(0.005, 1));  // well inside
+  EXPECT_EQ(slo.state(), SloState::kOk);
+  EXPECT_FALSE(slo.observe(0.009, 2));  // between 0.008 and 0.01
+  EXPECT_EQ(slo.state(), SloState::kDegraded);
+  EXPECT_FALSE(slo.observe(0.005, 3));  // back inside
+  EXPECT_EQ(slo.state(), SloState::kOk);
+}
+
+TEST(ErrorBudgetSlo, StateNames) {
+  EXPECT_EQ(slo_state_name(SloState::kOk), "ok");
+  EXPECT_EQ(slo_state_name(SloState::kDegraded), "degraded");
+  EXPECT_EQ(slo_state_name(SloState::kViolating), "violating");
+}
+
+}  // namespace
+}  // namespace oscs::obs

@@ -188,6 +188,52 @@ TEST(Histogram, ResetZeroesEverythingAndStaysUsable) {
   EXPECT_DOUBLE_EQ(s.max, 12.0);
 }
 
+TEST(Histogram, EmptyQuantilesAreZeroAtEveryProbe) {
+  // Documented edge case: count == 0 reads as all-zeros (p50 = p95 =
+  // p99 = 0), never NaN - exporters emit these without guards.
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.quantile(0.0), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.quantile(0.95), 0.0);
+  EXPECT_EQ(s.quantile(0.99), 0.0);
+  EXPECT_EQ(s.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantilesReturnTheSample) {
+  // Documented edge case: count == 1 returns exactly the recorded sample
+  // for every q - the interpolated estimate clamps to [min, max], which
+  // both equal the sample.
+  for (double sample : {1e-4, 3.7, 123.456, 1e9 /* overflow bucket */}) {
+    Histogram h;
+    h.record(sample);
+    const auto s = h.snapshot();
+    ASSERT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), sample) << sample;
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), sample) << sample;
+    EXPECT_DOUBLE_EQ(s.quantile(0.95), sample) << sample;
+    EXPECT_DOUBLE_EQ(s.quantile(0.99), sample) << sample;
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), sample) << sample;
+  }
+}
+
+TEST(Histogram, UnitErrorPresetCoversCertifiedRange) {
+  // The accuracy-plane preset must resolve the whole certified-MAE range
+  // (1e-4 .. 1e-1) within its finite buckets and respect the documented
+  // growth-1 relative quantile error bound there.
+  const Histogram::Options options = Histogram::unit_error();
+  EXPECT_DOUBLE_EQ(options.min_value, 1e-5);
+  EXPECT_DOUBLE_EQ(options.growth, 1.5);
+  Histogram h(options);
+  EXPECT_GT(h.bounds().back(), 0.5);  // covers every error a [0,1] fn makes
+  for (double err : {1e-4, 1e-3, 1e-2, 1e-1}) {
+    Histogram probe(options);
+    for (int i = 0; i < 100; ++i) probe.record(err);
+    const double estimate = probe.snapshot().quantile(0.95);
+    EXPECT_NEAR(estimate, err, err * (options.growth - 1.0)) << err;
+  }
+}
+
 TEST(Histogram, ConcurrentRecordingLosesNothing) {
   // Hammer from several threads (the TSan job runs this suite): every
   // sample must land, and the exactly-representable sum must reconcile.

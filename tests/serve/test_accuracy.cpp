@@ -1,0 +1,349 @@
+/// Serve-layer accuracy observability: per-program error metric families
+/// in the Prometheus exposition, deterministic shadow-reference sampling
+/// (including the fraction-0 fast path and raw-coefficient Bernstein
+/// references), the {"op": "health"} contract in-process and over
+/// loopback TCP, the degraded-request JSONL log, and the two acceptance
+/// shapes from the issue: no false drift at the certified operating
+/// point across the whole univariate registry, and a latched drift alert
+/// plus "violating" health at deliberately degraded probe power.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "compile/registry.hpp"
+#include "obs/accuracy.hpp"
+#include "serve/server.hpp"
+#include "serve/tcp.hpp"
+
+namespace oscs::serve {
+namespace {
+
+ServerOptions fast_options() {
+  ServerOptions options;
+  options.compile.certify = false;
+  options.threads = 1;
+  return options;
+}
+
+const char* kUnivariate =
+    R"({"function": "sigmoid", "xs": [0.5], "stream_lengths": [256], "repeats": 2})";
+const char* kRawCoefficients =
+    R"({"coefficients": [0.25, 0.75, 0.5], "xs": [0.3], "stream_lengths": [256], "repeats": 2})";
+
+std::string prom_body(ProgramServer& server) {
+  const JsonValue doc = json_parse(server.handle_json(R"({"op": "metrics_prom"})"));
+  return doc.find("body")->as_string();
+}
+
+TEST(ServeAccuracy, CellTelemetryFamiliesAppearPerProgram) {
+  // Every evaluate feeds the accuracy histograms, labeled by program,
+  // arity and stream length - independent of shadow sampling.
+  ProgramServer server(fast_options());
+  ASSERT_TRUE(json_parse(server.handle_json(kUnivariate)).find("ok")->as_bool());
+  ASSERT_TRUE(json_parse(server.handle_json(
+                             R"({"function": "mul", "xs": [0.5], "ys": [0.25], "stream_lengths": [256], "repeats": 2})"))
+                  .find("ok")
+                  ->as_bool());
+
+  const std::string body = prom_body(server);
+  EXPECT_NE(body.find("oscs_serve_accuracy_abs_error_count{program=\"sigmoid\","
+                      "arity=\"univariate\",stream_length=\"256\"} 1"),
+            std::string::npos)
+      << body.substr(0, 2000);
+  EXPECT_NE(body.find("oscs_serve_accuracy_ci_count{program=\"sigmoid\","
+                      "arity=\"univariate\",stream_length=\"256\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("oscs_serve_accuracy_abs_error_count{program=\"mul\","
+                      "arity=\"bivariate\",stream_length=\"256\"} 1"),
+            std::string::npos);
+  // Shadow is on by default (fraction 1.0): per-program shadow series and
+  // the EWMA gauge exist too.
+  EXPECT_NE(body.find("oscs_serve_shadow_requests_total{sampled=\"true\"} 2"),
+            std::string::npos);
+  EXPECT_NE(body.find("oscs_serve_accuracy_ewma{program=\"sigmoid\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("oscs_serve_accuracy_drift_total{program=\"sigmoid\"} 0"),
+            std::string::npos);
+}
+
+TEST(ServeAccuracy, FractionZeroSkipsShadowEntirely) {
+  ServerOptions options = fast_options();
+  options.accuracy.shadow_fraction = 0.0;
+  ProgramServer server(options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        json_parse(server.handle_json(kUnivariate)).find("ok")->as_bool());
+  }
+  const AccuracyReport report = server.accuracy_report();
+  EXPECT_EQ(report.sampled, 0u);
+  EXPECT_EQ(report.unsampled, 4u);
+  EXPECT_EQ(report.observed.count, 0u);
+  EXPECT_TRUE(report.programs.empty());  // no shadow -> no per-program SLO
+  EXPECT_NE(prom_body(server).find(
+                "oscs_serve_shadow_requests_total{sampled=\"false\"} 4"),
+            std::string::npos);
+}
+
+TEST(ServeAccuracy, SampledSubsetIsDeterministicAcrossServers) {
+  // The sampler hashes the trace id, so two independent servers at the
+  // same fraction must pick the exact same subset of client-traced
+  // requests - and that subset must match the sampler's own prediction.
+  constexpr double kFraction = 0.5;
+  constexpr int kRequests = 40;
+  std::vector<std::set<int>> sampled_sets;
+  for (int run = 0; run < 2; ++run) {
+    ServerOptions options = fast_options();
+    options.accuracy.shadow_fraction = kFraction;
+    ProgramServer server(options);
+    std::set<int> sampled;
+    for (int r = 0; r < kRequests; ++r) {
+      const std::size_t before = server.accuracy_report().sampled;
+      const std::string request =
+          R"({"trace": "probe-)" + std::to_string(r) +
+          R"(", "function": "sigmoid", "xs": [0.5], "stream_lengths": [128], "repeats": 2})";
+      ASSERT_TRUE(json_parse(server.handle_json(request)).find("ok")->as_bool());
+      if (server.accuracy_report().sampled > before) sampled.insert(r);
+    }
+    const AccuracyReport report = server.accuracy_report();
+    EXPECT_EQ(report.sampled + report.unsampled,
+              static_cast<std::size_t>(kRequests));
+    EXPECT_EQ(report.sampled, sampled.size());
+    sampled_sets.push_back(std::move(sampled));
+  }
+  EXPECT_EQ(sampled_sets[0], sampled_sets[1]);
+  ASSERT_FALSE(sampled_sets[0].empty());
+  ASSERT_LT(sampled_sets[0].size(), static_cast<std::size_t>(kRequests));
+
+  const obs::ShadowSampler sampler(kFraction);
+  for (int r = 0; r < kRequests; ++r) {
+    EXPECT_EQ(sampled_sets[0].count(r) == 1,
+              sampler.should_sample("probe-" + std::to_string(r)))
+        << r;
+  }
+}
+
+TEST(ServeAccuracy, RawCoefficientProgramsShadowAgainstBernstein) {
+  // Raw-coefficient programs have no registry reference; the shadow path
+  // must fall back to the engine's exact Bernstein evaluation (the cell's
+  // `expected`), not skip them - and they run uncertified on the default
+  // error budget.
+  ProgramServer server(fast_options());
+  ASSERT_TRUE(
+      json_parse(server.handle_json(kRawCoefficients)).find("ok")->as_bool());
+
+  const AccuracyReport report = server.accuracy_report();
+  ASSERT_EQ(report.programs.size(), 1u);
+  const ProgramHealth& program = report.programs.front();
+  EXPECT_EQ(program.program, "coefficients[3]");
+  EXPECT_FALSE(program.bivariate);
+  EXPECT_FALSE(program.certified);
+  EXPECT_DOUBLE_EQ(program.budget, AccuracyOptions{}.default_budget);
+  EXPECT_EQ(program.samples, 1u);
+  // One sample is deep inside the min_samples warmup: never a verdict.
+  EXPECT_EQ(program.state, obs::SloState::kOk);
+  EXPECT_GE(program.ewma, 0.0);
+  EXPECT_LT(program.ewma, 0.5);  // |optical - Bernstein|, not |optical - 0|
+}
+
+TEST(ServeAccuracy, MetricsJsonCarriesShadowAndDriftTotals) {
+  ProgramServer server(fast_options());
+  ASSERT_TRUE(json_parse(server.handle_json(kUnivariate)).find("ok")->as_bool());
+  const JsonValue doc = json_parse(server.handle_json(R"({"op": "metrics"})"));
+  const JsonValue* accuracy = doc.find("metrics")->find("accuracy");
+  ASSERT_NE(accuracy, nullptr);
+  EXPECT_EQ(accuracy->find("shadow_sampled")->as_number(), 1.0);
+  EXPECT_EQ(accuracy->find("shadow_unsampled")->as_number(), 0.0);
+  EXPECT_EQ(accuracy->find("drift_total")->as_number(), 0.0);
+}
+
+TEST(ServeHealth, EmptyServerReportsOkWithNoPrograms) {
+  ProgramServer server(fast_options());
+  const JsonValue doc =
+      json_parse(server.handle_json(R"({"op": "health", "id": "h-1"})"));
+  ASSERT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("id")->as_string(), "h-1");
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  EXPECT_EQ(doc.find("drift_total")->as_number(), 0.0);
+  EXPECT_EQ(doc.find("shadow")->find("fraction")->as_number(), 1.0);
+  EXPECT_TRUE(doc.find("programs")->items().empty());
+}
+
+TEST(ServeHealth, ReportsPerProgramRowsAfterTraffic) {
+  ProgramServer server(fast_options());
+  ASSERT_TRUE(json_parse(server.handle_json(kUnivariate)).find("ok")->as_bool());
+  ASSERT_TRUE(
+      json_parse(server.handle_json(kRawCoefficients)).find("ok")->as_bool());
+
+  const JsonValue doc = json_parse(server.handle_json(R"({"op": "health"})"));
+  ASSERT_TRUE(doc.find("ok")->as_bool());
+  const auto& programs = doc.find("programs")->items();
+  ASSERT_EQ(programs.size(), 2u);
+  // Sorted by program id: "coefficients[3]" < "sigmoid".
+  EXPECT_EQ(programs[0].find("program")->as_string(), "coefficients[3]");
+  EXPECT_EQ(programs[1].find("program")->as_string(), "sigmoid");
+  for (const JsonValue& program : programs) {
+    EXPECT_EQ(program.find("arity")->as_number(), 1.0);
+    EXPECT_EQ(program.find("state")->as_string(), "ok");
+    EXPECT_FALSE(program.find("certified")->as_bool());  // fast_options
+    EXPECT_GT(program.find("budget")->as_number(), 0.0);
+    EXPECT_EQ(program.find("samples")->as_number(), 1.0);
+    EXPECT_EQ(program.find("drift_total")->as_number(), 0.0);
+  }
+  EXPECT_EQ(doc.find("observed")->find("count")->as_number(), 2.0);
+}
+
+TEST(ServeHealth, AnswersOverLoopbackTcp) {
+  ProgramServer server(fast_options());
+  TcpServer tcp(server, /*port=*/0);
+  ASSERT_GT(tcp.port(), 0);
+  TcpClient client(tcp.port());
+  ASSERT_TRUE(
+      json_parse(client.request(kUnivariate)).find("ok")->as_bool());
+  const JsonValue doc = json_parse(client.request(R"({"op": "health"})"));
+  ASSERT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  EXPECT_EQ(doc.find("shadow")->find("sampled")->as_number(), 1.0);
+  ASSERT_EQ(doc.find("programs")->items().size(), 1u);
+  EXPECT_EQ(doc.find("programs")->items()[0].find("program")->as_string(),
+            "sigmoid");
+}
+
+TEST(ServeAccuracy, SlowRequestThresholdLogsJsonl) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "oscs_serve_accuracy_slow";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "slow.jsonl").string();
+  std::filesystem::remove(path);
+
+  ServerOptions options = fast_options();
+  options.accuracy.log_path = path;
+  options.accuracy.slow_request_us = 0.001;  // everything is "slow"
+  ProgramServer server(options);
+  ASSERT_TRUE(json_parse(server.handle_json(
+                             R"({"trace": "slow-1", "function": "sigmoid", "xs": [0.5], "stream_lengths": [128], "repeats": 2})"))
+                  .find("ok")
+                  ->as_bool());
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const JsonValue doc = json_parse(line);
+  EXPECT_EQ(doc.find("trace_id")->as_string(), "slow-1");
+  EXPECT_TRUE(doc.find("slow")->as_bool());
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  EXPECT_GT(doc.find("total_us")->as_number(), 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeAccuracyAcceptance, NoFalseDriftAcrossCertifiedRegistry) {
+  // The issue's first acceptance shape: shadow at 100% over the whole
+  // univariate registry at the certified operating point, sustained past
+  // the SLO warmup, must keep every program's observed EWMA within its
+  // certified MAE + CI - zero drift edges, health never "violating".
+  ServerOptions options;  // certify stays on (the default)
+  options.threads = 0;
+  ProgramServer server(options);
+
+  const std::vector<std::string> ids = compile::registry_ids();
+  ASSERT_EQ(ids.size(), 9u);
+  // The certification grid: interior points i / (grid_points + 1) with
+  // the default grid_points = 9, i.e. 0.1 .. 0.9 - the request evaluates
+  // exactly the certified statistic, with fresh Monte-Carlo seeds.
+  const std::string xs = "[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]";
+  for (const std::string& id : ids) {
+    for (int r = 0; r < 10; ++r) {
+      const std::string request = R"({"function": ")" + id +
+                                  R"(", "xs": )" + xs +
+                                  R"(, "stream_lengths": [4096], "repeats": 16, "seed": )" +
+                                  std::to_string(100 + r) + "}";
+      ASSERT_TRUE(json_parse(server.handle_json(request)).find("ok")->as_bool())
+          << id;
+    }
+  }
+
+  const AccuracyReport report = server.accuracy_report();
+  EXPECT_EQ(report.drift_total, 0u);
+  EXPECT_NE(report.status, obs::SloState::kViolating);
+  ASSERT_EQ(report.programs.size(), ids.size());
+  for (const ProgramHealth& program : report.programs) {
+    EXPECT_TRUE(program.certified) << program.program;
+    EXPECT_GT(program.budget, 0.0) << program.program;
+    EXPECT_EQ(program.drift_total, 0u) << program.program;
+    EXPECT_NE(program.state, obs::SloState::kViolating) << program.program;
+    // The acceptance inequality itself: observed mean abs error within
+    // certified MAE + CI.
+    EXPECT_LE(program.ewma, program.budget) << program.program;
+    EXPECT_EQ(program.samples, 10u) << program.program;
+  }
+}
+
+TEST(ServeAccuracyAcceptance, DegradedProbePowerFiresDriftAndHealth) {
+  // The issue's second acceptance shape: the same certified program
+  // served at deliberately degraded probe power must blow its certified
+  // budget, latch exactly one drift edge per excursion, report
+  // "violating" health, and leave a JSONL record of the degraded
+  // requests.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "oscs_serve_accuracy_drift";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "degraded.jsonl").string();
+  std::filesystem::remove(path);
+
+  ServerOptions options;  // certify on: the budget comes from the cert
+  options.threads = 0;
+  options.accuracy.ewma_alpha = 1.0;  // react to the last observation
+  options.accuracy.min_samples = 2;
+  options.accuracy.log_path = path;
+  ProgramServer server(options);
+
+  for (int r = 0; r < 4; ++r) {
+    const std::string request =
+        R"({"trace": "degraded-)" + std::to_string(r) +
+        R"(", "function": "sigmoid", "xs": [0.1, 0.3, 0.5, 0.7, 0.9], "stream_lengths": [4096], "repeats": 8, "probe_power_mw": 0.08, "seed": )" +
+        std::to_string(7 + r) + "}";
+    ASSERT_TRUE(json_parse(server.handle_json(request)).find("ok")->as_bool());
+  }
+
+  const AccuracyReport report = server.accuracy_report();
+  ASSERT_EQ(report.programs.size(), 1u);
+  const ProgramHealth& program = report.programs.front();
+  EXPECT_TRUE(program.certified);
+  EXPECT_GT(program.ewma, program.budget);
+  EXPECT_EQ(program.state, obs::SloState::kViolating);
+  // Hysteresis: a sustained excursion is ONE alert, not one per request.
+  EXPECT_EQ(program.drift_total, 1u);
+  EXPECT_EQ(report.drift_total, 1u);
+  EXPECT_EQ(report.status, obs::SloState::kViolating);
+
+  const JsonValue health = json_parse(server.handle_json(R"({"op": "health"})"));
+  EXPECT_EQ(health.find("status")->as_string(), "violating");
+  EXPECT_EQ(health.find("drift_total")->as_number(), 1.0);
+
+  const std::string body = prom_body(server);
+  EXPECT_NE(body.find("oscs_serve_accuracy_drift_total{program=\"sigmoid\"} 1"),
+            std::string::npos)
+      << body.substr(0, 2000);
+
+  // The degraded requests after the latch logged with violating status.
+  std::ifstream in(path);
+  std::string line;
+  bool saw_violating = false;
+  while (std::getline(in, line)) {
+    const JsonValue doc = json_parse(line);
+    if (doc.find("status")->as_string() == "violating") saw_violating = true;
+    EXPECT_EQ(doc.find("trace_id")->as_string().rfind("degraded-", 0), 0u);
+  }
+  EXPECT_TRUE(saw_violating);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace oscs::serve
