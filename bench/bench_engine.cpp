@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/json.hpp"
+#include "common/simd.hpp"
 #include "engine/batch.hpp"
 #include "engine/export.hpp"
 #include "obs/histogram.hpp"
@@ -33,6 +35,18 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Sample standard deviation of the trial wall times, so the tables can
+/// state how noisy each row is instead of presenting best-of as truth.
+double stddev_of(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  return std::sqrt(var / static_cast<double>(samples.size() - 1));
 }
 
 /// Mean wall time of one sim.run() over the x grid, best-of-`trials`.
@@ -68,7 +82,7 @@ int main(int argc, char** argv) {
   ArgParser args("bench_engine",
                  "Word-parallel batch engine: speedup, thread scaling and "
                  "fused multi-program mode");
-  args.add_int("trials", 5, "timing repetitions (best-of)");
+  args.add_int("trials", 7, "timing repetitions (best-of, stddev reported)");
   args.add_int("length", 4096, "stream length [bits] for the speedup run");
   args.add_int("repeats", 8, "MC repeats per batch cell");
   args.add_int("fused_k", 8, "programs sharing one circuit in the fused run");
@@ -90,10 +104,12 @@ int main(int argc, char** argv) {
   const TransientSimulator sim(circuit);
   const eng::BatchRunner runner(circuit);
 
+  const char* backend_name = oscs::simd_backend_name(oscs::simd_backend());
   std::printf("  order %zu, stream length %zu, noise enabled, "
-              "operating-point BER %.3g, mux-exact fast path: %s\n",
+              "operating-point BER %.3g, mux-exact fast path: %s, "
+              "kernel backend: %s\n",
               circuit.order(), length, runner.design_point().ber,
-              runner.kernel().mux_exact() ? "yes" : "no");
+              runner.kernel().mux_exact() ? "yes" : "no", backend_name);
 
   bench::section("single-thread: packed kernel vs legacy per-bit loop");
   std::vector<double> xs;
@@ -108,12 +124,26 @@ int main(int argc, char** argv) {
   cfg.engine = SimEngine::kPacked;
   const double t_packed = time_simulator(sim, poly, cfg, xs, trials, &checksum);
 
+  // Forced-scalar packed run: isolates the SIMD backend's contribution
+  // from the word-parallel restructuring itself.
+  double t_packed_scalar = t_packed;
+  if (oscs::simd_backend() != oscs::SimdBackend::kScalar) {
+    oscs::set_simd_backend(oscs::SimdBackend::kScalar);
+    t_packed_scalar = time_simulator(sim, poly, cfg, xs, trials, &checksum);
+    oscs::reset_simd_backend();
+  }
+  const double simd_speedup = t_packed_scalar / t_packed;
+
   const double bits = static_cast<double>(length);
   const double speedup = t_legacy / t_packed;
   std::printf("  legacy per-bit : %10.1f us/eval  %8.1f Mbit/s\n",
               t_legacy * 1e6, bits / t_legacy / 1e6);
-  std::printf("  packed kernel  : %10.1f us/eval  %8.1f Mbit/s\n",
-              t_packed * 1e6, bits / t_packed / 1e6);
+  std::printf("  packed scalar  : %10.1f us/eval  %8.1f Mbit/s\n",
+              t_packed_scalar * 1e6, bits / t_packed_scalar / 1e6);
+  std::printf("  packed (%s) : %8.1f us/eval  %8.1f Mbit/s  "
+              "(%.2fx over forced scalar)\n",
+              backend_name, t_packed * 1e6, bits / t_packed / 1e6,
+              simd_speedup);
   bench::compare("packed vs per-bit speedup (target >= 8)", 8.0, speedup, "x");
 
   CsvTable speed({"engine", "us_per_eval", "mbit_per_s", "speedup"});
@@ -129,42 +159,56 @@ int main(int argc, char** argv) {
   req.repeats = repeats;
   req.seed = 42;
 
-  std::printf("  hardware threads reported: %u\n",
-              std::thread::hardware_concurrency());
+  // hardware_concurrency() may return 0 when the count is unknown; the
+  // scaling rows below still run 2/4 workers either way, so flag rows
+  // that oversubscribe the machine instead of pretending they scale.
+  const unsigned hardware_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::printf("  hardware threads: %u\n", hardware_threads);
   std::printf("  grid: %zu cells x %zu repeats = %zu tasks\n", req.cells(),
               req.repeats, req.tasks());
 
-  CsvTable scaling({"threads", "seconds", "tasks_per_s", "speedup_vs_1",
-                    "wait_p50_us", "wait_p95_us", "wait_p99_us"});
+  CsvTable scaling({"threads", "seconds", "seconds_stddev", "tasks_per_s",
+                    "speedup_vs_1", "oversubscribed", "wait_p50_us",
+                    "wait_p95_us", "wait_p99_us"});
   double t_one = 0.0;
   for (std::size_t threads : {1u, 2u, 4u}) {
     // Per-run queue-wait distribution: reset, run, snapshot - the
     // histogram only holds this thread count's waits when read below.
     queue_wait_histogram().reset();
     double best = 1e300;
+    std::vector<double> samples;
     eng::BatchSummary summary;
     for (long t = 0; t < trials; ++t) {
       const auto t0 = std::chrono::steady_clock::now();
       summary = runner.run(req, threads);
-      best = std::min(best, seconds_since(t0));
+      samples.push_back(seconds_since(t0));
+      best = std::min(best, samples.back());
     }
+    const double spread = stddev_of(samples);
     const oscs::obs::Histogram::Snapshot wait =
         queue_wait_histogram().snapshot();
     if (threads == 1) t_one = best;
+    const bool oversubscribed = threads > hardware_threads;
     const double rate = static_cast<double>(summary.tasks) / best;
-    std::printf("  %zu thread(s): %8.1f ms  %8.1f tasks/s  speedup %.2fx  "
-                "wait p50/p95/p99 %.0f/%.0f/%.0f us  (batch MAE %.4f)\n",
-                threads, best * 1e3, rate, t_one / best,
+    std::printf("  %zu thread(s): %8.2f ms +- %.2f  %8.1f tasks/s  "
+                "speedup %.2fx%s  wait p50/p95/p99 %.0f/%.0f/%.0f us  "
+                "(batch MAE %.4f)\n",
+                threads, best * 1e3, spread * 1e3, rate, t_one / best,
+                oversubscribed ? " [oversubscribed]" : "",
                 wait.quantile(0.50), wait.quantile(0.95),
                 wait.quantile(0.99), summary.optical_mae);
-    scaling.add_row({static_cast<double>(threads), best, rate, t_one / best,
+    scaling.add_row({static_cast<double>(threads), best, spread, rate,
+                     t_one / best, oversubscribed ? 1.0 : 0.0,
                      wait.quantile(0.50), wait.quantile(0.95),
                      wait.quantile(0.99)});
   }
   scaling.write(bench::results_dir() + "/engine_scaling.csv");
   bench::note(
-      "scaling is bounded by the hardware thread count above; per-task "
-      "results are bit-identical for every thread count");
+      "scaling is bounded by the hardware thread count above; rows flagged "
+      "[oversubscribed] run more workers than cores and cannot speed up. "
+      "Per-task results are bit-identical for every thread count and slab "
+      "grain");
 
   bench::section("fused multi-program mode vs independent invocations");
   // K degree-3 programs sharing one circuit: the paper's f2, a gamma fit,
@@ -235,8 +279,11 @@ int main(int argc, char** argv) {
         .field("speedup", speedup)
         .field("legacy_us_per_eval", t_legacy * 1e6)
         .field("packed_us_per_eval", t_packed * 1e6)
+        .field("packed_us_per_eval_scalar", t_packed_scalar * 1e6)
         .field("packed_mbit_per_s", bits / t_packed / 1e6)
-        .field("hardware_threads", std::thread::hardware_concurrency());
+        .field("kernel_backend", std::string(backend_name))
+        .field("simd_speedup", simd_speedup)
+        .field("hardware_threads", hardware_threads);
     json.key("operating_point");
     operating_point_json(json, runner.design_point());
     json.key("scaling").begin_array();
@@ -245,11 +292,13 @@ int main(int argc, char** argv) {
       // CsvTable stores formatted strings; re-emit the raw numbers.
       json.field("threads", std::stoul(scaling.at(r, 0)))
           .field("seconds", std::stod(scaling.at(r, 1)))
-          .field("tasks_per_s", std::stod(scaling.at(r, 2)))
-          .field("speedup_vs_1", std::stod(scaling.at(r, 3)))
-          .field("wait_p50_us", std::stod(scaling.at(r, 4)))
-          .field("wait_p95_us", std::stod(scaling.at(r, 5)))
-          .field("wait_p99_us", std::stod(scaling.at(r, 6)))
+          .field("seconds_stddev", std::stod(scaling.at(r, 2)))
+          .field("tasks_per_s", std::stod(scaling.at(r, 3)))
+          .field("speedup_vs_1", std::stod(scaling.at(r, 4)))
+          .field("oversubscribed", std::stod(scaling.at(r, 5)) != 0.0)
+          .field("wait_p50_us", std::stod(scaling.at(r, 6)))
+          .field("wait_p95_us", std::stod(scaling.at(r, 7)))
+          .field("wait_p99_us", std::stod(scaling.at(r, 8)))
           .end_object();
     }
     json.end_array();

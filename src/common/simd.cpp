@@ -1,0 +1,105 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace oscs {
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+constexpr int kUnresolved = -1;
+
+/// Resolved backend as an int (kUnresolved until first use); an explicit
+/// set_simd_backend stores here too, so resolution happens at most once
+/// per override change.
+std::atomic<int> g_backend{kUnresolved};
+
+SimdBackend resolve_from_env_and_cpu() {
+  const char* env = std::getenv("OSCS_KERNEL_BACKEND");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    if (std::strcmp(env, "scalar") == 0) return SimdBackend::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (!simd_avx2_compiled() || !simd_avx2_runtime()) {
+        throw std::invalid_argument(
+            "OSCS_KERNEL_BACKEND=avx2: AVX2 unavailable (compiled: " +
+            std::string(simd_avx2_compiled() ? "yes" : "no") +
+            ", cpu: " + std::string(simd_avx2_runtime() ? "yes" : "no") + ")");
+      }
+      return SimdBackend::kAvx2;
+    }
+    throw std::invalid_argument(
+        "OSCS_KERNEL_BACKEND: expected scalar|avx2|auto, got \"" +
+        std::string(env) + "\"");
+  }
+  return simd_avx2_compiled() && simd_avx2_runtime() ? SimdBackend::kAvx2
+                                                     : SimdBackend::kScalar;
+}
+
+}  // namespace
+
+SimdBackend simd_backend() noexcept {
+  int value = g_backend.load(std::memory_order_acquire);
+  if (value == kUnresolved) {
+    // A malformed environment value falls back to scalar rather than
+    // throwing out of a noexcept hot-path accessor; set_simd_backend and
+    // tests surface the error loudly instead.
+    SimdBackend resolved = SimdBackend::kScalar;
+    try {
+      resolved = resolve_from_env_and_cpu();
+    } catch (const std::invalid_argument&) {
+      resolved = SimdBackend::kScalar;
+    }
+    value = static_cast<int>(resolved);
+    int expected = kUnresolved;
+    // First resolver wins; racing threads re-read the published value.
+    if (!g_backend.compare_exchange_strong(expected, value,
+                                           std::memory_order_acq_rel)) {
+      value = expected;
+    }
+  }
+  return static_cast<SimdBackend>(value);
+}
+
+void set_simd_backend(SimdBackend backend) {
+  if (backend == SimdBackend::kAvx2 &&
+      (!simd_avx2_compiled() || !simd_avx2_runtime())) {
+    throw std::invalid_argument(
+        "set_simd_backend: AVX2 unavailable (compiled: " +
+        std::string(simd_avx2_compiled() ? "yes" : "no") +
+        ", cpu: " + std::string(simd_avx2_runtime() ? "yes" : "no") + ")");
+  }
+  g_backend.store(static_cast<int>(backend), std::memory_order_release);
+}
+
+void reset_simd_backend() noexcept {
+  g_backend.store(kUnresolved, std::memory_order_release);
+}
+
+bool simd_avx2_compiled() noexcept {
+#if defined(OSCS_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_avx2_runtime() noexcept {
+  static const bool has = cpu_has_avx2();
+  return has;
+}
+
+const char* simd_backend_name(SimdBackend backend) noexcept {
+  return backend == SimdBackend::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace oscs

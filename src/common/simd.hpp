@@ -1,0 +1,49 @@
+#pragma once
+/// \file simd.hpp
+/// \brief Process-wide SIMD backend selection for the word-parallel hot
+///        paths (SNG comparator fill, packed-kernel plane/select/MUX ops).
+///
+/// One seam, two implementations: every vectorized routine ships a scalar
+/// reference and an AVX2 variant that is bit-identical by construction
+/// (pure 64-bit logic, no floating point reassociation). The active
+/// backend is resolved once from, in priority order:
+///
+///   1. `set_simd_backend()` (tests, benches),
+///   2. the `OSCS_KERNEL_BACKEND` environment variable
+///      (`scalar` | `avx2` | `auto`),
+///   3. CPU detection (`auto`): AVX2 when both the build and the machine
+///      support it, scalar otherwise.
+///
+/// AVX2 translation units are only compiled when the toolchain accepts
+/// `-mavx2` (CMake option `OSCS_ENABLE_AVX2`, default ON); requesting the
+/// AVX2 backend on a build or CPU without it throws instead of faulting.
+
+namespace oscs {
+
+/// Implementation flavour of the word-parallel kernels.
+enum class SimdBackend {
+  kScalar,  ///< portable 64-bit reference (always available)
+  kAvx2,    ///< 256-bit AVX2 words (4 lanes of 64 bits per op)
+};
+
+/// The backend every dispatched routine currently uses.
+[[nodiscard]] SimdBackend simd_backend() noexcept;
+
+/// Force a backend (overrides the environment and CPU detection).
+/// \throws std::invalid_argument if AVX2 is requested but either the
+///         build (no -mavx2 TU) or the CPU lacks it.
+void set_simd_backend(SimdBackend backend);
+
+/// Drop a `set_simd_backend` override: back to env/CPU resolution.
+void reset_simd_backend() noexcept;
+
+/// True when the AVX2 translation units were compiled into this binary.
+[[nodiscard]] bool simd_avx2_compiled() noexcept;
+
+/// True when the running CPU reports AVX2.
+[[nodiscard]] bool simd_avx2_runtime() noexcept;
+
+/// Stable lower-case name ("scalar" / "avx2") for logs and bench JSON.
+[[nodiscard]] const char* simd_backend_name(SimdBackend backend) noexcept;
+
+}  // namespace oscs

@@ -47,9 +47,43 @@ obs::Histogram& fused_k_histogram() {
   return histogram;
 }
 
+obs::Histogram& slab_tasks_histogram() {
+  static obs::Histogram& histogram = obs::Registry::global().histogram(
+      "oscs_engine_slab_tasks", "tasks per scheduled slab", {},
+      obs::Histogram::Options{/*min_value=*/1.0, /*growth=*/2.0,
+                              /*buckets=*/16});
+  return histogram;
+}
+
 /// 64-bit words one evaluation of a `length`-bit stream touches.
 std::size_t words_for(std::size_t length) noexcept {
   return (length + 63) / 64;
+}
+
+/// Stream-bit budget per slab in auto mode: chunky enough that a slab is
+/// on the order of a millisecond of packed-kernel work, so queue overhead
+/// (one lock hand-off + one std::function dispatch per slab) disappears
+/// into the noise even for dense grids of short streams.
+constexpr std::size_t kSlabTargetBits = std::size_t{1} << 20;
+
+/// Slabs-per-worker floor in auto mode, for load balance on ragged work.
+constexpr std::size_t kSlabsPerWorker = 4;
+
+/// Tasks per slab for this request. `passes_per_task` scales the per-task
+/// work estimate: the fused mode evaluates every program in one task.
+std::size_t slab_size(const BatchRequest& request, std::size_t workers,
+                      std::size_t n_tasks, std::size_t passes_per_task) {
+  if (n_tasks == 0) return 1;
+  if (request.slab_tasks != 0) return std::min(request.slab_tasks, n_tasks);
+  std::size_t total_len = 0;
+  for (std::size_t length : request.stream_lengths) total_len += length;
+  const std::size_t mean_bits_per_task = std::max<std::size_t>(
+      1, total_len / request.stream_lengths.size() * passes_per_task);
+  const std::size_t by_target =
+      std::max<std::size_t>(1, kSlabTargetBits / mean_bits_per_task);
+  const std::size_t by_balance = std::max<std::size_t>(
+      1, n_tasks / (kSlabsPerWorker * std::max<std::size_t>(1, workers)));
+  return std::min({by_target, by_balance, n_tasks});
 }
 
 /// Export one finished batch into the engine counters. `passes` is the
@@ -260,41 +294,46 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
   check_orders(request);
   const oscs::OperatingPoint base = request.op.value_or(design_point_);
 
-  std::vector<TaskOut> outs(request.tasks());
+  const std::size_t n_tasks = request.tasks();
+  std::vector<TaskOut> outs(n_tasks);
 
-  // Fan one task per (cell, repeat) across the pool. Tasks only touch
-  // their own output slot, so aggregation below is race-free and the
-  // result is independent of scheduling order.
+  // Fan the (cell, repeat) grid across the pool in contiguous-index slabs.
+  // Each task decomposes its global index t (repeat innermost - the same
+  // order the nested loops used to enqueue in), derives its seeds from t
+  // alone and writes only its own output slot, so results are independent
+  // of scheduling order, thread count and slab grain.
   const std::size_t n_lengths = request.stream_lengths.size();
   const std::size_t n_xs = request.xs.size();
-  std::size_t task_index = 0;
-  for (std::size_t pi = 0; pi < request.program_count(); ++pi) {
-    for (std::size_t xi = 0; xi < n_xs; ++xi) {
-      for (std::size_t li = 0; li < n_lengths; ++li) {
-        for (std::size_t rep = 0; rep < request.repeats; ++rep, ++task_index) {
-          const std::size_t t = task_index;
-          pool.submit([this, &request, &outs, &base, pi, xi, li, t] {
-            PackedRunConfig cfg;
-            cfg.op = base.with_stream_length(request.stream_lengths[li]);
-            cfg.source_kind = request.source_kind;
-            cfg.stimulus_seed = derive_task_seed(request.seed, t, 0);
-            cfg.noise_seed = derive_task_seed(request.seed, t, 1);
-            const PackedRunResult r =
-                request.bivariate()
-                    ? kernel_->run2(request.polynomials2[pi], request.xs[xi],
-                                    request.ys[xi], cfg)
-                    : kernel_->run(request.polynomials[pi], request.xs[xi],
-                                   cfg);
-            outs[t] = {r.optical_estimate, r.electronic_estimate,
-                       r.transmission_flips};
-          });
+  const std::size_t repeats = request.repeats;
+  const std::size_t slab = slab_size(request, pool.size(), n_tasks, 1);
+  slab_tasks_histogram().record(static_cast<double>(slab));
+  pool.submit_range(
+      (n_tasks + slab - 1) / slab,
+      [this, &request, &outs, &base, n_lengths, n_xs, repeats, slab,
+       n_tasks](std::size_t si) {
+        const std::size_t end = std::min(n_tasks, (si + 1) * slab);
+        for (std::size_t t = si * slab; t < end; ++t) {
+          const std::size_t cell = t / repeats;
+          const std::size_t li = cell % n_lengths;
+          const std::size_t xi = (cell / n_lengths) % n_xs;
+          const std::size_t pi = cell / (n_lengths * n_xs);
+          PackedRunConfig cfg;
+          cfg.op = base.with_stream_length(request.stream_lengths[li]);
+          cfg.source_kind = request.source_kind;
+          cfg.stimulus_seed = derive_task_seed(request.seed, t, 0);
+          cfg.noise_seed = derive_task_seed(request.seed, t, 1);
+          const PackedRunResult r =
+              request.bivariate()
+                  ? kernel_->run2(request.polynomials2[pi], request.xs[xi],
+                                  request.ys[xi], cfg)
+                  : kernel_->run(request.polynomials[pi], request.xs[xi],
+                                 cfg);
+          outs[t] = {r.optical_estimate, r.electronic_estimate,
+                     r.transmission_flips};
         }
-      }
-    }
-  }
+      });
   pool.wait_idle();
 
-  const std::size_t repeats = request.repeats;
   BatchSummary summary =
       aggregate(request, outs, base,
                 [n_xs, n_lengths, repeats](std::size_t pi, std::size_t xi,
@@ -326,13 +365,18 @@ BatchSummary BatchRunner::run_fused(const BatchRequest& request,
   // One task per (point, length, repeat): a single fused kernel pass
   // evaluates every program on shared data streams (both input banks in
   // the bivariate mode) and one flip mask, then scatters into per-program
-  // slots.
-  std::size_t task_index = 0;
-  for (std::size_t xi = 0; xi < n_xs; ++xi) {
-    for (std::size_t li = 0; li < n_lengths; ++li) {
-      for (std::size_t rep = 0; rep < request.repeats; ++rep, ++task_index) {
-        const std::size_t t = task_index;
-        pool.submit([this, &request, &outs, &base, xi, li, t, n_programs] {
+  // slots. Tasks go out in contiguous-index slabs, same contract as run().
+  const std::size_t repeats = request.repeats;
+  const std::size_t slab = slab_size(request, pool.size(), n_tasks, n_programs);
+  slab_tasks_histogram().record(static_cast<double>(slab));
+  pool.submit_range(
+      (n_tasks + slab - 1) / slab,
+      [this, &request, &outs, &base, n_lengths, repeats, slab, n_tasks,
+       n_programs](std::size_t si) {
+        const std::size_t end = std::min(n_tasks, (si + 1) * slab);
+        for (std::size_t t = si * slab; t < end; ++t) {
+          const std::size_t li = (t / repeats) % n_lengths;
+          const std::size_t xi = t / (repeats * n_lengths);
           PackedRunConfig cfg;
           cfg.op = base.with_stream_length(request.stream_lengths[li]);
           cfg.source_kind = request.source_kind;
@@ -340,8 +384,8 @@ BatchSummary BatchRunner::run_fused(const BatchRequest& request,
           cfg.noise_seed = derive_task_seed(request.seed, t, 1);
           const std::vector<PackedRunResult> results =
               request.bivariate()
-                  ? kernel_->run2_fused(request.polynomials2,
-                                        request.xs[xi], request.ys[xi], cfg)
+                  ? kernel_->run2_fused(request.polynomials2, request.xs[xi],
+                                        request.ys[xi], cfg)
                   : kernel_->run_fused(request.polynomials, request.xs[xi],
                                        cfg);
           for (std::size_t pi = 0; pi < n_programs; ++pi) {
@@ -350,13 +394,10 @@ BatchSummary BatchRunner::run_fused(const BatchRequest& request,
                                          r.electronic_estimate,
                                          r.transmission_flips};
           }
-        });
-      }
-    }
-  }
+        }
+      });
   pool.wait_idle();
 
-  const std::size_t repeats = request.repeats;
   BatchSummary summary = aggregate(
       request, outs, base,
       [n_lengths, repeats, n_programs](std::size_t pi, std::size_t xi,

@@ -7,7 +7,9 @@
 /// Determinism contract: every task derives its stimulus and noise seeds
 /// from the request seed and its own grid coordinates alone, and writes
 /// into a preallocated slot; results are therefore bit-identical for any
-/// thread count, including 1.
+/// thread count (including 1) and any slab grain. Tasks are scheduled in
+/// contiguous-index SLABS (see BatchRequest::slab_tasks) so each pool job
+/// carries enough work to amortize queue overhead.
 ///
 /// Noise model: the runner evaluates at an `oscs::OperatingPoint` - either
 /// the one the request carries or the runner's design point (derived from
@@ -56,6 +58,14 @@ struct BatchRequest {
 
   std::uint64_t seed = 1;  ///< master seed; every task seed derives from it
   stochastic::SourceKind source_kind = stochastic::SourceKind::kLfsr;
+
+  /// Scheduling grain: tasks per pool slab. 0 (the default) auto-sizes
+  /// from the request's stream work so one slab carries on the order of a
+  /// millisecond of kernel time while keeping several slabs per worker
+  /// for load balance. Results are bit-identical for ANY value (each
+  /// task's seeds and output slot derive from its global task index
+  /// alone); exposed for tests and benches.
+  std::size_t slab_tasks = 0;
 
   /// Link operating point to evaluate at (BER + SNG width; the per-cell
   /// stream length comes from `stream_lengths`). Leave unset to run at the

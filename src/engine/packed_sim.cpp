@@ -1,12 +1,12 @@
 #include "engine/packed_sim.hpp"
 
 #include <algorithm>
-#include <array>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
+#include "engine/simd_kernel.hpp"
 #include "optsc/link_budget.hpp"
 #include "stochastic/wordops.hpp"
 
@@ -15,6 +15,20 @@ namespace oscs::engine {
 namespace sc = oscs::stochastic;
 
 namespace {
+
+/// Words per packed-evaluation block. The plane-major scratch buffers stay
+/// small enough to live in L1/L2 (a full select set at kMaxOrder is
+/// 13 * 256 * 8 B = 26 KiB) while giving the SIMD primitives contiguous
+/// runs long enough to amortize dispatch.
+constexpr std::size_t kBlockWords = 256;
+
+std::vector<const std::uint64_t*> word_pointers(
+    const std::vector<sc::Bitstream>& streams) {
+  std::vector<const std::uint64_t*> ptrs;
+  ptrs.reserve(streams.size());
+  for (const sc::Bitstream& s : streams) ptrs.push_back(s.words_data());
+  return ptrs;
+}
 
 std::vector<bool> pattern_bits(std::uint32_t pattern, std::size_t count) {
   std::vector<bool> bits(count, false);
@@ -234,31 +248,65 @@ std::vector<PackedKernel::Streams> PackedKernel::evaluate_core(
   std::vector<std::vector<std::uint64_t>> electronic(
       programs, std::vector<std::uint64_t>(nwords, 0));
 
-  // kMaxOrder bounds every per-word scratch array.
-  std::array<std::uint64_t, kMaxOrder + 1> zw{};
-  std::array<std::uint64_t, kMaxOrder + 1> sel{};
-  constexpr std::size_t kMaxPlanes = std::bit_width(PackedKernel::kMaxOrder);
-  std::array<std::uint64_t, kMaxPlanes> planes{};
+  const simd::KernelOps& ops = simd::kernel_ops();
+  const std::vector<const std::uint64_t*> xw = word_pointers(x_streams);
+  std::vector<std::vector<const std::uint64_t*>> zw(programs);
+  for (std::size_t prog = 0; prog < programs; ++prog) {
+    zw[prog] = word_pointers(*z_sets[prog]);
+  }
 
-  for (std::size_t w = 0; w < nwords; ++w) {
-    // 1. Carry-save adder over the shared x words: after the call, plane j
-    //    holds bit j of the per-lane ones count k(t). Computed once and
-    //    reused by every fused program.
-    planes.fill(0);
-    sc::accumulate_count_planes(x_streams, w, planes.data(), planes_);
+  // Plane-major block scratch: entry (j, i) at j*kBlockWords + i. Sized by
+  // kMaxOrder so one allocation serves any circuit.
+  constexpr std::size_t kMaxPlanes = std::bit_width(PackedKernel::kMaxOrder);
+  std::vector<std::uint64_t> planes(kMaxPlanes * kBlockWords);
+  std::vector<std::uint64_t> sel((kMaxOrder + 1) * kBlockWords);
+
+  for (std::size_t w0 = 0; w0 < nwords; w0 += kBlockWords) {
+    const std::size_t count = std::min(kBlockWords, nwords - w0);
+
+    // 1. Carry-save adder over the shared x words: after the call, bit t
+    //    of plane (j, i) holds bit j of the per-lane ones count k(t) for
+    //    word w0+i. Computed once and reused by every fused program.
+    std::fill_n(planes.begin(), planes_ * kBlockWords, 0);
+    ops.accumulate_planes(xw.data(), n, w0, count, planes.data(), planes_,
+                          kBlockWords);
 
     // 2. Bitwise equality k(t) == k gives the coefficient select masks.
-    for (std::size_t k = 0; k <= n; ++k) {
-      sel[k] = sc::count_equals_mask(planes.data(), planes_, k);
-    }
+    ops.select_masks(planes.data(), planes_, count, n + 1, sel.data(),
+                     kBlockWords);
 
-    // 3. Per program: ideal MUX word, then the optical decision word.
+    // 3. Per program: ideal MUX words, then the optical decision words.
     for (std::size_t prog = 0; prog < programs; ++prog) {
-      for (std::size_t j = 0; j <= n; ++j) {
-        zw[j] = (*z_sets[prog])[j].word(w);
+      std::uint64_t* mux = electronic[prog].data() + w0;
+      ops.mux_or_reduce(sel.data(), n + 1, kBlockWords, count,
+                        zw[prog].data(), w0, mux);
+      if (mux_exact_) {
+        std::copy_n(mux, count, optical[prog].data() + w0);
+        continue;
       }
-      assemble_words(sel.data(), zw.data(), electronic[prog][w],
-                     optical[prog][w]);
+      // Physics LUT path (eye closed in some reachable state): per-word
+      // scan over the coefficient patterns, reusing the block's select
+      // masks. Rare - only non-mux-exact operating points land here.
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t w = w0 + i;
+        std::uint64_t opt = 0;
+        for (std::size_t p = 0; p < decisions_.size(); ++p) {
+          const std::uint32_t dmask = decisions_[p];
+          if (dmask == 0) continue;
+          std::uint64_t zmask = ~std::uint64_t{0};
+          for (std::size_t j = 0; j <= n && zmask != 0; ++j) {
+            const std::uint64_t zj = zw[prog][j][w];
+            zmask &= ((p >> j) & 1u) ? zj : ~zj;
+          }
+          if (zmask == 0) continue;
+          std::uint64_t decided = 0;
+          for (std::size_t k = 0; k <= n; ++k) {
+            if ((dmask >> k) & 1u) decided |= sel[k * kBlockWords + i];
+          }
+          opt |= zmask & decided;
+        }
+        optical[prog][w] = opt;
+      }
     }
   }
 
@@ -314,10 +362,25 @@ std::vector<PackedRunResult> PackedKernel::finish_runs(
                                   noise_rng);
   }
 
+  // The sampled positions become one packed flip mask XORed into every
+  // program's decision words (positions are distinct, so XOR == per-bit
+  // toggle); padding bits stay zero because positions < stream_length.
+  std::vector<std::uint64_t> flip_mask;
+  if (!flips.empty()) {
+    flip_mask.assign((config.op.stream_length + 63) / 64, 0);
+    for (std::size_t pos : flips) {
+      flip_mask[pos / 64] |= std::uint64_t{1} << (pos % 64);
+    }
+  }
+  const simd::KernelOps& ops = simd::kernel_ops();
+
   std::vector<PackedRunResult> results(streams.size());
   for (std::size_t prog = 0; prog < streams.size(); ++prog) {
     Streams& s = streams[prog];
-    flip_positions(s.optical, flips);
+    if (!flip_mask.empty()) {
+      ops.xor_inplace(s.optical.words_data(), flip_mask.data(),
+                      flip_mask.size());
+    }
     PackedRunResult& r = results[prog];
     r.length = config.op.stream_length;
     r.noise_flips = flips.size();
@@ -395,47 +458,50 @@ std::vector<PackedKernel::Streams> PackedKernel::evaluate2_core(
   std::vector<std::vector<std::uint64_t>> electronic(
       programs, std::vector<std::uint64_t>(nwords, 0));
 
-  // kMaxOrder bounds the per-axis scratch arrays.
-  std::array<std::uint64_t, kMaxOrder + 1> sel_x{};
-  std::array<std::uint64_t, kMaxOrder + 1> sel_y{};
-  constexpr std::size_t kMaxPlanes = std::bit_width(PackedKernel::kMaxOrder);
-  std::array<std::uint64_t, kMaxPlanes> planes_x{};
-  std::array<std::uint64_t, kMaxPlanes> planes_y{};
+  const simd::KernelOps& ops = simd::kernel_ops();
+  const std::vector<const std::uint64_t*> xw = word_pointers(x_streams);
+  const std::vector<const std::uint64_t*> yw = word_pointers(y_streams);
+  std::vector<std::vector<const std::uint64_t*>> zw(programs);
+  for (std::size_t prog = 0; prog < programs; ++prog) {
+    zw[prog] = word_pointers(*z_sets[prog]);
+  }
 
-  for (std::size_t w = 0; w < nwords; ++w) {
-    // 1. Two carry-save adders over the shared input banks: plane j of
-    //    planes_x/planes_y holds bit j of the per-lane row/column index.
-    //    Computed once per word and reused by every fused program.
-    planes_x.fill(0);
-    planes_y.fill(0);
-    sc::accumulate_count_planes(x_streams, w, planes_x.data(), planes_);
-    sc::accumulate_count_planes(y_streams, w, planes_y.data(), planes_y_);
+  // Plane-major block scratch for both axes (entry (j, i) at
+  // j*kBlockWords + i), sized by kMaxOrder.
+  constexpr std::size_t kMaxPlanes = std::bit_width(PackedKernel::kMaxOrder);
+  std::vector<std::uint64_t> planes_x(kMaxPlanes * kBlockWords);
+  std::vector<std::uint64_t> planes_y(kMaxPlanes * kBlockWords);
+  std::vector<std::uint64_t> sel_x((kMaxOrder + 1) * kBlockWords);
+  std::vector<std::uint64_t> sel_y((kMaxOrder + 1) * kBlockWords);
+
+  for (std::size_t w0 = 0; w0 < nwords; w0 += kBlockWords) {
+    const std::size_t count = std::min(kBlockWords, nwords - w0);
+
+    // 1. Two carry-save adders over the shared input banks: plane (j, i)
+    //    of planes_x/planes_y holds bit j of the per-lane row/column
+    //    index. Computed once per block and reused by every fused program.
+    std::fill_n(planes_x.begin(), planes_ * kBlockWords, 0);
+    std::fill_n(planes_y.begin(), planes_y_ * kBlockWords, 0);
+    ops.accumulate_planes(xw.data(), n, w0, count, planes_x.data(), planes_,
+                          kBlockWords);
+    ops.accumulate_planes(yw.data(), m, w0, count, planes_y.data(), planes_y_,
+                          kBlockWords);
 
     // 2. The two packed select-index plane sets become per-axis equality
     //    masks; their AND is the (i, j) coefficient select.
-    for (std::size_t i = 0; i <= n; ++i) {
-      sel_x[i] = sc::count_equals_mask(planes_x.data(), planes_, i);
-    }
-    for (std::size_t j = 0; j <= m; ++j) {
-      sel_y[j] = sc::count_equals_mask(planes_y.data(), planes_y_, j);
-    }
+    ops.select_masks(planes_x.data(), planes_, count, n + 1, sel_x.data(),
+                     kBlockWords);
+    ops.select_masks(planes_y.data(), planes_y_, count, m + 1, sel_y.data(),
+                     kBlockWords);
 
-    // 3. Per program: the 2D MUX word. The bivariate decision model is
-    //    mux-exact (see the constructor), so the optical word equals the
-    //    ideal MUX word before noise.
+    // 3. Per program: the 2D MUX words. The bivariate decision model is
+    //    mux-exact (see the constructor), so the optical words equal the
+    //    ideal MUX words before noise.
     for (std::size_t prog = 0; prog < programs; ++prog) {
-      const std::vector<sc::Bitstream>& zs = *z_sets[prog];
-      std::uint64_t mux = 0;
-      for (std::size_t i = 0; i <= n; ++i) {
-        if (sel_x[i] == 0) continue;
-        for (std::size_t j = 0; j <= m; ++j) {
-          const std::uint64_t sel = sel_x[i] & sel_y[j];
-          if (sel == 0) continue;
-          mux |= sel & zs[i * (m + 1) + j].word(w);
-        }
-      }
-      electronic[prog][w] = mux;
-      optical[prog][w] = mux;
+      std::uint64_t* mux = electronic[prog].data() + w0;
+      ops.mux2_or_reduce(sel_x.data(), n + 1, sel_y.data(), m + 1,
+                         kBlockWords, count, zw[prog].data(), w0, mux);
+      std::copy_n(mux, count, optical[prog].data() + w0);
     }
   }
 

@@ -1,0 +1,109 @@
+#pragma once
+/// \file simd_kernel.hpp
+/// \brief Runtime-dispatched word-parallel primitives behind the packed
+///        kernel: carry-save bit-plane accumulation, select-mask
+///        extraction, MUX OR-reduce (1D and 2D) and flip-mask application.
+///
+/// The packed evaluation walks streams in plane-major *blocks* of packed
+/// words rather than one word at a time, so each primitive sees a
+/// contiguous run it can vectorize. Two implementations exist: a scalar
+/// one (the bit-exact reference, always compiled) and an AVX2 one
+/// (compiled only in the `*_avx2.cpp` translation unit when the toolchain
+/// supports -mavx2, entered only after a runtime cpuid check). Every
+/// operation is pure bitwise logic, so the two are bit-identical by
+/// construction; the equivalence suite pins that.
+///
+/// Backend selection rides the process-wide seam in common/simd.hpp:
+/// `set_simd_backend()` > `OSCS_KERNEL_BACKEND` env (scalar|avx2|auto) >
+/// cpuid.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.hpp"
+
+namespace oscs::engine::simd {
+
+/// The backend the packed kernel's primitives will dispatch to.
+[[nodiscard]] inline oscs::SimdBackend kernel_backend() noexcept {
+  return oscs::simd_backend();
+}
+
+/// Word-parallel primitive set for one backend. All buffers are plain
+/// uint64 word arrays; plane/select buffers are plane-major with a caller
+/// chosen `stride` (entry (j, i) lives at j*stride + i) so one block's
+/// planes stay contiguous per plane.
+struct KernelOps {
+  /// Carry-save accumulate words [w0, w0+count) of each of `n_streams`
+  /// packed streams into `plane_count` bit planes: afterwards, bit t of
+  /// planes[j*stride + i] is bit j of the ones count over the streams at
+  /// lane t of word w0+i. Requires n_streams < 2^plane_count; the planes
+  /// region must be zeroed by the caller.
+  void (*accumulate_planes)(const std::uint64_t* const* streams,
+                            std::size_t n_streams, std::size_t w0,
+                            std::size_t count, std::uint64_t* planes,
+                            std::size_t plane_count, std::size_t stride);
+
+  /// Equality masks against the count planes: bit t of sel[k*stride + i]
+  /// is set iff the lane-t count of plane word i equals k, for every
+  /// k < n_values (each value must be < 2^plane_count).
+  void (*select_masks)(const std::uint64_t* planes, std::size_t plane_count,
+                       std::size_t count, std::size_t n_values,
+                       std::uint64_t* sel, std::size_t stride);
+
+  /// MUX OR-reduce: mux[i] |= sel[k*stride + i] & z_words[k][w0 + i] over
+  /// all k < n_sel. The caller owns mux's initial contents (zero for a
+  /// fresh block).
+  void (*mux_or_reduce)(const std::uint64_t* sel, std::size_t n_sel,
+                        std::size_t stride, std::size_t count,
+                        const std::uint64_t* const* z_words, std::size_t w0,
+                        std::uint64_t* mux);
+
+  /// 2D MUX OR-reduce: mux[w] |= (sel_x[i*stride+w] & sel_y[j*stride+w]) &
+  /// z_words[i*ny + j][w0 + w] over the full (i, j) coefficient grid.
+  void (*mux2_or_reduce)(const std::uint64_t* sel_x, std::size_t nx,
+                         const std::uint64_t* sel_y, std::size_t ny,
+                         std::size_t stride, std::size_t count,
+                         const std::uint64_t* const* z_words, std::size_t w0,
+                         std::uint64_t* mux);
+
+  /// dst[i] ^= src[i] - flip-mask application onto packed decision words.
+  void (*xor_inplace)(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t count);
+};
+
+/// The primitive set for an explicit backend (tests pin both sides of the
+/// equivalence suite through this).
+[[nodiscard]] const KernelOps& kernel_ops(oscs::SimdBackend backend) noexcept;
+
+/// The primitive set for the active backend.
+[[nodiscard]] inline const KernelOps& kernel_ops() noexcept {
+  return kernel_ops(kernel_backend());
+}
+
+#if defined(OSCS_HAVE_AVX2)
+namespace detail {
+/// AVX2 implementations (simd_kernel_avx2.cpp, compiled with -mavx2).
+/// Bit-identical to the scalar reference.
+void accumulate_planes_avx2(const std::uint64_t* const* streams,
+                            std::size_t n_streams, std::size_t w0,
+                            std::size_t count, std::uint64_t* planes,
+                            std::size_t plane_count, std::size_t stride);
+void select_masks_avx2(const std::uint64_t* planes, std::size_t plane_count,
+                       std::size_t count, std::size_t n_values,
+                       std::uint64_t* sel, std::size_t stride);
+void mux_or_reduce_avx2(const std::uint64_t* sel, std::size_t n_sel,
+                        std::size_t stride, std::size_t count,
+                        const std::uint64_t* const* z_words, std::size_t w0,
+                        std::uint64_t* mux);
+void mux2_or_reduce_avx2(const std::uint64_t* sel_x, std::size_t nx,
+                         const std::uint64_t* sel_y, std::size_t ny,
+                         std::size_t stride, std::size_t count,
+                         const std::uint64_t* const* z_words, std::size_t w0,
+                         std::uint64_t* mux);
+void xor_inplace_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t count);
+}  // namespace detail
+#endif
+
+}  // namespace oscs::engine::simd

@@ -60,11 +60,29 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back({std::move(job), std::chrono::steady_clock::now()});
+    queue_.push_back(
+        {std::move(job), nullptr, 0, std::chrono::steady_clock::now()});
     ++in_flight_;
   }
   queue_depth_gauge().add(1);
   work_cv_.notify_one();
+}
+
+void ThreadPool::submit_range(std::size_t count,
+                              std::function<void(std::size_t)> fn) {
+  if (count == 0) return;
+  auto shared = std::make_shared<const std::function<void(std::size_t)>>(
+      std::move(fn));
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+      queue_.push_back({{}, shared, i, now});
+    }
+    in_flight_ += count;
+  }
+  queue_depth_gauge().add(static_cast<std::int64_t>(count));
+  work_cv_.notify_all();
 }
 
 void ThreadPool::wait_idle() {
@@ -97,7 +115,11 @@ void ThreadPool::worker_loop() {
             std::chrono::steady_clock::now() - job.enqueued)
             .count());
     try {
-      job.fn();
+      if (job.range_fn) {
+        (*job.range_fn)(job.index);
+      } else {
+        job.fn();
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();

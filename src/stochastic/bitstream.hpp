@@ -42,6 +42,15 @@ class Bitstream {
     return words_.at(i);
   }
 
+  /// Contiguous packed-word storage (word_count() entries) for bulk
+  /// word-parallel passes; the padding invariant above holds throughout.
+  [[nodiscard]] const std::uint64_t* words_data() const noexcept {
+    return words_.data();
+  }
+  /// Mutable word storage. Callers must keep padding bits past size() in
+  /// the last word zero (XOR with a mask whose padding is zero is safe).
+  [[nodiscard]] std::uint64_t* words_data() noexcept { return words_.data(); }
+
   [[nodiscard]] bool bit(std::size_t i) const;
   void set_bit(std::size_t i, bool value);
   /// Append one bit at the end.

@@ -4,8 +4,15 @@
 #include <stdexcept>
 
 #include "common/math.hpp"
+#include "stochastic/sng_fill.hpp"
 
 namespace oscs::stochastic {
+
+bool RandomSource::fill_comparator_words(std::uint64_t /*threshold*/,
+                                         std::size_t /*length*/,
+                                         std::uint64_t* /*words*/) {
+  return false;  // no bulk path; the caller runs the per-bit loop
+}
 
 LfsrSource::LfsrSource(unsigned width, std::uint32_t seed,
                        std::uint64_t scramble)
@@ -17,6 +24,23 @@ unsigned LfsrSource::width() const noexcept { return lfsr_.width(); }
 
 std::uint64_t LfsrSource::next() {
   return (static_cast<std::uint64_t>(lfsr_.step()) * scramble_) & mask_;
+}
+
+bool LfsrSource::fill_comparator_words(std::uint64_t threshold,
+                                       std::size_t length,
+                                       std::uint64_t* words) {
+  if (lfsr_.width() > detail::kMaxLfsrTableWidth) return false;
+  if (length == 0) return true;
+  const detail::LfsrCycle& cycle = detail::lfsr_cycle(lfsr_.width());
+  const std::size_t period = cycle.states.size();
+  // next() emits the state AFTER each clock, so the first bulk value sits
+  // one phase past the current register state.
+  const std::size_t phase0 =
+      (cycle.phase[lfsr_.state()] + std::size_t{1}) % period;
+  detail::fill_lfsr_words(cycle, phase0, scramble_, mask_, threshold, length,
+                          words);
+  lfsr_.set_state(cycle.states[(phase0 + length - 1) % period]);
+  return true;
 }
 
 CounterSource::CounterSource(unsigned width, std::uint64_t start)
@@ -32,6 +56,15 @@ std::uint64_t CounterSource::next() {
   const std::uint64_t v = state_ & ((1ULL << width_) - 1ULL);
   ++state_;
   return v;
+}
+
+bool CounterSource::fill_comparator_words(std::uint64_t threshold,
+                                          std::size_t length,
+                                          std::uint64_t* words) {
+  detail::fill_counter_words(state_, (1ULL << width_) - 1ULL, threshold,
+                             length, words);
+  state_ += length;
+  return true;
 }
 
 VanDerCorputSource::VanDerCorputSource(unsigned width, std::uint64_t start)
@@ -81,6 +114,18 @@ std::uint64_t Sng::threshold_for(double p) const noexcept {
 bool Sng::next_bit(double p) { return source_->next() < threshold_for(p); }
 
 Bitstream Sng::generate(double p, std::size_t length) {
+  const std::uint64_t threshold = threshold_for(p);
+  std::vector<std::uint64_t> words((length + 63) / 64, 0);
+  // Sources with a word-parallel path fill whole packed words per call
+  // (bit-identical to the reference loop below, by contract and by the
+  // equivalence suite); the rest take one virtual next() per bit.
+  if (source_->fill_comparator_words(threshold, length, words.data())) {
+    return Bitstream::from_words(std::move(words), length);
+  }
+  return generate_reference(p, length);
+}
+
+Bitstream Sng::generate_reference(double p, std::size_t length) {
   const std::uint64_t threshold = threshold_for(p);
   // Pack comparator decisions 64 at a time into whole words: the batch
   // engine consumes streams word-wise, and building words locally avoids a

@@ -6,6 +6,9 @@
 #include <chrono>
 #include <stdexcept>
 #include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace oscs::engine {
 namespace {
@@ -121,6 +124,86 @@ TEST(ThreadPool, NonStdExceptionIsRethrownToo) {
   pool.submit([&counter] { ++counter; });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SubmitRangeRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 777;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.submit_range(kCount, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  pool.wait_idle();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SubmitRangeZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  pool.submit_range(0, [](std::size_t) { FAIL() << "must never run"; });
+  pool.wait_idle();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, SubmitRangeExceptionPropagatesAndRestRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit_range(16, [&ran](std::size_t i) {
+    if (i == 3) throw std::runtime_error("slab 3 failed");
+    ++ran;
+  });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 15);  // the error does not cancel the queue
+  // Pool stays usable.
+  pool.submit_range(4, [&ran](std::size_t) { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 19);
+}
+
+TEST(ThreadPool, SubmitRangeMixesWithSingleSubmits) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.submit_range(10, [&counter](std::size_t) { ++counter; });
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 12);
+}
+
+TEST(ThreadPool, QueueWaitHistogramReconcilesWithTaskCounter) {
+  // Every job - range or single - must record exactly one queue-wait
+  // sample and one task count, so the two series stay reconcilable
+  // (their difference is the jobs currently executing, zero at idle).
+  auto& registry = obs::Registry::global();
+  const auto* tasks =
+      registry.find_counter("oscs_engine_pool_tasks_total");
+  const auto* waits =
+      registry.find_histogram("oscs_engine_pool_task_wait_us");
+  const auto* depth = registry.find_gauge("oscs_engine_pool_queue_depth");
+  ThreadPool pool(3);
+  // Metrics are process-global and lazily registered; prime them.
+  pool.submit([] {});
+  pool.wait_idle();
+  if (!tasks) tasks = registry.find_counter("oscs_engine_pool_tasks_total");
+  if (!waits) {
+    waits = registry.find_histogram("oscs_engine_pool_task_wait_us");
+  }
+  if (!depth) depth = registry.find_gauge("oscs_engine_pool_queue_depth");
+  ASSERT_NE(tasks, nullptr);
+  ASSERT_NE(waits, nullptr);
+  ASSERT_NE(depth, nullptr);
+
+  const std::uint64_t tasks0 = tasks->value();
+  const std::uint64_t waits0 = waits->snapshot().count();
+  constexpr std::size_t kRange = 250;
+  std::atomic<int> counter{0};
+  pool.submit_range(kRange, [&counter](std::size_t) { ++counter; });
+  for (int i = 0; i < 7; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+
+  EXPECT_EQ(counter.load(), static_cast<int>(kRange) + 7);
+  EXPECT_EQ(tasks->value() - tasks0, kRange + 7);
+  EXPECT_EQ(waits->snapshot().count() - waits0, kRange + 7);
+  EXPECT_EQ(depth->value(), 0);  // queued-or-executing drains to zero
 }
 
 TEST(ThreadPool, DestructorDrainsPendingJobs) {
