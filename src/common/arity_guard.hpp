@@ -1,0 +1,70 @@
+#pragma once
+/// \file arity_guard.hpp
+/// \brief Single source of the arity-guard validation rules (and their
+///        error strings) shared by the engine batch front end and the
+///        serving layer: exactly-one-arity program lists, element-wise
+///        paired input axes, nonempty axes, and the finite-[0,1] range
+///        every stochastic input value must satisfy.
+///
+/// Every function returns "" when the rule holds, else the rendered
+/// error message - the caller wraps it in its own exception type
+/// (std::invalid_argument in the engine, ServeError(400) on the wire).
+/// Rendering is style-parameterized so both layers keep their idiom
+/// ("BatchRequest: ys must pair element-wise with xs" versus "'ys' must
+/// pair element-wise with 'xs'") while the rules and sentence shapes
+/// live here, once.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oscs::arity {
+
+/// Rendering style for the guard's error strings.
+struct GuardStyle {
+  std::string_view prefix;   ///< subject prefix ("BatchRequest: " or "")
+  bool quote_names = false;  ///< wire style quotes JSON member names
+};
+
+/// The engine's BatchRequest style: subject prefix, bare field names.
+inline constexpr GuardStyle kEngineStyle{"BatchRequest: ", false};
+/// The wire style: no prefix, JSON member names in single quotes.
+inline constexpr GuardStyle kWireStyle{"", true};
+
+/// Exactly-one-arity: precisely one program list may be populated.
+/// `choices` names the alternatives ("polynomials/polynomials2/
+/// programs_nd"); `none_name` is the list named when all are empty.
+[[nodiscard]] std::string exactly_one_error(const GuardStyle& style,
+                                            std::size_t populated_count,
+                                            std::string_view choices,
+                                            std::string_view none_name);
+
+/// Element-wise pairing: `secondary_name` must carry exactly
+/// `primary_count` values (one per entry of `primary_name`).
+[[nodiscard]] std::string pairwise_error(const GuardStyle& style,
+                                         std::string_view primary_name,
+                                         std::size_t primary_count,
+                                         std::string_view secondary_name,
+                                         std::size_t secondary_count);
+
+/// Nonempty axis: `name` must carry at least one value.
+[[nodiscard]] std::string nonempty_error(const GuardStyle& style,
+                                         std::string_view name,
+                                         std::size_t count);
+
+/// Stochastic range: every value of axis `name` must be finite and in
+/// [0, 1] (a NaN fails the check too - SC encodes values as bit
+/// probabilities, so anything else would silently produce a meaningless
+/// stream instead of an error).
+[[nodiscard]] std::string unit_range_error(const GuardStyle& style,
+                                           std::string_view name,
+                                           const std::vector<double>& values);
+
+/// Mutually exclusive request members (wire style: "request carries both
+/// 'a' and 'b'").
+[[nodiscard]] std::string both_error(const GuardStyle& style,
+                                     std::string_view a, std::string_view b,
+                                     bool a_present, bool b_present);
+
+}  // namespace oscs::arity

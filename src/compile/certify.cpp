@@ -186,6 +186,95 @@ Certification certify2_at(const CompiledProgram& program,
   return cert;
 }
 
+Certification certify_nd_at(
+    const CompiledProgram& program,
+    const std::function<double(const std::vector<double>&)>& reference,
+    const oscs::OperatingPoint& op, const CertificationOptions& options) {
+  options.validate();
+  op.validate();
+  if (!program.is_nd()) {
+    throw std::invalid_argument("certify_nd_at: dense program");
+  }
+  const std::size_t arity = program.arity();
+
+  // The MC grid is the tensor of `grid_points` interior points per axis,
+  // enumerated as explicit coordinate tuples (one column per axis) since
+  // the engine evaluates tuples, not cross products.
+  eng::BatchRequest request;
+  request.programs_nd.push_back(program.program_nd());
+  std::size_t tuples = 1;
+  for (std::size_t j = 0; j < arity; ++j) tuples *= options.grid_points;
+  request.inputs.assign(arity, {});
+  for (std::vector<double>& axis : request.inputs) axis.reserve(tuples);
+  for (std::size_t g = 0; g < tuples; ++g) {
+    std::size_t rest = g;
+    for (std::size_t j = arity; j-- > 0;) {
+      const std::size_t i = rest % options.grid_points;
+      rest /= options.grid_points;
+      request.inputs[j].push_back(static_cast<double>(i + 1) /
+                                  static_cast<double>(options.grid_points + 1));
+    }
+  }
+  request.stream_lengths = {op.stream_length};
+  request.repeats = options.repeats;
+  request.seed = options.seed;
+  request.source_kind = options.source_kind;
+  request.op = op;
+
+  const eng::BatchRunner runner(program.kernel(), program.design_point());
+  const eng::BatchSummary summary = runner.run_nd(request, options.threads);
+
+  Certification cert;
+  cert.op = op;
+  cert.stream_length = op.stream_length;
+  cert.repeats = options.repeats;
+  cert.grid_points = options.grid_points;
+  cert.noise_enabled = op.noisy();
+
+  double ci_sq_sum = 0.0;
+  for (const eng::BatchCell& cell : summary.cells) {
+    const double ref = reference(cell.point);
+    const double err = std::abs(cell.optical_mean - ref);
+    cert.mc_mae += err;
+    cert.mc_worst = std::max(cert.mc_worst, err);
+    ci_sq_sum += cell.optical_ci * cell.optical_ci;
+  }
+  const auto n = static_cast<double>(summary.cells.size());
+  cert.mc_mae /= n;
+  cert.mc_mae_ci = std::sqrt(ci_sq_sum) / n;
+  cert.electronic_mae = summary.electronic_mae;
+
+  // Deterministic pipeline error on a dense per-axis grid (coarser than
+  // the dense-arity paths: the tuple count is exponential in arity).
+  constexpr std::size_t kDenseSamples = 24;
+  std::size_t dense_tuples = 1;
+  for (std::size_t j = 0; j < arity; ++j) dense_tuples *= kDenseSamples + 1;
+  std::vector<double> point(arity, 0.0);
+  for (std::size_t g = 0; g < dense_tuples; ++g) {
+    std::size_t rest = g;
+    for (std::size_t j = arity; j-- > 0;) {
+      point[j] = static_cast<double>(rest % (kDenseSamples + 1)) /
+                 static_cast<double>(kDenseSamples);
+      rest /= kDenseSamples + 1;
+    }
+    cert.approx_max_error =
+        std::max(cert.approx_max_error,
+                 std::abs(program.program_nd()(point) - reference(point)));
+  }
+  return cert;
+}
+
+Certification certify_nd(
+    const CompiledProgram& program,
+    const std::function<double(const std::vector<double>&)>& reference,
+    const CertificationOptions& options) {
+  options.validate();
+  oscs::OperatingPoint op =
+      program.design_point().with_stream_length(options.stream_length);
+  if (!options.noise_enabled) op = op.noiseless();
+  return certify_nd_at(program, reference, op, options);
+}
+
 Certification certify2(const CompiledProgram& program,
                        const std::function<double(double, double)>& reference,
                        const CertificationOptions& options) {

@@ -81,6 +81,28 @@ struct CertificationOptions {
     const std::function<double(double, double)>& reference,
     const oscs::OperatingPoint& op, const CertificationOptions& options = {});
 
+/// Certify an N-ary separable `program` against its reference at its
+/// design operating point. The MC grid is the tensor of
+/// options.grid_points interior points per axis - grid_points^arity
+/// coordinate tuples, every tuple evaluated through the engine's N-ary
+/// entry point (BatchRunner::run_nd).
+/// \throws std::invalid_argument on invalid options or a dense
+///         (uni/bivariate) program.
+[[nodiscard]] Certification certify_nd(
+    const CompiledProgram& program,
+    const std::function<double(const std::vector<double>&)>& reference,
+    const CertificationOptions& options = {});
+
+/// N-ary certification at an explicit operating point (BER, stream length
+/// and SNG width all come from `op`). The building block certify_nd()
+/// wraps.
+/// \throws std::invalid_argument on invalid options, an invalid operating
+///         point or a dense (uni/bivariate) program.
+[[nodiscard]] Certification certify_nd_at(
+    const CompiledProgram& program,
+    const std::function<double(const std::vector<double>&)>& reference,
+    const oscs::OperatingPoint& op, const CertificationOptions& options = {});
+
 /// Controls for the operating-point grid sweep.
 struct GridCertificationOptions {
   /// Explicit per-channel probe powers [mW]. When empty, `probe_scales`

@@ -72,20 +72,22 @@ std::uint64_t certification_digest(std::uint64_t digest,
 
 ProgramKey make_program_key(const std::string& function_id,
                             const CompileOptions& options) {
-  std::uint64_t digest = 0;
+  // Every arity's digest leads with its arity salt - the historical
+  // univariate digest started unsalted, which left collisions with wider
+  // arities down to the explicit key fields alone.
+  std::uint64_t digest = digest_mix(0, std::uint64_t{1});
   digest = digest_mix(digest, options.projection.min_degree);
   digest = digest_mix(digest, options.projection.target_max_error);
   digest = digest_mix(digest, options.projection.error_samples);
   digest = digest_mix(digest, options.projection.quadrature_points);
   digest = certification_digest(digest, options);
   return ProgramKey{function_id, options.projection.max_degree,
-                    /*degree_y=*/0, options.sng_width, digest};
+                    /*degree_y=*/0, options.sng_width, digest,
+                    /*arity=*/1};
 }
 
 ProgramKey make_program_key2(const std::string& function_id,
                              const CompileOptions& options) {
-  // The arity salt keeps a bivariate key distinct from any univariate one
-  // even if every other field coincided.
   std::uint64_t digest = digest_mix(0, std::uint64_t{2});
   digest = digest_mix(digest, options.projection2.min_degree_x);
   digest = digest_mix(digest, options.projection2.min_degree_y);
@@ -95,7 +97,23 @@ ProgramKey make_program_key2(const std::string& function_id,
   digest = certification_digest(digest, options);
   return ProgramKey{function_id, options.projection2.max_degree_x,
                     options.projection2.max_degree_y, options.sng_width,
-                    digest};
+                    digest, /*arity=*/2};
+}
+
+ProgramKey make_program_key_nd(const std::string& function_id,
+                               std::size_t arity,
+                               const CompileOptions& options) {
+  if (arity == 0) {
+    throw std::invalid_argument("make_program_key_nd: zero arity");
+  }
+  std::uint64_t digest = digest_mix(0, static_cast<std::uint64_t>(arity));
+  digest = digest_mix(digest, options.projection_nd.max_terms);
+  digest = digest_mix(digest, options.projection_nd.target_max_error);
+  digest = digest_mix(digest, options.projection_nd.grid_samples);
+  digest = digest_mix(digest, options.projection_nd.als_sweeps);
+  digest = certification_digest(digest, options);
+  return ProgramKey{function_id, options.projection_nd.degree,
+                    /*degree_y=*/0, options.sng_width, digest, arity};
 }
 
 std::shared_ptr<const CompiledProgram> compile_function(
@@ -212,6 +230,84 @@ std::shared_ptr<const CompiledProgram> Compiler::compile2(
         "'");
   }
   return compile2(*fn);
+}
+
+std::shared_ptr<const CompiledProgram> compile_function_nd(
+    const std::string& function_id, std::size_t arity,
+    const std::function<double(const std::vector<double>&)>& f,
+    const CompileOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span span(obs::current_trace(), "compile");
+  ProjectionResultN projection = project_nd(f, arity, options.projection_nd);
+
+  // Per-factor quantization onto the shared SNG comparator grid, then the
+  // program is rebuilt from the quantized factors (weights fold
+  // arithmetically in the engine and stay unquantized).
+  std::vector<QuantizationResult> factor_quant;
+  std::vector<stochastic::SeparableTerm> quantized_terms;
+  quantized_terms.reserve(projection.program.term_count());
+  for (const stochastic::SeparableTerm& term : projection.program.terms()) {
+    stochastic::SeparableTerm quantized_term;
+    quantized_term.weight = term.weight;
+    quantized_term.factors.reserve(term.factors.size());
+    for (const stochastic::SeparableFactor& factor : term.factors) {
+      QuantizationResult q = quantize(factor.poly, options.sng_width);
+      quantized_term.factors.push_back(
+          stochastic::SeparableFactor{factor.axis, q.poly});
+      factor_quant.push_back(std::move(q));
+    }
+    quantized_terms.push_back(std::move(quantized_term));
+  }
+  stochastic::SeparableProgram quantized(arity, std::move(quantized_terms));
+
+  ProgramKey key = make_program_key_nd(function_id, arity, options);
+  auto program = std::make_shared<CompiledProgram>(
+      std::move(key), std::move(projection), std::move(factor_quant),
+      std::move(quantized));
+  if (options.certify) {
+    obs::Span certify_span(obs::current_trace(), "certify");
+    const auto t_certify = std::chrono::steady_clock::now();
+    program->attach_certification(
+        certify_nd(*program, f, options.certification));
+    certify_histogram().record(
+        us_between(t_certify, std::chrono::steady_clock::now()));
+  }
+  cold_histogram().record(us_between(t0, std::chrono::steady_clock::now()));
+  return program;
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile_nd(
+    const std::string& function_id, std::size_t arity,
+    const std::function<double(const std::vector<double>&)>& f) {
+  return compile_nd(function_id, arity, f, defaults_);
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile_nd(
+    const std::string& function_id, std::size_t arity,
+    const std::function<double(const std::vector<double>&)>& f,
+    const CompileOptions& options) {
+  const ProgramKey key = make_program_key_nd(function_id, arity, options);
+  return cache_.get_or_compile(key, [&] {
+    return compile_function_nd(function_id, arity, f, options);
+  });
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile_nd(
+    const RegistryFunctionN& fn) {
+  CompileOptions options = defaults_;
+  options.projection_nd.degree = fn.degree;
+  options.projection_nd.max_terms = fn.max_terms;
+  return compile_nd(fn.id, fn.arity, fn.f, options);
+}
+
+std::shared_ptr<const CompiledProgram> Compiler::compile_nd(
+    const std::string& function_id) {
+  const RegistryFunctionN* fn = find_function_nd(function_id);
+  if (fn == nullptr) {
+    throw std::invalid_argument("Compiler: unknown N-ary registry function '" +
+                                function_id + "'");
+  }
+  return compile_nd(*fn);
 }
 
 }  // namespace oscs::compile

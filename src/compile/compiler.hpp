@@ -27,6 +27,7 @@ namespace oscs::compile {
 struct CompileOptions {
   ProjectionOptions projection{};
   ProjectionOptions2 projection2{};  ///< bivariate (tensor-product) path
+  ProjectionOptionsN projection_nd{};  ///< N-ary separable (ALS) path
   unsigned sng_width = 16;  ///< quantization / SNG resolution [bits]
   bool certify = true;      ///< run the MC certification stage
   CertificationOptions certification{};
@@ -34,15 +35,24 @@ struct CompileOptions {
 
 /// Cache key for a request: (function id, degree cap, SNG width) plus a
 /// digest of every other option that changes the compiled program, so
-/// option drift between requests can never serve a stale hit.
+/// option drift between requests can never serve a stale hit. Every
+/// arity's key carries the arity both as an explicit field and as the
+/// digest's leading salt, so keys of different arity can never collide
+/// even with equal degree/width fields.
 [[nodiscard]] ProgramKey make_program_key(const std::string& function_id,
                                           const CompileOptions& options);
 
 /// Bivariate cache key: (function id, degree_x, degree_y, SNG width) plus
-/// the options digest (salted with the arity, so a univariate and a
-/// bivariate program can never collide even with equal degree fields).
+/// the arity-salted options digest.
 [[nodiscard]] ProgramKey make_program_key2(const std::string& function_id,
                                            const CompileOptions& options);
+
+/// N-ary cache key: (function id, factor degree, SNG width, arity) plus
+/// the arity-salted options digest.
+/// \throws std::invalid_argument on arity < 1.
+[[nodiscard]] ProgramKey make_program_key_nd(const std::string& function_id,
+                                             std::size_t arity,
+                                             const CompileOptions& options);
 
 /// Thread-safe compile service with a program cache.
 class Compiler {
@@ -96,6 +106,30 @@ class Compiler {
   [[nodiscard]] std::shared_ptr<const CompiledProgram> compile2(
       const std::string& function_id);
 
+  /// Compile an N-ary `f` (sum-of-separable projection) under the given
+  /// cache id with the compiler defaults. Shares the cache and its
+  /// single-flight miss handling with the dense paths; keys can never
+  /// collide across arities.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile_nd(
+      const std::string& function_id, std::size_t arity,
+      const std::function<double(const std::vector<double>&)>& f);
+
+  /// Same, with per-request options.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile_nd(
+      const std::string& function_id, std::size_t arity,
+      const std::function<double(const std::vector<double>&)>& f,
+      const CompileOptions& options);
+
+  /// Compile an N-ary registry entry; its recommended factor degree and
+  /// rank budget become the projection caps.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile_nd(
+      const RegistryFunctionN& fn);
+
+  /// Compile an N-ary registry entry by id.
+  /// \throws std::invalid_argument on an unknown id.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compile_nd(
+      const std::string& function_id);
+
   [[nodiscard]] const CompileOptions& defaults() const noexcept {
     return defaults_;
   }
@@ -119,6 +153,15 @@ class Compiler {
 [[nodiscard]] std::shared_ptr<const CompiledProgram> compile_function2(
     const std::string& function_id,
     const std::function<double(double, double)>& f,
+    const CompileOptions& options = {});
+
+/// Uncached single-shot N-ary pipeline run (ALS sum-of-separable
+/// projection -> per-factor quantization -> univariate codegen at the
+/// factor order -> optional N-D grid certification). The building block
+/// Compiler::compile_nd wraps.
+[[nodiscard]] std::shared_ptr<const CompiledProgram> compile_function_nd(
+    const std::string& function_id, std::size_t arity,
+    const std::function<double(const std::vector<double>&)>& f,
     const CompileOptions& options = {});
 
 }  // namespace oscs::compile

@@ -90,6 +90,15 @@ std::vector<double> solve_with_bounds(const oscs::Matrix& gram,
 
 }  // namespace
 
+std::vector<double> solve_unit_box(const oscs::Matrix& gram,
+                                   const std::vector<double>& rhs) {
+  if (gram.rows() != rhs.size() || gram.cols() != rhs.size()) {
+    throw std::invalid_argument("solve_unit_box: dimension mismatch");
+  }
+  std::vector<BoundState> state(rhs.size(), BoundState::kFree);
+  return solve_with_bounds(gram, rhs, state);
+}
+
 ProjectionResult project_at_degree(const std::function<double(double)>& f,
                                    std::size_t degree,
                                    const ProjectionOptions& options) {
@@ -286,6 +295,271 @@ ProjectionResult2 project2(const std::function<double(double, double)>& f,
     }
   }
   return best;
+}
+
+void ProjectionOptionsN::validate() const {
+  if (degree == 0) {
+    throw std::invalid_argument(
+        "ProjectionOptionsN: factor degree must be >= 1");
+  }
+  if (max_terms == 0) {
+    throw std::invalid_argument("ProjectionOptionsN: zero term budget");
+  }
+  if (grid_samples < degree + 2) {
+    throw std::invalid_argument(
+        "ProjectionOptionsN: need more than degree+1 grid samples per axis");
+  }
+  if (als_sweeps == 0) {
+    throw std::invalid_argument("ProjectionOptionsN: zero ALS sweeps");
+  }
+  if (!(target_max_error > 0.0)) {
+    throw std::invalid_argument(
+        "ProjectionOptionsN: target_max_error must be positive");
+  }
+}
+
+namespace {
+
+/// Working state of one separable term during the ALS fit: factor
+/// coefficients plus their values at every grid node, per axis.
+struct AlsTerm {
+  double weight = 0.0;
+  /// [axis][coefficient], each vector of size degree+1, in [0,1].
+  std::vector<std::vector<double>> coeffs;
+  /// [axis][node]: factor value at the node, kept in sync with coeffs.
+  std::vector<std::vector<double>> values;
+};
+
+/// Recompute one factor's node values from its coefficients.
+void refresh_values(AlsTerm& term, std::size_t axis,
+                    const oscs::Matrix& basis) {
+  std::vector<double>& values = term.values[axis];
+  const std::vector<double>& coeffs = term.coeffs[axis];
+  for (std::size_t s = 0; s < basis.rows(); ++s) {
+    double v = 0.0;
+    for (std::size_t a = 0; a < coeffs.size(); ++a) {
+      v += coeffs[a] * basis(s, a);
+    }
+    values[s] = v;
+  }
+}
+
+/// Product of term factor values at one grid point, skipping `skip_axis`
+/// (pass arity or larger to include every axis).
+double term_product(const AlsTerm& term, const std::vector<std::size_t>& idx,
+                    std::size_t skip_axis) {
+  double product = 1.0;
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    if (j == skip_axis) continue;
+    product *= term.values[j][idx[j]];
+  }
+  return product;
+}
+
+}  // namespace
+
+ProjectionResultN project_nd(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::size_t arity, const ProjectionOptionsN& options) {
+  options.validate();
+  if (arity == 0) {
+    throw std::invalid_argument("project_nd: zero arity");
+  }
+
+  const std::size_t samples = options.grid_samples;
+  const std::size_t dim = options.degree + 1;
+
+  // Shared per-axis machinery: the node grid spans [0,1] endpoints
+  // included (the sup-norm estimate needs the boundary), and every axis
+  // evaluates the same Bernstein basis matrix.
+  std::vector<double> nodes(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    nodes[s] = static_cast<double>(s) / static_cast<double>(samples - 1);
+  }
+  oscs::Matrix basis(samples, dim);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t a = 0; a < dim; ++a) {
+      basis(s, a) = sc::bernstein_basis(a, options.degree, nodes[s]);
+    }
+  }
+
+  // The full tensor grid, flattened axis-0-major. N and samples are both
+  // small (rank-budget fits at <= 4 axes), so the dense table is cheap and
+  // keeps every ALS subproblem a plain loop.
+  std::size_t grid = 1;
+  for (std::size_t j = 0; j < arity; ++j) grid *= samples;
+  std::vector<std::size_t> strides(arity, 1);
+  for (std::size_t j = arity; j-- > 1;) {
+    strides[j - 1] = strides[j] * samples;
+  }
+  std::vector<double> target(grid, 0.0);
+  {
+    std::vector<double> point(arity, 0.0);
+    for (std::size_t g = 0; g < grid; ++g) {
+      for (std::size_t j = 0; j < arity; ++j) {
+        point[j] = nodes[(g / strides[j]) % samples];
+      }
+      target[g] = f(point);
+    }
+  }
+
+  std::vector<AlsTerm> terms;
+  std::vector<std::size_t> idx(arity, 0);
+  const auto decode = [&](std::size_t g) {
+    for (std::size_t j = 0; j < arity; ++j) {
+      idx[j] = (g / strides[j]) % samples;
+    }
+  };
+  // Model value at grid point `idx`, excluding term `skip_term`.
+  const auto partial_model = [&](std::size_t skip_term) {
+    double v = 0.0;
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      if (t == skip_term) continue;
+      v += terms[t].weight * term_product(terms[t], idx, arity);
+    }
+    return v;
+  };
+
+  ProjectionResultN result;
+  result.arity = arity;
+  const auto measure = [&] {
+    double max_err = 0.0;
+    double sq_sum = 0.0;
+    for (std::size_t g = 0; g < grid; ++g) {
+      decode(g);
+      const double e = target[g] - partial_model(terms.size());
+      max_err = std::max(max_err, std::abs(e));
+      sq_sum += e * e;
+    }
+    result.max_error = max_err;
+    result.l2_error = std::sqrt(sq_sum / static_cast<double>(grid));
+  };
+
+  for (std::size_t rank = 0; rank < options.max_terms; ++rank) {
+    // New term: constant-1/2 factors; the nonnegative weight projection of
+    // the current residual onto that constant seeds the magnitude (floored
+    // so ALS can pull a mixed-sign residual term out of the corner).
+    AlsTerm term;
+    term.coeffs.assign(arity, std::vector<double>(dim, 0.5));
+    term.values.assign(arity, std::vector<double>(samples, 0.0));
+    for (std::size_t j = 0; j < arity; ++j) refresh_values(term, j, basis);
+    terms.push_back(std::move(term));
+
+    const std::size_t t_new = terms.size() - 1;
+    {
+      double num = 0.0;
+      double den = 0.0;
+      for (std::size_t g = 0; g < grid; ++g) {
+        decode(g);
+        const double product = term_product(terms[t_new], idx, arity);
+        num += (target[g] - partial_model(t_new)) * product;
+        den += product * product;
+      }
+      terms[t_new].weight =
+          std::max(den > 0.0 ? num / den : 0.0, 1e-3);
+    }
+
+    // Block-coordinate polish over every term: each factor solve is a
+    // weighted Bernstein least squares onto the unit box against the
+    // residual excluding its own term, each weight a nonnegative 1-D
+    // least squares. Sweeping stops early when the residual stagnates.
+    double prev_sq = -1.0;
+    for (std::size_t sweep = 0; sweep < options.als_sweeps; ++sweep) {
+      for (std::size_t t = 0; t < terms.size(); ++t) {
+        AlsTerm& active = terms[t];
+        for (std::size_t j = 0; j < arity; ++j) {
+          oscs::Matrix gram(dim, dim);
+          std::vector<double> rhs(dim, 0.0);
+          double p_sq_sum = 0.0;
+          for (std::size_t g = 0; g < grid; ++g) {
+            decode(g);
+            const double p =
+                active.weight * term_product(active, idx, j);
+            if (p == 0.0) continue;
+            p_sq_sum += p * p;
+            const double r = target[g] - partial_model(t);
+            const std::size_t s = idx[j];
+            for (std::size_t a = 0; a < dim; ++a) {
+              const double pb = p * basis(s, a);
+              rhs[a] += r * pb;
+              for (std::size_t b = 0; b <= a; ++b) {
+                gram(a, b) += pb * p * basis(s, b);
+              }
+            }
+          }
+          if (p_sq_sum <= 1e-14) continue;  // dead term; weight stays 0
+          double ridge = 0.0;
+          for (std::size_t a = 0; a < dim; ++a) {
+            ridge = std::max(ridge, gram(a, a));
+          }
+          for (std::size_t a = 0; a < dim; ++a) {
+            for (std::size_t b = 0; b < a; ++b) {
+              gram(b, a) = gram(a, b);
+            }
+            // Tiny Tikhonov floor keeps the active-set Cholesky solvable
+            // when a factor's mass concentrates on few basis columns.
+            gram(a, a) += 1e-12 * (ridge + 1.0);
+          }
+          active.coeffs[j] = solve_unit_box(gram, rhs);
+          refresh_values(active, j, basis);
+        }
+        double num = 0.0;
+        double den = 0.0;
+        for (std::size_t g = 0; g < grid; ++g) {
+          decode(g);
+          const double product = term_product(active, idx, arity);
+          num += (target[g] - partial_model(t)) * product;
+          den += product * product;
+        }
+        active.weight = den > 0.0 ? std::max(0.0, num / den) : 0.0;
+      }
+      double sq = 0.0;
+      for (std::size_t g = 0; g < grid; ++g) {
+        decode(g);
+        const double e = target[g] - partial_model(terms.size());
+        sq += e * e;
+      }
+      if (prev_sq >= 0.0 && prev_sq - sq <= 1e-14 * (1.0 + sq)) break;
+      prev_sq = sq;
+    }
+
+    // A polished-to-zero weight means the residual has no nonnegative
+    // rank-1 component left; further terms cannot improve the fit.
+    if (terms.back().weight <= 0.0) {
+      terms.pop_back();
+      if (terms.empty()) {
+        // Nothing fit at all (f <= 0 everywhere on the grid): keep one
+        // zero term so the program stays well-formed.
+        AlsTerm zero;
+        zero.coeffs.assign(arity, std::vector<double>(dim, 0.0));
+        zero.values.assign(arity, std::vector<double>(samples, 0.0));
+        terms.push_back(std::move(zero));
+      }
+      measure();
+      result.term_errors.push_back(result.max_error);
+      break;
+    }
+    measure();
+    result.term_errors.push_back(result.max_error);
+    if (result.max_error <= options.target_max_error) break;
+  }
+
+  result.terms = terms.size();
+  result.target_met = result.max_error <= options.target_max_error;
+  std::vector<sc::SeparableTerm> program_terms;
+  program_terms.reserve(terms.size());
+  for (const AlsTerm& term : terms) {
+    sc::SeparableTerm out;
+    out.weight = term.weight;
+    out.factors.reserve(arity);
+    for (std::size_t j = 0; j < arity; ++j) {
+      out.factors.push_back(
+          sc::SeparableFactor{j, sc::BernsteinPoly(term.coeffs[j])});
+    }
+    program_terms.push_back(std::move(out));
+  }
+  result.program = sc::SeparableProgram(arity, std::move(program_terms));
+  return result;
 }
 
 }  // namespace oscs::compile

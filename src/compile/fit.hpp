@@ -12,10 +12,21 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
+#include "common/linalg.hpp"
 #include "stochastic/bernstein.hpp"
+#include "stochastic/separable.hpp"
 
 namespace oscs::compile {
+
+/// Bound-constrained normal-equations solve onto the unit box: minimize
+/// ||G c - rhs|| subject to c in [0,1]^dim via one active-set descent pass
+/// (coefficients never leave a bound once pinned). The building block the
+/// univariate, tensor-product and separable (ALS) projections all share.
+/// \throws std::invalid_argument on a dimension mismatch.
+[[nodiscard]] std::vector<double> solve_unit_box(const oscs::Matrix& gram,
+                                                 const std::vector<double>& rhs);
 
 /// Controls for the projection stage.
 struct ProjectionOptions {
@@ -109,5 +120,52 @@ struct ProjectionResult2 {
 [[nodiscard]] ProjectionResult2 project2(
     const std::function<double(double, double)>& f,
     const ProjectionOptions2& options = {});
+
+/// Controls for the N-ary separable projection: a greedy rank build-up
+/// with alternating least squares (ALS) over the per-axis factors. Each
+/// factor solve reuses the same bound-constrained normal-equations descent
+/// as the dense paths (solve_unit_box), so every factor coefficient stays
+/// on the stochastic [0,1] box by construction.
+struct ProjectionOptionsN {
+  std::size_t degree = 3;     ///< per-axis factor degree (>= 1)
+  std::size_t max_terms = 3;  ///< rank budget (sum-of-rank-1 terms)
+  /// Term growth stops once the estimated sup-norm error of the fit drops
+  /// to or below this.
+  double target_max_error = 0.02;
+  std::size_t grid_samples = 16;  ///< fit/error grid density per axis
+  /// ALS sweep cap after each term addition. Sweeps stop early once the
+  /// grid residual stagnates; near-separable targets converge slowly but
+  /// each sweep is cheap (the grids are tiny), so the cap is generous.
+  std::size_t als_sweeps = 400;
+
+  /// \throws std::invalid_argument on a zero degree, zero term budget,
+  ///         too-sparse grid or non-positive target.
+  void validate() const;
+};
+
+/// Outcome of one separable projection.
+struct ProjectionResultN {
+  stochastic::SeparableProgram program{
+      stochastic::BernsteinPoly{std::vector<double>{0.0}}};
+  std::size_t arity = 0;
+  std::size_t terms = 0;   ///< rank actually used
+  double max_error = 0.0;  ///< sup-norm estimate over the sample grid
+  double l2_error = 0.0;   ///< RMS of f - program over the sample grid
+  /// Error trajectory: term_errors[t] is the sup-norm estimate with t+1
+  /// terms - the terms-versus-accuracy curve benches report.
+  std::vector<double> term_errors;
+  bool target_met = false;  ///< max_error <= target_max_error
+};
+
+/// Greedy sum-of-separable fit of f: [0,1]^arity -> R. Terms are added one
+/// at a time; after each addition every term's factors and weight are
+/// re-polished by block-coordinate ALS sweeps (each per-axis subproblem is
+/// a weighted Bernstein least squares solved onto the unit box, each
+/// weight a nonnegative 1-D least squares). Growth stops at
+/// target_max_error or the rank budget.
+/// \throws std::invalid_argument on invalid options or zero arity.
+[[nodiscard]] ProjectionResultN project_nd(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::size_t arity, const ProjectionOptionsN& options = {});
 
 }  // namespace oscs::compile

@@ -19,6 +19,8 @@ std::size_t ProgramKeyHash::operator()(const ProgramKey& key) const noexcept {
        (h >> 2);
   h ^= std::hash<std::uint64_t>{}(key.options_digest) + 0x9E3779B97F4A7C15ULL +
        (h << 6) + (h >> 2);
+  h ^= std::hash<std::size_t>{}(key.arity) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+       (h >> 2);
   return h;
 }
 
@@ -82,6 +84,38 @@ CompiledProgram::CompiledProgram(ProgramKey key, ProjectionResult2 projection,
         "CompiledProgram: degree exceeds the packed-kernel order limit");
   }
   build_backend(run_poly2_->deg_x(), run_poly2_->deg_y());
+}
+
+CompiledProgram::CompiledProgram(
+    ProgramKey key, ProjectionResultN projection,
+    std::vector<QuantizationResult> factor_quantizations,
+    stochastic::SeparableProgram quantized)
+    : key_(std::move(key)),
+      projection_nd_(std::move(projection)),
+      factor_quantizations_(std::move(factor_quantizations)),
+      run_program_(std::move(quantized)) {
+  if (run_program_->has_dense1() || run_program_->has_dense2()) {
+    throw std::invalid_argument(
+        "CompiledProgram: dense delegation forms compile through the "
+        "uni/bivariate constructors");
+  }
+  // Every factor stream runs through one shared univariate circuit, so
+  // all factor degrees must agree on its order.
+  const std::size_t order = run_program_->factor_degree();
+  for (const stochastic::SeparableTerm& term : run_program_->terms()) {
+    for (const stochastic::SeparableFactor& factor : term.factors) {
+      if (factor.poly.degree() != order) {
+        throw std::invalid_argument(
+            "CompiledProgram: separable factor degrees disagree");
+      }
+    }
+  }
+  if (order == 0 || order > engine::PackedKernel::kMaxOrder) {
+    throw std::invalid_argument(
+        "CompiledProgram: factor degree outside the packed-kernel order "
+        "range");
+  }
+  build_backend(order, std::nullopt);
 }
 
 }  // namespace oscs::compile

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/operating_point.hpp"
 #include "compile/fit.hpp"
@@ -28,15 +29,18 @@ namespace oscs::compile {
 /// settings) so a cache hit is only ever served for a request that would
 /// compile the identical program. Bivariate programs key on
 /// (id, degree, degree_y, width) with `degree` carrying the x-axis cap;
-/// univariate keys leave degree_y at 0, so the two arities can never
-/// collide in the cache.
+/// N-ary separable programs key on (id, factor degree, width). The
+/// explicit `arity` field - and the matching arity salt inside
+/// options_digest - keeps programs of different arity from ever colliding
+/// even when every degree/width field coincides.
 struct ProgramKey {
   std::string function_id;
   std::size_t degree = 6;  ///< requested degree cap (projection max_degree;
-                           ///< x-axis cap for bivariate programs)
-  std::size_t degree_y = 0;  ///< bivariate y-axis cap; 0 = univariate
+                           ///< x-axis / per-factor cap for wider arities)
+  std::size_t degree_y = 0;  ///< bivariate y-axis cap; 0 otherwise
   unsigned width = 16;     ///< SNG resolution [bits]
   std::uint64_t options_digest = 0;  ///< hash of the remaining options
+  std::size_t arity = 1;   ///< program input count
 
   bool operator==(const ProgramKey&) const = default;
 };
@@ -85,6 +89,19 @@ class CompiledProgram {
   CompiledProgram(ProgramKey key, ProjectionResult2 projection,
                   QuantizationResult2 quantization);
 
+  /// N-ary separable codegen: every factor of the quantized sum-of-rank-1
+  /// program runs through ONE univariate circuit order-matched to the
+  /// (shared) factor degree, so codegen stays the paper reference design.
+  /// `factor_quantizations` carries the per-factor quantization outcomes
+  /// in term-major factor order; `quantized` is the program rebuilt from
+  /// those quantized factors.
+  /// \throws std::invalid_argument if the factor degree exceeds the
+  ///         packed-kernel order limit, factor degrees disagree, or the
+  ///         program is a dense delegation form.
+  CompiledProgram(ProgramKey key, ProjectionResultN projection,
+                  std::vector<QuantizationResult> factor_quantizations,
+                  stochastic::SeparableProgram quantized);
+
   CompiledProgram(const CompiledProgram&) = delete;
   CompiledProgram& operator=(const CompiledProgram&) = delete;
 
@@ -93,6 +110,15 @@ class CompiledProgram {
   /// quantization) are only meaningful when this is false, and vice
   /// versa.
   [[nodiscard]] bool is_bivariate() const noexcept { return bivariate_; }
+
+  /// True for N-ary sum-of-separable programs (compile_nd). The separable
+  /// accessors (program_nd/projection_nd/factor_quantizations) are only
+  /// meaningful when this is true.
+  [[nodiscard]] bool is_nd() const noexcept { return run_program_.has_value(); }
+
+  /// Program input count: 1 (univariate), 2 (bivariate) or the separable
+  /// program's arity.
+  [[nodiscard]] std::size_t arity() const noexcept { return key_.arity; }
 
   [[nodiscard]] const ProgramKey& key() const noexcept { return key_; }
   [[nodiscard]] const std::string& function_id() const noexcept {
@@ -109,6 +135,7 @@ class CompiledProgram {
     return run_poly2_.value();
   }
   [[nodiscard]] std::size_t circuit_order() const noexcept {
+    if (run_program_.has_value()) return run_program_->factor_degree();
     return bivariate_ ? run_poly2_->deg_x() : run_poly_.degree();
   }
   /// Bivariate y-axis circuit order (0 for univariate programs).
@@ -116,8 +143,10 @@ class CompiledProgram {
     return bivariate_ ? run_poly2_->deg_y() : 0;
   }
   /// True when a degree-0 fit (either axis for bivariate programs) was
-  /// elevated to meet the order-1 circuit minimum.
+  /// elevated to meet the order-1 circuit minimum. Separable programs fit
+  /// at a fixed factor degree >= 1 and never elevate.
   [[nodiscard]] bool elevated() const noexcept {
+    if (is_nd()) return false;
     return bivariate_ ? (projection2_->degree_x == 0 ||
                          projection2_->degree_y == 0)
                       : projection_.degree == 0;
@@ -183,6 +212,32 @@ class CompiledProgram {
     return kernel_->run2(run_poly2_.value(), x, y, config);
   }
 
+  /// The quantized separable program the hardware runs.
+  /// \throws std::bad_optional_access on a dense (uni/bivariate) program.
+  [[nodiscard]] const stochastic::SeparableProgram& program_nd() const {
+    return run_program_.value();
+  }
+  /// Separable projection outcome.
+  /// \throws std::bad_optional_access on a dense (uni/bivariate) program.
+  [[nodiscard]] const ProjectionResultN& projection_nd() const {
+    return projection_nd_.value();
+  }
+  /// Per-factor quantization outcomes, term-major factor order (empty for
+  /// dense programs).
+  [[nodiscard]] const std::vector<QuantizationResult>& factor_quantizations()
+      const noexcept {
+    return factor_quantizations_;
+  }
+
+  /// One N-ary evaluation: every term's factor streams through the packed
+  /// kernel, AND-multiplied and weight-accumulated.
+  /// \throws std::bad_optional_access on a dense (uni/bivariate) program.
+  [[nodiscard]] engine::PackedRunResult run_nd(
+      const std::vector<double>& point,
+      const engine::PackedRunConfig& config) const {
+    return kernel_->run_nd(run_program_.value(), point, config);
+  }
+
  private:
   /// Shared tail of both constructors: circuit + kernel + design point.
   void build_backend(std::size_t circuit_order,
@@ -194,8 +249,11 @@ class CompiledProgram {
   QuantizationResult quantization_;
   std::optional<ProjectionResult2> projection2_;
   std::optional<QuantizationResult2> quantization2_;
+  std::optional<ProjectionResultN> projection_nd_;
+  std::vector<QuantizationResult> factor_quantizations_;
   stochastic::BernsteinPoly run_poly_{std::vector<double>{0.0}};
   std::optional<stochastic::BernsteinPoly2> run_poly2_;
+  std::optional<stochastic::SeparableProgram> run_program_;
   std::shared_ptr<optsc::OpticalScCircuit> circuit_;  ///< kernel points here
   std::shared_ptr<const engine::PackedKernel> kernel_;
   oscs::OperatingPoint design_point_{};

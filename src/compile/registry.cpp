@@ -80,4 +80,47 @@ std::vector<std::string> registry2_ids() {
   return ids;
 }
 
+const std::vector<RegistryFunctionN>& function_registry_nd() {
+  // Three-input pixel-pipeline targets, all exactly representable as a
+  // short sum of separable terms with nonnegative weights - the workload
+  // class the N-ary model opens: rgb_luma is rank 3 (three linear
+  // factors), trilinear_mix rank 2, smoothstep3 rank 1 (a cubic factor
+  // per axis).
+  static const std::vector<RegistryFunctionN> kRegistry = {
+      {"rgb_luma", "0.2126 r + 0.7152 g + 0.0722 b (BT.709 luma)",
+       [](const std::vector<double>& p) {
+         return 0.2126 * p[0] + 0.7152 * p[1] + 0.0722 * p[2];
+       },
+       3, 3, 3},
+      {"trilinear_mix", "x (1 - z) + y z (lerp of x, y by z)",
+       [](const std::vector<double>& p) {
+         return p[0] * (1.0 - p[2]) + p[1] * p[2];
+       },
+       3, 3, 2},
+      {"smoothstep3", "s(x) s(y) s(z), s(t) = 3t^2 - 2t^3",
+       [](const std::vector<double>& p) {
+         const auto s = [](double t) { return t * t * (3.0 - 2.0 * t); };
+         return s(p[0]) * s(p[1]) * s(p[2]);
+       },
+       3, 3, 2},
+  };
+  return kRegistry;
+}
+
+const RegistryFunctionN* find_function_nd(std::string_view id) {
+  for (const RegistryFunctionN& fn : function_registry_nd()) {
+    if (fn.id == id) return &fn;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> registry_nd_ids() {
+  std::vector<std::string> ids;
+  ids.reserve(function_registry_nd().size());
+  for (const RegistryFunctionN& fn : function_registry_nd()) {
+    ids.push_back(fn.id);
+  }
+  return ids;
+}
+
 }  // namespace oscs::compile

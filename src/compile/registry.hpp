@@ -54,4 +54,26 @@ struct RegistryFunction2 {
 /// All bivariate registry ids, in catalogue order.
 [[nodiscard]] std::vector<std::string> registry2_ids();
 
+/// One named N-ary compile target: [0,1]^arity -> [0,1], fit as a sum of
+/// separable (rank-1) terms with a shared per-factor degree.
+struct RegistryFunctionN {
+  std::string id;          ///< cache / CLI identifier
+  std::string expression;  ///< human-readable formula
+  std::function<double(const std::vector<double>&)> f;
+  std::size_t arity = 3;      ///< input count
+  std::size_t degree = 3;     ///< recommended per-factor degree
+  std::size_t max_terms = 3;  ///< recommended rank budget
+};
+
+/// The built-in N-ary catalogue (rgb_luma, trilinear_mix, smoothstep3 -
+/// the three-channel pixel-pipeline workload class). Ids are disjoint
+/// from both dense catalogues. Stable order; built once.
+[[nodiscard]] const std::vector<RegistryFunctionN>& function_registry_nd();
+
+/// Lookup by id in the N-ary catalogue; nullptr when unknown.
+[[nodiscard]] const RegistryFunctionN* find_function_nd(std::string_view id);
+
+/// All N-ary registry ids, in catalogue order.
+[[nodiscard]] std::vector<std::string> registry_nd_ids();
+
 }  // namespace oscs::compile

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/arity_guard.hpp"
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
 #include "optsc/link_budget.hpp"
@@ -87,68 +88,123 @@ std::size_t slab_size(const BatchRequest& request, std::size_t workers,
 }
 
 /// Export one finished batch into the engine counters. `passes` is the
-/// number of kernel passes per (x, length, repeat) task: the per-program
-/// count for run(), 1 for the fused mode (shared stimulus).
+/// number of kernel passes per (point, length, repeat) task: the
+/// per-program count for run(), 1 for the fused mode (shared stimulus).
 void record_batch(const BatchRequest& request, const BatchSummary& summary,
                   std::size_t passes_per_task) {
   bits_counter().inc(summary.total_bits);
   request_bits_histogram().record(static_cast<double>(summary.total_bits));
   std::size_t words = 0;
   for (std::size_t length : request.stream_lengths) {
-    words += words_for(length) * request.xs.size() * request.repeats;
+    words += words_for(length) * request.points() * request.repeats;
   }
   words_counter().inc(words * passes_per_task);
+}
+
+/// The unified separable view of a request: N-ary programs run as
+/// themselves, the legacy arities wrap into their dense delegation forms
+/// (bit-identical execution through PackedKernel::run_nd).
+std::vector<sc::SeparableProgram> separable_view(const BatchRequest& request) {
+  std::vector<sc::SeparableProgram> programs;
+  programs.reserve(request.program_count());
+  if (request.nd()) {
+    programs = request.programs_nd;
+  } else if (request.bivariate()) {
+    for (const sc::BernsteinPoly2& poly : request.polynomials2) {
+      programs.emplace_back(poly);
+    }
+  } else {
+    for (const sc::BernsteinPoly& poly : request.polynomials) {
+      programs.emplace_back(poly);
+    }
+  }
+  return programs;
 }
 
 }  // namespace
 
 std::size_t BatchRequest::cells() const noexcept {
-  return program_count() * xs.size() * stream_lengths.size();
+  return program_count() * points() * stream_lengths.size();
 }
 
 std::size_t BatchRequest::tasks() const noexcept { return cells() * repeats; }
 
-void BatchRequest::validate() const {
-  if (!polynomials.empty() && !polynomials2.empty()) {
-    throw std::invalid_argument(
-        "BatchRequest: populate exactly one of polynomials/polynomials2");
-  }
-  if (polynomials.empty() && polynomials2.empty()) {
-    throw std::invalid_argument("BatchRequest: no polynomials");
-  }
-  if (xs.empty()) {
-    throw std::invalid_argument("BatchRequest: no x values");
-  }
-  if (bivariate()) {
-    // Bivariate evaluation points are (xs[i], ys[i]) PAIRS; a length
-    // mismatch would silently truncate or read past one of the vectors.
-    if (ys.size() != xs.size()) {
-      throw std::invalid_argument(
-          "BatchRequest: ys must pair element-wise with xs (got " +
-          std::to_string(ys.size()) + " ys for " + std::to_string(xs.size()) +
-          " xs)");
+std::vector<double> BatchRequest::point(std::size_t i) const {
+  if (nd()) {
+    std::vector<double> pt;
+    pt.reserve(inputs.size());
+    for (const std::vector<double>& axis : inputs) {
+      pt.push_back(axis.at(i));
     }
-  } else if (!ys.empty()) {
-    throw std::invalid_argument(
-        "BatchRequest: ys is only legal with bivariate polynomials2");
+    return pt;
+  }
+  if (bivariate()) return {xs.at(i), ys.at(i)};
+  return {xs.at(i)};
+}
+
+void BatchRequest::validate() const {
+  // Shared arity-guard rendering keeps these messages in lockstep with the
+  // serve-layer checks; "" means the check passed.
+  const arity::GuardStyle& style = arity::kEngineStyle;
+  const auto raise = [](const std::string& message) {
+    if (!message.empty()) throw std::invalid_argument(message);
+  };
+  const std::size_t populated =
+      static_cast<std::size_t>(!polynomials.empty()) +
+      static_cast<std::size_t>(!polynomials2.empty()) +
+      static_cast<std::size_t>(!programs_nd.empty());
+  raise(arity::exactly_one_error(
+      style, populated, "polynomials/polynomials2/programs_nd",
+      "polynomials"));
+  if (nd()) {
+    if (!xs.empty() || !ys.empty()) {
+      throw std::invalid_argument(
+          "BatchRequest: xs/ys are only legal with polynomials/polynomials2 "
+          "(N-ary points ride in inputs)");
+    }
+    if (inputs.empty()) {
+      throw std::invalid_argument("BatchRequest: no inputs axes");
+    }
+    for (const sc::SeparableProgram& program : programs_nd) {
+      if (program.arity() != inputs.size()) {
+        throw std::invalid_argument(
+            "BatchRequest: program arity " + std::to_string(program.arity()) +
+            " does not match the " + std::to_string(inputs.size()) +
+            " inputs axes");
+      }
+    }
+    raise(arity::nonempty_error(style, "inputs[0]", inputs.front().size()));
+    for (std::size_t a = 1; a < inputs.size(); ++a) {
+      // Evaluation points are coordinate TUPLES across the axis columns; a
+      // length mismatch would silently truncate or read past one of them.
+      const std::string axis = "inputs[" + std::to_string(a) + "]";
+      raise(arity::pairwise_error(style, "inputs[0]", inputs.front().size(),
+                                  axis, inputs[a].size()));
+    }
+    for (std::size_t a = 0; a < inputs.size(); ++a) {
+      // SC encodes each coordinate as a bit probability: anything outside
+      // [0, 1] (or a NaN smuggled in through a parsed request) would
+      // silently produce a meaningless stream instead of an error.
+      raise(arity::unit_range_error(
+          style, "inputs[" + std::to_string(a) + "]", inputs[a]));
+    }
+  } else {
+    if (!inputs.empty()) {
+      throw std::invalid_argument(
+          "BatchRequest: inputs is only legal with programs_nd");
+    }
+    raise(arity::nonempty_error(style, "x", xs.size()));
+    if (bivariate()) {
+      raise(arity::pairwise_error(style, "xs", xs.size(), "ys", ys.size()));
+    } else if (!ys.empty()) {
+      throw std::invalid_argument(
+          "BatchRequest: ys is only legal with bivariate polynomials2");
+    }
+    raise(arity::unit_range_error(style, "x", xs));
+    raise(arity::unit_range_error(style, "y", ys));
   }
   if (stream_lengths.empty()) {
     throw std::invalid_argument("BatchRequest: no stream lengths");
-  }
-  for (double x : xs) {
-    // SC encodes x as a bit probability: anything outside [0, 1] (or a
-    // NaN smuggled in through a parsed request) would silently produce a
-    // meaningless stream instead of an error.
-    if (!(x >= 0.0 && x <= 1.0)) {
-      throw std::invalid_argument(
-          "BatchRequest: x values must be finite and in [0, 1]");
-    }
-  }
-  for (double y : ys) {
-    if (!(y >= 0.0 && y <= 1.0)) {
-      throw std::invalid_argument(
-          "BatchRequest: y values must be finite and in [0, 1]");
-    }
   }
   for (std::size_t len : stream_lengths) {
     if (len == 0) {
@@ -191,6 +247,46 @@ BatchRunner::BatchRunner(std::shared_ptr<const PackedKernel> kernel,
 }
 
 void BatchRunner::check_orders(const BatchRequest& request) const {
+  if (request.nd()) {
+    for (const sc::SeparableProgram& program : request.programs_nd) {
+      if (program.has_dense1()) {
+        if (kernel_->bivariate()) {
+          throw std::invalid_argument(
+              "BatchRunner: univariate request on a bivariate kernel");
+        }
+        if (program.dense1().degree() != kernel_->order()) {
+          throw std::invalid_argument(
+              "BatchRunner: polynomial order does not match the circuit");
+        }
+      } else if (program.has_dense2()) {
+        if (!kernel_->bivariate()) {
+          throw std::invalid_argument(
+              "BatchRunner: bivariate request on a univariate kernel");
+        }
+        if (program.dense2().deg_x() != kernel_->order() ||
+            program.dense2().deg_y() != kernel_->order_y()) {
+          throw std::invalid_argument(
+              "BatchRunner: polynomial orders do not match the circuit");
+        }
+      } else {
+        // General sum-of-rank-1 programs run every factor through the
+        // univariate ReSC circuit, one stream per factor.
+        if (kernel_->bivariate()) {
+          throw std::invalid_argument(
+              "BatchRunner: separable-term request on a bivariate kernel");
+        }
+        for (const sc::SeparableTerm& term : program.terms()) {
+          for (const sc::SeparableFactor& factor : term.factors) {
+            if (factor.poly.degree() != kernel_->order()) {
+              throw std::invalid_argument(
+                  "BatchRunner: factor order does not match the circuit");
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
   if (request.bivariate() != kernel_->bivariate()) {
     throw std::invalid_argument(
         request.bivariate()
@@ -213,26 +309,26 @@ void BatchRunner::check_orders(const BatchRequest& request) const {
 }
 
 template <typename SlotFn>
-BatchSummary BatchRunner::aggregate(const BatchRequest& request,
-                                    const std::vector<TaskOut>& outs,
-                                    const oscs::OperatingPoint& op,
-                                    SlotFn&& slot) const {
+BatchSummary BatchRunner::aggregate(
+    const BatchRequest& request,
+    const std::vector<sc::SeparableProgram>& programs,
+    const std::vector<TaskOut>& outs, const oscs::OperatingPoint& op,
+    SlotFn&& slot) const {
   BatchSummary summary;
   summary.tasks = outs.size();
   summary.op = op.with_stream_length(
       request.stream_lengths.size() == 1 ? request.stream_lengths.front() : 0);
   summary.cells.reserve(request.cells());
   const std::size_t n_lengths = request.stream_lengths.size();
-  const std::size_t n_xs = request.xs.size();
-  const bool bivariate = request.bivariate();
+  const std::size_t n_xs = request.points();
   summary.program_accuracy.resize(request.program_count());
   for (std::size_t pi = 0; pi < request.program_count(); ++pi) {
     ProgramAccuracy& acc = summary.program_accuracy[pi];
     for (std::size_t xi = 0; xi < n_xs; ++xi) {
-      const double expected =
-          bivariate
-              ? request.polynomials2[pi](request.xs[xi], request.ys[xi])
-              : request.polynomials[pi](request.xs[xi]);
+      const std::vector<double> point = request.point(xi);
+      // For dense delegation forms operator() is the same arithmetic the
+      // legacy per-arity paths evaluated, so roll-ups are bit-identical.
+      const double expected = programs[pi](point);
       for (std::size_t li = 0; li < n_lengths; ++li) {
         const std::size_t length = request.stream_lengths[li];
         oscs::Accumulator optical;
@@ -250,8 +346,9 @@ BatchSummary BatchRunner::aggregate(const BatchRequest& request,
         }
         BatchCell cell;
         cell.poly_index = pi;
-        cell.x = request.xs[xi];
-        if (bivariate) cell.y = request.ys[xi];
+        cell.point = point;
+        cell.x = point[0];
+        if (point.size() > 1) cell.y = point[1];
         cell.stream_length = length;
         cell.repeats = request.repeats;
         cell.expected = expected;
@@ -288,11 +385,16 @@ BatchSummary BatchRunner::aggregate(const BatchRequest& request,
   return summary;
 }
 
-BatchSummary BatchRunner::run(const BatchRequest& request,
-                              ThreadPool& pool) const {
+BatchSummary BatchRunner::run_nd(const BatchRequest& request,
+                                 ThreadPool& pool) const {
   request.validate();
   check_orders(request);
   const oscs::OperatingPoint base = request.op.value_or(design_point_);
+
+  // Legacy polynomial lists wrap into dense delegation forms; the task
+  // lattice, seed derivation and kernel arithmetic below are unchanged
+  // from the historical run() body, so those requests stay bit-identical.
+  const std::vector<sc::SeparableProgram> programs = separable_view(request);
 
   const std::size_t n_tasks = request.tasks();
   std::vector<TaskOut> outs(n_tasks);
@@ -303,14 +405,14 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
   // alone and writes only its own output slot, so results are independent
   // of scheduling order, thread count and slab grain.
   const std::size_t n_lengths = request.stream_lengths.size();
-  const std::size_t n_xs = request.xs.size();
+  const std::size_t n_xs = request.points();
   const std::size_t repeats = request.repeats;
   const std::size_t slab = slab_size(request, pool.size(), n_tasks, 1);
   slab_tasks_histogram().record(static_cast<double>(slab));
   pool.submit_range(
       (n_tasks + slab - 1) / slab,
-      [this, &request, &outs, &base, n_lengths, n_xs, repeats, slab,
-       n_tasks](std::size_t si) {
+      [this, &request, &programs, &outs, &base, n_lengths, n_xs, repeats,
+       slab, n_tasks](std::size_t si) {
         const std::size_t end = std::min(n_tasks, (si + 1) * slab);
         for (std::size_t t = si * slab; t < end; ++t) {
           const std::size_t cell = t / repeats;
@@ -323,11 +425,7 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
           cfg.stimulus_seed = derive_task_seed(request.seed, t, 0);
           cfg.noise_seed = derive_task_seed(request.seed, t, 1);
           const PackedRunResult r =
-              request.bivariate()
-                  ? kernel_->run2(request.polynomials2[pi], request.xs[xi],
-                                  request.ys[xi], cfg)
-                  : kernel_->run(request.polynomials[pi], request.xs[xi],
-                                 cfg);
+              kernel_->run_nd(programs[pi], request.point(xi), cfg);
           outs[t] = {r.optical_estimate, r.electronic_estimate,
                      r.transmission_flips};
         }
@@ -335,7 +433,7 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
   pool.wait_idle();
 
   BatchSummary summary =
-      aggregate(request, outs, base,
+      aggregate(request, programs, outs, base,
                 [n_xs, n_lengths, repeats](std::size_t pi, std::size_t xi,
                                            std::size_t li, std::size_t rep) {
                   return ((pi * n_xs + xi) * n_lengths + li) * repeats + rep;
@@ -344,15 +442,33 @@ BatchSummary BatchRunner::run(const BatchRequest& request,
   return summary;
 }
 
+BatchSummary BatchRunner::run_nd(const BatchRequest& request,
+                                 std::size_t threads) const {
+  ThreadPool pool(threads);
+  return run_nd(request, pool);
+}
+
+BatchSummary BatchRunner::run(const BatchRequest& request,
+                              ThreadPool& pool) const {
+  return run_nd(request, pool);
+}
+
 BatchSummary BatchRunner::run(const BatchRequest& request,
                               std::size_t threads) const {
   ThreadPool pool(threads);
-  return run(request, pool);
+  return run_nd(request, pool);
 }
 
 BatchSummary BatchRunner::run_fused(const BatchRequest& request,
                                     ThreadPool& pool) const {
   request.validate();
+  if (request.nd()) {
+    // Fusion shares one stimulus bank across programs of one arity; the
+    // N-ary path runs each separable term on its own factor streams.
+    throw std::invalid_argument(
+        "BatchRunner: fused mode takes polynomials/polynomials2; run "
+        "N-ary programs through run_nd");
+  }
   check_orders(request);
   const oscs::OperatingPoint base = request.op.value_or(design_point_);
 
@@ -399,7 +515,7 @@ BatchSummary BatchRunner::run_fused(const BatchRequest& request,
   pool.wait_idle();
 
   BatchSummary summary = aggregate(
-      request, outs, base,
+      request, separable_view(request), outs, base,
       [n_lengths, repeats, n_programs](std::size_t pi, std::size_t xi,
                                        std::size_t li, std::size_t rep) {
         const std::size_t t = (xi * n_lengths + li) * repeats + rep;

@@ -26,6 +26,7 @@
 #include "engine/thread_pool.hpp"
 #include "optsc/circuit.hpp"
 #include "stochastic/bernstein.hpp"
+#include "stochastic/separable.hpp"
 #include "stochastic/sng.hpp"
 
 namespace oscs::engine {
@@ -34,25 +35,37 @@ namespace oscs::engine {
 /// every stream length, each repeated `repeats` times with decorrelated
 /// streams.
 ///
-/// Two arities, selected by which polynomial list is populated:
+/// Three arities, selected by which program list is populated:
 ///   * univariate - `polynomials` set, `ys` empty: the grid crosses every
 ///     polynomial with every x in `xs`;
 ///   * bivariate  - `polynomials2` set (tensor-product programs): `ys`
 ///     must pair element-wise with `xs`, so the evaluation points are the
-///     (xs[i], ys[i]) PAIRS, not a cross product.
-/// Exactly one of `polynomials`/`polynomials2` may be nonempty, and `ys`
-/// is only legal (and then mandatory, same length as `xs`) in the
-/// bivariate form - `validate()` rejects every other combination, run()
-/// and run_fused() both call it before submitting any task.
+///     (xs[i], ys[i]) PAIRS, not a cross product;
+///   * N-ary      - `programs_nd` set (sum-of-separable programs):
+///     `inputs` carries one column per input axis, all element-wise
+///     paired, so the evaluation points are the tuples
+///     (inputs[0][i], ..., inputs[N-1][i]).
+/// Exactly one of `polynomials`/`polynomials2`/`programs_nd` may be
+/// nonempty; `ys` is only legal (and then mandatory, same length as
+/// `xs`) in the bivariate form, and `inputs` only in the N-ary form -
+/// `validate()` rejects every other combination (through the shared
+/// oscs::arity guard), run(), run_fused() and run_nd() all call it
+/// before submitting any task.
 struct BatchRequest {
   std::vector<stochastic::BernsteinPoly> polynomials;
   /// Bivariate (tensor-product) programs; mutually exclusive with
   /// `polynomials`.
   std::vector<stochastic::BernsteinPoly2> polynomials2;
+  /// N-ary sum-of-separable programs; mutually exclusive with both
+  /// polynomial lists. Every program's arity must equal inputs.size().
+  std::vector<stochastic::SeparableProgram> programs_nd;
   std::vector<double> xs;
   /// Second input coordinate, paired element-wise with `xs` (bivariate
   /// requests only; must match xs.size()).
   std::vector<double> ys;
+  /// N-ary evaluation points, one column per axis, element-wise paired
+  /// (N-ary requests only; every column must match inputs[0].size()).
+  std::vector<std::vector<double>> inputs;
   std::vector<std::size_t> stream_lengths;
   std::size_t repeats = 8;
 
@@ -76,19 +89,33 @@ struct BatchRequest {
   [[nodiscard]] bool bivariate() const noexcept {
     return !polynomials2.empty();
   }
+  /// True when the request carries N-ary sum-of-separable programs.
+  [[nodiscard]] bool nd() const noexcept { return !programs_nd.empty(); }
   /// Programs in the request, whichever arity is populated.
   [[nodiscard]] std::size_t program_count() const noexcept {
+    if (nd()) return programs_nd.size();
     return bivariate() ? polynomials2.size() : polynomials.size();
   }
+  /// Evaluation points in the request (xs entries, or N-ary tuples).
+  [[nodiscard]] std::size_t points() const noexcept {
+    if (nd()) return inputs.empty() ? 0 : inputs.front().size();
+    return xs.size();
+  }
+  /// The i-th evaluation point as a coordinate tuple (any arity).
+  [[nodiscard]] std::vector<double> point(std::size_t i) const;
   /// Evaluations in the request (cells() * repeats).
   [[nodiscard]] std::size_t tasks() const noexcept;
   /// Grid cells in the request.
   [[nodiscard]] std::size_t cells() const noexcept;
   /// \throws std::invalid_argument on an empty dimension, zero
-  ///         repeats/length, an x or y outside [0, 1] (or NaN), both or
-  ///         neither polynomial list populated, a `ys` whose length does
-  ///         not match `xs` (bivariate) or a nonempty `ys` on a
-  ///         univariate request, or an invalid operating point.
+  ///         repeats/length, an input value outside [0, 1] (or NaN), a
+  ///         program-list population that is not exactly one of
+  ///         polynomials/polynomials2/programs_nd, a `ys` whose length
+  ///         does not match `xs` (bivariate) or a nonempty `ys` on a
+  ///         univariate request, ragged or arity-mismatched `inputs`
+  ///         columns (N-ary), or an invalid operating point. The arity
+  ///         rules and their error strings come from the shared
+  ///         common/arity_guard helper.
   void validate() const;
 };
 
@@ -97,6 +124,9 @@ struct BatchCell {
   std::size_t poly_index = 0;
   double x = 0.0;
   double y = 0.0;  ///< second input coordinate (bivariate cells; else 0)
+  /// Full coordinate tuple of the evaluation point (every arity; x and y
+  /// mirror point[0] / point[1] for the legacy consumers).
+  std::vector<double> point;
   std::size_t stream_length = 0;
   std::size_t repeats = 0;
 
@@ -174,10 +204,30 @@ class BatchRunner {
     return design_point_;
   }
 
-  /// Run the request on an existing pool: one task per (cell, repeat),
-  /// each with its own stimulus. Accepts either arity: a bivariate
-  /// request evaluates its (xs[i], ys[i]) pairs through the two-input
-  /// kernel mode.
+  /// N-ary entry point: one task per (cell, repeat), each with its own
+  /// stimulus, accepting every request arity. Legacy requests are
+  /// wrapped into the separable view (dense N=1/N=2 delegation), which
+  /// keeps the task lattice, the per-task seeds and the kernel calls -
+  /// and therefore every output bit - identical to the historical run()
+  /// behavior; N-ary requests evaluate their input tuples through
+  /// `PackedKernel::run_nd`, folding each program's weighted term
+  /// estimates into the same `BatchSummary` shape.
+  /// \throws std::invalid_argument per `BatchRequest::validate()`, on a
+  ///         program order mismatch, or when the request arity does not
+  ///         match the kernel mode - all raised before any task is
+  ///         submitted.
+  [[nodiscard]] BatchSummary run_nd(const BatchRequest& request,
+                                    ThreadPool& pool) const;
+
+  /// Convenience overload of run_nd on a temporary pool.
+  [[nodiscard]] BatchSummary run_nd(const BatchRequest& request,
+                                    std::size_t threads = 0) const;
+
+  /// Thin wrapper over run_nd(), kept as the legacy entry point: one
+  /// task per (cell, repeat), each with its own stimulus. Accepts the
+  /// univariate and bivariate arities (a bivariate request evaluates its
+  /// (xs[i], ys[i]) pairs through the two-input kernel mode); bit-
+  /// identical to the pre-run_nd implementation.
   /// \throws std::invalid_argument per `BatchRequest::validate()` (empty
   ///         grids, zero repeats, out-of-range x/y, mismatched x/y vector
   ///         lengths, invalid operating point), on a polynomial order
@@ -218,13 +268,17 @@ class BatchRunner {
     std::size_t flips = 0;
   };
 
-  /// Aggregate per-task outputs into polynomial-major cells. `slot` maps
-  /// (poly, x, length, repeat) indices to a TaskOut slot.
+  /// Aggregate per-task outputs into program-major cells. `slot` maps
+  /// (program, point, length, repeat) indices to a TaskOut slot;
+  /// `programs` is the unified separable view used for the exact
+  /// expected values (dense forms evaluate the identical legacy
+  /// arithmetic).
   template <typename SlotFn>
-  [[nodiscard]] BatchSummary aggregate(const BatchRequest& request,
-                                       const std::vector<TaskOut>& outs,
-                                       const oscs::OperatingPoint& op,
-                                       SlotFn&& slot) const;
+  [[nodiscard]] BatchSummary aggregate(
+      const BatchRequest& request,
+      const std::vector<stochastic::SeparableProgram>& programs,
+      const std::vector<TaskOut>& outs, const oscs::OperatingPoint& op,
+      SlotFn&& slot) const;
 
   void check_orders(const BatchRequest& request) const;
 

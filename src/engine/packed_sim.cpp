@@ -322,7 +322,9 @@ std::vector<PackedKernel::Streams> PackedKernel::evaluate_core(
 
 PackedRunResult PackedKernel::run(const sc::BernsteinPoly& poly, double x,
                                   const PackedRunConfig& config) const {
-  return run_fused({poly}, x, config).front();
+  // Thin N=1 wrapper over the unified entry point; the dense delegation
+  // inside run_nd lands on run_fused({poly}) exactly as before.
+  return run_nd(sc::SeparableProgram(poly), {x}, config);
 }
 
 std::vector<PackedRunResult> PackedKernel::run_fused(
@@ -518,7 +520,9 @@ std::vector<PackedKernel::Streams> PackedKernel::evaluate2_core(
 PackedRunResult PackedKernel::run2(const sc::BernsteinPoly2& poly, double x,
                                    double y,
                                    const PackedRunConfig& config) const {
-  return run2_fused({poly}, x, y, config).front();
+  // Thin N=2 wrapper over the unified entry point; the dense delegation
+  // inside run_nd lands on run2_fused({poly}) exactly as before.
+  return run_nd(sc::SeparableProgram(poly), {x, y}, config);
 }
 
 std::vector<PackedRunResult> PackedKernel::run2_fused(
@@ -547,6 +551,134 @@ std::vector<PackedRunResult> PackedKernel::run2_fused(
       x, y, coeffs, order_, order_y_, config.op.stream_length,
       {config.source_kind, config.op.sng_width, config.stimulus_seed});
   return finish_runs(evaluate2_fused(inputs), config);
+}
+
+namespace {
+
+/// Decorrelated per-factor seed stream, mirroring the engine's task-seed
+/// derivation: factors of one evaluation must be mutually independent for
+/// the AND of their streams to multiply probabilities, so each expands
+/// its own SplitMix64 state instead of taking consecutive source salts.
+std::uint64_t derive_factor_seed(std::uint64_t master,
+                                 std::size_t factor_index) {
+  oscs::SplitMix64 sm(master ^
+                      (0x9E3779B97F4A7C15ULL * (factor_index + 1)));
+  return sm.next();
+}
+
+/// Ones count over the first `length` bits of a packed word buffer.
+std::size_t count_ones_packed(const std::vector<std::uint64_t>& words,
+                              std::size_t length) {
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    std::uint64_t w = words[i];
+    if (i + 1 == words.size() && (length % 64) != 0) {
+      w &= (std::uint64_t{1} << (length % 64)) - 1;
+    }
+    ones += static_cast<std::size_t>(std::popcount(w));
+  }
+  return ones;
+}
+
+}  // namespace
+
+PackedRunResult PackedKernel::run_nd(const sc::SeparableProgram& program,
+                                     const std::vector<double>& point,
+                                     const PackedRunConfig& config) const {
+  if (point.size() != program.arity()) {
+    throw std::invalid_argument(
+        "PackedKernel: point arity " + std::to_string(point.size()) +
+        " does not match the program arity " +
+        std::to_string(program.arity()));
+  }
+  // Dense delegation: the N=1/N=2 legacy representations take exactly the
+  // legacy paths (same stimulus construction, same seeds), which is what
+  // makes the unified entry point bit-identical to the run/run2 wrappers.
+  if (program.has_dense1()) {
+    return run_fused({program.dense1()}, point[0], config).front();
+  }
+  if (program.has_dense2()) {
+    return run2_fused({program.dense2()}, point[0], point[1], config).front();
+  }
+
+  if (bivariate_) {
+    throw std::invalid_argument(
+        "PackedKernel: separable-term programs run on a univariate kernel");
+  }
+  for (const sc::SeparableTerm& term : program.terms()) {
+    for (const sc::SeparableFactor& factor : term.factors) {
+      if (factor.poly.degree() != order_) {
+        throw std::invalid_argument(
+            "PackedKernel: factor order does not match the circuit");
+      }
+    }
+  }
+  config.op.validate();
+
+  const std::size_t length = config.op.stream_length;
+  const std::size_t nwords = (length + 63) / 64;
+  const simd::KernelOps& ops = simd::kernel_ops();
+
+  PackedRunResult result;
+  result.length = length;
+  double optical_sum = 0.0;
+  double electronic_sum = 0.0;
+  std::size_t factor_index = 0;
+  std::vector<std::uint64_t> flip_mask;
+  for (const sc::SeparableTerm& term : program.terms()) {
+    // Term product: AND of the term's independent factor streams. An
+    // omitted axis contributes the constant 1 (the AND identity), so the
+    // product starts all-ones; the tail mask in count_ones_packed keeps
+    // padding lanes out of the estimate.
+    std::vector<std::uint64_t> optical(nwords, ~std::uint64_t{0});
+    std::vector<std::uint64_t> electronic(nwords, ~std::uint64_t{0});
+    for (const sc::SeparableFactor& factor : term.factors) {
+      const sc::ScInputs inputs = sc::make_sc_inputs(
+          point[factor.axis], factor.poly.coeffs(), order_, length,
+          {config.source_kind, config.op.sng_width,
+           derive_factor_seed(config.stimulus_seed, factor_index)});
+      Streams streams = evaluate(inputs);
+      if (config.op.noisy()) {
+        // Per-factor receiver noise: each factor stream is its own
+        // optical evaluation, so each gets its own Eq. 9 flip mask.
+        oscs::Xoshiro256 noise_rng(
+            derive_factor_seed(config.noise_seed, factor_index));
+        const std::vector<std::size_t> flips =
+            sample_flip_positions(length, config.op.ber, noise_rng);
+        if (!flips.empty()) {
+          flip_mask.assign(nwords, 0);
+          for (std::size_t pos : flips) {
+            flip_mask[pos / 64] |= std::uint64_t{1} << (pos % 64);
+          }
+          ops.xor_inplace(streams.optical.words_data(), flip_mask.data(),
+                          nwords);
+          result.noise_flips += flips.size();
+        }
+      }
+      const std::uint64_t* opt_words = streams.optical.words_data();
+      const std::uint64_t* elec_words = streams.electronic.words_data();
+      for (std::size_t w = 0; w < nwords; ++w) {
+        optical[w] &= opt_words[w];
+        electronic[w] &= elec_words[w];
+      }
+      ++factor_index;
+    }
+    const double opt_p =
+        static_cast<double>(count_ones_packed(optical, length)) /
+        static_cast<double>(length);
+    const double elec_p =
+        static_cast<double>(count_ones_packed(electronic, length)) /
+        static_cast<double>(length);
+    optical_sum += term.weight * opt_p;
+    electronic_sum += term.weight * elec_p;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      optical[w] ^= electronic[w];
+    }
+    result.transmission_flips += count_ones_packed(optical, length);
+  }
+  result.optical_estimate = optical_sum;
+  result.electronic_estimate = electronic_sum;
+  return result;
 }
 
 }  // namespace oscs::engine

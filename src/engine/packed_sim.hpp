@@ -37,6 +37,7 @@
 #include "stochastic/bernstein.hpp"
 #include "stochastic/bitstream.hpp"
 #include "stochastic/resc.hpp"
+#include "stochastic/separable.hpp"
 
 namespace oscs::engine {
 
@@ -192,6 +193,32 @@ class PackedKernel {
   [[nodiscard]] std::vector<PackedRunResult> run2_fused(
       const std::vector<stochastic::BernsteinPoly2>& polys, double x,
       double y, const PackedRunConfig& config) const;
+
+  /// N-ary entry point: evaluate a separable program at a point of
+  /// point.size() == program.arity() coordinates.
+  ///
+  /// Dense forms delegate: a program carrying the dense univariate /
+  /// bivariate representation takes exactly the legacy run()/run2() path
+  /// (same stimulus, same seeds), so run_nd is bit-identical to the
+  /// wrappers it unifies. A general sum-of-rank-1 program runs each
+  /// factor as one fused 1D pass on this (univariate) kernel - the
+  /// factor's coefficients are its SNG probabilities - ANDs the
+  /// independent factor streams of every term (stochastic multiply), and
+  /// folds the weighted term estimates arithmetically:
+  ///
+  ///   estimate = sum_t w_t * popcount(AND_j stream_{t,j}) / length.
+  ///
+  /// Per-factor receiver noise: each factor stream gets its own Eq. 9
+  /// flip mask at config.op.ber (seeds decorrelated per factor from
+  /// config.noise_seed); noise_flips totals the injected flips and
+  /// transmission_flips counts, per term, the bits where the noisy
+  /// optical product differs from the ideal electronic product.
+  /// \throws std::invalid_argument on a point arity mismatch, a factor
+  ///         order not matching the circuit, a general program on a
+  ///         bivariate kernel, or an invalid operating point.
+  [[nodiscard]] PackedRunResult run_nd(
+      const stochastic::SeparableProgram& program,
+      const std::vector<double>& point, const PackedRunConfig& config) const;
 
  private:
   /// Assemble the ideal-MUX and optical-decision words for one program

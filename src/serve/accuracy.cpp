@@ -27,8 +27,10 @@ constexpr const char* kStateHelp =
 constexpr const char* kDriftHelp =
     "budget-violation edges per program (latched; one per excursion)";
 
-const char* arity_label(bool bivariate) {
-  return bivariate ? "bivariate" : "univariate";
+std::string arity_label(std::size_t arity) {
+  if (arity == 1) return "univariate";
+  if (arity == 2) return "bivariate";
+  return std::to_string(arity) + "-ary";
 }
 
 }  // namespace
@@ -52,8 +54,8 @@ AccuracyObserver::AccuracyObserver(obs::Registry& registry,
 
 void AccuracyObserver::record_cells(const engine::BatchSummary& summary,
                                     const std::vector<std::string>& labels,
-                                    bool bivariate) {
-  const char* arity = arity_label(bivariate);
+                                    std::size_t request_arity) {
+  const std::string arity = arity_label(request_arity);
   for (const engine::BatchCell& cell : summary.cells) {
     const std::string& program = labels[cell.poly_index];
     // Key with a separator no display id contains, so ("ab", 1) and
@@ -109,7 +111,7 @@ AccuracyObserver::ProgramState& AccuracyObserver::program_state(
         registry_.gauge("oscs_serve_accuracy_slo_state", kStateHelp, labels),
         registry_.histogram("oscs_serve_shadow_abs_error", kShadowHelp,
                             labels, obs::Histogram::unit_error()),
-        nullptr, obs_in.bivariate});
+        nullptr, obs_in.arity});
     it = programs_.emplace(obs_in.program, std::move(state)).first;
   }
   ProgramState& state = *it->second;
@@ -217,7 +219,7 @@ AccuracyReport AccuracyObserver::report() const {
   for (const auto& [id, state] : programs_) {
     ProgramHealth health;
     health.program = id;
-    health.bivariate = state->bivariate;
+    health.arity = state->arity;
     health.state = state->slo->state();
     health.certified = state->certified;
     health.certified_mae = state->certified_mae;

@@ -83,7 +83,7 @@ struct AccuracyOptions {
 /// One program's shadow measurement from one sampled request.
 struct ShadowObservation {
   std::string program;  ///< display id (registry id or "coefficients[k]")
-  bool bivariate = false;
+  std::size_t arity = 1;  ///< program input count (1, 2, or N-ary)
   /// Mean over the request's cells of |optical mean - reference|.
   double observed_error = 0.0;
   /// Compile-time certificate, when the program has one.
@@ -94,7 +94,7 @@ struct ShadowObservation {
 /// Per-program SLO snapshot (health endpoint row).
 struct ProgramHealth {
   std::string program;
-  bool bivariate = false;
+  std::size_t arity = 1;  ///< program input count (1, 2, or N-ary)
   obs::SloState state = obs::SloState::kOk;
   bool certified = false;
   double certified_mae = 0.0;  ///< 0 when uncertified
@@ -146,9 +146,11 @@ class AccuracyObserver {
   }
 
   /// Surface one batch's per-cell error telemetry into the per-program
-  /// histogram families. `labels[cell.poly_index]` names the program.
+  /// histogram families. `labels[cell.poly_index]` names the program;
+  /// `arity` is the request's input count (labels the series).
   void record_cells(const engine::BatchSummary& summary,
-                    const std::vector<std::string>& labels, bool bivariate);
+                    const std::vector<std::string>& labels,
+                    std::size_t arity);
 
   /// Fold one sampled request's shadow measurements into the per-program
   /// EWMAs and evaluate the SLOs. Counts the request as sampled.
@@ -174,7 +176,7 @@ class AccuracyObserver {
     obs::Gauge& state_gauge;  ///< 0 ok / 1 degraded / 2 violating
     obs::Histogram& shadow_hist;
     std::unique_ptr<obs::ErrorBudgetSlo> slo;
-    bool bivariate = false;
+    std::size_t arity = 1;
     bool certified = false;
     double certified_mae = 0.0;
     double certified_ci = 0.0;

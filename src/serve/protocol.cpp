@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/arity_guard.hpp"
 #include "common/json.hpp"
 
 namespace oscs::serve {
@@ -201,6 +202,14 @@ ServeRequest parse_request(const std::string& text) {
       has_ys = true;
     } else if (key == "y") {
       y_sugar = member_number(value, "y");
+    } else if (key == "inputs") {
+      if (!value.is_array() || value.items().empty()) {
+        bad_request("'inputs' must be a nonempty array of per-axis arrays");
+      }
+      req.inputs.reserve(value.items().size());
+      for (const JsonValue& axis : value.items()) {
+        req.inputs.push_back(number_array(axis, "inputs"));
+      }
     } else if (key == "stream_lengths") {
       if (!value.is_array()) bad_request("'stream_lengths' must be an array");
       req.stream_lengths.clear();
@@ -239,8 +248,14 @@ ServeRequest parse_request(const std::string& text) {
     bad_request("'degree' needs a top-level 'function'");
   }
 
+  // Shared arity-guard rules render the wire-style strings; an empty
+  // result means the rule holds.
+  const auto raise = [](const std::string& message) {
+    if (!message.empty()) bad_request(message);
+  };
+
   if (y_sugar.has_value()) {
-    if (has_ys) bad_request("request carries both 'y' and 'ys'");
+    raise(arity::both_error(arity::kWireStyle, "y", "ys", true, has_ys));
     // The single-point sugar broadcasts over every x (mirroring how one
     // "y" naturally reads against an "xs" array).
     req.ys.assign(req.xs.empty() ? 1 : req.xs.size(), *y_sugar);
@@ -250,20 +265,36 @@ ServeRequest parse_request(const std::string& text) {
     if (req.programs.empty()) {
       bad_request("evaluate request names no programs");
     }
-    if (req.xs.empty()) bad_request("'xs' must be a nonempty array");
-    if (!req.ys.empty() && req.ys.size() != req.xs.size()) {
-      bad_request("'ys' must pair element-wise with 'xs' (" +
-                  std::to_string(req.ys.size()) + " ys for " +
-                  std::to_string(req.xs.size()) + " xs)");
+    if (!req.inputs.empty()) {
+      // The N-ary axes member carries every coordinate; mixing it with
+      // the legacy members would leave the point pairing ambiguous.
+      raise(arity::both_error(arity::kWireStyle, "inputs", "xs", true,
+                              !req.xs.empty()));
+      raise(arity::both_error(arity::kWireStyle, "inputs", "ys", true,
+                              !req.ys.empty()));
+      for (std::size_t axis = 0; axis < req.inputs.size(); ++axis) {
+        const std::string name = "inputs[" + std::to_string(axis) + "]";
+        raise(arity::nonempty_error(arity::kWireStyle, name,
+                                    req.inputs[axis].size()));
+        raise(arity::pairwise_error(arity::kWireStyle, "inputs[0]",
+                                    req.inputs.front().size(), name,
+                                    req.inputs[axis].size()));
+      }
+    } else {
+      raise(arity::nonempty_error(arity::kWireStyle, "xs", req.xs.size()));
+      if (!req.ys.empty()) {
+        raise(arity::pairwise_error(arity::kWireStyle, "xs", req.xs.size(),
+                                    "ys", req.ys.size()));
+      }
     }
     if (req.stream_lengths.empty()) {
       bad_request("'stream_lengths' must be nonempty");
     }
     if (req.repeats == 0) bad_request("'repeats' must be positive");
-    if (req.operating_point.has_value() && req.probe_power_mw.has_value()) {
-      bad_request(
-          "request carries both 'operating_point' and 'probe_power_mw'");
-    }
+    raise(arity::both_error(arity::kWireStyle, "operating_point",
+                            "probe_power_mw",
+                            req.operating_point.has_value(),
+                            req.probe_power_mw.has_value()));
   }
   return req;
 }
@@ -282,10 +313,17 @@ std::string write_response(const ServeResponse& response) {
   operating_point_json(json, response.op);
   json.key("cells").begin_array();
   for (const CellResult& cell : response.cells) {
-    json.begin_object()
-        .field("program", cell.program)
-        .field("x", cell.x);
-    if (cell.bivariate) json.field("y", cell.y);
+    json.begin_object().field("program", cell.program);
+    if (cell.point.size() > 2) {
+      // N-ary cells echo the whole input point; "x"/"y" stay the legacy
+      // one- and two-axis spellings.
+      json.key("inputs").begin_array();
+      for (double coordinate : cell.point) json.value(coordinate);
+      json.end_array();
+    } else {
+      json.field("x", cell.x);
+      if (cell.bivariate) json.field("y", cell.y);
+    }
     json.field("stream_length", cell.stream_length)
         .field("repeats", cell.repeats)
         .field("expected", cell.expected)

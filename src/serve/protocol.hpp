@@ -21,6 +21,9 @@
 ///                 {"coefficients": [0.1, 0.5, 0.9], "id": "ramp"}],
 ///    "xs": [0.25, 0.5, 0.75],
 ///    "ys": [0.5, 0.5, 0.75],           // bivariate only: pairs with "xs"
+///    "inputs": [[...], [...], [...]],  // N-ary alternative to "xs"/"ys":
+///                                      // one array per input axis, all
+///                                      // pairing element-wise
 ///    "stream_lengths": [4096],         // default [4096]
 ///    "repeats": 8,                     // default 8
 ///    "seed": 1,                        // default 1
@@ -37,6 +40,15 @@
 /// element-wise with "xs") or the single-point sugar "y". A request
 /// without "ys"/"y" takes the univariate path unchanged; arities cannot
 /// mix within one request.
+///
+/// N-ary requests carry every input axis in "inputs" - an array of
+/// per-axis coordinate arrays pairing element-wise (point k is column k
+/// across the axes) - and name functions from the N-ary separable
+/// catalogue ("rgb_luma", "trilinear_mix", ...). "inputs" excludes
+/// "xs"/"ys"/"y"; one or two axes are lowered onto the legacy
+/// univariate/bivariate paths, so "inputs" is a superset wire format.
+/// N-ary cells echo their coordinates as "inputs": [x0, x1, ...] instead
+/// of "x"/"y".
 ///
 /// Response (success):
 ///   {"id": ..., "ok": true, "trace_id": ..., "fused": bool,
@@ -131,6 +143,11 @@ struct ServeRequest {
   /// Second input coordinate (bivariate requests): pairs element-wise
   /// with `xs`. Empty selects the univariate path.
   std::vector<double> ys;
+  /// N-ary input axes ("inputs" wire member): inputs[k] carries axis k's
+  /// coordinate for every evaluation point, all axes pairing element-wise.
+  /// Mutually exclusive with `xs`/`ys`; one or two axes are lowered onto
+  /// them before resolution.
+  std::vector<std::vector<double>> inputs;
   std::vector<std::size_t> stream_lengths{4096};
   std::size_t repeats = 8;
   std::uint64_t seed = 1;
@@ -152,6 +169,9 @@ struct CellResult {
   double x = 0.0;
   bool bivariate = false;  ///< cell carries a y coordinate
   double y = 0.0;          ///< second input coordinate (bivariate cells)
+  /// Full input point of an N-ary cell; serialized as "inputs" (instead
+  /// of "x"/"y") when it carries more than two coordinates.
+  std::vector<double> point;
   std::size_t stream_length = 0;
   std::size_t repeats = 0;
   double expected = 0.0;      ///< double-precision reference value

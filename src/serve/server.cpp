@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/arity_guard.hpp"
 #include "common/json.hpp"
 #include "compile/registry.hpp"
 #include "engine/thread_pool.hpp"
@@ -93,6 +94,9 @@ ProgramServer::ProgramServer(ServerOptions options)
       completed_bivariate_(
           registry_.counter("oscs_serve_requests_completed_total",
                             kCompletedHelp, {{"arity", "bivariate"}})),
+      completed_nd_(
+          registry_.counter("oscs_serve_requests_completed_total",
+                            kCompletedHelp, {{"arity", "nd"}})),
       errors_{registry_.counter("oscs_serve_errors_total", kErrorsHelp,
                                 {{"reason", "bad_request"}}),
               registry_.counter("oscs_serve_errors_total", kErrorsHelp,
@@ -187,11 +191,17 @@ const ProgramServer::OrderEngine& ProgramServer::order_engine2(
 }
 
 ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
+  // N-ary requests (three or more 'inputs' axes; one- and two-axis
+  // requests were lowered onto 'xs'/'ys' before this point) resolve
+  // through the separable catalogue.
+  if (!request.inputs.empty()) return resolve_nd(request);
+
   Resolved resolved;
   resolved.labels.reserve(request.programs.size());
   // The request's arity is declared by 'ys'; every program must match it
   // (arities cannot mix within one fused batch).
   resolved.bivariate = !request.ys.empty();
+  resolved.arity = resolved.bivariate ? 2 : 1;
 
   // Pass 1: compile (or accept) every program and find the common circuit
   // order(s) the fused kernel will run at. `holds` stays parallel to the
@@ -406,6 +416,105 @@ ProgramServer::Resolved ProgramServer::resolve(const ServeRequest& request) {
   return resolved;
 }
 
+ProgramServer::Resolved ProgramServer::resolve_nd(
+    const ServeRequest& request) {
+  Resolved resolved;
+  resolved.arity = request.inputs.size();
+  resolved.labels.reserve(request.programs.size());
+
+  // Pass 1: compile every program (all must come from the N-ary separable
+  // catalogue - raw coefficient specs have no N-ary spelling) and find
+  // the common factor order the shared univariate kernel runs at.
+  std::size_t target_order = 1;
+  std::vector<stochastic::SeparableProgram> programs;
+  programs.reserve(request.programs.size());
+  for (const ProgramSpec& spec : request.programs) {
+    resolved.labels.push_back(spec.display_id());
+    if (spec.is_raw()) {
+      throw ServeError(400, "bad_request",
+                       "raw 'coefficients' programs are univariate or "
+                       "bivariate; N-ary 'inputs' requests name separable "
+                       "catalogue functions");
+    }
+    const compile::RegistryFunctionN* fn =
+        compile::find_function_nd(spec.function_id);
+    if (fn == nullptr) {
+      if (compile::find_function(spec.function_id) != nullptr ||
+          compile::find_function2(spec.function_id) != nullptr) {
+        throw ServeError(400, "bad_request",
+                         "function '" + spec.function_id + "' does not take " +
+                             std::to_string(resolved.arity) +
+                             " inputs (arities cannot mix)");
+      }
+      throw ServeError(404, "unknown_function",
+                       "unknown function '" + spec.function_id + "'");
+    }
+    if (fn->arity != resolved.arity) {
+      throw ServeError(400, "bad_request",
+                       "function '" + spec.function_id + "' takes " +
+                           std::to_string(fn->arity) +
+                           " inputs but the request carries " +
+                           std::to_string(resolved.arity) +
+                           " 'inputs' axes");
+    }
+    compile::CompileOptions opts = options_.compile;
+    opts.projection_nd.degree = spec.degree.value_or(fn->degree);
+    opts.projection_nd.max_terms = fn->max_terms;
+    if (request.sng_width.has_value()) opts.sng_width = *request.sng_width;
+
+    // Cold-compile admission, same budget as the dense paths: the ALS
+    // pipeline cost scales with the factor degree.
+    if (opts.projection_nd.degree > options_.max_cold_degree &&
+        !compiler_.cache().contains(compile::make_program_key_nd(
+            spec.function_id, fn->arity, opts))) {
+      throw ServeError(
+          429, "compile_budget",
+          "cold compile at degree " +
+              std::to_string(opts.projection_nd.degree) +
+              " exceeds the admission budget (max_cold_degree = " +
+              std::to_string(options_.max_cold_degree) + ")");
+    }
+
+    std::shared_ptr<const compile::CompiledProgram> program;
+    try {
+      program = compiler_.compile_nd(spec.function_id, fn->arity, fn->f,
+                                     opts);
+    } catch (const std::invalid_argument& e) {
+      throw ServeError(400, "bad_request", e.what());
+    }
+    target_order = std::max(target_order, program->circuit_order());
+    programs.push_back(program->program_nd());
+    resolved.holds.push_back(std::move(program));
+    resolved.refs_nd.push_back(fn->f);  // shadow reference: the registry f
+  }
+
+  // Pass 2: elevate every factor to the common order (value-preserving)
+  // so one univariate kernel pass serves every term of every program.
+  resolved.programs_nd.reserve(programs.size());
+  for (stochastic::SeparableProgram& program : programs) {
+    resolved.programs_nd.push_back(program.factor_degree() < target_order
+                                       ? program.elevated_to(target_order)
+                                       : std::move(program));
+  }
+
+  for (const auto& program : resolved.holds) {
+    if (program != nullptr && program->is_nd() &&
+        program->circuit_order() == target_order) {
+      resolved.kernel = program->kernel();
+      resolved.design_point = program->design_point();
+      resolved.circuit = &program->circuit();
+      break;
+    }
+  }
+  if (resolved.kernel == nullptr) {
+    const OrderEngine& fallback = order_engine(target_order);
+    resolved.kernel = fallback.kernel;
+    resolved.design_point = fallback.design_point;
+    resolved.circuit = fallback.circuit.get();
+  }
+  return resolved;
+}
+
 oscs::OperatingPoint ProgramServer::resolve_operating_point(
     const ServeRequest& request, const Resolved& resolved) const {
   oscs::OperatingPoint op;
@@ -483,18 +592,46 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
                      "handle() only serves evaluate requests");
   }
   // The typed entry point bypasses parse_request's shape checks; repeat
-  // the ones this function relies on before anything dereferences them.
+  // the ones this function relies on before anything dereferences them
+  // (the shared arity-guard rules render the same wire-style strings).
+  const auto raise = [](const std::string& message) {
+    if (!message.empty()) throw ServeError(400, "bad_request", message);
+  };
   if (request.programs.empty()) {
     throw ServeError(400, "bad_request", "evaluate request names no programs");
   }
-  if (request.xs.empty()) {
-    throw ServeError(400, "bad_request", "'xs' must be a nonempty array");
-  }
-  if (!request.ys.empty() && request.ys.size() != request.xs.size()) {
-    throw ServeError(400, "bad_request",
-                     "'ys' must pair element-wise with 'xs' (" +
-                         std::to_string(request.ys.size()) + " ys for " +
-                         std::to_string(request.xs.size()) + " xs)");
+  if (!request.inputs.empty()) {
+    raise(arity::both_error(arity::kWireStyle, "inputs", "xs", true,
+                            !request.xs.empty()));
+    raise(arity::both_error(arity::kWireStyle, "inputs", "ys", true,
+                            !request.ys.empty()));
+    for (std::size_t axis = 0; axis < request.inputs.size(); ++axis) {
+      const std::string name = "inputs[" + std::to_string(axis) + "]";
+      raise(arity::nonempty_error(arity::kWireStyle, name,
+                                  request.inputs[axis].size()));
+      raise(arity::pairwise_error(arity::kWireStyle, "inputs[0]",
+                                  request.inputs.front().size(), name,
+                                  request.inputs[axis].size()));
+    }
+    if (request.inputs.size() <= 2) {
+      // One or two axes are the legacy paths wearing the N-ary wire
+      // format: lower them onto 'xs'/'ys' and re-enter, so everything
+      // downstream sees exactly one spelling per arity.
+      ServeRequest lowered = request;
+      lowered.xs = std::move(lowered.inputs.front());
+      if (lowered.inputs.size() == 2) {
+        lowered.ys = std::move(lowered.inputs.back());
+      }
+      lowered.inputs.clear();
+      return evaluate(lowered, trace);
+    }
+  } else {
+    raise(arity::nonempty_error(arity::kWireStyle, "xs", request.xs.size()));
+    if (!request.ys.empty()) {
+      raise(arity::pairwise_error(arity::kWireStyle, "xs",
+                                  request.xs.size(), "ys",
+                                  request.ys.size()));
+    }
   }
   if (request.stream_lengths.empty()) {
     throw ServeError(400, "bad_request", "'stream_lengths' must be nonempty");
@@ -509,8 +646,11 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
   for (std::size_t len : request.stream_lengths) {
     length_bits += static_cast<double>(len);
   }
+  const std::size_t n_points = request.inputs.empty()
+                                   ? request.xs.size()
+                                   : request.inputs.front().size();
   const double work_bits = static_cast<double>(request.programs.size()) *
-                           static_cast<double>(request.xs.size()) *
+                           static_cast<double>(n_points) *
                            static_cast<double>(request.repeats) * length_bits;
   if (work_bits > options_.max_request_bits) {
     throw ServeError(413, "too_large",
@@ -537,14 +677,19 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
 
   const oscs::OperatingPoint op = resolve_operating_point(request, resolved);
 
+  const bool nd = resolved.arity > 2;
   engine::BatchRequest batch;
-  if (resolved.bivariate) {
+  if (nd) {
+    batch.programs_nd = resolved.programs_nd;
+    batch.inputs = request.inputs;
+  } else if (resolved.bivariate) {
     batch.polynomials2 = resolved.polys2;
     batch.ys = request.ys;
+    batch.xs = request.xs;
   } else {
     batch.polynomials = resolved.polys;
+    batch.xs = request.xs;
   }
-  batch.xs = request.xs;
   batch.stream_lengths = request.stream_lengths;
   batch.repeats = request.repeats;
   batch.seed = request.seed;
@@ -552,7 +697,9 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
 
   const auto t_execute = Clock::now();
   engine::BatchSummary summary;
-  response.fused = request.programs.size() > 1;
+  // The fused kernel is a dense-path optimization; N-ary programs run
+  // the separable lattice whatever the program count.
+  response.fused = !nd && request.programs.size() > 1;
   {
     obs::Span span(&trace, "execute");
     // Leased, not constructed: thread spawn/join stays off the warm path.
@@ -562,8 +709,9 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
     try {
       const engine::BatchRunner runner(resolved.kernel,
                                        resolved.design_point);
-      summary = response.fused ? runner.run_fused(batch, *pool)
-                               : runner.run(batch, *pool);
+      summary = nd ? runner.run_nd(batch, *pool)
+                   : (response.fused ? runner.run_fused(batch, *pool)
+                                     : runner.run(batch, *pool));
     } catch (const std::invalid_argument& e) {
       release_pool(std::move(pool));
       // Everything the engine rejects traces back to request content.
@@ -589,6 +737,7 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
     out.x = cell.x;
     out.bivariate = resolved.bivariate;
     out.y = cell.y;
+    if (nd) out.point = cell.point;  // serialized as the "inputs" array
     out.stream_length = cell.stream_length;
     out.repeats = cell.repeats;
     out.expected = cell.expected;
@@ -603,7 +752,7 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
   // Accuracy plane: per-cell telemetry is free (the numbers are already
   // in the summary); the double-precision shadow reference only runs for
   // deterministically sampled requests.
-  accuracy_.record_cells(summary, resolved.labels, resolved.bivariate);
+  accuracy_.record_cells(summary, resolved.labels, resolved.arity);
   if (accuracy_.should_sample(trace.id())) {
     std::vector<ShadowObservation> shadow(resolved.labels.size());
     std::vector<std::size_t> counts(resolved.labels.size(), 0);
@@ -614,7 +763,9 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
       // engine's exact Bernstein value - the same reference that already
       // backs the response's `expected` field.
       double reference = cell.expected;
-      if (resolved.bivariate) {
+      if (nd) {
+        if (resolved.refs_nd[pi]) reference = resolved.refs_nd[pi](cell.point);
+      } else if (resolved.bivariate) {
         if (resolved.refs2[pi]) reference = resolved.refs2[pi](cell.x, cell.y);
       } else {
         if (resolved.refs[pi]) reference = resolved.refs[pi](cell.x);
@@ -624,7 +775,7 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
     }
     for (std::size_t pi = 0; pi < shadow.size(); ++pi) {
       shadow[pi].program = resolved.labels[pi];
-      shadow[pi].bivariate = resolved.bivariate;
+      shadow[pi].arity = resolved.arity;
       if (counts[pi] > 0) {
         shadow[pi].observed_error /= static_cast<double>(counts[pi]);
       }
@@ -641,9 +792,11 @@ ServeResponse ProgramServer::evaluate(const ServeRequest& request,
   }
 
   response.latency.total_us = trace.elapsed_us();
-  // Completion is two arity counters; `completed` is derived as their sum
-  // at snapshot time, so the invariant holds without a lock here.
-  (resolved.bivariate ? completed_bivariate_ : completed_univariate_).inc();
+  // Completion is three arity counters; `completed` is derived as their
+  // sum at snapshot time, so the invariant holds without a lock here.
+  (nd ? completed_nd_
+      : resolved.bivariate ? completed_bivariate_ : completed_univariate_)
+      .inc();
   return response;
 }
 
@@ -724,10 +877,11 @@ ServerMetrics ProgramServer::metrics() const {
       static_cast<std::size_t>(completed_univariate_.value());
   snapshot.completed_bivariate =
       static_cast<std::size_t>(completed_bivariate_.value());
+  snapshot.completed_nd = static_cast<std::size_t>(completed_nd_.value());
   // Derived, never stored: the invariant survives any interleaving of
   // concurrent completions with this read.
-  snapshot.completed =
-      snapshot.completed_univariate + snapshot.completed_bivariate;
+  snapshot.completed = snapshot.completed_univariate +
+                       snapshot.completed_bivariate + snapshot.completed_nd;
 
   snapshot.errors = {
       {"bad_request", static_cast<std::size_t>(errors_.bad_request.value())},
@@ -786,6 +940,7 @@ std::string ProgramServer::metrics_json(bool pretty,
       .field("completed", m.completed)
       .field("completed_univariate", m.completed_univariate)
       .field("completed_bivariate", m.completed_bivariate)
+      .field("completed_nd", m.completed_nd)
       .field("rejected_busy", m.rejected_busy)
       .field("rejected_budget", m.rejected_budget)
       .field("failed", m.failed)
@@ -852,7 +1007,7 @@ std::string ProgramServer::health_json(const std::string& request_id) const {
   for (const ProgramHealth& program : report.programs) {
     json.begin_object()
         .field("program", program.program)
-        .field("arity", program.bivariate ? 2 : 1)
+        .field("arity", program.arity)
         .field("state", obs::slo_state_name(program.state))
         .field("certified", program.certified)
         .field("certified_mae", program.certified_mae)

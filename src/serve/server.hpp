@@ -105,10 +105,12 @@ struct ServerMetrics {
   std::size_t received = 0;         ///< requests of any op
   /// Successful evaluates. Derived as the sum of the per-arity counters
   /// at snapshot time, so the invariant completed == completed_univariate
-  /// + completed_bivariate holds even while requests are landing.
+  /// + completed_bivariate + completed_nd holds even while requests are
+  /// landing.
   std::size_t completed = 0;
   std::size_t completed_univariate = 0;
   std::size_t completed_bivariate = 0;
+  std::size_t completed_nd = 0;  ///< N-ary ("inputs") evaluates
   std::size_t rejected_busy = 0;    ///< 429 in-flight gate
   std::size_t rejected_budget = 0;  ///< 429 cold-compile budget
   std::size_t failed = 0;           ///< every other error response
@@ -178,10 +180,17 @@ class ProgramServer {
   /// common per-axis order pair for bivariate requests).
   struct Resolved {
     bool bivariate = false;  ///< request resolved onto the two-input path
+    /// Request input count: 1 (univariate), 2 (bivariate) or the N-ary
+    /// axis count. Above 2, `programs_nd`/`refs_nd` are the populated
+    /// vectors and the request runs the separable lattice path.
+    std::size_t arity = 1;
     std::vector<stochastic::BernsteinPoly> polys;  ///< elevated to order
     /// Bivariate programs, elevated to the common per-axis orders
     /// (populated instead of `polys` when `bivariate`).
     std::vector<stochastic::BernsteinPoly2> polys2;
+    /// N-ary separable programs, factor-elevated to the common order
+    /// (populated instead of `polys`/`polys2` when arity > 2).
+    std::vector<stochastic::SeparableProgram> programs_nd;
     std::vector<std::string> labels;               ///< request order
     /// Double-precision reference functions, parallel to `labels`: the
     /// registry f for registry programs, empty for raw-coefficient ones
@@ -189,6 +198,7 @@ class ProgramServer {
     /// shadow path reads these; only one arity's vector is populated.
     std::vector<std::function<double(double)>> refs;
     std::vector<std::function<double(double, double)>> refs2;
+    std::vector<std::function<double(const std::vector<double>&)>> refs_nd;
     std::shared_ptr<const engine::PackedKernel> kernel;
     oscs::OperatingPoint design_point{};
     /// Circuit behind `kernel` (link-budget derivations); owned via
@@ -226,6 +236,10 @@ class ProgramServer {
   [[nodiscard]] ServeResponse evaluate(const ServeRequest& request,
                                        obs::Trace& trace);
   [[nodiscard]] Resolved resolve(const ServeRequest& request);
+  /// N-ary ('inputs') resolution: every program must name a separable
+  /// catalogue function of the request's axis count; factors elevate to
+  /// one common order served by a univariate kernel.
+  [[nodiscard]] Resolved resolve_nd(const ServeRequest& request);
   [[nodiscard]] const OrderEngine& order_engine(std::size_t order);
   /// Fallback engine for bivariate order pairs no compiled program
   /// provides (raw grids, mixed-order fusions).
@@ -260,6 +274,7 @@ class ProgramServer {
   obs::Counter& received_;
   obs::Counter& completed_univariate_;
   obs::Counter& completed_bivariate_;
+  obs::Counter& completed_nd_;
   ErrorCounters errors_;
   /// Doubles as the admission gate: add(1) returning a value above
   /// max_in_flight means the slot must be given back and the request

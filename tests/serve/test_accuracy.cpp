@@ -143,7 +143,7 @@ TEST(ServeAccuracy, RawCoefficientProgramsShadowAgainstBernstein) {
   ASSERT_EQ(report.programs.size(), 1u);
   const ProgramHealth& program = report.programs.front();
   EXPECT_EQ(program.program, "coefficients[3]");
-  EXPECT_FALSE(program.bivariate);
+  EXPECT_EQ(program.arity, 1u);
   EXPECT_FALSE(program.certified);
   EXPECT_DOUBLE_EQ(program.budget, AccuracyOptions{}.default_budget);
   EXPECT_EQ(program.samples, 1u);
