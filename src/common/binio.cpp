@@ -1,0 +1,193 @@
+#include "common/binio.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace oscs {
+namespace {
+
+// Serialize an unsigned integer little-endian one byte at a time; the
+// byte order is explicit so files and digests match across hosts.
+template <typename T>
+void append_le(std::string& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+T parse_le(const char* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+BinWriter& BinWriter::u8(std::uint8_t v) {
+  out_.push_back(static_cast<char>(v));
+  return *this;
+}
+
+BinWriter& BinWriter::u32(std::uint32_t v) {
+  append_le(out_, v);
+  return *this;
+}
+
+BinWriter& BinWriter::u64(std::uint64_t v) {
+  append_le(out_, v);
+  return *this;
+}
+
+BinWriter& BinWriter::f64(double v) {
+  append_le(out_, std::bit_cast<std::uint64_t>(v));
+  return *this;
+}
+
+BinWriter& BinWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  out_.append(v.data(), v.size());
+  return *this;
+}
+
+BinWriter& BinWriter::f64_vec(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+  return *this;
+}
+
+BinWriter& BinWriter::u64_vec(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (std::uint64_t x : v) u64(x);
+  return *this;
+}
+
+BinWriter& BinWriter::bytes(const void* data, std::size_t size) {
+  out_.append(static_cast<const char*>(data), size);
+  return *this;
+}
+
+void BinWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > out_.size()) {
+    throw BinIoError("binio: patch_u32 out of bounds");
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    out_[offset + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void BinReader::need(std::size_t bytes) const {
+  if (remaining() < bytes) {
+    throw BinIoError("binio: truncated input (need " + std::to_string(bytes) +
+                     " bytes at offset " + std::to_string(offset_) + ", have " +
+                     std::to_string(remaining()) + ")");
+  }
+}
+
+std::uint8_t BinReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint32_t BinReader::u32() {
+  need(4);
+  auto v = parse_le<std::uint32_t>(data_.data() + offset_);
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t BinReader::u64() {
+  need(8);
+  auto v = parse_le<std::uint64_t>(data_.data() + offset_);
+  offset_ += 8;
+  return v;
+}
+
+double BinReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string BinReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string out(data_.substr(offset_, len));
+  offset_ += len;
+  return out;
+}
+
+std::vector<double> BinReader::f64_vec() {
+  const std::uint64_t count = u64();
+  // Validate the declared count against the bytes actually present before
+  // allocating, so a corrupted count can't drive a multi-gigabyte reserve.
+  if (count > remaining() / 8) {
+    throw BinIoError("binio: vector count " + std::to_string(count) +
+                     " exceeds remaining input");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(f64());
+  return out;
+}
+
+std::vector<std::uint64_t> BinReader::u64_vec() {
+  const std::uint64_t count = u64();
+  if (count > remaining() / 8) {
+    throw BinIoError("binio: vector count " + std::to_string(count) +
+                     " exceeds remaining input");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(u64());
+  return out;
+}
+
+std::string_view BinReader::take(std::size_t size) {
+  need(size);
+  std::string_view out = data_.substr(offset_, size);
+  offset_ += size;
+  return out;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+Fnv1a& Fnv1a::bytes(const void* data, std::size_t size) noexcept {
+  hash_ = fnv1a(data, size, hash_);
+  return *this;
+}
+
+Fnv1a& Fnv1a::u8(std::uint8_t v) noexcept { return bytes(&v, 1); }
+
+Fnv1a& Fnv1a::u32(std::uint32_t v) noexcept {
+  unsigned char le[4];
+  for (std::size_t i = 0; i < 4; ++i) {
+    le[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+  return bytes(le, sizeof(le));
+}
+
+Fnv1a& Fnv1a::u64(std::uint64_t v) noexcept {
+  unsigned char le[8];
+  for (std::size_t i = 0; i < 8; ++i) {
+    le[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+  return bytes(le, sizeof(le));
+}
+
+Fnv1a& Fnv1a::f64(double v) noexcept {
+  return u64(std::bit_cast<std::uint64_t>(v));
+}
+
+Fnv1a& Fnv1a::str(std::string_view v) noexcept {
+  u64(v.size());
+  return bytes(v.data(), v.size());
+}
+
+}  // namespace oscs

@@ -1,0 +1,125 @@
+#pragma once
+/// \file binio.hpp
+/// \brief Minimal binary stream helpers for the persistent artifact
+///        stores (compiled-program cache files): fixed-width little-endian
+///        integer/double encoding with bounds-checked reads, plus a
+///        streaming FNV-1a 64-bit digest. The encoding is fully
+///        implementation-independent - no std::hash, no host endianness,
+///        no struct padding - so a file (or digest) written by one build
+///        is byte-identical on every platform. Sits beside common/json.hpp
+///        as the binary sibling of the JSON writer/parser pair.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oscs {
+
+/// Thrown by BinReader on truncated or structurally invalid input. Cache
+/// loaders catch it per record and fall back to a cold compile - binary
+/// corruption is never fatal to the process.
+class BinIoError : public std::runtime_error {
+ public:
+  explicit BinIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only binary writer over an owned byte buffer. All multi-byte
+/// values are emitted little-endian regardless of host order; doubles are
+/// emitted as their IEEE-754 bit pattern.
+class BinWriter {
+ public:
+  BinWriter& u8(std::uint8_t v);
+  BinWriter& u32(std::uint32_t v);
+  BinWriter& u64(std::uint64_t v);
+  BinWriter& f64(double v);
+  /// u32 byte length followed by the raw bytes.
+  BinWriter& str(std::string_view v);
+  /// u64 element count followed by each element as f64.
+  BinWriter& f64_vec(const std::vector<double>& v);
+  /// u64 element count followed by each element as u64.
+  BinWriter& u64_vec(const std::vector<std::uint64_t>& v);
+  BinWriter& bytes(const void* data, std::size_t size);
+
+  [[nodiscard]] const std::string& data() const noexcept { return out_; }
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  /// Overwrite 4 previously written bytes at `offset` (record-size
+  /// backpatching). \throws BinIoError when the range is out of bounds.
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a borrowed byte range (the caller keeps the
+/// backing buffer alive). Every accessor throws BinIoError instead of
+/// reading past the end, so a truncated file can never fault.
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  /// Counterpart of BinWriter::str. \throws BinIoError when the declared
+  /// length exceeds the remaining bytes.
+  [[nodiscard]] std::string str();
+  /// Counterpart of BinWriter::f64_vec; the declared count is validated
+  /// against the remaining bytes BEFORE any allocation, so a corrupt
+  /// count cannot trigger a giant allocation.
+  [[nodiscard]] std::vector<double> f64_vec();
+  /// Counterpart of BinWriter::u64_vec, same pre-allocation validation.
+  [[nodiscard]] std::vector<std::uint64_t> u64_vec();
+  /// Borrow `size` raw bytes (e.g. one record's payload sub-range).
+  [[nodiscard]] std::string_view take(std::size_t size);
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - offset_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  void need(std::size_t bytes) const;
+
+  std::string_view data_;
+  std::size_t offset_ = 0;
+};
+
+/// FNV-1a 64-bit offset basis / prime (the classic Fowler-Noll-Vo
+/// constants).
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+/// One-shot FNV-1a 64 over a byte range.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t size,
+                                  std::uint64_t seed = kFnv1aOffset);
+
+/// Streaming FNV-1a 64 accumulator over the same canonical fixed-width
+/// little-endian encoding BinWriter emits, so `Fnv1a{}.u64(x).f64(y)...`
+/// equals fnv1a() of the equivalent BinWriter buffer. This is the digest
+/// behind the portable program-cache identity: serial, explicit, and
+/// identical across processes, standard libraries and platforms (unlike
+/// std::hash, whose values are implementation-defined).
+class Fnv1a {
+ public:
+  Fnv1a& bytes(const void* data, std::size_t size) noexcept;
+  Fnv1a& u8(std::uint8_t v) noexcept;
+  Fnv1a& u32(std::uint32_t v) noexcept;
+  Fnv1a& u64(std::uint64_t v) noexcept;
+  /// IEEE-754 bit pattern, little-endian (bit-exact, so -0.0 != +0.0).
+  Fnv1a& f64(double v) noexcept;
+  /// u64 byte length then the raw bytes - length-prefixed so that
+  /// adjacent strings can never alias each other's boundaries.
+  Fnv1a& str(std::string_view v) noexcept;
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnv1aOffset;
+};
+
+}  // namespace oscs

@@ -1,7 +1,12 @@
 #include "compile/cache.hpp"
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <vector>
 
+#include "common/binio.hpp"
+#include "compile/serialize.hpp"
 #include "obs/metrics.hpp"
 
 namespace oscs::compile {
@@ -20,6 +25,8 @@ struct CacheCounters {
   obs::Counter& inserts;
   obs::Counter& evictions;
   obs::Counter& coalesced;
+  obs::Counter& loaded;
+  obs::Counter& load_errors;
 };
 
 CacheCounters& cache_counters() {
@@ -38,7 +45,13 @@ CacheCounters& cache_counters() {
                                       {{"event", "eviction"}}),
       obs::Registry::global().counter("oscs_compile_cache_events_total",
                                       "program cache lookups and churn",
-                                      {{"event", "coalesced"}})};
+                                      {{"event", "coalesced"}}),
+      obs::Registry::global().counter("oscs_compile_cache_events_total",
+                                      "program cache lookups and churn",
+                                      {{"event", "loaded"}}),
+      obs::Registry::global().counter("oscs_compile_cache_events_total",
+                                      "program cache lookups and churn",
+                                      {{"event", "load_error"}})};
   return counters;
 }
 
@@ -155,6 +168,138 @@ std::shared_ptr<const CompiledProgram> ProgramCache::get_or_compile(
 }
 
 
+
+std::size_t ProgramCache::save(std::ostream& out) const {
+  // Snapshot under the lock, serialize outside it: serialization walks
+  // coefficient vectors and must not stall concurrent lookups.
+  std::vector<std::shared_ptr<const CompiledProgram>> programs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    programs.reserve(lru_.size());
+    // LRU-first (list back to front): an in-order load re-inserts each
+    // record as most-recently-used, so the final entry - the saved MRU -
+    // ends up MRU again and the recency order round-trips exactly.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      programs.push_back(it->second);
+    }
+  }
+  BinWriter file;
+  file.bytes(kCacheMagic, sizeof(kCacheMagic));
+  file.u32(kCacheFormatVersion);
+  file.u32(0);  // reserved
+  file.u64(programs.size());
+  for (const auto& program : programs) {
+    BinWriter payload;
+    write_compiled_program(payload, *program);
+    file.u64(program->key().digest());
+    file.u32(static_cast<std::uint32_t>(payload.size()));
+    file.u64(fnv1a(payload.data().data(), payload.size()));
+    file.bytes(payload.data().data(), payload.size());
+  }
+  out.write(file.data().data(),
+            static_cast<std::streamsize>(file.size()));
+  if (!out) {
+    throw std::runtime_error("ProgramCache::save: stream write failed");
+  }
+  return programs.size();
+}
+
+std::size_t ProgramCache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("ProgramCache::save: cannot open '" + path +
+                             "'");
+  }
+  const std::size_t written = save(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("ProgramCache::save: write to '" + path +
+                             "' failed");
+  }
+  return written;
+}
+
+CacheLoadReport ProgramCache::load(std::istream& in) {
+  CacheLoadReport report;
+  auto fail = [&report](const std::string& message) {
+    ++report.errors;
+    cache_counters().load_errors.inc();
+    if (report.message.empty()) report.message = message;
+  };
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    fail("cache load: stream read failed");
+    return report;
+  }
+  const std::string data = buffer.str();
+  BinReader reader(data);
+  try {
+    if (reader.remaining() < sizeof(kCacheMagic)) {
+      throw BinIoError("cache load: file shorter than the magic");
+    }
+    const std::string_view magic = reader.take(sizeof(kCacheMagic));
+    if (magic != std::string_view(kCacheMagic, sizeof(kCacheMagic))) {
+      throw BinIoError("cache load: bad magic (not a program cache file)");
+    }
+    const std::uint32_t version = reader.u32();
+    if (version != kCacheFormatVersion) {
+      throw BinIoError("cache load: format version " +
+                       std::to_string(version) + " (expected " +
+                       std::to_string(kCacheFormatVersion) + ")");
+    }
+    (void)reader.u32();  // reserved
+    const std::uint64_t count = reader.u64();
+    report.opened = true;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      // The record frame (digest + size + checksum) must parse for the
+      // loader to continue; a record that fails past this point is
+      // skipped by its declared size and the loop keeps going.
+      const std::uint64_t digest = reader.u64();
+      const std::uint32_t payload_size = reader.u32();
+      const std::uint64_t checksum = reader.u64();
+      const std::string_view payload = reader.take(payload_size);
+      if (fnv1a(payload.data(), payload.size()) != checksum) {
+        fail("cache load: record " + std::to_string(i) +
+             " checksum mismatch");
+        continue;
+      }
+      try {
+        BinReader record(payload);
+        std::shared_ptr<const CompiledProgram> program =
+            read_compiled_program(record);
+        if (program->key().digest() != digest) {
+          fail("cache load: record " + std::to_string(i) +
+               " key digest mismatch");
+          continue;
+        }
+        put(program->key(), program);
+        ++report.loaded;
+        cache_counters().loaded.inc();
+      } catch (const std::exception& e) {
+        // BinIoError (truncated/invalid payload) or invalid_argument out
+        // of a program constructor: this record is lost, the rest load.
+        fail("cache load: record " + std::to_string(i) + ": " + e.what());
+      }
+    }
+  } catch (const std::exception& e) {
+    // Header/frame-level corruption: nothing more can be parsed.
+    fail(e.what());
+  }
+  return report;
+}
+
+CacheLoadReport ProgramCache::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    CacheLoadReport report;
+    report.errors = 1;
+    report.message = "cache load: cannot open '" + path + "'";
+    cache_counters().load_errors.inc();
+    return report;
+  }
+  return load(in);
+}
 
 std::size_t ProgramCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);

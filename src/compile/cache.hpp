@@ -12,15 +12,30 @@
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "compile/program.hpp"
 
 namespace oscs::compile {
+
+/// Outcome of one ProgramCache::load. Loading never throws: header-level
+/// failures (missing file, bad magic, version mismatch, truncated header)
+/// set `opened = false` with one counted error, and per-record corruption
+/// (bad checksum, digest mismatch, out-of-range coefficients) skips that
+/// record and keeps going - a corrupt cache file degrades to cold
+/// compiles, never to a startup failure.
+struct CacheLoadReport {
+  bool opened = false;       ///< header parsed; records were attempted
+  std::size_t loaded = 0;    ///< programs inserted into the cache
+  std::size_t errors = 0;    ///< records (or the header) rejected
+  std::string message;       ///< first failure description, empty if clean
+};
 
 /// Bounded LRU map from ProgramKey to shared CompiledProgram.
 class ProgramCache {
@@ -63,6 +78,25 @@ class ProgramCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   void clear();
+
+  /// Serialize every resident program to the versioned binary cache-file
+  /// format (see compile/serialize.hpp). Entries are written LRU-first so
+  /// an in-order load replays them back into the identical recency order.
+  /// Snapshots the cache under the lock, serializes outside it. Returns
+  /// the number of records written.
+  /// \throws std::runtime_error when the file cannot be opened/written.
+  std::size_t save(const std::string& path) const;
+  std::size_t save(std::ostream& out) const;
+
+  /// Load a cache file written by save(). Every good record is inserted
+  /// via put() - loads count as inserts, so the churn invariant
+  /// `inserts - evictions == size()` keeps holding - and a load racing
+  /// concurrent get_or_compile leaders is safe: whichever side lands
+  /// second replaces the other's entry (one insert + one eviction),
+  /// leaving single-flight accounting intact. Never throws; see
+  /// CacheLoadReport for the failure contract.
+  CacheLoadReport load(const std::string& path);
+  CacheLoadReport load(std::istream& in);
 
   /// Monotonic counters since construction (or the last clear()).
   /// Every lookup lands in exactly one of hits / misses / coalesced, so

@@ -1,11 +1,11 @@
 #include "compile/compiler.hpp"
 
-#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
 
+#include "common/binio.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -39,33 +39,20 @@ double us_between(std::chrono::steady_clock::time_point t0,
   return std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
-std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-std::uint64_t digest_mix(std::uint64_t h, double v) {
-  return digest_mix(h, std::bit_cast<std::uint64_t>(v));
-}
-
-}  // namespace
-
-namespace {
-
-std::uint64_t certification_digest(std::uint64_t digest,
-                                   const CompileOptions& options) {
-  digest = digest_mix(digest, std::uint64_t{options.certify ? 1u : 0u});
+/// Fold the certification block into an options digest. The digest runs
+/// over the canonical FNV-1a byte encoding (fixed-width little-endian, see
+/// common/binio.hpp) so it is identical across builds and platforms - it
+/// is part of the on-disk cache-file identity, not just an in-memory hash.
+void certification_digest(Fnv1a& digest, const CompileOptions& options) {
+  digest.u64(options.certify ? 1u : 0u);
   if (options.certify) {
-    digest = digest_mix(digest, options.certification.stream_length);
-    digest = digest_mix(digest, options.certification.repeats);
-    digest = digest_mix(digest, options.certification.grid_points);
-    digest = digest_mix(digest, options.certification.seed);
-    digest = digest_mix(
-        digest, static_cast<std::uint64_t>(options.certification.source_kind));
-    digest = digest_mix(
-        digest, std::uint64_t{options.certification.noise_enabled ? 1u : 0u});
+    digest.u64(options.certification.stream_length);
+    digest.u64(options.certification.repeats);
+    digest.u64(options.certification.grid_points);
+    digest.u64(options.certification.seed);
+    digest.u64(static_cast<std::uint64_t>(options.certification.source_kind));
+    digest.u64(options.certification.noise_enabled ? 1u : 0u);
   }
-  return digest;
 }
 
 }  // namespace
@@ -75,29 +62,31 @@ ProgramKey make_program_key(const std::string& function_id,
   // Every arity's digest leads with its arity salt - the historical
   // univariate digest started unsalted, which left collisions with wider
   // arities down to the explicit key fields alone.
-  std::uint64_t digest = digest_mix(0, std::uint64_t{1});
-  digest = digest_mix(digest, options.projection.min_degree);
-  digest = digest_mix(digest, options.projection.target_max_error);
-  digest = digest_mix(digest, options.projection.error_samples);
-  digest = digest_mix(digest, options.projection.quadrature_points);
-  digest = certification_digest(digest, options);
+  Fnv1a digest;
+  digest.u64(1);
+  digest.u64(options.projection.min_degree);
+  digest.f64(options.projection.target_max_error);
+  digest.u64(options.projection.error_samples);
+  digest.u64(options.projection.quadrature_points);
+  certification_digest(digest, options);
   return ProgramKey{function_id, options.projection.max_degree,
-                    /*degree_y=*/0, options.sng_width, digest,
+                    /*degree_y=*/0, options.sng_width, digest.value(),
                     /*arity=*/1};
 }
 
 ProgramKey make_program_key2(const std::string& function_id,
                              const CompileOptions& options) {
-  std::uint64_t digest = digest_mix(0, std::uint64_t{2});
-  digest = digest_mix(digest, options.projection2.min_degree_x);
-  digest = digest_mix(digest, options.projection2.min_degree_y);
-  digest = digest_mix(digest, options.projection2.target_max_error);
-  digest = digest_mix(digest, options.projection2.error_samples);
-  digest = digest_mix(digest, options.projection2.quadrature_points);
-  digest = certification_digest(digest, options);
+  Fnv1a digest;
+  digest.u64(2);
+  digest.u64(options.projection2.min_degree_x);
+  digest.u64(options.projection2.min_degree_y);
+  digest.f64(options.projection2.target_max_error);
+  digest.u64(options.projection2.error_samples);
+  digest.u64(options.projection2.quadrature_points);
+  certification_digest(digest, options);
   return ProgramKey{function_id, options.projection2.max_degree_x,
                     options.projection2.max_degree_y, options.sng_width,
-                    digest, /*arity=*/2};
+                    digest.value(), /*arity=*/2};
 }
 
 ProgramKey make_program_key_nd(const std::string& function_id,
@@ -106,14 +95,15 @@ ProgramKey make_program_key_nd(const std::string& function_id,
   if (arity == 0) {
     throw std::invalid_argument("make_program_key_nd: zero arity");
   }
-  std::uint64_t digest = digest_mix(0, static_cast<std::uint64_t>(arity));
-  digest = digest_mix(digest, options.projection_nd.max_terms);
-  digest = digest_mix(digest, options.projection_nd.target_max_error);
-  digest = digest_mix(digest, options.projection_nd.grid_samples);
-  digest = digest_mix(digest, options.projection_nd.als_sweeps);
-  digest = certification_digest(digest, options);
+  Fnv1a digest;
+  digest.u64(static_cast<std::uint64_t>(arity));
+  digest.u64(options.projection_nd.max_terms);
+  digest.f64(options.projection_nd.target_max_error);
+  digest.u64(options.projection_nd.grid_samples);
+  digest.u64(options.projection_nd.als_sweeps);
+  certification_digest(digest, options);
   return ProgramKey{function_id, options.projection_nd.degree,
-                    /*degree_y=*/0, options.sng_width, digest, arity};
+                    /*degree_y=*/0, options.sng_width, digest.value(), arity};
 }
 
 std::shared_ptr<const CompiledProgram> compile_function(

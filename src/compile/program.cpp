@@ -3,25 +3,29 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/binio.hpp"
 #include "optsc/defaults.hpp"
 #include "optsc/link_budget.hpp"
 
 namespace oscs::compile {
 
+std::uint64_t ProgramKey::digest() const noexcept {
+  // Canonical byte encoding: arity salt first (programs of different arity
+  // can never collide even when every other field coincides), then every
+  // identity field fixed-width little-endian. The field order is part of
+  // the on-disk cache-file contract.
+  Fnv1a d;
+  d.u64(arity);
+  d.str(function_id);
+  d.u64(degree);
+  d.u64(degree_y);
+  d.u64(width);
+  d.u64(options_digest);
+  return d.value();
+}
+
 std::size_t ProgramKeyHash::operator()(const ProgramKey& key) const noexcept {
-  std::size_t h = std::hash<std::string>{}(key.function_id);
-  // Boost-style hash combine.
-  h ^= std::hash<std::size_t>{}(key.degree) + 0x9E3779B97F4A7C15ULL + (h << 6) +
-       (h >> 2);
-  h ^= std::hash<std::size_t>{}(key.degree_y) + 0x9E3779B97F4A7C15ULL +
-       (h << 6) + (h >> 2);
-  h ^= std::hash<unsigned>{}(key.width) + 0x9E3779B97F4A7C15ULL + (h << 6) +
-       (h >> 2);
-  h ^= std::hash<std::uint64_t>{}(key.options_digest) + 0x9E3779B97F4A7C15ULL +
-       (h << 6) + (h >> 2);
-  h ^= std::hash<std::size_t>{}(key.arity) + 0x9E3779B97F4A7C15ULL + (h << 6) +
-       (h >> 2);
-  return h;
+  return static_cast<std::size_t>(key.digest());
 }
 
 void CompiledProgram::build_backend(std::size_t circuit_order,

@@ -43,6 +43,15 @@ struct ProgramKey {
   std::size_t arity = 1;   ///< program input count
 
   bool operator==(const ProgramKey&) const = default;
+
+  /// Portable 64-bit identity: FNV-1a over the key's canonical fixed-width
+  /// little-endian byte encoding (arity salt first, then the id
+  /// length-prefixed, then degree/degree_y/width/options_digest). Unlike
+  /// std::hash this value is identical across processes, standard
+  /// libraries and platforms, so it is safe to address on-disk cache
+  /// records by it. Pinned by a regression test - changing the encoding
+  /// is a cache-file format break.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
 };
 
 /// Hash for unordered containers keyed by ProgramKey.

@@ -117,6 +117,16 @@ ProgramServer::ProgramServer(ServerOptions options)
                                         "compiled programs resident")),
       cache_capacity_gauge_(registry_.gauge("oscs_serve_cache_capacity",
                                             "program cache capacity")),
+      cache_loaded_(registry_.counter(
+          "oscs_cache_loaded_total",
+          "compiled programs restored from persisted cache files")),
+      cache_load_errors_(registry_.counter(
+          "oscs_cache_load_errors_total",
+          "cache-file load failures (corrupt records fall back to cold "
+          "compiles)")),
+      cache_prewarmed_(registry_.counter(
+          "oscs_cache_prewarmed_total",
+          "programs compiled by startup prewarm passes")),
       parse_hist_(registry_.histogram("oscs_serve_stage_latency_us",
                                       kStageHelp, {{"stage", "parse"}},
                                       obs::Histogram::latency_us())),
@@ -136,6 +146,112 @@ ProgramServer::ProgramServer(ServerOptions options)
       trace_log_(options.trace_log) {
   cache_capacity_gauge_.set(
       static_cast<std::int64_t>(compiler_.cache().capacity()));
+  if (options_.prewarm.enabled()) {
+    // Fail-soft by contract: prewarm() never throws, so a missing or
+    // corrupt cache file can never take server startup down with it.
+    (void)prewarm(options_.prewarm);
+  }
+}
+
+PrewarmReport ProgramServer::prewarm(const PrewarmOptions& options) {
+  PrewarmReport report;
+  if (!options.cache_file.empty()) {
+    const compile::CacheLoadReport loaded =
+        compiler_.cache().load(options.cache_file);
+    report.file_opened = loaded.opened;
+    report.loaded = loaded.loaded;
+    report.load_errors = loaded.errors;
+    report.message = loaded.message;
+    if (loaded.loaded > 0) cache_loaded_.inc(loaded.loaded);
+    if (loaded.errors > 0) cache_load_errors_.inc(loaded.errors);
+  }
+  if (!options.compile_missing) return report;
+
+  // Resolve the manifest: the named registry functions, or - with an
+  // empty list - every entry across the three catalogues. Each entry
+  // carries its cache key (derived exactly like the serve resolve path:
+  // compiler defaults plus the registry degree, so a prewarmed program is
+  // the one traffic hits) and a compile thunk.
+  struct ManifestEntry {
+    std::string id;
+    compile::ProgramKey key;
+    std::function<void()> compile;
+  };
+  std::vector<ManifestEntry> manifest;
+  auto add_id = [&](const std::string& id) -> bool {
+    compile::CompileOptions opts = options_.compile;
+    if (const compile::RegistryFunction* fn = compile::find_function(id)) {
+      opts.projection.max_degree = fn->degree;
+      manifest.push_back({id, compile::make_program_key(id, opts),
+                          [this, fn] { (void)compiler_.compile(*fn); }});
+      return true;
+    }
+    if (const compile::RegistryFunction2* fn = compile::find_function2(id)) {
+      opts.projection2.max_degree_x = fn->degree_x;
+      opts.projection2.max_degree_y = fn->degree_y;
+      manifest.push_back({id, compile::make_program_key2(id, opts),
+                          [this, fn] { (void)compiler_.compile2(*fn); }});
+      return true;
+    }
+    if (const compile::RegistryFunctionN* fn = compile::find_function_nd(id)) {
+      opts.projection_nd.degree = fn->degree;
+      opts.projection_nd.max_terms = fn->max_terms;
+      manifest.push_back(
+          {id, compile::make_program_key_nd(id, fn->arity, opts),
+           [this, fn] { (void)compiler_.compile_nd(*fn); }});
+      return true;
+    }
+    return false;
+  };
+  if (options.functions.empty()) {
+    for (const std::string& id : compile::registry_ids()) add_id(id);
+    for (const std::string& id : compile::registry2_ids()) add_id(id);
+    for (const std::string& id : compile::registry_nd_ids()) add_id(id);
+  } else {
+    for (const std::string& id : options.functions) {
+      if (!add_id(id)) {
+        ++report.compile_errors;
+        if (report.message.empty()) {
+          report.message = "prewarm: unknown registry function '" + id + "'";
+        }
+      }
+    }
+  }
+
+  // Fan the missing compiles across the leased pool. get_or_compile's
+  // single-flight makes this idempotent against concurrent traffic, and
+  // entries the cache file already covered are skipped by the residency
+  // probe (contains() perturbs neither the LRU order nor the counters).
+  std::mutex report_mutex;
+  std::unique_ptr<engine::ThreadPool> pool = acquire_pool();
+  for (const ManifestEntry& entry : manifest) {
+    pool->submit([this, &entry, &report, &report_mutex] {
+      if (compiler_.cache().contains(entry.key)) return;
+      try {
+        entry.compile();
+        cache_prewarmed_.inc();
+        std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.compiled;
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.compile_errors;
+        if (report.message.empty()) {
+          report.message = "prewarm: compile '" + entry.id + "': " + e.what();
+        }
+      }
+    });
+  }
+  try {
+    pool->wait_idle();  // jobs catch their own errors; belt and braces
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(report_mutex);
+    ++report.compile_errors;
+    if (report.message.empty()) {
+      report.message = std::string("prewarm: ") + e.what();
+    }
+  }
+  release_pool(std::move(pool));
+  return report;
 }
 
 std::unique_ptr<engine::ThreadPool> ProgramServer::acquire_pool() {
@@ -871,6 +987,11 @@ ServerMetrics ProgramServer::metrics() const {
   snapshot.cache = compiler_.cache().stats();
   snapshot.cache_size = compiler_.cache().size();
   snapshot.cache_capacity = compiler_.cache().capacity();
+  snapshot.cache_loaded = static_cast<std::size_t>(cache_loaded_.value());
+  snapshot.cache_load_errors =
+      static_cast<std::size_t>(cache_load_errors_.value());
+  snapshot.cache_prewarmed =
+      static_cast<std::size_t>(cache_prewarmed_.value());
 
   snapshot.received = static_cast<std::size_t>(received_.value());
   snapshot.completed_univariate =
@@ -933,6 +1054,9 @@ std::string ProgramServer::metrics_json(bool pretty,
       .field("coalesced", m.cache.coalesced)
       .field("size", m.cache_size)
       .field("capacity", m.cache_capacity)
+      .field("loaded", m.cache_loaded)
+      .field("load_errors", m.cache_load_errors)
+      .field("prewarmed", m.cache_prewarmed)
       .end_object();
   json.key("requests")
       .begin_object()

@@ -53,6 +53,40 @@
 
 namespace oscs::serve {
 
+/// Startup prewarm manifest: seed the program cache from a persisted
+/// cache file (compile/serialize.hpp format) and optionally compile
+/// whatever the file did not cover, so a restarted server serves its
+/// registry with zero cold compiles on the request path. Loading is
+/// fail-soft - a missing or corrupt file degrades to cold compiles with
+/// counted `oscs_cache_load_errors_total`, never a startup failure.
+struct PrewarmOptions {
+  /// Cache file to load at construction; empty disables loading.
+  std::string cache_file;
+  /// After the load, compile every manifest function still missing from
+  /// the cache, fanned across the server's thread pool. With an empty
+  /// `functions` list the manifest is the full registry (univariate +
+  /// bivariate + N-ary catalogues).
+  bool compile_missing = false;
+  /// Registry ids to prewarm when `compile_missing` is set (unknown ids
+  /// are counted as errors, not fatal). Empty means every registry entry.
+  std::vector<std::string> functions;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !cache_file.empty() || compile_missing;
+  }
+};
+
+/// Outcome of one prewarm pass (also exported through the
+/// oscs_cache_{loaded,load_errors,prewarmed}_total counters).
+struct PrewarmReport {
+  bool file_opened = false;    ///< cache file header parsed
+  std::size_t loaded = 0;      ///< programs restored from the file
+  std::size_t load_errors = 0; ///< header/record failures (fail-soft)
+  std::size_t compiled = 0;    ///< manifest functions compiled cold
+  std::size_t compile_errors = 0;  ///< manifest entries that failed
+  std::string message;         ///< first failure description, if any
+};
+
 /// Server construction knobs.
 struct ServerOptions {
   std::size_t cache_capacity = 32;  ///< program cache entries
@@ -78,6 +112,9 @@ struct ServerOptions {
   /// Accuracy plane: shadow sampling fraction, error-budget SLO knobs and
   /// the degraded/slow-request log (see serve/accuracy.hpp).
   AccuracyOptions accuracy{};
+  /// Startup cache prewarm (load a persisted cache file, compile the
+  /// rest); disabled by default.
+  PrewarmOptions prewarm{};
 };
 
 /// One stage's latency snapshot (microseconds). Derived at export time
@@ -101,6 +138,9 @@ struct ServerMetrics {
   compile::ProgramCache::Stats cache{};
   std::size_t cache_size = 0;
   std::size_t cache_capacity = 0;
+  std::size_t cache_loaded = 0;       ///< programs restored from a cache file
+  std::size_t cache_load_errors = 0;  ///< prewarm load failures (fail-soft)
+  std::size_t cache_prewarmed = 0;    ///< programs compiled by the prewarm
 
   std::size_t received = 0;         ///< requests of any op
   /// Successful evaluates. Derived as the sum of the per-arity counters
@@ -173,6 +213,22 @@ class ProgramServer {
   [[nodiscard]] compile::Compiler& compiler() noexcept { return compiler_; }
   [[nodiscard]] const ServerOptions& options() const noexcept {
     return options_;
+  }
+
+  /// Run a prewarm pass now (the constructor runs one automatically when
+  /// options.prewarm.enabled()): load `prewarm.cache_file` into the
+  /// program cache, then - when `compile_missing` is set - fan the
+  /// manifest functions still absent across the server's leased thread
+  /// pool. Certification is whatever the compile defaults say; loaded
+  /// programs keep their persisted certificates and are re-certified
+  /// lazily only if a caller compiles past them. Never throws: every
+  /// failure is counted in the report (and the cache counters) instead.
+  PrewarmReport prewarm(const PrewarmOptions& options);
+
+  /// Persist the current program cache for a future prewarm.
+  /// \throws std::runtime_error when the file cannot be written.
+  std::size_t save_cache(const std::string& path) const {
+    return compiler_.cache().save(path);
   }
 
  private:
@@ -282,6 +338,9 @@ class ProgramServer {
   obs::Gauge& in_flight_;
   obs::Gauge& cache_size_gauge_;      ///< refreshed at scrape time
   obs::Gauge& cache_capacity_gauge_;  ///< refreshed at scrape time
+  obs::Counter& cache_loaded_;        ///< programs restored from cache files
+  obs::Counter& cache_load_errors_;   ///< prewarm load failures (fail-soft)
+  obs::Counter& cache_prewarmed_;     ///< programs compiled by prewarm passes
   obs::Histogram& parse_hist_;
   obs::Histogram& resolve_hist_;
   obs::Histogram& execute_hist_;

@@ -1,0 +1,170 @@
+/// Binary stream helper tests: write/read round trips of every scalar
+/// shape, bounds-checked failure on truncated input, and the FNV-1a
+/// digest pinned against the published test vectors plus the streaming
+/// accumulator's equivalence with the one-shot form - the portable
+/// cache-identity contract.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/binio.hpp"
+
+namespace oscs {
+namespace {
+
+TEST(BinIo, ScalarRoundTrip) {
+  BinWriter out;
+  out.u8(0xAB)
+      .u32(0xDEADBEEF)
+      .u64(0x0123456789ABCDEFULL)
+      .f64(0.6180339887498949)
+      .str("hello")
+      .str("");
+  BinReader in(out.data());
+  EXPECT_EQ(in.u8(), 0xAB);
+  EXPECT_EQ(in.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(in.f64(), 0.6180339887498949);
+  EXPECT_EQ(in.str(), "hello");
+  EXPECT_EQ(in.str(), "");
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(BinIo, LittleEndianLayoutIsExplicit) {
+  // The wire layout is pinned, not host-defined: u32 0x01020304 must be
+  // the bytes 04 03 02 01 in order.
+  BinWriter out;
+  out.u32(0x01020304);
+  const std::string& bytes = out.data();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0x03);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[2]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(BinIo, DoubleRoundTripIsBitExact) {
+  const std::vector<double> values = {
+      0.0, -0.0, 1.0, -1.0, 0.1, 1e-300, 1e300,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::quiet_NaN()};
+  BinWriter out;
+  for (double v : values) out.f64(v);
+  BinReader in(out.data());
+  for (double v : values) {
+    const double back = in.f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(BinIo, VectorRoundTrip) {
+  const std::vector<double> doubles = {0.0, 0.25, 0.5, 1.0};
+  const std::vector<std::uint64_t> words = {0, 1, 65535, 1ULL << 62};
+  BinWriter out;
+  out.f64_vec(doubles).u64_vec(words);
+  BinReader in(out.data());
+  EXPECT_EQ(in.f64_vec(), doubles);
+  EXPECT_EQ(in.u64_vec(), words);
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(BinIo, TruncatedReadsThrowAtEveryOffset) {
+  BinWriter out;
+  out.u32(7).f64(0.5).str("abc").f64_vec({0.1, 0.2});
+  const std::string& full = out.data();
+  // Every proper prefix must fail with BinIoError somewhere, never fault
+  // or read past the end.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    BinReader in(std::string_view(full).substr(0, cut));
+    EXPECT_THROW(
+        {
+          (void)in.u32();
+          (void)in.f64();
+          (void)in.str();
+          (void)in.f64_vec();
+        },
+        BinIoError);
+  }
+}
+
+TEST(BinIo, CorruptVectorCountDoesNotAllocate) {
+  // A huge declared count with no bytes behind it must be rejected before
+  // any allocation happens.
+  BinWriter out;
+  out.u64(std::numeric_limits<std::uint64_t>::max());
+  BinReader in(out.data());
+  EXPECT_THROW((void)in.f64_vec(), BinIoError);
+  BinReader in2(out.data());
+  EXPECT_THROW((void)in2.u64_vec(), BinIoError);
+}
+
+TEST(BinIo, StringLengthBeyondInputThrows) {
+  BinWriter out;
+  out.u32(1000);  // declares 1000 bytes, provides none
+  BinReader in(out.data());
+  EXPECT_THROW((void)in.str(), BinIoError);
+}
+
+TEST(BinIo, PatchU32) {
+  BinWriter out;
+  out.u32(0);
+  out.u64(42);
+  out.patch_u32(0, 0xCAFEF00D);
+  BinReader in(out.data());
+  EXPECT_EQ(in.u32(), 0xCAFEF00Du);
+  EXPECT_EQ(in.u64(), 42u);
+  EXPECT_THROW(out.patch_u32(out.size() - 3, 1), BinIoError);
+}
+
+TEST(Fnv1a, PinnedPublishedVectors) {
+  // The classic 64-bit FNV-1a test vectors. These pin the exact constants
+  // (offset basis 0xCBF29CE484222325, prime 0x100000001B3): if either
+  // drifts, every on-disk cache identity breaks, and this test fails
+  // first.
+  EXPECT_EQ(fnv1a("", 0), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a("a", 1), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a("foobar", 6), 0x85944171F73967E8ULL);
+}
+
+TEST(Fnv1a, StreamingMatchesOneShotOverWriterEncoding) {
+  // Fnv1a{}.u64(x).f64(y).str(s) must equal fnv1a() of the equivalent
+  // canonical byte buffer; the digest and the serializer share one
+  // encoding.
+  BinWriter bytes;
+  bytes.u64(7).f64(0.125);
+  bytes.u64(3);  // Fnv1a::str length prefix is u64
+  bytes.bytes("abc", 3);
+  const std::uint64_t one_shot =
+      fnv1a(bytes.data().data(), bytes.size());
+
+  Fnv1a streaming;
+  streaming.u64(7).f64(0.125).str("abc");
+  EXPECT_EQ(streaming.value(), one_shot);
+}
+
+TEST(Fnv1a, LengthPrefixPreventsStringAliasing) {
+  // "ab" + "c" and "a" + "bc" concatenate to the same bytes; the length
+  // prefix must keep their digests apart.
+  Fnv1a left;
+  left.str("ab").str("c");
+  Fnv1a right;
+  right.str("a").str("bc");
+  EXPECT_NE(left.value(), right.value());
+}
+
+TEST(Fnv1a, SeedChaining) {
+  const std::uint64_t direct = fnv1a("foobar", 6);
+  const std::uint64_t chained = fnv1a("bar", 3, fnv1a("foo", 3));
+  EXPECT_EQ(chained, direct);
+}
+
+}  // namespace
+}  // namespace oscs

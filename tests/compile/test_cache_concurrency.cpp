@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -183,6 +184,80 @@ TEST(ProgramCacheConcurrency, FailedLeaderPropagatesToWaitersThenRetries) {
   const auto program = cache.get_or_compile(
       key_of("doomed"), [] { return make_program("doomed", 0.5); });
   EXPECT_NE(program, nullptr);
+}
+
+TEST(ProgramCacheConcurrency, LoadRacingLeadersKeepsAccountingIntact) {
+  // Satellite of the persistence work: ProgramCache::load racing
+  // concurrent get_or_compile leaders on the SAME keys. Whichever side
+  // lands second replaces the other's entry (one insert + one eviction),
+  // so there is no double-insert, single-flight still compiles each key
+  // at most once per storm, and `inserts - evictions == size()` holds at
+  // the end.
+  constexpr int kKeys = 6;
+  constexpr int kThreadsPerKey = 3;
+  constexpr int kLoadRounds = 8;
+
+  // A saved cache file covering all the contended keys. The storm must
+  // contend on the programs' TRUE keys (the ones the file stores), so
+  // they are captured here.
+  std::ostringstream saved;
+  std::vector<ProgramKey> keys;
+  {
+    ProgramCache source(kKeys);
+    for (int k = 0; k < kKeys; ++k) {
+      const std::string id = "race" + std::to_string(k);
+      const auto program = make_program(id, 0.1 + 0.1 * k);
+      keys.push_back(program->key());
+      source.put(program->key(), program);
+    }
+    source.save(saved);
+  }
+  const std::string bytes = saved.str();
+
+  ProgramCache cache(kKeys + 2);
+  std::atomic<int> factory_calls{0};
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  // Loader thread: replay the file into the cache repeatedly while the
+  // compile storm runs.
+  threads.emplace_back([&] {
+    while (!start.load()) std::this_thread::yield();
+    for (int round = 0; round < kLoadRounds; ++round) {
+      std::istringstream in(bytes);
+      const CacheLoadReport report = cache.load(in);
+      ASSERT_EQ(report.errors, 0u);
+      ASSERT_EQ(report.loaded, static_cast<std::size_t>(kKeys));
+    }
+  });
+  // Compile storm: every key contended by several get_or_compile callers.
+  for (int k = 0; k < kKeys; ++k) {
+    for (int t = 0; t < kThreadsPerKey; ++t) {
+      threads.emplace_back([&, k] {
+        while (!start.load()) std::this_thread::yield();
+        const std::string id = "race" + std::to_string(k);
+        const auto program = cache.get_or_compile(keys[k], [&, k, id] {
+          ++factory_calls;
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          return make_program(id, 0.1 + 0.1 * k);
+        });
+        ASSERT_NE(program, nullptr);
+      });
+    }
+  }
+  start.store(true);
+  for (std::thread& th : threads) th.join();
+
+  const ProgramCache::Stats stats = cache.stats();
+  // No double-insert: every insert beyond the resident set was balanced
+  // by an eviction (replace counts one of each).
+  EXPECT_EQ(stats.inserts - stats.evictions, cache.size());
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  // Single-flight held: at most one factory run per key (zero when the
+  // loader won before the storm reached that key).
+  EXPECT_LE(factory_calls.load(), kKeys);
+  // Every lookup landed in exactly one bucket.
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced,
+            static_cast<std::size_t>(kKeys * kThreadsPerKey));
 }
 
 }  // namespace

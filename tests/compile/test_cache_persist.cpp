@@ -1,0 +1,175 @@
+/// Persistence acceptance tests: a program restored from a saved cache
+/// file must be EXECUTION-identical to the freshly compiled one - the
+/// same quantized coefficients drive the same deterministic kernel, so a
+/// BatchRunner run over the loaded program is bit-identical to one over
+/// the original, across arities 1/2/3 (dense univariate, dense
+/// tensor-product, N-ary separable) and under both SIMD backends.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/simd.hpp"
+#include "compile/cache.hpp"
+#include "compile/compiler.hpp"
+#include "engine/batch.hpp"
+
+namespace oscs::compile {
+namespace {
+
+CompileOptions fast_options() {
+  CompileOptions options;
+  options.certify = false;
+  return options;
+}
+
+/// Save one program into a cache file (in memory) and load it back
+/// through a fresh cache.
+std::shared_ptr<const CompiledProgram> persist_round_trip(
+    const std::shared_ptr<const CompiledProgram>& program) {
+  ProgramCache source(4);
+  source.put(program->key(), program);
+  std::ostringstream out;
+  EXPECT_EQ(source.save(out), 1u);
+
+  ProgramCache dest(4);
+  std::istringstream in(out.str());
+  const CacheLoadReport report = dest.load(in);
+  EXPECT_TRUE(report.opened);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.errors, 0u);
+  auto back = dest.get(program->key());
+  EXPECT_NE(back, nullptr);
+  return back;
+}
+
+/// Run the same batch over both programs and compare every cell field
+/// that derives from the evaluated bitstreams. Noise on: the flip path
+/// must replay bit-identically too (it is seeded deterministically).
+void expect_bit_identical_runs(const CompiledProgram& fresh,
+                               const CompiledProgram& loaded) {
+  engine::BatchRequest request;
+  request.repeats = 4;
+  request.stream_lengths = {256, 1024};
+  request.seed = 42;
+  request.op = fresh.design_point();
+  if (fresh.is_nd()) {
+    request.programs_nd = {fresh.program_nd()};
+    request.inputs = {{0.1, 0.5, 0.9}, {0.3, 0.7, 0.2}, {0.8, 0.4, 0.6}};
+  } else if (fresh.is_bivariate()) {
+    request.polynomials2 = {fresh.poly2()};
+    request.xs = {0.1, 0.5, 0.9};
+    request.ys = {0.2, 0.6, 0.8};
+  } else {
+    request.polynomials = {fresh.poly()};
+    request.xs = {0.0, 0.25, 0.5, 0.75, 1.0};
+  }
+
+  engine::BatchRunner fresh_runner(fresh.kernel(), fresh.design_point());
+  engine::BatchRunner loaded_runner(loaded.kernel(), loaded.design_point());
+  const engine::BatchSummary a = fresh_runner.run_nd(request, /*threads=*/2);
+  const engine::BatchSummary b = loaded_runner.run_nd(request, /*threads=*/2);
+
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const engine::BatchCell& ca = a.cells[i];
+    const engine::BatchCell& cb = b.cells[i];
+    // Bit-identical, not approximately equal: the loaded program must
+    // replay the exact streams the original produced.
+    EXPECT_EQ(ca.expected, cb.expected) << "cell " << i;
+    EXPECT_EQ(ca.optical_mean, cb.optical_mean) << "cell " << i;
+    EXPECT_EQ(ca.optical_ci, cb.optical_ci) << "cell " << i;
+    EXPECT_EQ(ca.optical_abs_error_mean, cb.optical_abs_error_mean)
+        << "cell " << i;
+    EXPECT_EQ(ca.electronic_abs_error_mean, cb.electronic_abs_error_mean)
+        << "cell " << i;
+    EXPECT_EQ(ca.flip_rate_mean, cb.flip_rate_mean) << "cell " << i;
+  }
+}
+
+class CachePersistBitIdentity : public ::testing::TestWithParam<SimdBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == SimdBackend::kAvx2 &&
+        !(simd_avx2_compiled() && simd_avx2_runtime())) {
+      GTEST_SKIP() << "AVX2 backend unavailable on this host/build";
+    }
+    set_simd_backend(GetParam());
+  }
+  void TearDown() override { reset_simd_backend(); }
+};
+
+TEST_P(CachePersistBitIdentity, UnivariateDense) {
+  const auto program = compile_function(
+      "sigmoid", [](double x) { return 1.0 / (1.0 + std::exp(-4.0 * x)); },
+      fast_options());
+  const auto loaded = persist_round_trip(program);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->poly().coeffs(), program->poly().coeffs());
+  expect_bit_identical_runs(*program, *loaded);
+}
+
+TEST_P(CachePersistBitIdentity, BivariateDense) {
+  const auto program = compile_function2(
+      "mul", [](double x, double y) { return x * y; }, fast_options());
+  const auto loaded = persist_round_trip(program);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->poly2().coeffs(), program->poly2().coeffs());
+  expect_bit_identical_runs(*program, *loaded);
+}
+
+TEST_P(CachePersistBitIdentity, TernarySeparable) {
+  const auto program = compile_function_nd(
+      "rgb_luma", 3,
+      [](const std::vector<double>& p) {
+        return 0.2126 * p[0] + 0.7152 * p[1] + 0.0722 * p[2];
+      },
+      fast_options());
+  const auto loaded = persist_round_trip(program);
+  ASSERT_NE(loaded, nullptr);
+  expect_bit_identical_runs(*program, *loaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, CachePersistBitIdentity,
+    ::testing::Values(SimdBackend::kScalar, SimdBackend::kAvx2),
+    [](const ::testing::TestParamInfo<SimdBackend>& info) {
+      return info.param == SimdBackend::kScalar ? "Scalar" : "Avx2";
+    });
+
+TEST(CachePersistFile, RoundTripThroughRealFile) {
+  // The stream variants carry the tests above; this one exercises the
+  // actual path-based save/load pair end to end.
+  const auto program = compile_function(
+      "sqrt", [](double x) { return std::sqrt(x); }, fast_options());
+  ProgramCache source(4);
+  source.put(program->key(), program);
+  const std::string path =
+      ::testing::TempDir() + "oscs_cache_persist_test.bin";
+  EXPECT_EQ(source.save(path), 1u);
+
+  ProgramCache dest(4);
+  const CacheLoadReport report = dest.load(path);
+  EXPECT_TRUE(report.opened);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_TRUE(dest.contains(program->key()));
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistFile, SaveToUnwritablePathThrows) {
+  ProgramCache cache(4);
+  const auto program = compile_function(
+      "cube", [](double x) { return x * x * x; }, fast_options());
+  cache.put(program->key(), program);
+  EXPECT_THROW((void)cache.save("/nonexistent/dir/oscs_cache.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace oscs::compile
